@@ -1,0 +1,80 @@
+//! Microbenchmarks of the DES engine: raw event throughput and the cost of
+//! the contended-resource abstractions everything else is built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use clic_sim::{Cpu, CpuClass, SerialResource, Sim, SimDuration};
+
+/// Schedule-and-drain of a long chain of bare events.
+fn bench_event_chain(c: &mut Criterion) {
+    c.bench_function("engine_event_chain_100k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0);
+            fn tick(sim: &mut Sim, left: u32) {
+                if left > 0 {
+                    sim.schedule_in(SimDuration::from_ns(10), move |s| tick(s, left - 1));
+                }
+            }
+            tick(&mut sim, 100_000);
+            sim.run();
+            sim.events_executed()
+        })
+    });
+}
+
+/// Fan-out of many simultaneous events (heap stress).
+fn bench_event_fanout(c: &mut Criterion) {
+    c.bench_function("engine_fanout_100k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0);
+            for i in 0..100_000u64 {
+                sim.schedule_in(SimDuration::from_ns(i % 1000), |_| {});
+            }
+            sim.run();
+            sim.events_executed()
+        })
+    });
+}
+
+/// CPU resource with mixed-priority work.
+fn bench_cpu_resource(c: &mut Criterion) {
+    c.bench_function("cpu_resource_50k_items", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0);
+            let cpu = Cpu::new();
+            for i in 0..50_000u32 {
+                let class = if i % 4 == 0 {
+                    CpuClass::Irq
+                } else {
+                    CpuClass::Task
+                };
+                Cpu::run(&cpu, &mut sim, class, SimDuration::from_ns(100), |_| {});
+            }
+            sim.run();
+            let n = cpu.borrow().items_run();
+            n
+        })
+    });
+}
+
+/// Serial bus resource under a queue of transactions.
+fn bench_serial_resource(c: &mut Criterion) {
+    c.bench_function("serial_resource_50k_txns", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0);
+            let bus = SerialResource::new("bench");
+            for _ in 0..50_000 {
+                SerialResource::acquire(&bus, &mut sim, SimDuration::from_ns(80), |_| {});
+            }
+            sim.run();
+            let n = bus.borrow().items();
+            n
+        })
+    });
+}
+
+criterion_group! {
+    name = engine;
+    config = Criterion::default().sample_size(10);
+    targets = bench_event_chain, bench_event_fanout, bench_cpu_resource, bench_serial_resource
+}
+criterion_main!(engine);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks: one per paper figure/table + ablations.
+//!
+//! Each bench runs the corresponding experiment on the reduced size grid,
+//! so `cargo bench` both regenerates every result and tracks the
+//! simulator's own performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn sizes() -> Vec<usize> {
+    clic_cluster::experiments::quick_sizes()
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_clic_mtu_x_copy", |b| {
+        b.iter(|| clic_cluster::experiments::fig4(&sizes()))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_clic_vs_tcp", |b| {
+        b.iter(|| clic_cluster::experiments::fig5(&sizes()))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_middleware", |b| {
+        b.iter(|| clic_cluster::experiments::fig6(&sizes()))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_stage_breakdown", |b| {
+        b.iter(|| {
+            (
+                clic_cluster::experiments::fig7(false),
+                clic_cluster::experiments::fig7(true),
+            )
+        })
+    });
+}
+
+fn bench_gamma_table(c: &mut Criterion) {
+    c.bench_function("gamma_comparison_table", |b| {
+        b.iter(|| clic_cluster::experiments::gamma_table(&sizes()))
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    c.bench_function("ablation_coalescing", |b| {
+        b.iter(clic_cluster::experiments::ablation_coalescing)
+    });
+    c.bench_function("ablation_fragmentation", |b| {
+        b.iter(|| clic_cluster::experiments::ablation_fragmentation(&sizes()))
+    });
+    c.bench_function("ablation_bonding", |b| {
+        b.iter(clic_cluster::experiments::ablation_bonding)
+    });
+    c.bench_function("ablation_syscall", |b| {
+        b.iter(clic_cluster::experiments::ablation_syscall)
+    });
+    c.bench_function("ablation_loss", |b| {
+        b.iter(clic_cluster::experiments::ablation_loss)
+    });
+    c.bench_function("ablation_cpu", |b| {
+        b.iter(clic_cluster::experiments::ablation_cpu)
+    });
+    c.bench_function("ablation_latency_under_load", |b| {
+        b.iter(clic_cluster::experiments::ablation_latency_under_load)
+    });
+    c.bench_function("ablation_paths", |b| {
+        b.iter(clic_cluster::experiments::ablation_paths)
+    });
+    c.bench_function("ablation_scaling", |b| {
+        b.iter(clic_cluster::experiments::ablation_scaling)
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4, bench_fig5, bench_fig6, bench_fig7, bench_gamma_table, bench_ablations
+}
+criterion_main!(figures);

@@ -1,0 +1,335 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [--quick] [--json] <what>...
+//!   what: fig4 fig5 fig6 fig7 scalars gamma coalescing fragmentation
+//!         bonding syscall loss all
+//! ```
+//!
+//! `--quick` uses a reduced size grid; `--json` emits machine-readable
+//! output instead of CSV + ASCII charts.
+
+use clic_bench::render::{series_ascii, series_csv};
+use clic_cluster::experiments::{self, Series};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let mut what: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if what.is_empty() || what.contains(&"all") {
+        what = vec![
+            "fig4", "fig5", "fig6", "fig7", "scalars", "gamma", "coalescing", "fragmentation",
+            "bonding", "syscall", "loss", "cpu", "load", "paths", "scaling",
+        ];
+    }
+    let sizes = if quick {
+        experiments::quick_sizes()
+    } else {
+        experiments::paper_sizes()
+    };
+
+    for item in what {
+        match item {
+            "fig4" => figure(
+                json,
+                "Figure 4: CLIC bandwidth, MTU x copy-path",
+                &experiments::fig4(&sizes),
+            ),
+            "fig5" => figure(
+                json,
+                "Figure 5: CLIC vs TCP/IP, MTU 9000/1500",
+                &experiments::fig5(&sizes),
+            ),
+            "fig6" => figure(
+                json,
+                "Figure 6: CLIC, MPI-CLIC, MPI-TCP, PVM-TCP",
+                &experiments::fig6(&sizes),
+            ),
+            "fig7" => {
+                let a = experiments::fig7(false);
+                let b = experiments::fig7(true);
+                if json {
+                    println!(
+                        "{}",
+                        serde_json::json!({"fig7a": a, "fig7b": b})
+                    );
+                } else {
+                    println!("== Figure 7: 1400-byte packet pipeline stages ==");
+                    println!("{:<18} {:>10} {:>10}", "stage", "7a (us)", "7b (us)");
+                    let stage_names: Vec<&String> = a.iter().map(|r| &r.stage).collect();
+                    for name in stage_names {
+                        let va = a.iter().find(|r| &r.stage == name).map(|r| r.us);
+                        let vb = b.iter().find(|r| &r.stage == name).map(|r| r.us);
+                        println!(
+                            "{:<18} {:>10} {:>10}",
+                            name,
+                            va.map(|v| format!("{v:.2}")).unwrap_or_default(),
+                            vb.map(|v| format!("{v:.2}")).unwrap_or("-".into()),
+                        );
+                    }
+                    let total = |rows: &[experiments::StageRow]| -> f64 {
+                        rows.iter()
+                            .filter(|r| {
+                                ["driver_rx", "bottom_half", "clic_module_rx", "copy_to_user"]
+                                    .contains(&r.stage.as_str())
+                            })
+                            .map(|r| r.us)
+                            .sum()
+                    };
+                    println!(
+                        "receive-path total: 7a = {:.1} us, 7b = {:.1} us (paper: ~20 -> ~5)",
+                        total(&a),
+                        total(&b)
+                    );
+                    println!();
+                }
+            }
+            "scalars" => {
+                let s = experiments::scalars(&sizes);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&s).unwrap());
+                } else {
+                    println!("== Headline scalars (paper Section 4/5) ==");
+                    println!(
+                        "0-byte one-way latency : {:7.1} us   (paper: 36)",
+                        s.zero_byte_latency_us
+                    );
+                    println!(
+                        "CLIC asymptote MTU9000 : {:7.1} Mb/s (paper: ~600)",
+                        s.clic_asymptote_9000_mbps
+                    );
+                    println!(
+                        "CLIC asymptote MTU1500 : {:7.1} Mb/s (paper: ~450)",
+                        s.clic_asymptote_1500_mbps
+                    );
+                    println!(
+                        "TCP  asymptote MTU9000 : {:7.1} Mb/s (paper: CLIC > 2x TCP)",
+                        s.tcp_asymptote_9000_mbps
+                    );
+                    println!(
+                        "CLIC 50%-of-peak (1500): {:7} B    (paper: ~4 KB)",
+                        s.clic_half_bandwidth_bytes_1500
+                    );
+                    println!(
+                        "CLIC 50%-of-peak (9000): {:7} B",
+                        s.clic_half_bandwidth_bytes_9000
+                    );
+                    println!(
+                        "TCP  50%-of-peak       : {:7} B    (paper: ~16 KB)",
+                        s.tcp_half_bandwidth_bytes
+                    );
+                    println!();
+                }
+            }
+            "gamma" => {
+                let rows = experiments::gamma_table(&sizes);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+                } else {
+                    println!("== Section 5 comparison: CLIC vs GAMMA ==");
+                    println!("{:<16} {:>12} {:>16}", "protocol", "latency(us)", "bandwidth(Mb/s)");
+                    for r in rows {
+                        println!(
+                            "{:<16} {:>12.1} {:>16.1}",
+                            r.protocol, r.latency_us, r.bandwidth_mbps
+                        );
+                    }
+                    println!("(paper: CLIC 36 us / ~600 Mb/s; GAMMA 32 us (GA620) / 768-824 Mb/s)");
+                    println!();
+                }
+            }
+            "coalescing" => {
+                let rows = experiments::ablation_coalescing();
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+                } else {
+                    println!("== Ablation A: interrupt coalescing ==");
+                    println!(
+                        "{:>7} {:>7} {:>10} {:>14} {:>12}",
+                        "usecs", "frames", "Mb/s", "irqs/kframe", "latency(us)"
+                    );
+                    for r in rows {
+                        println!(
+                            "{:>7} {:>7} {:>10.1} {:>14.1} {:>12.1}",
+                            r.usecs, r.frames, r.mbps, r.irqs_per_kframe, r.latency_us
+                        );
+                    }
+                    println!();
+                }
+            }
+            "fragmentation" => figure(
+                json,
+                "Ablation B: NIC fragmentation offload (paper future work)",
+                &experiments::ablation_fragmentation(&sizes),
+            ),
+            "bonding" => {
+                let rows = experiments::ablation_bonding();
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+                } else {
+                    println!("== Ablation C: channel bonding ==");
+                    println!(
+                        "{:>6} {:>16} {:>16}",
+                        "width", "PCI 33/32 Mb/s", "PCI 66/64 Mb/s"
+                    );
+                    for r in rows {
+                        println!(
+                            "{:>6} {:>16.1} {:>16.1}",
+                            r.width, r.mbps_pci33, r.mbps_pci66
+                        );
+                    }
+                    println!();
+                }
+            }
+            "syscall" => {
+                let rows = experiments::ablation_syscall();
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+                } else {
+                    println!("== Ablation D: system-call flavour (Section 3.2) ==");
+                    for r in rows {
+                        println!("{:<12} {:>8.2} us one-way", r.flavour, r.latency_us);
+                    }
+                    println!();
+                }
+            }
+            "scaling" => {
+                let rows = experiments::ablation_scaling();
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+                } else {
+                    println!("== Ablation I: CLIC all-to-all scaling on a switch ==");
+                    println!("{:>6} {:>16} {:>14}", "nodes", "aggregate Mb/s", "per node Mb/s");
+                    for r in rows {
+                        println!(
+                            "{:>6} {:>16.1} {:>14.1}",
+                            r.nodes, r.aggregate_mbps, r.per_node_mbps
+                        );
+                    }
+                    println!();
+                }
+            }
+            "claims" => {
+                let rows = experiments::claims();
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+                } else {
+                    println!("== Paper-claim checklist ==");
+                    let mut all_pass = true;
+                    for r in &rows {
+                        all_pass &= r.pass;
+                        println!(
+                            "[{}] {:<4} {}\n        measured: {}",
+                            if r.pass { "PASS" } else { "FAIL" },
+                            r.id,
+                            r.claim,
+                            r.measured
+                        );
+                    }
+                    println!();
+                    println!(
+                        "{} of {} claims reproduced",
+                        rows.iter().filter(|r| r.pass).count(),
+                        rows.len()
+                    );
+                    if !all_pass {
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "paths" => {
+                let rows = experiments::ablation_paths();
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+                } else {
+                    println!("== Ablation H: Figure 1 data paths ==");
+                    println!("{:<5} {:>10} {:>10}  {}", "path", "link Mb/s", "Mb/s", "description");
+                    for r in rows {
+                        println!(
+                            "{:<5} {:>10} {:>10.1}  {}",
+                            r.path, r.link_mbps, r.mbps, r.description
+                        );
+                    }
+                    println!();
+                }
+            }
+            "load" => {
+                let rows = experiments::ablation_latency_under_load();
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+                } else {
+                    println!("== Ablation G: 64-byte latency under bulk load ==");
+                    println!(
+                        "{:<6} {:>8} {:>10} {:>10} {:>10}",
+                        "stack", "loaded", "min (us)", "mean (us)", "p99 (us)"
+                    );
+                    for r in rows {
+                        println!(
+                            "{:<6} {:>8} {:>10.1} {:>10.1} {:>10.1}",
+                            r.stack, r.loaded, r.min_us, r.mean_us, r.p99_us
+                        );
+                    }
+                    println!();
+                }
+            }
+            "cpu" => {
+                let rows = experiments::ablation_cpu();
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+                } else {
+                    println!("== Ablation F: CPU utilisation vs link speed (Section 2 claim) ==");
+                    println!(
+                        "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                        "stack", "link Mb/s", "Mb/s", "% of wire", "tx CPU", "rx CPU"
+                    );
+                    for r in rows {
+                        println!(
+                            "{:<6} {:>10} {:>10.1} {:>9.1}% {:>9.0}% {:>9.0}%",
+                            r.stack,
+                            r.link_mbps,
+                            r.mbps,
+                            r.pct_of_wire,
+                            r.sender_cpu * 100.0,
+                            r.receiver_cpu * 100.0
+                        );
+                    }
+                    println!();
+                }
+            }
+            "loss" => {
+                let rows = experiments::ablation_loss();
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+                } else {
+                    println!("== Ablation E: CLIC goodput under frame loss ==");
+                    println!("{:>8} {:>10} {:>14}", "loss", "Mb/s", "retx/kpkt");
+                    for r in rows {
+                        println!("{:>8.3} {:>10.1} {:>14.2}", r.loss, r.mbps, r.retx_per_kpkt);
+                    }
+                    println!();
+                }
+            }
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn figure(json: bool, title: &str, series: &[Series]) {
+    if json {
+        println!("{}", serde_json::to_string_pretty(series).unwrap());
+    } else {
+        println!("== {title} ==");
+        print!("{}", series_csv(series));
+        println!();
+        print!("{}", series_ascii(series, 40));
+        println!();
+    }
+}

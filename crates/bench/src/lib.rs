@@ -1,0 +1,13 @@
+//! # clic-bench — figure regeneration and performance benchmarks
+//!
+//! * `figures` binary — regenerates every table and figure of the paper's
+//!   evaluation as CSV/text (see `figures --help`); EXPERIMENTS.md records
+//!   paper-vs-measured for each.
+//! * `benches/figures.rs` — Criterion benchmarks wrapping each experiment
+//!   so regressions in simulator performance are visible.
+//! * `benches/engine.rs` — microbenchmarks of the DES engine itself
+//!   (events/second, resource contention overhead).
+
+#![warn(missing_docs)]
+
+pub mod render;

@@ -1,0 +1,116 @@
+//! Text/CSV rendering of experiment results.
+
+use clic_cluster::experiments::Series;
+
+/// Render a set of bandwidth series as CSV: a `size` column followed by
+/// one column per series.
+pub fn series_csv(series: &[Series]) -> String {
+    let mut out = String::from("size_bytes");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    let sizes: Vec<usize> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.size).collect())
+        .unwrap_or_default();
+    for (i, size) in sizes.iter().enumerate() {
+        out.push_str(&size.to_string());
+        for s in series {
+            out.push(',');
+            let v = s.points.get(i).map(|p| p.mbps).unwrap_or(f64::NAN);
+            out.push_str(&format!("{v:.1}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a crude log-x ASCII chart of the series (who-wins at a glance).
+pub fn series_ascii(series: &[Series], width: usize) -> String {
+    let peak = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.mbps))
+        .fold(1.0f64, f64::max);
+    let mut out = String::new();
+    for s in series {
+        out.push_str(&format!("{:<28}\n", s.label));
+        for p in &s.points {
+            let bars = ((p.mbps / peak) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "  {:>9} | {:<w$} {:>7.1} Mb/s\n",
+                human_size(p.size),
+                "#".repeat(bars),
+                p.mbps,
+                w = width
+            ));
+        }
+    }
+    out
+}
+
+fn human_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clic_cluster::experiments::SeriesPoint;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series {
+                label: "A".into(),
+                points: vec![
+                    SeriesPoint { size: 64, mbps: 10.0 },
+                    SeriesPoint {
+                        size: 1024,
+                        mbps: 100.0,
+                    },
+                ],
+            },
+            Series {
+                label: "B".into(),
+                points: vec![
+                    SeriesPoint { size: 64, mbps: 5.0 },
+                    SeriesPoint {
+                        size: 1024,
+                        mbps: 50.0,
+                    },
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn csv_layout() {
+        let csv = series_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "size_bytes,A,B");
+        assert_eq!(lines[1], "64,10.0,5.0");
+        assert_eq!(lines[2], "1024,100.0,50.0");
+    }
+
+    #[test]
+    fn ascii_contains_labels_and_bars() {
+        let txt = series_ascii(&sample(), 20);
+        assert!(txt.contains('A'));
+        assert!(txt.contains("1K"));
+        assert!(txt.contains('#'));
+    }
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(human_size(64), "64B");
+        assert_eq!(human_size(2048), "2K");
+        assert_eq!(human_size(4 << 20), "4M");
+    }
+}

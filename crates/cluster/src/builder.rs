@@ -1,0 +1,172 @@
+//! Cluster construction.
+
+use crate::calibration::CostModel;
+use crate::node::{Node, NodeConfig};
+use clic_ethernet::{Link, LinkEnd, LossModel, MacAddr, Switch};
+use clic_tcpip::IpAddr;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Physical layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Two nodes wired NIC-to-NIC (supports channel bonding: one direct
+    /// link per NIC pair). The paper's measurement setup.
+    BackToBack,
+    /// A star around one store-and-forward switch (single NIC per node).
+    Switched,
+}
+
+/// Cluster-level configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Layout.
+    pub topology: Topology,
+    /// Per-node stack configuration.
+    pub node: NodeConfig,
+    /// Loss model applied to every link.
+    pub loss: LossModel,
+    /// Cost model (link speed, TCP costs...).
+    pub model: CostModel,
+}
+
+impl ClusterConfig {
+    /// The paper's measurement pair: two CLIC nodes back to back.
+    pub fn paper_pair() -> ClusterConfig {
+        let model = CostModel::era_2002();
+        ClusterConfig {
+            nodes: 2,
+            topology: Topology::BackToBack,
+            node: NodeConfig::clic_default(&model),
+            loss: LossModel::None,
+            model,
+        }
+    }
+}
+
+/// A built cluster.
+pub struct Cluster {
+    /// The nodes, indexed by id.
+    pub nodes: Vec<Node>,
+    /// The switch (switched topology only).
+    pub switch: Option<Rc<RefCell<Switch>>>,
+    /// All links, for loss/statistics access.
+    pub links: Vec<Rc<RefCell<Link>>>,
+}
+
+impl Cluster {
+    /// Build a cluster per `config`.
+    pub fn build(config: &ClusterConfig) -> Cluster {
+        let mut neighbors: HashMap<IpAddr, MacAddr> = HashMap::new();
+        for id in 0..config.nodes as u32 {
+            neighbors.insert(IpAddr::for_node(id), MacAddr::for_node(id, 0));
+        }
+        let mk_link = || {
+            let link = Link::new(config.model.link_bps, config.model.propagation);
+            link.borrow_mut().set_loss(config.loss);
+            link
+        };
+        match config.topology {
+            Topology::BackToBack => {
+                assert_eq!(config.nodes, 2, "back-to-back means two nodes");
+                let width = config.node.nics;
+                let links: Vec<_> = (0..width).map(|_| mk_link()).collect();
+                let a = Node::build(
+                    0,
+                    &config.node,
+                    links.iter().map(|l| (l.clone(), LinkEnd::A)).collect(),
+                    &neighbors,
+                    config.model.tcpip,
+                );
+                let b = Node::build(
+                    1,
+                    &config.node,
+                    links.iter().map(|l| (l.clone(), LinkEnd::B)).collect(),
+                    &neighbors,
+                    config.model.tcpip,
+                );
+                Cluster {
+                    nodes: vec![a, b],
+                    switch: None,
+                    links,
+                }
+            }
+            Topology::Switched => {
+                assert_eq!(config.node.nics, 1, "bonding through a switch is unsupported");
+                let switch = Switch::gigabit_default();
+                let mut nodes = Vec::new();
+                let mut links = Vec::new();
+                for id in 0..config.nodes as u32 {
+                    let link = mk_link();
+                    Switch::attach_port(&switch, link.clone(), LinkEnd::B);
+                    nodes.push(Node::build(
+                        id,
+                        &config.node,
+                        vec![(link.clone(), LinkEnd::A)],
+                        &neighbors,
+                        config.model.tcpip,
+                    ));
+                    links.push(link);
+                }
+                Cluster {
+                    nodes,
+                    switch: Some(switch),
+                    links,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pair_builds() {
+        let cluster = Cluster::build(&ClusterConfig::paper_pair());
+        assert_eq!(cluster.nodes.len(), 2);
+        assert!(cluster.nodes[0].clic.is_some());
+        assert!(cluster.nodes[0].tcp.is_none());
+        assert!(cluster.switch.is_none());
+        assert_eq!(cluster.links.len(), 1);
+    }
+
+    #[test]
+    fn switched_cluster_builds() {
+        let model = CostModel::era_2002();
+        let mut cfg = ClusterConfig::paper_pair();
+        cfg.nodes = 4;
+        cfg.topology = Topology::Switched;
+        cfg.node = NodeConfig::tcp_default(&model);
+        let cluster = Cluster::build(&cfg);
+        assert_eq!(cluster.nodes.len(), 4);
+        assert!(cluster.nodes[0].tcp.is_some());
+        assert!(cluster.switch.is_some());
+        assert_eq!(cluster.switch.as_ref().unwrap().borrow().port_count(), 4);
+    }
+
+    #[test]
+    fn bonded_pair_builds() {
+        let mut cfg = ClusterConfig::paper_pair();
+        cfg.node.nics = 3;
+        let cluster = Cluster::build(&cfg);
+        assert_eq!(cluster.links.len(), 3);
+        assert_eq!(cluster.nodes[0].kernel.borrow().device_count(), 3);
+        // Bonded NICs share the station MAC.
+        let k = cluster.nodes[0].kernel.borrow();
+        let macs: Vec<_> = (0..3).map(|d| k.device(d).borrow().mac()).collect();
+        assert!(macs.iter().all(|&m| m == cluster.nodes[0].mac));
+    }
+
+    #[test]
+    #[should_panic(expected = "two nodes")]
+    fn back_to_back_requires_two() {
+        let mut cfg = ClusterConfig::paper_pair();
+        cfg.nodes = 3;
+        Cluster::build(&cfg);
+    }
+}

@@ -1,0 +1,30 @@
+//! # clic-cluster — cluster assembly, workloads and paper experiments
+//!
+//! Puts the pieces together into simulated clusters and drives the
+//! workloads that regenerate every figure of the paper's evaluation:
+//!
+//! * [`calibration`] — the single place all cost-model constants come
+//!   from, with their paper provenance.
+//! * [`node`] — one host: CPU + kernel + PCI + NIC(s) + any of the CLIC /
+//!   TCP-IP / GAMMA stacks.
+//! * [`builder`] — two-node back-to-back or N-node switched clusters,
+//!   optional channel bonding and loss injection.
+//! * [`workload`] — ping-pong latency and unidirectional streaming
+//!   bandwidth drivers for every stack (raw CLIC, TCP, MPI-CLIC, MPI-TCP,
+//!   PVM-TCP, GAMMA).
+//! * [`experiments`] — one function per paper figure/table plus the
+//!   ablations listed in DESIGN.md §4, returning structured rows the
+//!   `clic-bench` harness prints.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod calibration;
+pub mod experiments;
+pub mod node;
+pub mod workload;
+
+pub use builder::{Cluster, ClusterConfig, Topology};
+pub use calibration::CostModel;
+pub use node::{Node, NodeConfig};
+pub use workload::{ping_pong, stream, PingPongResult, StackKind, StreamResult};

@@ -1,0 +1,859 @@
+//! Workload drivers: ping-pong latency and streaming bandwidth for every
+//! stack the paper evaluates.
+
+use crate::builder::Cluster;
+use bytes::Bytes;
+use clic_core::ClicPort;
+use clic_gamma::GammaModule;
+use clic_mpi::transport::{ClicTransport, TcpTransport, Transport};
+use clic_mpi::{Mpi, Pvm};
+use clic_sim::stats::LatencyStats;
+use clic_sim::{Sim, SimDuration, SimTime};
+use clic_tcpip::TcpStack;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Which stack a workload runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackKind {
+    /// Raw CLIC messages.
+    Clic,
+    /// Raw TCP stream (message = fixed-size record).
+    Tcp,
+    /// MPI-like layer over CLIC.
+    MpiClic,
+    /// MPI-like layer over TCP.
+    MpiTcp,
+    /// PVM-like layer over TCP.
+    PvmTcp,
+    /// GAMMA-like active ports (best effort).
+    Gamma,
+}
+
+impl StackKind {
+    /// Label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            StackKind::Clic => "CLIC",
+            StackKind::Tcp => "TCP",
+            StackKind::MpiClic => "MPI-CLIC",
+            StackKind::MpiTcp => "MPI-TCP",
+            StackKind::PvmTcp => "PVM-TCP",
+            StackKind::Gamma => "GAMMA",
+        }
+    }
+}
+
+/// Ping-pong outcome.
+#[derive(Debug)]
+pub struct PingPongResult {
+    /// Round-trip samples.
+    pub rtt: LatencyStats,
+}
+
+impl PingPongResult {
+    /// One-way latency: half the minimum round trip (the paper's metric).
+    pub fn one_way(&self) -> SimDuration {
+        self.rtt.min().expect("no samples") / 2
+    }
+}
+
+/// Streaming outcome.
+#[derive(Debug)]
+pub struct StreamResult {
+    /// Payload bytes delivered to the receiving process.
+    pub bytes: u64,
+    /// Messages fully delivered.
+    pub msgs: u64,
+    /// First-send to last-delivery span.
+    pub elapsed: SimDuration,
+    /// Sender CPU busy fraction over `elapsed`.
+    pub sender_cpu: f64,
+    /// Receiver CPU busy fraction over `elapsed`.
+    pub receiver_cpu: f64,
+}
+
+impl StreamResult {
+    /// Delivered bandwidth in Mb/s (the paper's y-axis).
+    pub fn mbps(&self) -> f64 {
+        if self.elapsed == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.bytes as f64 * 8.0 / self.elapsed.as_secs_f64() / 1e6
+    }
+}
+
+fn payload(n: usize) -> Bytes {
+    Bytes::from((0..n).map(|i| (i % 251) as u8).collect::<Vec<_>>())
+}
+
+/// How many messages to stream for a given size: enough to reach steady
+/// state, bounded so sweeps stay fast.
+pub fn stream_count(size: usize) -> usize {
+    ((8 << 20) / size.max(1)).clamp(8, 600)
+}
+
+// ---------------------------------------------------------------------
+// Ping-pong
+// ---------------------------------------------------------------------
+
+/// Run `iters` ping-pong round trips of `size` bytes between nodes 0 and 1
+/// of `cluster` over `stack`. The echo side reflects the full payload.
+pub fn ping_pong(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    stack: StackKind,
+    size: usize,
+    iters: usize,
+) -> PingPongResult {
+    let rtt = request_reply_cycles(cluster, sim, stack, size, size, iters);
+    PingPongResult { rtt }
+}
+
+/// Run `iters` request/reply cycles (`req_size` bytes out, `reply_size`
+/// bytes back) and return the cycle-time samples. This is the primitive
+/// under both [`ping_pong`] (symmetric) and [`stream`] (tiny reply): the
+/// paper's bandwidth benchmark completes each message before sending the
+/// next, which is what makes its curves reach 50 % of peak only at 4 KB
+/// (CLIC) / 16 KB (TCP).
+pub fn request_reply_cycles(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    stack: StackKind,
+    req_size: usize,
+    reply_size: usize,
+    iters: usize,
+) -> LatencyStats {
+    request_reply_cycles_with_background(cluster, sim, stack, req_size, reply_size, iters, |_| {})
+}
+
+/// [`request_reply_cycles`] with a `background` hook invoked right before
+/// the measured cycles start (after any connection establishment the stack
+/// needs) — used to inject competing traffic for latency-under-load
+/// experiments.
+pub fn request_reply_cycles_with_background(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    stack: StackKind,
+    req_size: usize,
+    reply_size: usize,
+    iters: usize,
+    background: impl FnOnce(&mut Sim),
+) -> LatencyStats {
+    assert!(iters > 0);
+    let samples: Rc<RefCell<LatencyStats>> = Rc::new(RefCell::new(LatencyStats::new()));
+    match stack {
+        StackKind::Clic => {
+            background(sim);
+            pingpong_clic(cluster, sim, req_size, reply_size, iters, &samples);
+        }
+        StackKind::Tcp => {
+            // Establishment happens inside; the hook runs after it so
+            // injected traffic is not drained by the setup run.
+            pingpong_tcp(cluster, sim, req_size, reply_size, iters, &samples, background);
+        }
+        StackKind::Gamma => {
+            background(sim);
+            pingpong_gamma(cluster, sim, req_size, reply_size, iters, &samples);
+        }
+        StackKind::MpiClic | StackKind::MpiTcp => {
+            pingpong_mpi(cluster, sim, stack, req_size, reply_size, iters, &samples, background);
+        }
+        StackKind::PvmTcp => {
+            pingpong_pvm(cluster, sim, req_size, reply_size, iters, &samples, background);
+        }
+    }
+    sim.run();
+    let rtt = samples.borrow().clone();
+    assert_eq!(rtt.count(), iters, "not all iterations completed");
+    rtt
+}
+
+fn pingpong_clic(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    size: usize,
+    reply_size: usize,
+    iters: usize,
+    samples: &Rc<RefCell<LatencyStats>>,
+) {
+    const CH: u16 = 100;
+    let a = &cluster.nodes[0];
+    let b = &cluster.nodes[1];
+    let pid_a = a.kernel.borrow_mut().processes.spawn("pp-a");
+    let pid_b = b.kernel.borrow_mut().processes.spawn("pp-b");
+    let port_a = Rc::new(ClicPort::bind(&a.clic(), pid_a, CH));
+    let port_b = Rc::new(ClicPort::bind(&b.clic(), pid_b, CH));
+    let a_mac = a.mac;
+    let b_mac = b.mac;
+
+    // Echo side: perpetual recv -> reply.
+    fn echo(
+        port: Rc<ClicPort>,
+        sim: &mut Sim,
+        peer: clic_ethernet::MacAddr,
+        reply_size: usize,
+        left: usize,
+    ) {
+        if left == 0 {
+            return;
+        }
+        let p2 = port.clone();
+        port.recv(sim, move |sim, msg| {
+            let reply = if reply_size == msg.data.len() {
+                msg.data
+            } else {
+                payload(reply_size)
+            };
+            p2.send(sim, peer, 100, reply);
+            echo(p2.clone(), sim, peer, reply_size, left - 1);
+        });
+    }
+    echo(port_b, sim, a_mac, reply_size, iters);
+
+    // Initiator: send, await echo, sample, repeat.
+    struct St {
+        port: Rc<ClicPort>,
+        peer: clic_ethernet::MacAddr,
+        size: usize,
+        samples: Rc<RefCell<LatencyStats>>,
+    }
+    fn iterate(st: Rc<St>, sim: &mut Sim, left: usize) {
+        if left == 0 {
+            return;
+        }
+        let t0 = sim.now();
+        st.port.send(sim, st.peer, 100, payload(st.size));
+        let st2 = st.clone();
+        st.port.recv(sim, move |sim, _msg| {
+            st2.samples.borrow_mut().record(sim.now() - t0);
+            iterate(st2.clone(), sim, left - 1);
+        });
+    }
+    iterate(
+        Rc::new(St {
+            port: port_a,
+            peer: b_mac,
+            size,
+            samples: samples.clone(),
+        }),
+        sim,
+        iters,
+    );
+}
+
+fn pingpong_tcp(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    size: usize,
+    reply_size: usize,
+    iters: usize,
+    samples: &Rc<RefCell<LatencyStats>>,
+    background: impl FnOnce(&mut Sim),
+) {
+    // TCP cannot carry zero-length records; a 0-byte "message" becomes the
+    // 1-byte minimum, as latency benchmarks over sockets actually do.
+    let size = size.max(1);
+    let reply_size = reply_size.max(1);
+    let a = cluster.nodes[0].tcp();
+    let b = cluster.nodes[1].tcp();
+    let b_ip = cluster.nodes[1].ip;
+    let server_conn: Rc<RefCell<Option<clic_tcpip::ConnId>>> = Rc::new(RefCell::new(None));
+    let sc = server_conn.clone();
+    b.borrow_mut().listen(9000, move |_s, id| *sc.borrow_mut() = Some(id));
+    let client_conn: Rc<RefCell<Option<clic_tcpip::ConnId>>> = Rc::new(RefCell::new(None));
+    let cc = client_conn.clone();
+    TcpStack::connect(&a, sim, b_ip, 9000, move |_s, id| *cc.borrow_mut() = Some(id));
+    sim.run();
+    let client = client_conn.borrow().expect("connect failed");
+    let server = server_conn.borrow().expect("accept failed");
+    background(sim);
+
+    fn echo(
+        stack: Rc<RefCell<TcpStack>>,
+        sim: &mut Sim,
+        conn: clic_tcpip::ConnId,
+        size: usize,
+        reply_size: usize,
+        left: usize,
+    ) {
+        if left == 0 {
+            return;
+        }
+        let s2 = stack.clone();
+        TcpStack::recv(&stack, sim, conn, size, move |sim, data| {
+            let reply = if reply_size == data.len() {
+                data
+            } else {
+                payload(reply_size)
+            };
+            TcpStack::send(&s2, sim, conn, reply);
+            echo(s2.clone(), sim, conn, size, reply_size, left - 1);
+        });
+    }
+    echo(b, sim, server, size, reply_size, iters);
+
+    struct St {
+        stack: Rc<RefCell<TcpStack>>,
+        conn: clic_tcpip::ConnId,
+        size: usize,
+        reply_size: usize,
+        samples: Rc<RefCell<LatencyStats>>,
+    }
+    fn iterate(st: Rc<St>, sim: &mut Sim, left: usize) {
+        if left == 0 {
+            return;
+        }
+        let t0 = sim.now();
+        TcpStack::send(&st.stack, sim, st.conn, payload(st.size));
+        let st2 = st.clone();
+        TcpStack::recv(&st.stack.clone(), sim, st.conn, st.reply_size, move |sim, _| {
+            st2.samples.borrow_mut().record(sim.now() - t0);
+            iterate(st2.clone(), sim, left - 1);
+        });
+    }
+    iterate(
+        Rc::new(St {
+            stack: a,
+            conn: client,
+            size,
+            reply_size,
+            samples: samples.clone(),
+        }),
+        sim,
+        iters,
+    );
+}
+
+fn pingpong_gamma(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    size: usize,
+    reply_size: usize,
+    iters: usize,
+    samples: &Rc<RefCell<LatencyStats>>,
+) {
+    const PORT: u16 = 50;
+    let a = cluster.nodes[0].gamma();
+    let b = cluster.nodes[1].gamma();
+    let a_mac = cluster.nodes[0].mac;
+    let b_mac = cluster.nodes[1].mac;
+    // Echo side.
+    let b2 = b.clone();
+    b.borrow_mut().register_port(PORT, move |sim, msg| {
+        let reply = if reply_size == msg.data.len() {
+            msg.data
+        } else {
+            payload(reply_size)
+        };
+        GammaModule::send(&b2, sim, msg.src, PORT, reply);
+    });
+    // Initiator: handler drives the next iteration.
+    let state: Rc<RefCell<(usize, SimTime)>> = Rc::new(RefCell::new((iters, SimTime::ZERO)));
+    let a2 = a.clone();
+    let samples2 = samples.clone();
+    let st = state.clone();
+    a.borrow_mut().register_port(PORT, move |sim, _msg| {
+        let (left, t0) = *st.borrow();
+        samples2.borrow_mut().record(sim.now() - t0);
+        if left > 1 {
+            *st.borrow_mut() = (left - 1, sim.now());
+            GammaModule::send(&a2, sim, b_mac, PORT, payload(size));
+        } else {
+            st.borrow_mut().0 = 0;
+        }
+    });
+    let _ = a_mac;
+    state.borrow_mut().1 = sim.now();
+    GammaModule::send(&a, sim, b_mac, PORT, payload(size));
+}
+
+fn pingpong_mpi(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    stack: StackKind,
+    size: usize,
+    reply_size: usize,
+    iters: usize,
+    samples: &Rc<RefCell<LatencyStats>>,
+    background: impl FnOnce(&mut Sim),
+) {
+    let (m0, m1) = mpi_pair(cluster, sim, stack);
+    background(sim);
+    // Echo side.
+    fn echo(mpi: Rc<Mpi>, sim: &mut Sim, reply_size: usize, left: usize) {
+        if left == 0 {
+            return;
+        }
+        let m2 = mpi.clone();
+        mpi.recv(sim, 0, 1, move |sim, msg| {
+            let reply = if reply_size == msg.data.len() {
+                msg.data
+            } else {
+                payload(reply_size)
+            };
+            m2.send(sim, 0, 2, reply);
+            echo(m2.clone(), sim, reply_size, left - 1);
+        });
+    }
+    echo(m1, sim, reply_size, iters);
+    struct St {
+        mpi: Rc<Mpi>,
+        size: usize,
+        samples: Rc<RefCell<LatencyStats>>,
+    }
+    fn iterate(st: Rc<St>, sim: &mut Sim, left: usize) {
+        if left == 0 {
+            return;
+        }
+        let t0 = sim.now();
+        st.mpi.send(sim, 1, 1, payload(st.size));
+        let st2 = st.clone();
+        st.mpi.recv(sim, 1, 2, move |sim, _| {
+            st2.samples.borrow_mut().record(sim.now() - t0);
+            iterate(st2.clone(), sim, left - 1);
+        });
+    }
+    iterate(
+        Rc::new(St {
+            mpi: m0,
+            size,
+            samples: samples.clone(),
+        }),
+        sim,
+        iters,
+    );
+}
+
+fn pingpong_pvm(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    size: usize,
+    reply_size: usize,
+    iters: usize,
+    samples: &Rc<RefCell<LatencyStats>>,
+    background: impl FnOnce(&mut Sim),
+) {
+    let (t0, t1) = tcp_transport_pair(cluster, sim);
+    background(sim);
+    let p0 = Pvm::new(&cluster.nodes[0].kernel, t0);
+    let p1 = Pvm::new(&cluster.nodes[1].kernel, t1);
+    // Echo side: recv -> pack -> send.
+    fn echo(pvm: Rc<Pvm>, sim: &mut Sim, reply_size: usize, left: usize) {
+        if left == 0 {
+            return;
+        }
+        let p2 = pvm.clone();
+        pvm.recv(sim, -1, 1, move |sim, _msg| {
+            let p3 = p2.clone();
+            p2.clone().pack(sim, payload(reply_size), move |sim| {
+                p3.send(sim, 0, 2);
+                echo(p3.clone(), sim, reply_size, left - 1);
+            });
+        });
+    }
+    echo(p1, sim, reply_size, iters);
+    struct St {
+        pvm: Rc<Pvm>,
+        size: usize,
+        samples: Rc<RefCell<LatencyStats>>,
+    }
+    fn iterate(st: Rc<St>, sim: &mut Sim, left: usize) {
+        if left == 0 {
+            return;
+        }
+        let t0 = sim.now();
+        let st2 = st.clone();
+        st.pvm.clone().pack(sim, payload(st.size), move |sim| {
+            st2.pvm.send(sim, 1, 1);
+            let st3 = st2.clone();
+            st2.pvm.clone().recv(sim, 1, 2, move |sim, _| {
+                st3.samples.borrow_mut().record(sim.now() - t0);
+                iterate(st3.clone(), sim, left - 1);
+            });
+        });
+    }
+    iterate(
+        Rc::new(St {
+            pvm: p0,
+            size,
+            samples: samples.clone(),
+        }),
+        sim,
+        iters,
+    );
+}
+
+/// Build the MPI endpoints for nodes 0 and 1 over the requested backend.
+fn mpi_pair(cluster: &Cluster, sim: &mut Sim, stack: StackKind) -> (Rc<Mpi>, Rc<Mpi>) {
+    match stack {
+        StackKind::MpiClic => {
+            let peers = vec![cluster.nodes[0].mac, cluster.nodes[1].mac];
+            let mk = |i: usize, sim: &mut Sim| {
+                let node = &cluster.nodes[i];
+                let pid = node.kernel.borrow_mut().processes.spawn("mpi");
+                let t = ClicTransport::new(sim, &node.clic(), pid, i, peers.clone());
+                Mpi::new(&node.kernel, t)
+            };
+            let m0 = mk(0, sim);
+            let m1 = mk(1, sim);
+            (m0, m1)
+        }
+        StackKind::MpiTcp => {
+            let (t0, t1) = tcp_transport_pair(cluster, sim);
+            (
+                Mpi::new(&cluster.nodes[0].kernel, t0),
+                Mpi::new(&cluster.nodes[1].kernel, t1),
+            )
+        }
+        _ => panic!("not an MPI stack"),
+    }
+}
+
+fn tcp_transport_pair(
+    cluster: &Cluster,
+    sim: &mut Sim,
+) -> (Rc<dyn Transport>, Rc<dyn Transport>) {
+    let ips = vec![cluster.nodes[0].ip, cluster.nodes[1].ip];
+    let t0 = TcpTransport::new(sim, &cluster.nodes[0].tcp(), 0, ips.clone());
+    let t1 = TcpTransport::new(sim, &cluster.nodes[1].tcp(), 1, ips);
+    sim.run();
+    assert!(t0.ready() && t1.ready(), "TCP transport mesh failed");
+    (t0, t1)
+}
+
+// ---------------------------------------------------------------------
+// Streaming
+// ---------------------------------------------------------------------
+
+/// The paper's bandwidth benchmark: `count` synchronous message cycles of
+/// `size` bytes from node 0 to node 1 (each message is completed — a tiny
+/// application-level reply returns — before the next is sent).
+pub fn stream(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    stack: StackKind,
+    size: usize,
+    count: usize,
+) -> StreamResult {
+    let start = sim.now();
+    let cycles = request_reply_cycles(cluster, sim, stack, size.max(1), 4, count);
+    let elapsed = sim.now().saturating_since(start);
+    let window = elapsed.max(SimDuration::from_ns(1));
+    let sender_cpu = cluster.nodes[0].kernel.borrow().cpu.borrow().utilization(window);
+    let receiver_cpu = cluster.nodes[1].kernel.borrow().cpu.borrow().utilization(window);
+    // Goodput counts the request payloads over the sum of cycle times
+    // (excluding the post-run settling the simulator does after the last
+    // reply).
+    let total: SimDuration = (0..cycles.count()).map(|_| SimDuration::ZERO).sum();
+    let _ = total;
+    let sum_cycles: SimDuration = {
+        // LatencyStats has no iterator; reconstruct from mean * count.
+        cycles.mean().expect("cycles") * cycles.count() as u64
+    };
+    StreamResult {
+        bytes: (size * count) as u64,
+        msgs: count as u64,
+        elapsed: sum_cycles,
+        sender_cpu,
+        receiver_cpu,
+    }
+}
+
+/// Offered-load streaming: node 0 posts all `count` messages of `size`
+/// bytes at once and the stacks pipeline them as their windows allow.
+/// Measures the capability limit rather than the paper's synchronous
+/// benchmark; used by the ablations.
+pub fn stream_pipelined(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    stack: StackKind,
+    size: usize,
+    count: usize,
+) -> StreamResult {
+    assert!(size > 0 && count > 0);
+    // (delivered bytes, delivered msgs, last delivery time)
+    let progress: Rc<RefCell<(u64, u64, SimTime)>> =
+        Rc::new(RefCell::new((0, 0, SimTime::ZERO)));
+    let start = match stack {
+        StackKind::Clic => stream_clic(cluster, sim, size, count, &progress),
+        StackKind::Tcp => stream_tcp(cluster, sim, size, count, &progress),
+        StackKind::Gamma => stream_gamma(cluster, sim, size, count, &progress),
+        StackKind::MpiClic | StackKind::MpiTcp => {
+            stream_mpi(cluster, sim, stack, size, count, &progress)
+        }
+        StackKind::PvmTcp => stream_pvm(cluster, sim, size, count, &progress),
+    };
+    sim.set_event_limit(sim.events_executed() + 400_000_000);
+    sim.run();
+    let (bytes, msgs, last) = *progress.borrow();
+    assert!(msgs > 0, "stream delivered nothing");
+    let elapsed = last.saturating_since(start);
+    let window = elapsed.max(SimDuration::from_ns(1));
+    let sender_cpu = cluster.nodes[0].kernel.borrow().cpu.borrow().utilization(window);
+    let receiver_cpu = cluster.nodes[1].kernel.borrow().cpu.borrow().utilization(window);
+    StreamResult {
+        bytes,
+        msgs,
+        elapsed,
+        sender_cpu,
+        receiver_cpu,
+    }
+}
+
+type Progress = Rc<RefCell<(u64, u64, SimTime)>>;
+
+fn note(progress: &Progress, now: SimTime, bytes: usize) {
+    let mut p = progress.borrow_mut();
+    p.0 += bytes as u64;
+    p.1 += 1;
+    p.2 = p.2.max(now);
+}
+
+fn stream_clic(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    size: usize,
+    count: usize,
+    progress: &Progress,
+) -> SimTime {
+    const CH: u16 = 200;
+    let a = &cluster.nodes[0];
+    let b = &cluster.nodes[1];
+    let pid_a = a.kernel.borrow_mut().processes.spawn("stream-tx");
+    let pid_b = b.kernel.borrow_mut().processes.spawn("stream-rx");
+    let tx = Rc::new(ClicPort::bind(&a.clic(), pid_a, CH));
+    let rx = Rc::new(ClicPort::bind(&b.clic(), pid_b, CH));
+    fn sink(port: Rc<ClicPort>, sim: &mut Sim, progress: Progress, left: usize) {
+        if left == 0 {
+            return;
+        }
+        let p2 = port.clone();
+        port.recv(sim, move |sim, msg| {
+            note(&progress, sim.now(), msg.data.len());
+            sink(p2.clone(), sim, progress, left - 1);
+        });
+    }
+    sink(rx, sim, progress.clone(), count);
+    let start = sim.now();
+    let data = payload(size);
+    for _ in 0..count {
+        tx.send(sim, b.mac, CH, data.clone());
+    }
+    start
+}
+
+fn stream_tcp(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    size: usize,
+    count: usize,
+    progress: &Progress,
+) -> SimTime {
+    let a = cluster.nodes[0].tcp();
+    let b = cluster.nodes[1].tcp();
+    let b_ip = cluster.nodes[1].ip;
+    let server_conn: Rc<RefCell<Option<clic_tcpip::ConnId>>> = Rc::new(RefCell::new(None));
+    let sc = server_conn.clone();
+    b.borrow_mut().listen(9100, move |_s, id| *sc.borrow_mut() = Some(id));
+    let client_conn: Rc<RefCell<Option<clic_tcpip::ConnId>>> = Rc::new(RefCell::new(None));
+    let cc = client_conn.clone();
+    TcpStack::connect(&a, sim, b_ip, 9100, move |_s, id| *cc.borrow_mut() = Some(id));
+    sim.run();
+    let client = client_conn.borrow().expect("connect failed");
+    let server = server_conn.borrow().expect("accept failed");
+    fn sink(
+        stack: Rc<RefCell<TcpStack>>,
+        sim: &mut Sim,
+        conn: clic_tcpip::ConnId,
+        size: usize,
+        progress: Progress,
+        left: usize,
+    ) {
+        if left == 0 {
+            return;
+        }
+        let s2 = stack.clone();
+        TcpStack::recv(&stack, sim, conn, size, move |sim, data| {
+            note(&progress, sim.now(), data.len());
+            sink(s2.clone(), sim, conn, size, progress, left - 1);
+        });
+    }
+    sink(b, sim, server, size, progress.clone(), count);
+    let start = sim.now();
+    let data = payload(size);
+    for _ in 0..count {
+        TcpStack::send(&a, sim, client, data.clone());
+    }
+    start
+}
+
+fn stream_gamma(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    size: usize,
+    count: usize,
+    progress: &Progress,
+) -> SimTime {
+    const PORT: u16 = 60;
+    let a = cluster.nodes[0].gamma();
+    let b = cluster.nodes[1].gamma();
+    let b_mac = cluster.nodes[1].mac;
+    let p = progress.clone();
+    b.borrow_mut().register_port(PORT, move |sim, msg| {
+        note(&p, sim.now(), msg.data.len());
+    });
+    let start = sim.now();
+    let data = payload(size);
+    for _ in 0..count {
+        GammaModule::send(&a, sim, b_mac, PORT, data.clone());
+    }
+    start
+}
+
+fn stream_mpi(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    stack: StackKind,
+    size: usize,
+    count: usize,
+    progress: &Progress,
+) -> SimTime {
+    let (m0, m1) = mpi_pair(cluster, sim, stack);
+    fn sink(mpi: Rc<Mpi>, sim: &mut Sim, progress: Progress, left: usize) {
+        if left == 0 {
+            return;
+        }
+        let m2 = mpi.clone();
+        mpi.recv(sim, 0, 1, move |sim, msg| {
+            note(&progress, sim.now(), msg.data.len());
+            sink(m2.clone(), sim, progress, left - 1);
+        });
+    }
+    sink(m1, sim, progress.clone(), count);
+    let start = sim.now();
+    let data = payload(size);
+    for _ in 0..count {
+        m0.send(sim, 1, 1, data.clone());
+    }
+    start
+}
+
+fn stream_pvm(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    size: usize,
+    count: usize,
+    progress: &Progress,
+) -> SimTime {
+    let (t0, t1) = tcp_transport_pair(cluster, sim);
+    let p0 = Pvm::new(&cluster.nodes[0].kernel, t0);
+    let p1 = Pvm::new(&cluster.nodes[1].kernel, t1);
+    fn sink(pvm: Rc<Pvm>, sim: &mut Sim, progress: Progress, left: usize) {
+        if left == 0 {
+            return;
+        }
+        let p2 = pvm.clone();
+        pvm.recv(sim, -1, 1, move |sim, msg| {
+            note(&progress, sim.now(), msg.data.len());
+            sink(p2.clone(), sim, progress, left - 1);
+        });
+    }
+    sink(p1, sim, progress.clone(), count);
+    let start = sim.now();
+    // PVM sends serialize: pack -> send -> pack the next.
+    fn pump(pvm: Rc<Pvm>, sim: &mut Sim, data: Bytes, left: usize) {
+        if left == 0 {
+            return;
+        }
+        let p2 = pvm.clone();
+        let d2 = data.clone();
+        pvm.clone().pack(sim, data, move |sim| {
+            p2.send(sim, 1, 1);
+            pump(p2.clone(), sim, d2, left - 1);
+        });
+    }
+    pump(p0, sim, payload(size), count);
+    start
+}
+
+// ---------------------------------------------------------------------
+// All-to-all exchange (N-node clusters)
+// ---------------------------------------------------------------------
+
+/// Outcome of an all-to-all exchange.
+#[derive(Debug)]
+pub struct AllToAllResult {
+    /// Nodes participating.
+    pub nodes: usize,
+    /// Bytes each node sent to each other node.
+    pub bytes_per_pair: usize,
+    /// Start of the exchange to the last delivery anywhere.
+    pub elapsed: SimDuration,
+}
+
+impl AllToAllResult {
+    /// Aggregate delivered bandwidth across the cluster, Mb/s.
+    pub fn aggregate_mbps(&self) -> f64 {
+        if self.elapsed == SimDuration::ZERO {
+            return 0.0;
+        }
+        let total = self.bytes_per_pair as f64 * (self.nodes * (self.nodes - 1)) as f64;
+        total * 8.0 / self.elapsed.as_secs_f64() / 1e6
+    }
+}
+
+/// Every node sends `size` bytes to every other node (CLIC only; the
+/// switched cluster's scalability workload).
+pub fn all_to_all_clic(cluster: &Cluster, sim: &mut Sim, size: usize) -> AllToAllResult {
+    const CH: u16 = 300;
+    let n = cluster.nodes.len();
+    assert!(n >= 2);
+    let finished: Rc<RefCell<(usize, SimTime)>> = Rc::new(RefCell::new((0, SimTime::ZERO)));
+    // Receivers: each node expects n-1 messages.
+    for node in &cluster.nodes {
+        let pid = node.kernel.borrow_mut().processes.spawn("a2a");
+        let port = Rc::new(ClicPort::bind(&node.clic(), pid, CH));
+        fn sink(
+            port: Rc<ClicPort>,
+            sim: &mut Sim,
+            finished: Rc<RefCell<(usize, SimTime)>>,
+            left: usize,
+        ) {
+            if left == 0 {
+                return;
+            }
+            let p = port.clone();
+            port.recv(sim, move |sim, _msg| {
+                {
+                    let mut f = finished.borrow_mut();
+                    f.0 += 1;
+                    f.1 = f.1.max(sim.now());
+                }
+                sink(p.clone(), sim, finished, left - 1);
+            });
+        }
+        sink(port, sim, finished.clone(), n - 1);
+    }
+    // Senders: each node fires at every peer.
+    let start = sim.now();
+    let data = payload(size);
+    for (i, node) in cluster.nodes.iter().enumerate() {
+        let pid = node.kernel.borrow_mut().processes.spawn("a2a-tx");
+        let port = ClicPort::bind(&node.clic(), pid, (CH + 1) as u16);
+        for (j, peer) in cluster.nodes.iter().enumerate() {
+            if i != j {
+                port.send(sim, peer.mac, CH, data.clone());
+            }
+        }
+    }
+    sim.set_event_limit(sim.events_executed() + 400_000_000);
+    sim.run();
+    let (count, last) = *finished.borrow();
+    assert_eq!(count, n * (n - 1), "every pairwise message must arrive");
+    AllToAllResult {
+        nodes: n,
+        bytes_per_pair: size,
+        elapsed: last.saturating_since(start),
+    }
+}

@@ -1,0 +1,164 @@
+//! Smoke tests: every experiment function runs on a tiny grid and returns
+//! structurally sound results (the full grids are exercised by the
+//! `figures` binary and Criterion benches).
+
+use clic_cluster::experiments::{self, Series};
+
+fn tiny() -> Vec<usize> {
+    vec![1_024, 65_536]
+}
+
+fn check_series(series: &[Series], expected_labels: &[&str], sizes: usize) {
+    assert_eq!(series.len(), expected_labels.len());
+    for (s, label) in series.iter().zip(expected_labels) {
+        assert_eq!(&s.label, label);
+        assert_eq!(s.points.len(), sizes);
+        for p in &s.points {
+            assert!(p.mbps.is_finite() && p.mbps > 0.0, "{label} @{}", p.size);
+            assert!(p.mbps < 1_000.0, "{label} exceeds the wire");
+        }
+        // Bandwidth grows with message size on this grid.
+        assert!(s.points[0].mbps < s.points[1].mbps, "{label} must rise");
+    }
+}
+
+#[test]
+fn fig4_structure() {
+    let series = experiments::fig4(&tiny());
+    check_series(
+        &series,
+        &[
+            "0-copy MTU 9000",
+            "0-copy MTU 1500",
+            "1-copy MTU 9000",
+            "1-copy MTU 1500",
+        ],
+        2,
+    );
+    // 0-copy beats 1-copy at the large point, per MTU.
+    assert!(series[0].points[1].mbps > series[2].points[1].mbps);
+    assert!(series[1].points[1].mbps > series[3].points[1].mbps);
+}
+
+#[test]
+fn fig5_structure() {
+    let series = experiments::fig5(&tiny());
+    check_series(
+        &series,
+        &["CLIC 9000", "CLIC 1500", "TCP 9000", "TCP 1500"],
+        2,
+    );
+}
+
+#[test]
+fn fig6_structure() {
+    let series = experiments::fig6(&tiny());
+    check_series(&series, &["CLIC", "MPI-CLIC", "MPI-TCP", "PVM-TCP"], 2);
+    // The paper's stack ordering at the large point.
+    let at = |i: usize| series[i].points[1].mbps;
+    assert!(at(0) >= at(1) * 0.98, "CLIC >= MPI-CLIC (within noise)");
+    assert!(at(1) > at(2), "MPI-CLIC > MPI-TCP");
+    assert!(at(2) > at(3), "MPI-TCP > PVM-TCP");
+}
+
+#[test]
+fn fig7_structure() {
+    for direct in [false, true] {
+        let rows = experiments::fig7(direct);
+        assert!(rows.iter().any(|r| r.stage == "driver_rx"));
+        assert!(rows.iter().any(|r| r.stage == "syscall"));
+        assert!(rows.iter().all(|r| r.us >= 0.0 && r.us < 100.0));
+        let has_bh = rows.iter().any(|r| r.stage == "bottom_half");
+        assert_eq!(has_bh, !direct, "direct call skips the bottom half");
+    }
+}
+
+#[test]
+fn gamma_table_structure() {
+    let rows = experiments::gamma_table(&tiny());
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].protocol, "CLIC");
+    assert!(rows[1].protocol.starts_with("GAMMA"));
+    assert!(rows[1].latency_us < rows[0].latency_us, "GAMMA is faster");
+    assert!(rows[1].bandwidth_mbps > rows[0].bandwidth_mbps);
+}
+
+#[test]
+fn coalescing_rows_trade_latency_for_interrupt_rate() {
+    let rows = experiments::ablation_coalescing();
+    assert!(rows.len() >= 4);
+    let first = &rows[0];
+    let last = &rows[rows.len() - 1];
+    assert!(last.latency_us > first.latency_us * 2.0, "coalescing delays singles");
+    assert!(last.irqs_per_kframe < first.irqs_per_kframe, "but batches interrupts");
+}
+
+#[test]
+fn bonding_scales_only_with_the_fast_bus() {
+    let rows = experiments::ablation_bonding();
+    assert_eq!(rows.len(), 3);
+    // Paper-era PCI: flat (within 10 %).
+    assert!(rows[2].mbps_pci33 > rows[0].mbps_pci33 * 0.85);
+    assert!(rows[2].mbps_pci33 < rows[0].mbps_pci33 * 1.15);
+    // Fast bus: clearly scales.
+    assert!(rows[2].mbps_pci66 > rows[0].mbps_pci66 * 1.5);
+}
+
+#[test]
+fn syscall_rows_close_together() {
+    let rows = experiments::ablation_syscall();
+    assert_eq!(rows.len(), 2);
+    let diff = (rows[0].latency_us - rows[1].latency_us).abs();
+    assert!(diff < 2.0, "the syscall tax is sub-2 us: {diff}");
+}
+
+#[test]
+fn loss_rows_monotone() {
+    let rows = experiments::ablation_loss();
+    for w in rows.windows(2) {
+        assert!(w[1].mbps < w[0].mbps, "goodput falls with loss");
+        assert!(w[1].retx_per_kpkt >= w[0].retx_per_kpkt);
+    }
+}
+
+#[test]
+fn cpu_rows_reproduce_section2() {
+    let rows = experiments::ablation_cpu();
+    let find = |stack: &str, link: u64| {
+        rows.iter()
+            .find(|r| r.stack == stack && r.link_mbps == link)
+            .unwrap()
+    };
+    let tcp_fe = find("TCP", 100);
+    let tcp_ge = find("TCP", 1000);
+    assert!(tcp_fe.pct_of_wire > 80.0, "Fast Ethernet nearly saturated");
+    assert!(tcp_ge.pct_of_wire < 40.0, "gigabit nowhere near the wire");
+    assert!(tcp_ge.receiver_cpu > 0.8, "receiver pinned at gigabit");
+}
+
+#[test]
+fn path_rows_reproduce_figure1_story() {
+    let rows = experiments::ablation_paths();
+    let find = |path: u8, link: u64| {
+        rows.iter()
+            .find(|r| r.path == path && r.link_mbps == link)
+            .unwrap()
+            .mbps
+    };
+    // Fast Ethernet: all paths within 10 %.
+    assert!(find(4, 100) > find(2, 100) * 0.9);
+    // Gigabit: path 4 clearly behind path 2.
+    assert!(find(4, 1000) < find(2, 1000) * 0.7);
+}
+
+#[test]
+fn scaling_rows_grow_aggregate() {
+    let rows = experiments::ablation_scaling();
+    assert_eq!(rows.len(), 3);
+    assert!(rows[1].aggregate_mbps > rows[0].aggregate_mbps * 1.4);
+    assert!(rows[2].aggregate_mbps > rows[1].aggregate_mbps * 1.4);
+    // Per-node throughput stays in the same band (receiver-bound).
+    for r in &rows {
+        assert!((150.0..500.0).contains(&r.per_node_mbps), "{r:?}");
+    }
+}

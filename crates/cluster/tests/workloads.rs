@@ -1,0 +1,132 @@
+//! Workload-driver tests: every stack through ping-pong and both stream
+//! flavours, plus cross-stack sanity orderings.
+
+use clic_cluster::builder::{Cluster, ClusterConfig};
+use clic_cluster::workload::{
+    ping_pong, request_reply_cycles, stream, stream_pipelined, StackKind,
+};
+use clic_cluster::{CostModel, NodeConfig};
+use clic_sim::Sim;
+
+fn cfg_for(stack: StackKind) -> ClusterConfig {
+    let model = CostModel::era_2002();
+    let mut cfg = ClusterConfig::paper_pair();
+    cfg.node = match stack {
+        StackKind::Clic | StackKind::MpiClic => NodeConfig::clic_default(&model),
+        StackKind::Tcp | StackKind::MpiTcp | StackKind::PvmTcp => NodeConfig::tcp_default(&model),
+        StackKind::Gamma => NodeConfig::gamma_default(&model),
+    };
+    cfg
+}
+
+#[test]
+fn ping_pong_works_on_every_stack() {
+    for stack in [
+        StackKind::Clic,
+        StackKind::Tcp,
+        StackKind::MpiClic,
+        StackKind::MpiTcp,
+        StackKind::Gamma,
+    ] {
+        let cluster = Cluster::build(&cfg_for(stack));
+        let mut sim = Sim::new(1);
+        let res = ping_pong(&cluster, &mut sim, stack, 256, 5);
+        assert_eq!(res.rtt.count(), 5, "{stack:?}");
+        let one_way = res.one_way().as_us_f64();
+        assert!(
+            (3.0..500.0).contains(&one_way),
+            "{stack:?} one-way {one_way} us out of band"
+        );
+    }
+}
+
+#[test]
+fn synchronous_stream_works_on_every_stack() {
+    for stack in [
+        StackKind::Clic,
+        StackKind::Tcp,
+        StackKind::MpiClic,
+        StackKind::MpiTcp,
+        StackKind::PvmTcp,
+        StackKind::Gamma,
+    ] {
+        let cluster = Cluster::build(&cfg_for(stack));
+        let mut sim = Sim::new(2);
+        let res = stream(&cluster, &mut sim, stack, 16_384, 6);
+        assert_eq!(res.msgs, 6, "{stack:?}");
+        assert!(res.mbps() > 1.0, "{stack:?} bandwidth {:.1}", res.mbps());
+        assert!(res.mbps() < 1_000.0, "{stack:?} exceeds the wire");
+    }
+}
+
+#[test]
+fn pipelined_stream_beats_synchronous() {
+    // Offered load pipelines messages; the paper's synchronous benchmark
+    // pays a round trip per message — the pipelined result must dominate.
+    for stack in [StackKind::Clic, StackKind::Tcp] {
+        let sync_mbps = {
+            let cluster = Cluster::build(&cfg_for(stack));
+            let mut sim = Sim::new(3);
+            stream(&cluster, &mut sim, stack, 8_192, 12).mbps()
+        };
+        let pipe_mbps = {
+            let cluster = Cluster::build(&cfg_for(stack));
+            let mut sim = Sim::new(3);
+            stream_pipelined(&cluster, &mut sim, stack, 8_192, 12).mbps()
+        };
+        assert!(
+            pipe_mbps > sync_mbps,
+            "{stack:?}: pipelined {pipe_mbps:.0} <= synchronous {sync_mbps:.0}"
+        );
+    }
+}
+
+#[test]
+fn latency_ordering_matches_paper() {
+    // GAMMA < CLIC < MPI-CLIC < MPI-TCP for small messages.
+    let lat = |stack: StackKind| {
+        let mut cfg = cfg_for(stack);
+        if stack == StackKind::Clic || stack == StackKind::MpiClic {
+            cfg.node.nic = CostModel::era_2002().nic_low_latency(false);
+        }
+        let cluster = Cluster::build(&cfg);
+        let mut sim = Sim::new(4);
+        ping_pong(&cluster, &mut sim, stack, 0, 8).one_way().as_us_f64()
+    };
+    let gamma = lat(StackKind::Gamma);
+    let clic = lat(StackKind::Clic);
+    let mpi_clic = lat(StackKind::MpiClic);
+    let mpi_tcp = lat(StackKind::MpiTcp);
+    assert!(gamma < clic, "GAMMA {gamma} < CLIC {clic}");
+    assert!(clic < mpi_clic, "CLIC {clic} < MPI-CLIC {mpi_clic}");
+    assert!(mpi_clic < mpi_tcp, "MPI-CLIC {mpi_clic} < MPI-TCP {mpi_tcp}");
+}
+
+#[test]
+fn request_reply_cycle_times_scale_with_size() {
+    let cluster = Cluster::build(&cfg_for(StackKind::Clic));
+    let mut sim = Sim::new(5);
+    let small = request_reply_cycles(&cluster, &mut sim, StackKind::Clic, 64, 4, 4)
+        .mean()
+        .unwrap();
+    let cluster = Cluster::build(&cfg_for(StackKind::Clic));
+    let mut sim = Sim::new(5);
+    let large = request_reply_cycles(&cluster, &mut sim, StackKind::Clic, 262_144, 4, 4)
+        .mean()
+        .unwrap();
+    assert!(
+        large > small * 10,
+        "256 KB cycle {large} must dwarf 64 B cycle {small}"
+    );
+}
+
+#[test]
+fn stream_reports_cpu_utilisation() {
+    let cluster = Cluster::build(&cfg_for(StackKind::Clic));
+    let mut sim = Sim::new(6);
+    let res = stream_pipelined(&cluster, &mut sim, StackKind::Clic, 65_536, 32);
+    assert!(res.sender_cpu > 0.0 && res.sender_cpu <= 1.5);
+    assert!(res.receiver_cpu > 0.05, "receiver must be visibly busy");
+    // Receiver does more work per byte than the sender under CLIC 0-copy.
+    assert!(res.receiver_cpu > res.sender_cpu);
+}

@@ -1,0 +1,125 @@
+//! Protocol configuration and CPU cost model.
+
+use clic_sim::SimDuration;
+
+/// Per-operation CPU costs of CLIC_MODULE, calibrated so the end-to-end
+/// pipeline reproduces the paper's measured stages (Figure 7a: sender
+/// CLIC_MODULE + driver ≈ 0.7 + 4 µs for a 1400-byte packet).
+#[derive(Debug, Clone, Copy)]
+pub struct ClicCosts {
+    /// Per-message send-side work: validate, allocate message id.
+    pub tx_per_message: SimDuration,
+    /// Per-packet send-side work: compose headers, update SK_BUFF.
+    pub tx_per_packet: SimDuration,
+    /// Per-packet receive-side work: parse, flow bookkeeping.
+    pub rx_per_packet: SimDuration,
+    /// Processing one received ACK.
+    pub ack_process: SimDuration,
+}
+
+impl ClicCosts {
+    /// Calibrated defaults for the 1.5 GHz testbed.
+    pub fn era_2002() -> ClicCosts {
+        ClicCosts {
+            tx_per_message: SimDuration::from_ns(500),
+            tx_per_packet: SimDuration::from_ns(700),
+            rx_per_packet: SimDuration::from_ns(700),
+            ack_process: SimDuration::from_ns(400),
+        }
+    }
+}
+
+impl Default for ClicCosts {
+    fn default() -> Self {
+        Self::era_2002()
+    }
+}
+
+/// CLIC protocol knobs.
+#[derive(Debug, Clone)]
+pub struct ClicConfig {
+    /// Send straight from user memory via scatter-gather DMA (path 2 of
+    /// Figure 1). `false` selects the legacy 1-copy path (stage through a
+    /// kernel buffer, paths 3/4) used by the Fast Ethernet CLIC and by
+    /// Figure 4's comparison.
+    pub zero_copy: bool,
+    /// Maximum unacknowledged packets per (peer, channel) flow.
+    pub window: usize,
+    /// Receiver sends a cumulative ACK every this many in-order packets.
+    pub ack_every: u32,
+    /// ...or when this delay expires after the first unacknowledged packet.
+    pub ack_delay: SimDuration,
+    /// Retransmission timeout (doubles per retry).
+    pub rto: SimDuration,
+    /// Upper bound on RTO growth.
+    pub rto_max: SimDuration,
+    /// Retry cadence when the NIC TX ring refuses a packet.
+    pub tx_retry: SimDuration,
+    /// Out-of-order buffer per flow, packets (absorbs channel-bonding
+    /// reordering and loss recovery).
+    pub ooo_limit: usize,
+    /// Logical MTU override for module-level fragmentation. Setting this
+    /// larger than the device MTU requires the NIC fragmentation offload
+    /// (ablation B: the module hands the NIC super-packets).
+    pub mtu_override: Option<usize>,
+    /// Finite receive buffering per port (§1: networks have "finite
+    /// buffering capabilities" — so does the kernel). When a port's parked
+    /// backlog exceeds this many bytes, further data packets are dropped
+    /// *unacknowledged*; the sender's retransmission throttles it until
+    /// the application drains the port.
+    pub max_pending_bytes: usize,
+    /// CPU cost model.
+    pub costs: ClicCosts,
+}
+
+impl ClicConfig {
+    /// The configuration the paper evaluates: 0-copy, coalesced interrupts
+    /// provided by the NIC, generous window.
+    pub fn paper_default() -> ClicConfig {
+        ClicConfig {
+            zero_copy: true,
+            window: 64,
+            ack_every: 4,
+            ack_delay: SimDuration::from_us(100),
+            // LAN-era kernels used RTO floors of tens to hundreds of ms; a
+            // too-aggressive RTO spuriously retransmits whole windows while
+            // the receiver's interrupt work delays its ACK bottom halves.
+            rto: SimDuration::from_ms(10),
+            rto_max: SimDuration::from_ms(200),
+            tx_retry: SimDuration::from_us(30),
+            ooo_limit: 256,
+            mtu_override: None,
+            max_pending_bytes: 8 << 20,
+            costs: ClicCosts::era_2002(),
+        }
+    }
+
+    /// The legacy 1-copy variant (Figure 4's comparison).
+    pub fn one_copy() -> ClicConfig {
+        ClicConfig {
+            zero_copy: false,
+            ..Self::paper_default()
+        }
+    }
+}
+
+impl Default for ClicConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ClicConfig::paper_default();
+        assert!(c.zero_copy);
+        assert!(c.window > 0);
+        assert!(c.ack_every >= 1);
+        assert!(c.rto < c.rto_max);
+        assert!(!ClicConfig::one_copy().zero_copy);
+    }
+}

@@ -1,0 +1,265 @@
+//! The 12-byte CLIC header.
+//!
+//! §3.1: CLIC uses the level-1 ("pure Ethernet") 14-byte header, then adds
+//! its own 12-byte header indicating "whether the packet is an MPI packet,
+//! an internal packet, a kernel function packet, etc.". Layout used here:
+//!
+//! ```text
+//!  0        1        2        3
+//! +--------+--------+-----------------+
+//! | ptype  | flags  | channel (u16be) |
+//! +--------+--------+-----------------+
+//! |        sequence number (u32be)    |
+//! +-----------------------------------+
+//! |        payload length (u32be)     |
+//! +-----------------------------------+
+//! ```
+//!
+//! The explicit length is required because Ethernet pads short frames to
+//! the 64-byte minimum and the padding is indistinguishable from payload at
+//! the receiver.
+//!
+//! Multi-packet messages put an additional 8-byte message prefix
+//! (`msg id (u32be) | total length (u32be)`) at the start of the *first*
+//! fragment's payload; later fragments are located by sequence continuity
+//! on the reliable channel.
+
+use bytes::Bytes;
+
+/// CLIC header size on the wire.
+pub const CLIC_HEADER: usize = 12;
+
+/// Message prefix size (first fragment only).
+pub const MSG_PREFIX: usize = 8;
+
+/// Packet type discriminator (the paper's MPI / internal / kernel-function
+/// taxonomy plus the transport-internal types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketType {
+    /// Ordinary user message data.
+    Data,
+    /// Cumulative acknowledgement (`seq` = next expected sequence).
+    Ack,
+    /// Asynchronous remote write (delivered without a receive call).
+    RemoteWrite,
+    /// MPI-layer message (MPI-CLIC marks its traffic so profiling tools can
+    /// tell it apart; transport semantics equal `Data`).
+    Mpi,
+    /// CLIC-internal control.
+    Internal,
+    /// Kernel-function invocation packet.
+    KernelFunction,
+}
+
+impl PacketType {
+    fn to_u8(self) -> u8 {
+        match self {
+            PacketType::Data => 1,
+            PacketType::Ack => 2,
+            PacketType::RemoteWrite => 3,
+            PacketType::Mpi => 4,
+            PacketType::Internal => 5,
+            PacketType::KernelFunction => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<PacketType> {
+        Some(match v {
+            1 => PacketType::Data,
+            2 => PacketType::Ack,
+            3 => PacketType::RemoteWrite,
+            4 => PacketType::Mpi,
+            5 => PacketType::Internal,
+            6 => PacketType::KernelFunction,
+            _ => return None,
+        })
+    }
+
+    /// Data-bearing types that travel on the reliable channel.
+    pub fn is_data_bearing(self) -> bool {
+        matches!(
+            self,
+            PacketType::Data
+                | PacketType::RemoteWrite
+                | PacketType::Mpi
+                | PacketType::KernelFunction
+        )
+    }
+}
+
+/// Header flag bits.
+pub mod flags {
+    /// Sender requests delivery confirmation for the message this packet
+    /// completes.
+    pub const CONFIRM: u8 = 0b0000_0001;
+    /// Best-effort packet outside the reliable window (Ethernet
+    /// multicast/broadcast).
+    pub const BEST_EFFORT: u8 = 0b0000_0010;
+    /// This packet is a retransmission.
+    pub const RETRANSMIT: u8 = 0b0000_0100;
+}
+
+/// A parsed CLIC header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClicHeader {
+    /// Packet type.
+    pub ptype: PacketType,
+    /// Flag bits (see [`flags`]).
+    pub flags: u8,
+    /// Communication channel (port).
+    pub channel: u16,
+    /// Sequence number on the (peer, channel) flow; for ACKs, the
+    /// cumulative next-expected sequence.
+    pub seq: u32,
+    /// True payload length (excludes Ethernet padding).
+    pub len: u32,
+}
+
+impl ClicHeader {
+    /// Serialize to the 12-byte wire form.
+    pub fn encode(&self) -> [u8; CLIC_HEADER] {
+        let mut out = [0u8; CLIC_HEADER];
+        out[0] = self.ptype.to_u8();
+        out[1] = self.flags;
+        out[2..4].copy_from_slice(&self.channel.to_be_bytes());
+        out[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        out[8..12].copy_from_slice(&self.len.to_be_bytes());
+        out
+    }
+
+    /// Parse a header and the `len` bytes of payload that follow it,
+    /// tolerating Ethernet minimum-frame padding after the payload.
+    pub fn decode(buf: &[u8]) -> Option<(ClicHeader, Bytes)> {
+        if buf.len() < CLIC_HEADER {
+            return None;
+        }
+        let ptype = PacketType::from_u8(buf[0])?;
+        let header = ClicHeader {
+            ptype,
+            flags: buf[1],
+            channel: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            len: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+        };
+        let end = CLIC_HEADER.checked_add(header.len as usize)?;
+        if buf.len() < end {
+            return None;
+        }
+        Some((header, Bytes::copy_from_slice(&buf[CLIC_HEADER..end])))
+    }
+}
+
+/// Encode the 8-byte message prefix.
+pub fn encode_msg_prefix(msg_id: u32, total_len: u32) -> [u8; MSG_PREFIX] {
+    let mut out = [0u8; MSG_PREFIX];
+    out[0..4].copy_from_slice(&msg_id.to_be_bytes());
+    out[4..8].copy_from_slice(&total_len.to_be_bytes());
+    out
+}
+
+/// Decode the message prefix from the front of a first-fragment payload.
+pub fn decode_msg_prefix(buf: &[u8]) -> Option<(u32, u32)> {
+    if buf.len() < MSG_PREFIX {
+        return None;
+    }
+    Some((
+        u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]),
+        u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_is_exactly_12_bytes() {
+        assert_eq!(CLIC_HEADER, 12);
+        let h = ClicHeader {
+            ptype: PacketType::Data,
+            flags: flags::CONFIRM,
+            channel: 7,
+            seq: 42,
+            len: 0,
+        };
+        assert_eq!(h.encode().len(), 12);
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        for ptype in [
+            PacketType::Data,
+            PacketType::Ack,
+            PacketType::RemoteWrite,
+            PacketType::Mpi,
+            PacketType::Internal,
+            PacketType::KernelFunction,
+        ] {
+            let h = ClicHeader {
+                ptype,
+                flags: 0b101,
+                channel: 0xbeef,
+                seq: 0xdead_0001,
+                len: 4,
+            };
+            let mut wire = h.encode().to_vec();
+            wire.extend_from_slice(&[9, 8, 7, 6]);
+            let (parsed, payload) = ClicHeader::decode(&wire).unwrap();
+            assert_eq!(parsed, h);
+            assert_eq!(&payload[..], &[9, 8, 7, 6]);
+        }
+    }
+
+    #[test]
+    fn decode_strips_ethernet_padding() {
+        let h = ClicHeader {
+            ptype: PacketType::Data,
+            flags: 0,
+            channel: 1,
+            seq: 0,
+            len: 3,
+        };
+        let mut wire = h.encode().to_vec();
+        wire.extend_from_slice(&[1, 2, 3]);
+        wire.resize(46, 0); // Ethernet min-payload padding
+        let (_, payload) = ClicHeader::decode(&wire).unwrap();
+        assert_eq!(&payload[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ClicHeader::decode(&[1, 2, 3]).is_none()); // too short
+        let mut wire = ClicHeader {
+            ptype: PacketType::Data,
+            flags: 0,
+            channel: 0,
+            seq: 0,
+            len: 100, // claims more payload than present
+        }
+        .encode()
+        .to_vec();
+        wire.extend_from_slice(&[0; 10]);
+        assert!(ClicHeader::decode(&wire).is_none());
+        let mut bad_type = [0u8; 12];
+        bad_type[0] = 99;
+        assert!(ClicHeader::decode(&bad_type).is_none());
+    }
+
+    #[test]
+    fn msg_prefix_roundtrip() {
+        let enc = encode_msg_prefix(12345, 1 << 20);
+        let (id, len) = decode_msg_prefix(&enc).unwrap();
+        assert_eq!(id, 12345);
+        assert_eq!(len, 1 << 20);
+        assert!(decode_msg_prefix(&enc[..4]).is_none());
+    }
+
+    #[test]
+    fn data_bearing_classification() {
+        assert!(PacketType::Data.is_data_bearing());
+        assert!(PacketType::RemoteWrite.is_data_bearing());
+        assert!(PacketType::Mpi.is_data_bearing());
+        assert!(!PacketType::Ack.is_data_bearing());
+        assert!(!PacketType::Internal.is_data_bearing());
+    }
+}

@@ -1,0 +1,1230 @@
+//! CLIC_MODULE — the kernel-resident protocol engine.
+//!
+//! Send path (Figure 3): a user `send` enters the kernel through INT 80h
+//! (≈ 0.65 µs), CLIC_MODULE composes the level-1 Ethernet + 12-byte CLIC
+//! headers, fragments the message to MTU-sized packets, updates SK_BUFFs
+//! (scatter-gather pointing at user memory in the 0-copy configuration) and
+//! calls the unmodified driver; the NIC moves the data as bus master, so
+//! module + driver retire before the transfer finishes. If the NIC cannot
+//! accept a packet, the module copies it to system memory and retries later
+//! — overlapped with other traffic, exactly §3.1.
+//!
+//! Receive path: the driver (interrupt) moves frames to system memory and
+//! invokes the module through a Linux bottom half — or directly, with the
+//! Figure 8b improvement (`Kernel::direct_dispatch`). The module runs the
+//! sliding-window reliability machinery, reassembles messages, and either
+//! copies them to a waiting process's user memory (waking it), parks them
+//! in system memory for a later `recv`, or — for remote writes — places
+//! them into the registered region with no receive call at all.
+
+use crate::api::RecvMsg;
+use crate::config::ClicConfig;
+use crate::header::{
+    decode_msg_prefix, encode_msg_prefix, flags, ClicHeader, PacketType, CLIC_HEADER, MSG_PREFIX,
+};
+use crate::reliable::{RecvOutcome, RecvWindow, SendWindow};
+use bytes::{BufMut, Bytes, BytesMut};
+use clic_ethernet::{EtherType, Frame, MacAddr, RoundRobin};
+use clic_os::driver::hard_start_xmit;
+use clic_os::{Kernel, PacketHandler, Pid, SkBuff};
+use clic_sim::{Sim, SimDuration};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::{Rc, Weak};
+
+/// Activity counters.
+#[derive(Debug, Default, Clone)]
+pub struct ClicStats {
+    /// Messages accepted from user processes.
+    pub msgs_sent: u64,
+    /// Messages fully delivered to this node's processes.
+    pub msgs_received: u64,
+    /// Data-bearing packets posted to NICs (first transmissions).
+    pub packets_sent: u64,
+    /// Data-bearing packets processed off the wire.
+    pub packets_received: u64,
+    /// Cumulative ACKs sent.
+    pub acks_sent: u64,
+    /// ACKs processed.
+    pub acks_received: u64,
+    /// Packets retransmitted after timeout.
+    pub retransmits: u64,
+    /// Packets staged to system memory because the NIC ring was full.
+    pub staged_copies: u64,
+    /// Duplicate packets discarded (and re-ACKed).
+    pub duplicates: u64,
+    /// Out-of-order packets dropped for buffer overflow.
+    pub ooo_drops: u64,
+    /// Messages delivered over the intra-node fast path.
+    pub intra_node: u64,
+    /// Best-effort (multicast/broadcast) packets delivered.
+    pub best_effort_rx: u64,
+    /// Frames that failed CLIC header parsing.
+    pub malformed: u64,
+    /// Kernel functions invoked on this node.
+    pub kernel_calls: u64,
+    /// Kernel-function packets for an unregistered function id.
+    pub kernel_calls_unknown: u64,
+    /// Data packets refused (unacknowledged) because the destination
+    /// port's parked backlog hit its buffering limit.
+    pub backlog_drops: u64,
+}
+
+type FlowKey = (MacAddr, u16);
+
+struct QueuedPacket {
+    header: ClicHeader,
+    payload: Bytes,
+    staged: bool,
+    trace: u64,
+}
+
+struct OutFlow {
+    window: SendWindow,
+    queue: VecDeque<QueuedPacket>,
+    posting: usize,
+    confirms: Vec<(u32, Box<dyn FnOnce(&mut Sim)>)>,
+    rto_gen: u64,
+    rto_running: bool,
+    rto_current: SimDuration,
+    kick_armed: bool,
+}
+
+impl OutFlow {
+    fn new(config: &ClicConfig) -> OutFlow {
+        OutFlow {
+            window: SendWindow::new(config.window),
+            queue: VecDeque::new(),
+            posting: 0,
+            confirms: Vec::new(),
+            rto_gen: 0,
+            rto_running: false,
+            rto_current: config.rto,
+            kick_armed: false,
+        }
+    }
+}
+
+struct Assembly {
+    total: usize,
+    buf: BytesMut,
+    ptype: PacketType,
+}
+
+struct InFlow {
+    window: RecvWindow,
+    assembling: Option<Assembly>,
+    unacked: u32,
+    ack_timer_armed: bool,
+    ack_gen: u64,
+}
+
+impl InFlow {
+    fn new(config: &ClicConfig) -> InFlow {
+        InFlow {
+            window: RecvWindow::new(config.ooo_limit),
+            assembling: None,
+            unacked: 0,
+            ack_timer_armed: false,
+            ack_gen: 0,
+        }
+    }
+}
+
+type Waiter = Box<dyn FnOnce(&mut Sim, RecvMsg)>;
+
+#[derive(Default)]
+struct PortState {
+    pid: Option<Pid>,
+    pending: VecDeque<RecvMsg>,
+    pending_bytes: usize,
+    waiting: VecDeque<Waiter>,
+    remote_writes: Option<Vec<RecvMsg>>,
+}
+
+/// Options for [`ClicModule::send`].
+pub struct SendOptions {
+    /// Destination station (unicast, broadcast, or multicast group).
+    pub dst: MacAddr,
+    /// Channel (port) at the destination.
+    pub channel: u16,
+    /// Data, Mpi, KernelFunction or RemoteWrite.
+    pub ptype: PacketType,
+    /// Invoked when the whole message has been acknowledged
+    /// (`send_confirmed` primitive).
+    pub confirm: Option<Box<dyn FnOnce(&mut Sim)>>,
+    /// Pipeline-trace id (0 = untraced).
+    pub trace: u64,
+}
+
+impl SendOptions {
+    /// Plain data send.
+    pub fn data(dst: MacAddr, channel: u16) -> SendOptions {
+        SendOptions {
+            dst,
+            channel,
+            ptype: PacketType::Data,
+            confirm: None,
+            trace: 0,
+        }
+    }
+}
+
+/// The CLIC kernel module of one node.
+pub struct ClicModule {
+    kernel: Weak<RefCell<Kernel>>,
+    devices: Vec<usize>,
+    macs: Vec<MacAddr>,
+    bond: RoundRobin,
+    max_chunk: usize,
+    config: ClicConfig,
+    out: HashMap<FlowKey, OutFlow>,
+    inflows: HashMap<FlowKey, InFlow>,
+    ports: HashMap<u16, PortState>,
+    kernel_functions: HashMap<u16, KernelFn>,
+    next_msg_id: u32,
+    stats: ClicStats,
+}
+
+/// An in-kernel service invocable from remote nodes (the "kernel function
+/// packet" type of the CLIC header, §3.1). Runs in kernel context on the
+/// receiving node; an optional reply is sent back without any process
+/// involvement.
+type KernelFn = Rc<dyn Fn(&mut Sim, &RecvMsg) -> Option<Bytes>>;
+
+struct Handler(Rc<RefCell<ClicModule>>);
+
+impl PacketHandler for Handler {
+    fn handle(&self, sim: &mut Sim, kernel: &Rc<RefCell<Kernel>>, _dev: usize, frame: Frame) {
+        ClicModule::on_frame(&self.0, sim, kernel, frame);
+    }
+}
+
+impl ClicModule {
+    /// Insert CLIC_MODULE into `kernel`, attached to `devices` (more than
+    /// one enables channel bonding). Registers the CLIC EtherType handler.
+    pub fn install(
+        kernel: &Rc<RefCell<Kernel>>,
+        devices: Vec<usize>,
+        config: ClicConfig,
+    ) -> Rc<RefCell<ClicModule>> {
+        assert!(!devices.is_empty(), "CLIC needs at least one device");
+        let (macs, device_mtu) = {
+            let k = kernel.borrow();
+            let macs: Vec<MacAddr> = devices.iter().map(|&d| k.device(d).borrow().mac()).collect();
+            let mtu = devices
+                .iter()
+                .map(|&d| k.device(d).borrow().mtu())
+                .min()
+                .unwrap();
+            (macs, mtu)
+        };
+        let mtu = config.mtu_override.unwrap_or(device_mtu);
+        assert!(mtu > CLIC_HEADER + MSG_PREFIX, "MTU too small for CLIC");
+        let width = devices.len();
+        let module = Rc::new(RefCell::new(ClicModule {
+            kernel: Rc::downgrade(kernel),
+            devices,
+            macs,
+            bond: RoundRobin::new(width),
+            max_chunk: mtu - CLIC_HEADER,
+            config,
+            out: HashMap::new(),
+            inflows: HashMap::new(),
+            ports: HashMap::new(),
+            kernel_functions: HashMap::new(),
+            next_msg_id: 1,
+            stats: ClicStats::default(),
+        }));
+        kernel
+            .borrow_mut()
+            .register_handler(EtherType::CLIC.0, Rc::new(Handler(module.clone())));
+        module
+    }
+
+    fn kernel(module: &Rc<RefCell<ClicModule>>) -> Rc<RefCell<Kernel>> {
+        module
+            .borrow()
+            .kernel
+            .upgrade()
+            .expect("kernel dropped while CLIC module alive")
+    }
+
+    /// This node's primary station address.
+    pub fn mac(&self) -> MacAddr {
+        self.macs[0]
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ClicStats {
+        self.stats.clone()
+    }
+
+    /// Largest message that fits a single best-effort (multicast) packet.
+    pub fn max_best_effort_len(&self) -> usize {
+        self.max_chunk - MSG_PREFIX
+    }
+
+    /// Bind `channel` to `pid` so wakeups are charged to the right process.
+    pub fn bind(&mut self, pid: Pid, channel: u16) {
+        let port = self.ports.entry(channel).or_default();
+        assert!(port.pid.is_none(), "channel {channel} already bound");
+        port.pid = Some(pid);
+    }
+
+    /// Register `channel` as a remote-write region for `pid`: messages of
+    /// type RemoteWrite land here with no receive call.
+    pub fn register_remote_write(&mut self, pid: Pid, channel: u16) {
+        let port = self.ports.entry(channel).or_default();
+        port.pid.get_or_insert(pid);
+        port.remote_writes = Some(Vec::new());
+    }
+
+    /// Drain messages delivered into a remote-write region.
+    pub fn take_remote_writes(&mut self, channel: u16) -> Vec<RecvMsg> {
+        self.ports
+            .get_mut(&channel)
+            .and_then(|p| p.remote_writes.as_mut())
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Register an in-kernel function invocable from remote nodes. The
+    /// handler runs in kernel context when a KernelFunction packet for
+    /// `id` completes; returning `Some(reply)` sends the reply straight
+    /// from the kernel to the caller's reply channel.
+    pub fn register_kernel_function(
+        &mut self,
+        id: u16,
+        handler: impl Fn(&mut Sim, &RecvMsg) -> Option<Bytes> + 'static,
+    ) {
+        let prev = self.kernel_functions.insert(id, Rc::new(handler));
+        assert!(prev.is_none(), "kernel function {id} already registered");
+    }
+
+    /// Invoke kernel function `id` on the node at `dst`. `args` go out as
+    /// a KernelFunction message on channel `id`; any reply arrives as an
+    /// ordinary message on `reply_channel` of this node.
+    pub fn call_kernel_function(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        dst: MacAddr,
+        id: u16,
+        reply_channel: u16,
+        args: Bytes,
+    ) {
+        let mut payload = BytesMut::with_capacity(2 + args.len());
+        payload.put_u16(reply_channel);
+        payload.put_slice(&args);
+        let opts = SendOptions {
+            ptype: PacketType::KernelFunction,
+            ..SendOptions::data(dst, id)
+        };
+        Self::send(module, sim, opts, payload.freeze());
+    }
+
+    /// Join an Ethernet multicast group on every bonded NIC.
+    pub fn join_multicast(module: &Rc<RefCell<ClicModule>>, group: MacAddr) {
+        let kernel = Self::kernel(module);
+        let devices = module.borrow().devices.clone();
+        for d in devices {
+            kernel.borrow().device(d).borrow_mut().join_multicast(group);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Send path
+    // ------------------------------------------------------------------
+
+    /// Send `data` according to `opts`, entering the kernel through a
+    /// standard system call.
+    pub fn send(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, opts: SendOptions, data: Bytes) {
+        let kernel = Self::kernel(module);
+        if opts.trace != 0 {
+            sim.trace.begin(sim.now(), "syscall", opts.trace);
+        }
+        let module = module.clone();
+        Kernel::syscall(&kernel, sim, move |sim| {
+            if opts.trace != 0 {
+                sim.trace.end(sim.now(), "syscall", opts.trace);
+            }
+            Self::module_tx(&module, sim, opts, data);
+        });
+    }
+
+    fn module_tx(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, opts: SendOptions, data: Bytes) {
+        assert!(
+            opts.ptype.is_data_bearing(),
+            "send accepts data-bearing packet types only"
+        );
+        let kernel = Self::kernel(module);
+
+        // Intra-node fast path: one copy user-to-user, no NIC involved.
+        if module.borrow().macs.contains(&opts.dst) {
+            Self::intra_node_tx(module, sim, opts, data);
+            return;
+        }
+
+        // Ethernet multicast/broadcast: best-effort single packet.
+        if opts.dst.is_multicast() {
+            Self::best_effort_tx(module, sim, opts, data);
+            return;
+        }
+
+        let (cost, key) = {
+            let mut m = module.borrow_mut();
+            m.stats.msgs_sent += 1;
+            let npackets =
+                (MSG_PREFIX + data.len()).div_ceil(m.max_chunk).max(1) as u64;
+            let mut cost = m.config.costs.tx_per_message + m.config.costs.tx_per_packet * npackets;
+            if !m.config.zero_copy {
+                // Legacy path: stage the whole message through kernel
+                // memory before the driver sees it.
+                cost += kernel.borrow().costs.copy.cost(data.len());
+            }
+            (cost, (opts.dst, opts.channel))
+        };
+        if opts.trace != 0 {
+            sim.trace.begin(sim.now(), "clic_module_tx", opts.trace);
+        }
+        let module2 = module.clone();
+        Kernel::cpu_task(&kernel, sim, cost, move |sim| {
+            if opts.trace != 0 {
+                sim.trace.end(sim.now(), "clic_module_tx", opts.trace);
+            }
+            Self::enqueue_message(&module2, sim, key, opts, data);
+        });
+    }
+
+    fn intra_node_tx(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        opts: SendOptions,
+        data: Bytes,
+    ) {
+        let kernel = Self::kernel(module);
+        let cost = {
+            let mut m = module.borrow_mut();
+            m.stats.msgs_sent += 1;
+            m.stats.intra_node += 1;
+            m.config.costs.tx_per_message + kernel.borrow().costs.copy.cost(data.len())
+        };
+        let module2 = module.clone();
+        let src = module.borrow().macs[0];
+        Kernel::cpu_task(&kernel, sim, cost, move |sim| {
+            let msg = RecvMsg {
+                src,
+                channel: opts.channel,
+                ptype: opts.ptype,
+                data: Bytes::copy_from_slice(&data),
+            };
+            Self::deliver_message(&module2, sim, msg, 0);
+            if let Some(confirm) = opts.confirm {
+                confirm(sim);
+            }
+        });
+    }
+
+    fn best_effort_tx(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        opts: SendOptions,
+        data: Bytes,
+    ) {
+        let kernel = Self::kernel(module);
+        let (cost, dev, msg_id, max_len) = {
+            let mut m = module.borrow_mut();
+            m.stats.msgs_sent += 1;
+            let id = m.next_msg_id;
+            m.next_msg_id += 1;
+            let dev_slot = m.bond.next_index();
+            (
+                m.config.costs.tx_per_message + m.config.costs.tx_per_packet,
+                m.devices[dev_slot],
+                id,
+                m.max_best_effort_len(),
+            )
+        };
+        assert!(
+            data.len() <= max_len,
+            "best-effort (multicast) messages must fit one packet: {} > {max_len}",
+            data.len()
+        );
+        let header = ClicHeader {
+            ptype: opts.ptype,
+            flags: flags::BEST_EFFORT,
+            channel: opts.channel,
+            seq: 0,
+            len: (MSG_PREFIX + data.len()) as u32,
+        };
+        let mut payload = BytesMut::with_capacity(MSG_PREFIX + data.len());
+        payload.put_slice(&encode_msg_prefix(msg_id, data.len() as u32));
+        payload.put_slice(&data);
+        let payload = payload.freeze();
+        let zero_copy = module.borrow().config.zero_copy;
+        let kernel2 = kernel.clone();
+        Kernel::cpu_task(&kernel, sim, cost, move |sim| {
+            let skb = Self::build_skb(header, &payload, zero_copy, opts.trace);
+            hard_start_xmit(
+                &kernel2,
+                sim,
+                dev,
+                opts.dst,
+                EtherType::CLIC,
+                skb,
+                |_sim, _ok| {}, // best effort: ring-full means the packet is lost
+            );
+            if let Some(confirm) = opts.confirm {
+                // No ACKs on multicast: confirmation fires at handoff.
+                confirm(sim);
+            }
+        });
+    }
+
+    fn build_skb(header: ClicHeader, payload: &Bytes, zero_copy: bool, trace: u64) -> SkBuff {
+        let h = Bytes::copy_from_slice(&header.encode());
+        let skb = if zero_copy {
+            SkBuff::zero_copy(h, payload.clone())
+        } else {
+            SkBuff::staged(h, payload)
+        };
+        skb.with_trace(trace)
+    }
+
+    fn enqueue_message(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        key: FlowKey,
+        opts: SendOptions,
+        data: Bytes,
+    ) {
+        {
+            let mut m = module.borrow_mut();
+            let msg_id = m.next_msg_id;
+            m.next_msg_id += 1;
+            let max_chunk = m.max_chunk;
+            if !m.out.contains_key(&key) {
+                let f = OutFlow::new(&m.config);
+                m.out.insert(key, f);
+            }
+            let flow = m.out.get_mut(&key).unwrap();
+            // First fragment carries the message prefix.
+            let mut first = BytesMut::with_capacity(MSG_PREFIX + data.len().min(max_chunk));
+            first.put_slice(&encode_msg_prefix(msg_id, data.len() as u32));
+            let first_data = (max_chunk - MSG_PREFIX).min(data.len());
+            first.put_slice(&data[..first_data]);
+            let mut chunks = vec![first.freeze()];
+            let mut off = first_data;
+            while off < data.len() {
+                let end = (off + max_chunk).min(data.len());
+                chunks.push(data.slice(off..end));
+                off = end;
+            }
+            let last_idx = chunks.len() - 1;
+            let mut last_seq = 0;
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                let seq = flow.window.alloc_seq();
+                last_seq = seq;
+                let mut f = 0u8;
+                if i == last_idx && opts.confirm.is_some() {
+                    f |= flags::CONFIRM;
+                }
+                flow.queue.push_back(QueuedPacket {
+                    header: ClicHeader {
+                        ptype: opts.ptype,
+                        flags: f,
+                        channel: opts.channel,
+                        seq,
+                        len: chunk.len() as u32,
+                    },
+                    payload: chunk,
+                    staged: false,
+                    trace: opts.trace,
+                });
+            }
+            if let Some(confirm) = opts.confirm {
+                flow.confirms.push((last_seq, confirm));
+            }
+        }
+        Self::pump(module, sim, key);
+    }
+
+    /// Move queued packets into the network while the window allows.
+    fn pump(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, key: FlowKey) {
+        loop {
+            let post = {
+                let mut m = module.borrow_mut();
+                let window_cap = m.config.window;
+                let Some(flow) = m.out.get_mut(&key) else {
+                    return;
+                };
+                if flow.queue.is_empty()
+                    || flow.window.inflight_len() + flow.posting >= window_cap
+                {
+                    None
+                } else {
+                    let pkt = flow.queue.pop_front().unwrap();
+                    flow.posting += 1;
+                    let dev_slot = m.bond.next_index();
+                    let dev = m.devices[dev_slot];
+                    Some((pkt, dev))
+                }
+            };
+            match post {
+                None => return,
+                Some((pkt, dev)) => Self::post_packet(module, sim, key, pkt, dev),
+            }
+        }
+    }
+
+    fn post_packet(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        key: FlowKey,
+        pkt: QueuedPacket,
+        dev: usize,
+    ) {
+        let kernel = Self::kernel(module);
+        let zero_copy = module.borrow().config.zero_copy && !pkt.staged;
+        let skb = Self::build_skb(pkt.header, &pkt.payload, zero_copy, pkt.trace);
+        let module2 = module.clone();
+        hard_start_xmit(
+            &kernel,
+            sim,
+            dev,
+            key.0,
+            EtherType::CLIC,
+            skb,
+            move |sim, ok| {
+                if ok {
+                    {
+                        let mut m = module2.borrow_mut();
+                        m.stats.packets_sent += 1;
+                        let flow = m.out.get_mut(&key).unwrap();
+                        flow.posting -= 1;
+                        flow.window.on_sent(pkt.header, pkt.payload);
+                    }
+                    Self::ensure_rto(&module2, sim, key);
+                    Self::pump(&module2, sim, key);
+                } else {
+                    Self::on_ring_full(&module2, sim, key, pkt);
+                }
+            },
+        );
+    }
+
+    /// §3.1: "If the data cannot be sent at the present moment, CLIC_MODULE
+    /// copies the data in the system memory... overlapped with the
+    /// communication of other messages."
+    fn on_ring_full(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        key: FlowKey,
+        mut pkt: QueuedPacket,
+    ) {
+        let kernel = Self::kernel(module);
+        let staging_cost = if !pkt.staged {
+            let mut m = module.borrow_mut();
+            m.stats.staged_copies += 1;
+            pkt.staged = true;
+            if m.config.zero_copy {
+                Some(kernel.borrow().costs.copy.cost(pkt.payload.len()))
+            } else {
+                None // already staged by the 1-copy send path
+            }
+        } else {
+            None
+        };
+        let module2 = module.clone();
+        let requeue = move |sim: &mut Sim| {
+            let retry = {
+                let mut m = module2.borrow_mut();
+                let retry = m.config.tx_retry;
+                let flow = m.out.get_mut(&key).unwrap();
+                flow.posting -= 1;
+                flow.queue.push_front(pkt);
+                if flow.kick_armed {
+                    None
+                } else {
+                    flow.kick_armed = true;
+                    Some(retry)
+                }
+            };
+            if let Some(delay) = retry {
+                let module3 = module2.clone();
+                sim.schedule_in(delay, move |sim| {
+                    if let Some(flow) = module3.borrow_mut().out.get_mut(&key) {
+                        flow.kick_armed = false;
+                    }
+                    Self::pump(&module3, sim, key);
+                });
+            }
+        };
+        match staging_cost {
+            Some(cost) => Kernel::cpu_task(&kernel, sim, cost, requeue),
+            None => requeue(sim),
+        }
+    }
+
+    fn ensure_rto(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, key: FlowKey) {
+        let arm = {
+            let mut m = module.borrow_mut();
+            let Some(flow) = m.out.get_mut(&key) else {
+                return;
+            };
+            if flow.rto_running || flow.window.all_acked() {
+                None
+            } else {
+                flow.rto_running = true;
+                flow.rto_gen += 1;
+                Some((flow.rto_gen, flow.rto_current))
+            }
+        };
+        if let Some((generation, delay)) = arm {
+            let module2 = module.clone();
+            sim.schedule_in(delay, move |sim| {
+                Self::on_rto(&module2, sim, key, generation);
+            });
+        }
+    }
+
+    fn on_rto(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, key: FlowKey, generation: u64) {
+        let resend = {
+            let mut m = module.borrow_mut();
+            let rto_max = m.config.rto_max;
+            let Some(flow) = m.out.get_mut(&key) else {
+                return;
+            };
+            if flow.rto_gen != generation {
+                return; // superseded by an ACK-driven reset
+            }
+            flow.rto_running = false;
+            if flow.window.all_acked() {
+                return;
+            }
+            let set = flow.window.take_retransmit_set();
+            flow.rto_current = (flow.rto_current * 2).min(rto_max);
+            m.stats.retransmits += set.len() as u64;
+            set
+        };
+        let kernel = Self::kernel(module);
+        let zero_copy = module.borrow().config.zero_copy;
+        for pkt in resend {
+            let (dev, _) = {
+                let mut m = module.borrow_mut();
+                let slot = m.bond.next_index();
+                (m.devices[slot], ())
+            };
+            let mut header = pkt.header;
+            header.flags |= flags::RETRANSMIT;
+            let skb = Self::build_skb(header, &pkt.payload, zero_copy, 0);
+            hard_start_xmit(&kernel, sim, dev, key.0, EtherType::CLIC, skb, |_, _| {});
+        }
+        Self::ensure_rto(module, sim, key);
+    }
+
+    // ------------------------------------------------------------------
+    // Receive path
+    // ------------------------------------------------------------------
+
+    fn on_frame(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        kernel: &Rc<RefCell<Kernel>>,
+        frame: Frame,
+    ) {
+        let Some((header, chunk)) = ClicHeader::decode(&frame.payload) else {
+            module.borrow_mut().stats.malformed += 1;
+            return;
+        };
+        let cost = {
+            let m = module.borrow();
+            match header.ptype {
+                PacketType::Ack => m.config.costs.ack_process,
+                _ => m.config.costs.rx_per_packet,
+            }
+        };
+        if frame.trace != 0 {
+            sim.trace.begin(sim.now(), "clic_module_rx", frame.trace);
+        }
+        let module2 = module.clone();
+        let kernel2 = kernel.clone();
+        let src = frame.src;
+        let trace = frame.trace;
+        Kernel::cpu_task(kernel, sim, cost, move |sim| {
+            if trace != 0 {
+                sim.trace.end(sim.now(), "clic_module_rx", trace);
+            }
+            Self::process_packet(&module2, sim, &kernel2, src, header, chunk, trace);
+        });
+    }
+
+    fn process_packet(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        kernel: &Rc<RefCell<Kernel>>,
+        src: MacAddr,
+        header: ClicHeader,
+        chunk: Bytes,
+        trace: u64,
+    ) {
+        match header.ptype {
+            PacketType::Ack => Self::process_ack(module, sim, src, header),
+            PacketType::Internal => {} // reserved
+            _ if header.flags & flags::BEST_EFFORT != 0 => {
+                Self::process_best_effort(module, sim, src, header, chunk, trace);
+            }
+            _ => Self::process_data(module, sim, kernel, src, header, chunk, trace),
+        }
+    }
+
+    fn process_ack(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        src: MacAddr,
+        header: ClicHeader,
+    ) {
+        let key = (src, header.channel);
+        let (fired, pump_needed) = {
+            let mut m = module.borrow_mut();
+            m.stats.acks_received += 1;
+            let base_rto = m.config.rto;
+            let Some(flow) = m.out.get_mut(&key) else {
+                return;
+            };
+            let acked = flow.window.ack(header.seq);
+            if acked == 0 {
+                return;
+            }
+            // Fresh progress: reset the RTO.
+            flow.rto_current = base_rto;
+            flow.rto_gen += 1;
+            flow.rto_running = false;
+            let base = flow.window.base();
+            let mut fired = Vec::new();
+            let mut remaining = Vec::new();
+            for (seq, cont) in flow.confirms.drain(..) {
+                if seq < base {
+                    fired.push(cont);
+                } else {
+                    remaining.push((seq, cont));
+                }
+            }
+            flow.confirms = remaining;
+            (fired, true)
+        };
+        for cont in fired {
+            cont(sim);
+        }
+        if pump_needed {
+            Self::ensure_rto(module, sim, key);
+            Self::pump(module, sim, key);
+        }
+    }
+
+    fn process_best_effort(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        src: MacAddr,
+        header: ClicHeader,
+        chunk: Bytes,
+        trace: u64,
+    ) {
+        let Some((_msg_id, total)) = decode_msg_prefix(&chunk) else {
+            module.borrow_mut().stats.malformed += 1;
+            return;
+        };
+        if chunk.len() < MSG_PREFIX + total as usize {
+            module.borrow_mut().stats.malformed += 1;
+            return;
+        }
+        module.borrow_mut().stats.best_effort_rx += 1;
+        let msg = RecvMsg {
+            src,
+            channel: header.channel,
+            ptype: header.ptype,
+            data: chunk.slice(MSG_PREFIX..MSG_PREFIX + total as usize),
+        };
+        Self::deliver_message(module, sim, msg, trace);
+    }
+
+    fn process_data(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        kernel: &Rc<RefCell<Kernel>>,
+        src: MacAddr,
+        header: ClicHeader,
+        chunk: Bytes,
+        trace: u64,
+    ) {
+        let key = (src, header.channel);
+        let (completed, ack_now) = {
+            let mut m = module.borrow_mut();
+            m.stats.packets_received += 1;
+            // Finite buffering: refuse (do not ACK) data for a port whose
+            // parked backlog is over budget; the sender's retransmission
+            // throttles it until the application drains.
+            let over_budget = m
+                .ports
+                .get(&header.channel)
+                .map(|p| p.pending_bytes > m.config.max_pending_bytes)
+                .unwrap_or(false);
+            if over_budget {
+                m.stats.backlog_drops += 1;
+                return;
+            }
+            if !m.inflows.contains_key(&key) {
+                let f = InFlow::new(&m.config);
+                m.inflows.insert(key, f);
+            }
+            let ack_every = m.config.ack_every;
+            let flow = m.inflows.get_mut(&key).unwrap();
+            match flow.window.offer(header, chunk) {
+                RecvOutcome::Deliver(packets) => {
+                    flow.unacked += packets.len() as u32;
+                    let mut completed = Vec::new();
+                    for (h, c) in packets {
+                        if let Some(msg) = Self::feed_assembly(flow, src, h, c) {
+                            completed.push(msg);
+                        }
+                    }
+                    let ack_now = flow.unacked >= ack_every;
+                    if ack_now {
+                        flow.unacked = 0;
+                        flow.ack_gen += 1;
+                        flow.ack_timer_armed = false;
+                    }
+                    m.stats.msgs_received += completed.len() as u64;
+                    (completed, ack_now)
+                }
+                RecvOutcome::Duplicate => {
+                    m.stats.duplicates += 1;
+                    (Vec::new(), true) // re-ACK so the sender resyncs
+                }
+                RecvOutcome::Buffered => (Vec::new(), false),
+                RecvOutcome::Overflow => {
+                    m.stats.ooo_drops += 1;
+                    (Vec::new(), false)
+                }
+            }
+        };
+        let _ = kernel;
+        // Acknowledge before delivering: the ACK must not queue behind the
+        // (possibly large) copies to user memory, or the sender times out
+        // while the receiver is merely busy delivering.
+        if ack_now {
+            Self::send_ack(module, sim, key);
+        } else {
+            Self::maybe_arm_ack_timer(module, sim, key);
+        }
+        for msg in completed {
+            Self::deliver_message(module, sim, msg, trace);
+        }
+    }
+
+    fn feed_assembly(
+        flow: &mut InFlow,
+        src: MacAddr,
+        header: ClicHeader,
+        chunk: Bytes,
+    ) -> Option<RecvMsg> {
+        match &mut flow.assembling {
+            None => {
+                let (_msg_id, total) =
+                    decode_msg_prefix(&chunk).expect("first fragment lacks message prefix");
+                let mut buf = BytesMut::with_capacity(total as usize);
+                buf.put_slice(&chunk[MSG_PREFIX..]);
+                flow.assembling = Some(Assembly {
+                    total: total as usize,
+                    buf,
+                    ptype: header.ptype,
+                });
+            }
+            Some(a) => a.buf.put_slice(&chunk),
+        }
+        let done = {
+            let a = flow.assembling.as_ref().unwrap();
+            debug_assert!(a.buf.len() <= a.total, "assembly overrun");
+            a.buf.len() >= a.total
+        };
+        if done {
+            let a = flow.assembling.take().unwrap();
+            Some(RecvMsg {
+                src,
+                channel: header.channel,
+                ptype: a.ptype,
+                data: a.buf.freeze(),
+            })
+        } else {
+            None
+        }
+    }
+
+    fn maybe_arm_ack_timer(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, key: FlowKey) {
+        let arm = {
+            let mut m = module.borrow_mut();
+            let delay = m.config.ack_delay;
+            let Some(flow) = m.inflows.get_mut(&key) else {
+                return;
+            };
+            if flow.unacked == 0 || flow.ack_timer_armed {
+                None
+            } else {
+                flow.ack_timer_armed = true;
+                flow.ack_gen += 1;
+                Some((flow.ack_gen, delay))
+            }
+        };
+        if let Some((generation, delay)) = arm {
+            let module2 = module.clone();
+            sim.schedule_in(delay, move |sim| {
+                let fire = {
+                    let mut m = module2.borrow_mut();
+                    match m.inflows.get_mut(&key) {
+                        Some(flow) if flow.ack_gen == generation && flow.ack_timer_armed => {
+                            flow.ack_timer_armed = false;
+                            flow.unacked = 0;
+                            true
+                        }
+                        _ => false,
+                    }
+                };
+                if fire {
+                    Self::send_ack(&module2, sim, key);
+                }
+            });
+        }
+    }
+
+    fn send_ack(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, key: FlowKey) {
+        let kernel = Self::kernel(module);
+        let (header, dev) = {
+            let mut m = module.borrow_mut();
+            let ack_value = match m.inflows.get(&key) {
+                Some(flow) => flow.window.ack_value(),
+                None => return,
+            };
+            m.stats.acks_sent += 1;
+            let slot = m.bond.next_index();
+            (
+                ClicHeader {
+                    ptype: PacketType::Ack,
+                    flags: 0,
+                    channel: key.1,
+                    seq: ack_value,
+                    len: 0,
+                },
+                m.devices[slot],
+            )
+        };
+        let skb = SkBuff::zero_copy(Bytes::copy_from_slice(&header.encode()), Bytes::new());
+        // A lost or refused ACK is harmless: cumulative ACKs supersede it.
+        hard_start_xmit(&kernel, sim, dev, key.0, EtherType::CLIC, skb, |_, _| {});
+    }
+
+    // ------------------------------------------------------------------
+    // Delivery to processes
+    // ------------------------------------------------------------------
+
+    fn deliver_message(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, msg: RecvMsg, trace: u64) {
+        let kernel = Self::kernel(module);
+        if msg.ptype == PacketType::KernelFunction {
+            Self::invoke_kernel_function(module, sim, msg);
+            return;
+        }
+        enum Action {
+            RemoteWrite {
+                cost: SimDuration,
+            },
+            Wake {
+                pid: Option<Pid>,
+                waiter: Waiter,
+                cost: SimDuration,
+            },
+            Park,
+        }
+        let action = {
+            let mut m = module.borrow_mut();
+            let direct = kernel.borrow().direct_dispatch;
+            let copy_cost = if direct {
+                // Figure 8b: the data went straight to user memory.
+                SimDuration::ZERO
+            } else {
+                kernel.borrow().costs.copy.cost(msg.data.len())
+            };
+            let port = m.ports.entry(msg.channel).or_default();
+            if msg.ptype == PacketType::RemoteWrite && port.remote_writes.is_some() {
+                Action::RemoteWrite { cost: copy_cost }
+            } else if let Some(waiter) = port.waiting.pop_front() {
+                Action::Wake {
+                    pid: port.pid,
+                    waiter,
+                    cost: copy_cost,
+                }
+            } else {
+                Action::Park
+            }
+        };
+        match action {
+            Action::RemoteWrite { cost } => {
+                // §3.1 step 7: CLIC_MODULE moves the packet straight into
+                // the user memory region, no receive call involved.
+                let module2 = module.clone();
+                if trace != 0 {
+                    sim.trace.begin(sim.now(), "copy_to_user", trace);
+                }
+                Kernel::cpu_task(&kernel, sim, cost, move |sim| {
+                    if trace != 0 {
+                        sim.trace.end(sim.now(), "copy_to_user", trace);
+                    }
+                    let mut m = module2.borrow_mut();
+                    let port = m.ports.get_mut(&msg.channel).unwrap();
+                    port.remote_writes.as_mut().unwrap().push(msg);
+                });
+            }
+            Action::Wake { pid, waiter, cost } => {
+                let kernel2 = kernel.clone();
+                if trace != 0 {
+                    sim.trace.begin(sim.now(), "copy_to_user", trace);
+                }
+                Kernel::cpu_task(&kernel, sim, cost, move |sim| {
+                    if trace != 0 {
+                        sim.trace.end(sim.now(), "copy_to_user", trace);
+                    }
+                    match pid {
+                        Some(pid) => {
+                            Kernel::wake(&kernel2, sim, pid, move |sim| waiter(sim, msg))
+                        }
+                        None => waiter(sim, msg),
+                    }
+                });
+            }
+            Action::Park => {
+                // Stays in system memory until a receive call arrives.
+                let mut m = module.borrow_mut();
+                let port = m.ports.get_mut(&msg.channel).unwrap();
+                port.pending_bytes += msg.data.len();
+                port.pending.push_back(msg);
+            }
+        }
+    }
+
+    /// Run a registered kernel function against a completed
+    /// KernelFunction message; the optional reply leaves straight from
+    /// kernel context (no system call).
+    fn invoke_kernel_function(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, msg: RecvMsg) {
+        let kernel = Self::kernel(module);
+        let handler = {
+            let mut m = module.borrow_mut();
+            match m.kernel_functions.get(&msg.channel).cloned() {
+                Some(h) => {
+                    m.stats.kernel_calls += 1;
+                    Some(h)
+                }
+                None => {
+                    m.stats.kernel_calls_unknown += 1;
+                    None
+                }
+            }
+        };
+        let Some(handler) = handler else {
+            return;
+        };
+        if msg.data.len() < 2 {
+            module.borrow_mut().stats.malformed += 1;
+            return;
+        }
+        let reply_channel = u16::from_be_bytes([msg.data[0], msg.data[1]]);
+        let call_msg = RecvMsg {
+            data: msg.data.slice(2..),
+            ..msg.clone()
+        };
+        // A small fixed kernel cost for the dispatch; the handler may add
+        // its own work via kernel.cpu_task.
+        let module2 = module.clone();
+        let cost = module.borrow().config.costs.rx_per_packet;
+        Kernel::cpu_task(&kernel, sim, cost, move |sim| {
+            if let Some(reply) = handler(sim, &call_msg) {
+                let opts = SendOptions::data(call_msg.src, reply_channel);
+                // Kernel-internal send: no syscall boundary to cross.
+                Self::module_tx(&module2, sim, opts, reply);
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Receive API (driven by clic-core::api)
+    // ------------------------------------------------------------------
+
+    /// Blocking receive: runs `cont` with the next message on `channel`,
+    /// parking the process if none is pending.
+    pub fn recv(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        channel: u16,
+        cont: impl FnOnce(&mut Sim, RecvMsg) + 'static,
+    ) {
+        let kernel = Self::kernel(module);
+        let module = module.clone();
+        Kernel::syscall(&kernel.clone(), sim, move |sim| {
+            let popped = {
+                let mut m = module.borrow_mut();
+                let port = m.ports.entry(channel).or_default();
+                let msg = port.pending.pop_front();
+                if let Some(msg) = &msg {
+                    port.pending_bytes -= msg.data.len();
+                }
+                msg
+            };
+            match popped {
+                Some(msg) => {
+                    // Copy from system memory to the caller's buffer.
+                    let cost = kernel.borrow().costs.copy.cost(msg.data.len());
+                    Kernel::cpu_task(&kernel, sim, cost, move |sim| cont(sim, msg));
+                }
+                None => {
+                    let mut m = module.borrow_mut();
+                    let port = m.ports.entry(channel).or_default();
+                    if let Some(pid) = port.pid {
+                        kernel.borrow_mut().processes.block(pid);
+                    }
+                    port.waiting.push_back(Box::new(cont));
+                }
+            }
+        });
+    }
+
+    /// Non-blocking receive: `cont` gets `Some(msg)` or `None` immediately.
+    pub fn try_recv(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        channel: u16,
+        cont: impl FnOnce(&mut Sim, Option<RecvMsg>) + 'static,
+    ) {
+        let kernel = Self::kernel(module);
+        let module = module.clone();
+        Kernel::syscall(&kernel.clone(), sim, move |sim| {
+            let got = {
+                let mut m = module.borrow_mut();
+                let port = m.ports.entry(channel).or_default();
+                let msg = port.pending.pop_front();
+                if let Some(msg) = &msg {
+                    port.pending_bytes -= msg.data.len();
+                }
+                msg
+            };
+            match got {
+                Some(msg) => {
+                    let cost = kernel.borrow().costs.copy.cost(msg.data.len());
+                    Kernel::cpu_task(&kernel, sim, cost, move |sim| cont(sim, Some(msg)));
+                }
+                None => cont(sim, None),
+            }
+        });
+    }
+
+    /// Number of messages parked on `channel`.
+    pub fn pending_len(&self, channel: u16) -> usize {
+        self.ports.get(&channel).map(|p| p.pending.len()).unwrap_or(0)
+    }
+}

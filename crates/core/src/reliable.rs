@@ -1,0 +1,345 @@
+//! Sliding-window reliability machinery (pure logic).
+//!
+//! CLIC bridges the gap the paper's introduction describes: applications
+//! need in-order reliable delivery over a network with "arbitrary delivery
+//! order, limited fault-handling, and finite buffering". Each
+//! (peer, channel) pair runs an independent flow: the sender keeps a
+//! bounded window of unacknowledged packets; the receiver delivers in
+//! sequence order, buffering out-of-order arrivals (which also absorbs the
+//! reordering introduced by channel bonding) and answering with cumulative
+//! ACKs.
+//!
+//! This module is deliberately simulator-free so the protocol invariants
+//! can be unit- and property-tested in isolation; `module.rs` drives it
+//! from the event loop.
+
+use crate::header::ClicHeader;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// A packet the sender must be able to retransmit.
+#[derive(Debug, Clone)]
+pub struct InflightPacket {
+    /// Header as originally sent.
+    pub header: ClicHeader,
+    /// Payload (header-exclusive).
+    pub payload: Bytes,
+    /// How many times this packet has been retransmitted.
+    pub retries: u32,
+}
+
+/// Sender side of a flow.
+#[derive(Debug)]
+pub struct SendWindow {
+    next_seq: u32,
+    base: u32,
+    capacity: usize,
+    inflight: BTreeMap<u32, InflightPacket>,
+}
+
+impl SendWindow {
+    /// A window admitting `capacity` unacknowledged packets.
+    pub fn new(capacity: usize) -> SendWindow {
+        assert!(capacity > 0);
+        SendWindow {
+            next_seq: 0,
+            base: 0,
+            capacity,
+            inflight: BTreeMap::new(),
+        }
+    }
+
+    /// True when another packet may enter the network.
+    pub fn can_send(&self) -> bool {
+        self.inflight.len() < self.capacity
+    }
+
+    /// Allocate the next sequence number.
+    pub fn alloc_seq(&mut self) -> u32 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Record a packet as in flight. Panics on duplicate sequence.
+    pub fn on_sent(&mut self, header: ClicHeader, payload: Bytes) {
+        let prev = self.inflight.insert(
+            header.seq,
+            InflightPacket {
+                header,
+                payload,
+                retries: 0,
+            },
+        );
+        assert!(prev.is_none(), "sequence {} sent twice", header.seq);
+    }
+
+    /// Apply a cumulative ACK (`upto` = receiver's next expected). Returns
+    /// the number of packets newly acknowledged.
+    pub fn ack(&mut self, upto: u32) -> usize {
+        if upto <= self.base {
+            return 0;
+        }
+        let before = self.inflight.len();
+        self.inflight.retain(|&seq, _| seq >= upto);
+        self.base = upto;
+        before - self.inflight.len()
+    }
+
+    /// Oldest unacknowledged sequence (the window base).
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Highest allocated sequence + 1.
+    pub fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Packets currently unacknowledged.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// True when every sent packet has been acknowledged.
+    pub fn all_acked(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// Iterate unacknowledged packets in sequence order, bumping their
+    /// retry counters — the retransmission set on timeout.
+    pub fn take_retransmit_set(&mut self) -> Vec<InflightPacket> {
+        self.inflight
+            .values_mut()
+            .map(|p| {
+                p.retries += 1;
+                p.clone()
+            })
+            .collect()
+    }
+
+    /// Largest retry count among inflight packets (0 when none).
+    pub fn max_retries(&self) -> u32 {
+        self.inflight.values().map(|p| p.retries).max().unwrap_or(0)
+    }
+}
+
+/// Result of offering a packet to the receive window.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvOutcome {
+    /// In-order: this packet (and any buffered successors) deliver now, in
+    /// sequence order.
+    Deliver(Vec<(ClicHeader, Bytes)>),
+    /// Already delivered — sender missed an ACK; re-ACK immediately.
+    Duplicate,
+    /// Out of order: buffered awaiting the gap.
+    Buffered,
+    /// Out-of-order buffer full: dropped (sender's timeout recovers).
+    Overflow,
+}
+
+/// Receiver side of a flow.
+#[derive(Debug)]
+pub struct RecvWindow {
+    expected: u32,
+    ooo: BTreeMap<u32, (ClicHeader, Bytes)>,
+    ooo_limit: usize,
+}
+
+impl RecvWindow {
+    /// A receive window buffering at most `ooo_limit` out-of-order packets.
+    pub fn new(ooo_limit: usize) -> RecvWindow {
+        RecvWindow {
+            expected: 0,
+            ooo: BTreeMap::new(),
+            ooo_limit,
+        }
+    }
+
+    /// The cumulative ACK value to advertise (next expected sequence).
+    pub fn ack_value(&self) -> u32 {
+        self.expected
+    }
+
+    /// Out-of-order packets currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.ooo.len()
+    }
+
+    /// Offer an arriving data packet.
+    pub fn offer(&mut self, header: ClicHeader, payload: Bytes) -> RecvOutcome {
+        if header.seq < self.expected {
+            return RecvOutcome::Duplicate;
+        }
+        if header.seq > self.expected {
+            if self.ooo.contains_key(&header.seq) {
+                return RecvOutcome::Duplicate;
+            }
+            if self.ooo.len() >= self.ooo_limit {
+                return RecvOutcome::Overflow;
+            }
+            self.ooo.insert(header.seq, (header, payload));
+            return RecvOutcome::Buffered;
+        }
+        // In order: deliver it plus any contiguous run from the buffer.
+        let mut out = vec![(header, payload)];
+        self.expected += 1;
+        while let Some(entry) = self.ooo.remove(&self.expected) {
+            out.push(entry);
+            self.expected += 1;
+        }
+        RecvOutcome::Deliver(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::PacketType;
+
+    fn hdr(seq: u32) -> ClicHeader {
+        ClicHeader {
+            ptype: PacketType::Data,
+            flags: 0,
+            channel: 0,
+            seq,
+            len: 1,
+        }
+    }
+
+    fn payload(tag: u8) -> Bytes {
+        Bytes::from(vec![tag])
+    }
+
+    #[test]
+    fn send_window_blocks_at_capacity() {
+        let mut w = SendWindow::new(2);
+        for _ in 0..2 {
+            assert!(w.can_send());
+            let s = w.alloc_seq();
+            w.on_sent(hdr(s), payload(0));
+        }
+        assert!(!w.can_send());
+        assert_eq!(w.inflight_len(), 2);
+        // Cumulative ack for the first frees one slot.
+        assert_eq!(w.ack(1), 1);
+        assert!(w.can_send());
+        assert_eq!(w.base(), 1);
+    }
+
+    #[test]
+    fn cumulative_ack_clears_range() {
+        let mut w = SendWindow::new(10);
+        for _ in 0..5 {
+            let s = w.alloc_seq();
+            w.on_sent(hdr(s), payload(0));
+        }
+        assert_eq!(w.ack(4), 4);
+        assert_eq!(w.inflight_len(), 1);
+        assert_eq!(w.ack(4), 0, "stale ack is a no-op");
+        assert_eq!(w.ack(5), 1);
+        assert!(w.all_acked());
+    }
+
+    #[test]
+    fn old_ack_does_not_regress_base() {
+        let mut w = SendWindow::new(10);
+        for _ in 0..3 {
+            let s = w.alloc_seq();
+            w.on_sent(hdr(s), payload(0));
+        }
+        w.ack(3);
+        assert_eq!(w.base(), 3);
+        w.ack(1);
+        assert_eq!(w.base(), 3);
+    }
+
+    #[test]
+    fn retransmit_set_is_ordered_and_counts_retries() {
+        let mut w = SendWindow::new(10);
+        for _ in 0..3 {
+            let s = w.alloc_seq();
+            w.on_sent(hdr(s), payload(s as u8));
+        }
+        w.ack(1);
+        let set = w.take_retransmit_set();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set[0].header.seq, 1);
+        assert_eq!(set[1].header.seq, 2);
+        assert!(set.iter().all(|p| p.retries == 1));
+        assert_eq!(w.max_retries(), 1);
+        w.take_retransmit_set();
+        assert_eq!(w.max_retries(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sent twice")]
+    fn duplicate_send_panics() {
+        let mut w = SendWindow::new(4);
+        w.on_sent(hdr(0), payload(0));
+        w.on_sent(hdr(0), payload(0));
+    }
+
+    #[test]
+    fn recv_in_order_stream() {
+        let mut w = RecvWindow::new(16);
+        for seq in 0..4 {
+            match w.offer(hdr(seq), payload(seq as u8)) {
+                RecvOutcome::Deliver(v) => {
+                    assert_eq!(v.len(), 1);
+                    assert_eq!(v[0].0.seq, seq);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(w.ack_value(), 4);
+    }
+
+    #[test]
+    fn recv_buffers_gap_then_flushes() {
+        let mut w = RecvWindow::new(16);
+        assert_eq!(w.offer(hdr(1), payload(1)), RecvOutcome::Buffered);
+        assert_eq!(w.offer(hdr(2), payload(2)), RecvOutcome::Buffered);
+        assert_eq!(w.buffered(), 2);
+        match w.offer(hdr(0), payload(0)) {
+            RecvOutcome::Deliver(v) => {
+                let seqs: Vec<u32> = v.iter().map(|(h, _)| h.seq).collect();
+                assert_eq!(seqs, vec![0, 1, 2]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(w.ack_value(), 3);
+        assert_eq!(w.buffered(), 0);
+    }
+
+    #[test]
+    fn recv_detects_duplicates() {
+        let mut w = RecvWindow::new(16);
+        let _ = w.offer(hdr(0), payload(0));
+        assert_eq!(w.offer(hdr(0), payload(0)), RecvOutcome::Duplicate);
+        assert_eq!(w.offer(hdr(5), payload(5)), RecvOutcome::Buffered);
+        assert_eq!(w.offer(hdr(5), payload(5)), RecvOutcome::Duplicate);
+    }
+
+    #[test]
+    fn recv_overflow_bounded() {
+        let mut w = RecvWindow::new(2);
+        assert_eq!(w.offer(hdr(1), payload(1)), RecvOutcome::Buffered);
+        assert_eq!(w.offer(hdr(2), payload(2)), RecvOutcome::Buffered);
+        assert_eq!(w.offer(hdr(3), payload(3)), RecvOutcome::Overflow);
+        assert_eq!(w.buffered(), 2);
+    }
+
+    #[test]
+    fn payload_survives_buffering() {
+        let mut w = RecvWindow::new(4);
+        let _ = w.offer(hdr(1), Bytes::from_static(b"second"));
+        match w.offer(hdr(0), Bytes::from_static(b"first")) {
+            RecvOutcome::Deliver(v) => {
+                assert_eq!(&v[0].1[..], b"first");
+                assert_eq!(&v[1].1[..], b"second");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Channel bonding support.
+//!
+//! The paper (§5) notes CLIC "allows the use of several network cards to
+//! increase the communication bandwidth when a switch is used to build the
+//! network (channel bonding)". CLIC stripes packets over the node's NICs in
+//! round-robin order; this module provides the selector. Reordering
+//! introduced by striping is absorbed by CLIC's sequence numbers.
+
+/// A round-robin index selector over `width` channels.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    width: usize,
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Selector over `width` channels (`width >= 1`).
+    pub fn new(width: usize) -> RoundRobin {
+        assert!(width >= 1, "bonding width must be at least 1");
+        RoundRobin { width, next: 0 }
+    }
+
+    /// Number of channels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The next channel index.
+    pub fn next_index(&mut self) -> usize {
+        let i = self.next;
+        self.next = (self.next + 1) % self.width;
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_in_order() {
+        let mut rr = RoundRobin::new(3);
+        let picks: Vec<usize> = (0..7).map(|_| rr.next_index()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn width_one_always_zero() {
+        let mut rr = RoundRobin::new(1);
+        assert_eq!(rr.next_index(), 0);
+        assert_eq!(rr.next_index(), 0);
+    }
+
+    #[test]
+    fn fair_distribution() {
+        let mut rr = RoundRobin::new(4);
+        let mut counts = [0u32; 4];
+        for _ in 0..400 {
+            counts[rr.next_index()] += 1;
+        }
+        assert_eq!(counts, [100; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_width_rejected() {
+        RoundRobin::new(0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # clic-ethernet — Ethernet data-link substrate
+//!
+//! Models the parts of (Gigabit) Ethernet the paper's evaluation depends on:
+//!
+//! * [`frame`] — real level-1 ("pure Ethernet") frames: 14-byte header, CRC,
+//!   minimum-frame padding, preamble + inter-frame gap wire overheads, jumbo
+//!   frame support (MTU 9000),
+//! * [`link`] — full-duplex point-to-point 1 Gb/s links with serialization
+//!   and propagation delay plus an optional loss model (to exercise the
+//!   reliability machinery of CLIC and TCP),
+//! * [`switch`] — a store-and-forward switch with MAC learning, flooding for
+//!   broadcast/multicast/unknown destinations, and finite tail-drop output
+//!   queues,
+//! * [`mac`] — addresses and EtherTypes (IPv4 for the TCP/IP baseline, an
+//!   experimental EtherType for CLIC, one for the GAMMA-like baseline),
+//! * [`bonding`] — the round-robin channel-bonding selector CLIC uses to
+//!   stripe traffic over several NICs (§5 of the paper).
+
+#![allow(clippy::type_complexity)]
+#![warn(missing_docs)]
+
+pub mod bonding;
+pub mod frame;
+pub mod link;
+pub mod mac;
+pub mod switch;
+
+pub use bonding::RoundRobin;
+pub use frame::{Frame, ETH_CRC, ETH_HEADER, ETH_IFG, ETH_MIN_PAYLOAD, ETH_PREAMBLE};
+pub use link::{Link, LinkEnd, LossModel};
+pub use mac::{EtherType, MacAddr};
+pub use switch::Switch;

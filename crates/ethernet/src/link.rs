@@ -1,0 +1,350 @@
+//! Full-duplex point-to-point links.
+//!
+//! A link serializes frames per direction (modeling the transmit FIFO of
+//! the attached station), applies a propagation delay, and can drop frames
+//! according to a configurable loss model. Delivery calls the handler
+//! registered at the far end.
+
+use crate::frame::Frame;
+use crate::link::private::Direction;
+use clic_sim::{Sim, SimDuration};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Callback invoked when a frame fully arrives at a link end.
+pub type FrameHandler = Rc<dyn Fn(&mut Sim, Frame)>;
+
+/// Which end of the link a station is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEnd {
+    /// First end.
+    A,
+    /// Second end.
+    B,
+}
+
+impl LinkEnd {
+    /// The opposite end.
+    pub fn other(self) -> LinkEnd {
+        match self {
+            LinkEnd::A => LinkEnd::B,
+            LinkEnd::B => LinkEnd::A,
+        }
+    }
+}
+
+/// Frame loss injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// Lossless (the common cluster case).
+    None,
+    /// Independent drop probability per frame.
+    Bernoulli(f64),
+    /// Drop every n-th frame deterministically (1-based; `EveryNth(3)`
+    /// drops frames 3, 6, 9…). Deterministic, for reliability tests.
+    EveryNth(u64),
+}
+
+mod private {
+    use clic_sim::{SimDuration, SimTime};
+
+    #[derive(Debug, Default)]
+    pub struct Direction {
+        pub busy_until: SimTime,
+        pub in_flight: usize,
+        pub frames_offered: u64,
+        pub frames_delivered: u64,
+        pub frames_lost: u64,
+        pub bytes_delivered: u64,
+        pub busy_time: SimDuration,
+    }
+}
+
+/// A full-duplex link.
+pub struct Link {
+    bits_per_sec: u64,
+    propagation: SimDuration,
+    loss: LossModel,
+    a_to_b: Direction,
+    b_to_a: Direction,
+    handler_a: Option<FrameHandler>,
+    handler_b: Option<FrameHandler>,
+}
+
+impl Link {
+    /// Create a link of the given bandwidth and propagation delay.
+    pub fn new(bits_per_sec: u64, propagation: SimDuration) -> Rc<RefCell<Link>> {
+        assert!(bits_per_sec > 0);
+        Rc::new(RefCell::new(Link {
+            bits_per_sec,
+            propagation,
+            loss: LossModel::None,
+            a_to_b: Direction::default(),
+            b_to_a: Direction::default(),
+            handler_a: None,
+            handler_b: None,
+        }))
+    }
+
+    /// A 1 Gb/s link with sub-µs propagation — the paper's testbed cabling.
+    pub fn gigabit() -> Rc<RefCell<Link>> {
+        Self::new(1_000_000_000, SimDuration::from_ns(500))
+    }
+
+    /// Install the loss model.
+    pub fn set_loss(&mut self, loss: LossModel) {
+        self.loss = loss;
+    }
+
+    /// Link bandwidth in bits per second.
+    pub fn bits_per_sec(&self) -> u64 {
+        self.bits_per_sec
+    }
+
+    /// Register the receive handler for one end.
+    pub fn attach(&mut self, end: LinkEnd, handler: FrameHandler) {
+        let slot = match end {
+            LinkEnd::A => &mut self.handler_a,
+            LinkEnd::B => &mut self.handler_b,
+        };
+        assert!(slot.is_none(), "link end attached twice");
+        *slot = Some(handler);
+    }
+
+    fn dir_mut(&mut self, from: LinkEnd) -> &mut Direction {
+        match from {
+            LinkEnd::A => &mut self.a_to_b,
+            LinkEnd::B => &mut self.b_to_a,
+        }
+    }
+
+    fn dir(&self, from: LinkEnd) -> &Direction {
+        match from {
+            LinkEnd::A => &self.a_to_b,
+            LinkEnd::B => &self.b_to_a,
+        }
+    }
+
+    /// Frames accepted but not yet fully on the wire from `from`'s side
+    /// (transmit backlog) — the switch uses this for tail drop.
+    pub fn tx_backlog(&self, from: LinkEnd) -> usize {
+        self.dir(from).in_flight
+    }
+
+    /// Frames fully delivered to the end opposite `from`.
+    pub fn delivered(&self, from: LinkEnd) -> u64 {
+        self.dir(from).frames_delivered
+    }
+
+    /// Frames dropped by the loss model in the `from` direction.
+    pub fn lost(&self, from: LinkEnd) -> u64 {
+        self.dir(from).frames_lost
+    }
+
+    /// Payload-inclusive bytes delivered in the `from` direction.
+    pub fn bytes_delivered(&self, from: LinkEnd) -> u64 {
+        self.dir(from).bytes_delivered
+    }
+
+    /// Cumulative serialization time in the `from` direction (for link
+    /// utilisation reporting).
+    pub fn busy_time(&self, from: LinkEnd) -> SimDuration {
+        self.dir(from).busy_time
+    }
+
+    /// Transmit `frame` from `from` towards the opposite end. The frame is
+    /// serialized after any frames already queued in that direction, then
+    /// propagates and is delivered to the far handler (unless lost).
+    pub fn transmit(link: &Rc<RefCell<Link>>, sim: &mut Sim, from: LinkEnd, frame: Frame) {
+        let (deliver_at, serialize_done, frame_seq) = {
+            let mut l = link.borrow_mut();
+            let wire = frame.wire_time(l.bits_per_sec);
+            let prop = l.propagation;
+            let d = l.dir_mut(from);
+            d.frames_offered += 1;
+            let seq = d.frames_offered;
+            d.in_flight += 1;
+            let start = d.busy_until.max(sim.now());
+            let done = start + wire;
+            d.busy_until = done;
+            d.busy_time += wire;
+            (done + prop, done, seq)
+        };
+        let link2 = link.clone();
+        sim.schedule_at(serialize_done, move |sim| {
+            let (handler, frame) = {
+                let mut l = link2.borrow_mut();
+                let lost = match l.loss {
+                    LossModel::None => false,
+                    LossModel::Bernoulli(p) => sim.rng.gen_bool(p),
+                    LossModel::EveryNth(n) => n > 0 && frame_seq % n == 0,
+                };
+                let d = l.dir_mut(from);
+                d.in_flight -= 1;
+                if lost {
+                    d.frames_lost += 1;
+                    return;
+                }
+                d.frames_delivered += 1;
+                d.bytes_delivered += frame.frame_bytes() as u64;
+                let handler = match from.other() {
+                    LinkEnd::A => l.handler_a.clone(),
+                    LinkEnd::B => l.handler_b.clone(),
+                };
+                (handler, frame)
+            };
+            if let Some(h) = handler {
+                let prop = deliver_at - sim.now();
+                sim.schedule_in(prop, move |sim| h(sim, frame));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::{EtherType, MacAddr};
+    use bytes::Bytes;
+    use clic_sim::SimTime;
+    use std::cell::RefCell;
+
+    fn mk_frame(len: usize) -> Frame {
+        Frame::new(
+            MacAddr::for_node(2, 0),
+            MacAddr::for_node(1, 0),
+            EtherType::CLIC,
+            Bytes::from(vec![7u8; len]),
+        )
+    }
+
+    type Log = Rc<RefCell<Vec<(SimTime, usize)>>>;
+
+    fn attach_logger(link: &Rc<RefCell<Link>>, end: LinkEnd) -> Log {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        link.borrow_mut().attach(
+            end,
+            Rc::new(move |sim: &mut Sim, f: Frame| {
+                l.borrow_mut().push((sim.now(), f.payload.len()));
+            }),
+        );
+        log
+    }
+
+    #[test]
+    fn delivery_after_serialization_plus_propagation() {
+        let mut sim = Sim::new(0);
+        let link = Link::new(1_000_000_000, SimDuration::from_ns(500));
+        let log = attach_logger(&link, LinkEnd::B);
+        Link::transmit(&link, &mut sim, LinkEnd::A, mk_frame(1500));
+        sim.run();
+        // 1538 wire bytes = 12304 ns, +500 ns propagation.
+        assert_eq!(*log.borrow(), vec![(SimTime::from_ns(12_804), 1500)]);
+        assert_eq!(link.borrow().delivered(LinkEnd::A), 1);
+    }
+
+    #[test]
+    fn back_to_back_frames_serialize() {
+        let mut sim = Sim::new(0);
+        let link = Link::new(1_000_000_000, SimDuration::ZERO);
+        let log = attach_logger(&link, LinkEnd::B);
+        for _ in 0..3 {
+            Link::transmit(&link, &mut sim, LinkEnd::A, mk_frame(1500));
+        }
+        sim.run();
+        let times: Vec<u64> = log.borrow().iter().map(|(t, _)| t.as_ns()).collect();
+        assert_eq!(times, vec![12_304, 24_608, 36_912]);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut sim = Sim::new(0);
+        let link = Link::new(1_000_000_000, SimDuration::ZERO);
+        let log_b = attach_logger(&link, LinkEnd::B);
+        let log_a = attach_logger(&link, LinkEnd::A);
+        Link::transmit(&link, &mut sim, LinkEnd::A, mk_frame(1500));
+        Link::transmit(&link, &mut sim, LinkEnd::B, mk_frame(1500));
+        sim.run();
+        // Full duplex: both arrive at the one-frame serialization time.
+        assert_eq!(log_b.borrow()[0].0, SimTime::from_ns(12_304));
+        assert_eq!(log_a.borrow()[0].0, SimTime::from_ns(12_304));
+    }
+
+    #[test]
+    fn every_nth_loss_drops_deterministically() {
+        let mut sim = Sim::new(0);
+        let link = Link::new(1_000_000_000, SimDuration::ZERO);
+        link.borrow_mut().set_loss(LossModel::EveryNth(3));
+        let log = attach_logger(&link, LinkEnd::B);
+        for _ in 0..9 {
+            Link::transmit(&link, &mut sim, LinkEnd::A, mk_frame(100));
+        }
+        sim.run();
+        assert_eq!(log.borrow().len(), 6);
+        assert_eq!(link.borrow().lost(LinkEnd::A), 3);
+        assert_eq!(link.borrow().delivered(LinkEnd::A), 6);
+    }
+
+    #[test]
+    fn bernoulli_loss_statistics() {
+        let mut sim = Sim::new(42);
+        let link = Link::new(10_000_000_000, SimDuration::ZERO);
+        link.borrow_mut().set_loss(LossModel::Bernoulli(0.2));
+        let log = attach_logger(&link, LinkEnd::B);
+        for _ in 0..2000 {
+            Link::transmit(&link, &mut sim, LinkEnd::A, mk_frame(64));
+        }
+        sim.run();
+        let delivered = log.borrow().len();
+        assert!(
+            (1500..1700).contains(&delivered),
+            "delivered={delivered}, expected ~1600"
+        );
+    }
+
+    #[test]
+    fn backlog_tracks_queued_frames() {
+        let mut sim = Sim::new(0);
+        let link = Link::new(1_000_000_000, SimDuration::ZERO);
+        let _log = attach_logger(&link, LinkEnd::B);
+        for _ in 0..5 {
+            Link::transmit(&link, &mut sim, LinkEnd::A, mk_frame(1500));
+        }
+        assert_eq!(link.borrow().tx_backlog(LinkEnd::A), 5);
+        sim.run();
+        assert_eq!(link.borrow().tx_backlog(LinkEnd::A), 0);
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut sim = Sim::new(0);
+        let link = Link::new(1_000_000_000, SimDuration::ZERO);
+        let _log = attach_logger(&link, LinkEnd::B);
+        Link::transmit(&link, &mut sim, LinkEnd::A, mk_frame(1500));
+        Link::transmit(&link, &mut sim, LinkEnd::A, mk_frame(1500));
+        sim.run();
+        assert_eq!(
+            link.borrow().busy_time(LinkEnd::A),
+            SimDuration::from_ns(24_608)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "attached twice")]
+    fn double_attach_panics() {
+        let link = Link::gigabit();
+        let h: FrameHandler = Rc::new(|_, _| {});
+        link.borrow_mut().attach(LinkEnd::A, h.clone());
+        link.borrow_mut().attach(LinkEnd::A, h);
+    }
+
+    #[test]
+    fn unattached_end_discards_silently() {
+        let mut sim = Sim::new(0);
+        let link = Link::gigabit();
+        Link::transmit(&link, &mut sim, LinkEnd::A, mk_frame(100));
+        sim.run();
+        assert_eq!(link.borrow().delivered(LinkEnd::A), 1);
+    }
+}

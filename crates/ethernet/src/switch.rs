@@ -1,0 +1,313 @@
+//! Store-and-forward Ethernet switch.
+//!
+//! Learns source MACs, forwards unicast to the learned port, floods
+//! broadcast/multicast/unknown destinations, and tail-drops when an output
+//! port's transmit backlog exceeds its queue limit. A fixed forwarding
+//! latency models the lookup + store-and-forward pipeline of the early-2000s
+//! GbE switches in the paper's testbed.
+
+use crate::frame::Frame;
+use crate::link::{Link, LinkEnd};
+use crate::mac::MacAddr;
+use clic_sim::{Sim, SimDuration};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+struct Port {
+    link: Rc<RefCell<Link>>,
+    end: LinkEnd,
+}
+
+/// A learning, flooding, tail-dropping switch.
+pub struct Switch {
+    ports: Vec<Port>,
+    table: HashMap<MacAddr, usize>,
+    forwarding_delay: SimDuration,
+    queue_limit: usize,
+    frames_forwarded: u64,
+    frames_flooded: u64,
+    frames_dropped: u64,
+}
+
+impl Switch {
+    /// Create a switch. `forwarding_delay` is charged per forwarded frame;
+    /// `queue_limit` bounds each output port's transmit backlog (frames).
+    pub fn new(forwarding_delay: SimDuration, queue_limit: usize) -> Rc<RefCell<Switch>> {
+        assert!(queue_limit > 0);
+        Rc::new(RefCell::new(Switch {
+            ports: Vec::new(),
+            table: HashMap::new(),
+            forwarding_delay,
+            queue_limit,
+            frames_forwarded: 0,
+            frames_flooded: 0,
+            frames_dropped: 0,
+        }))
+    }
+
+    /// Typical early-2000s GbE store-and-forward switch: ~4 µs forwarding,
+    /// 128-frame output queues.
+    pub fn gigabit_default() -> Rc<RefCell<Switch>> {
+        Self::new(SimDuration::from_us(4), 128)
+    }
+
+    /// Attach the switch to `end` of `link` and return the port index. The
+    /// switch registers itself as that link end's receive handler.
+    pub fn attach_port(
+        switch: &Rc<RefCell<Switch>>,
+        link: Rc<RefCell<Link>>,
+        end: LinkEnd,
+    ) -> usize {
+        let idx = switch.borrow().ports.len();
+        let sw = switch.clone();
+        link.borrow_mut().attach(
+            end,
+            Rc::new(move |sim: &mut Sim, frame: Frame| {
+                Switch::on_frame(&sw, sim, idx, frame);
+            }),
+        );
+        switch.borrow_mut().ports.push(Port { link, end });
+        idx
+    }
+
+    /// Number of attached ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Frames forwarded to a single learned port.
+    pub fn frames_forwarded(&self) -> u64 {
+        self.frames_forwarded
+    }
+
+    /// Frames flooded to all-but-ingress ports.
+    pub fn frames_flooded(&self) -> u64 {
+        self.frames_flooded
+    }
+
+    /// Frames dropped at full output queues.
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped
+    }
+
+    /// Learned location of a MAC, if any.
+    pub fn learned_port(&self, mac: MacAddr) -> Option<usize> {
+        self.table.get(&mac).copied()
+    }
+
+    fn on_frame(switch: &Rc<RefCell<Switch>>, sim: &mut Sim, ingress: usize, frame: Frame) {
+        let delay = {
+            let mut sw = switch.borrow_mut();
+            sw.table.insert(frame.src, ingress);
+            sw.forwarding_delay
+        };
+        let sw2 = switch.clone();
+        sim.schedule_in(delay, move |sim| {
+            Switch::forward(&sw2, sim, ingress, frame);
+        });
+    }
+
+    fn forward(switch: &Rc<RefCell<Switch>>, sim: &mut Sim, ingress: usize, frame: Frame) {
+        enum Decision {
+            Unicast(usize),
+            Flood(Vec<usize>),
+            Drop,
+        }
+        let decision = {
+            let sw = switch.borrow();
+            if frame.dst.is_unicast() {
+                match sw.table.get(&frame.dst).copied() {
+                    Some(p) if p == ingress => Decision::Drop,
+                    Some(p) => Decision::Unicast(p),
+                    None => Decision::Flood(
+                        (0..sw.ports.len()).filter(|&p| p != ingress).collect(),
+                    ),
+                }
+            } else {
+                Decision::Flood((0..sw.ports.len()).filter(|&p| p != ingress).collect())
+            }
+        };
+        match decision {
+            Decision::Drop => {}
+            Decision::Unicast(p) => {
+                switch.borrow_mut().frames_forwarded += 1;
+                Switch::egress(switch, sim, p, frame);
+            }
+            Decision::Flood(ports) => {
+                switch.borrow_mut().frames_flooded += 1;
+                for p in ports {
+                    Switch::egress(switch, sim, p, frame.clone());
+                }
+            }
+        }
+    }
+
+    fn egress(switch: &Rc<RefCell<Switch>>, sim: &mut Sim, port: usize, frame: Frame) {
+        let (link, end, full) = {
+            let sw = switch.borrow();
+            let p = &sw.ports[port];
+            let full = p.link.borrow().tx_backlog(p.end) >= sw.queue_limit;
+            (p.link.clone(), p.end, full)
+        };
+        if full {
+            switch.borrow_mut().frames_dropped += 1;
+            return;
+        }
+        Link::transmit(&link, sim, end, frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::EtherType;
+    use bytes::Bytes;
+    use clic_sim::SimTime;
+
+    /// Three stations on a switch; station i is end A of link i, the switch
+    /// holds end B.
+    struct Net {
+        links: Vec<Rc<RefCell<Link>>>,
+        switch: Rc<RefCell<Switch>>,
+        rx: Vec<Rc<RefCell<Vec<(SimTime, Frame)>>>>,
+    }
+
+    fn mk_net(n: usize) -> Net {
+        let switch = Switch::new(SimDuration::from_us(4), 4);
+        let mut links = Vec::new();
+        let mut rx = Vec::new();
+        for _ in 0..n {
+            let link = Link::new(1_000_000_000, SimDuration::ZERO);
+            let log: Rc<RefCell<Vec<(SimTime, Frame)>>> = Rc::new(RefCell::new(Vec::new()));
+            let l = log.clone();
+            link.borrow_mut().attach(
+                LinkEnd::A,
+                Rc::new(move |sim: &mut Sim, f: Frame| {
+                    l.borrow_mut().push((sim.now(), f));
+                }),
+            );
+            Switch::attach_port(&switch, link.clone(), LinkEnd::B);
+            links.push(link);
+            rx.push(log);
+        }
+        Net { links, switch, rx }
+    }
+
+    fn station(i: usize) -> MacAddr {
+        MacAddr::for_node(i as u32, 0)
+    }
+
+    fn send(net: &Net, sim: &mut Sim, from: usize, dst: MacAddr, tag: u8) {
+        let f = Frame::new(dst, station(from), EtherType::CLIC, Bytes::from(vec![tag; 100]));
+        Link::transmit(&net.links[from], sim, LinkEnd::A, f);
+    }
+
+    #[test]
+    fn unknown_unicast_floods_then_learns() {
+        let mut sim = Sim::new(0);
+        let net = mk_net(3);
+        // 0 -> 1: dst unknown, flood to 1 and 2.
+        send(&net, &mut sim, 0, station(1), 1);
+        sim.run();
+        assert_eq!(net.rx[1].borrow().len(), 1);
+        assert_eq!(net.rx[2].borrow().len(), 1);
+        assert_eq!(net.rx[0].borrow().len(), 0);
+        assert_eq!(net.switch.borrow().learned_port(station(0)), Some(0));
+
+        // 1 -> 0: dst learned, unicast only to port 0.
+        send(&net, &mut sim, 1, station(0), 2);
+        sim.run();
+        assert_eq!(net.rx[0].borrow().len(), 1);
+        assert_eq!(net.rx[2].borrow().len(), 1, "no second flood to 2");
+        assert_eq!(net.switch.borrow().frames_forwarded(), 1);
+        assert_eq!(net.switch.borrow().frames_flooded(), 1);
+    }
+
+    #[test]
+    fn broadcast_floods_all_but_ingress() {
+        let mut sim = Sim::new(0);
+        let net = mk_net(4);
+        send(&net, &mut sim, 2, MacAddr::BROADCAST, 9);
+        sim.run();
+        for (i, log) in net.rx.iter().enumerate() {
+            let expect = usize::from(i != 2);
+            assert_eq!(log.borrow().len(), expect, "port {i}");
+        }
+    }
+
+    #[test]
+    fn multicast_floods() {
+        let mut sim = Sim::new(0);
+        let net = mk_net(3);
+        send(&net, &mut sim, 0, MacAddr::multicast_group(5), 3);
+        sim.run();
+        assert_eq!(net.rx[1].borrow().len(), 1);
+        assert_eq!(net.rx[2].borrow().len(), 1);
+    }
+
+    #[test]
+    fn frame_to_ingress_port_is_dropped() {
+        let mut sim = Sim::new(0);
+        let net = mk_net(2);
+        // Teach the switch where station 0 lives.
+        send(&net, &mut sim, 0, station(1), 1);
+        sim.run();
+        // Station 0 sends to itself (hairpin): learned on same port — drop.
+        send(&net, &mut sim, 0, station(0), 2);
+        sim.run();
+        assert_eq!(net.rx[0].borrow().len(), 0);
+    }
+
+    #[test]
+    fn forwarding_delay_applied() {
+        let mut sim = Sim::new(0);
+        let net = mk_net(2);
+        send(&net, &mut sim, 0, station(1), 1);
+        sim.run();
+        // 100 B payload -> 138 wire bytes = 1104 ns per hop; store-and-
+        // forward: arrive at 1104, +4000 forwarding, +1104 egress = 6208.
+        assert_eq!(net.rx[1].borrow()[0].0, SimTime::from_ns(6_208));
+    }
+
+    #[test]
+    fn payload_integrity_through_switch() {
+        let mut sim = Sim::new(0);
+        let net = mk_net(2);
+        let payload = Bytes::from((0..=255u8).collect::<Vec<_>>());
+        let f = Frame::new(station(1), station(0), EtherType::CLIC, payload.clone());
+        Link::transmit(&net.links[0], &mut sim, LinkEnd::A, f);
+        sim.run();
+        assert_eq!(net.rx[1].borrow()[0].1.payload, payload);
+    }
+
+    #[test]
+    fn output_queue_tail_drop() {
+        let mut sim = Sim::new(0);
+        let net = mk_net(3); // queue_limit = 4
+        // Teach the switch all locations first.
+        for i in 0..3 {
+            send(&net, &mut sim, i, station((i + 1) % 3), 0);
+        }
+        sim.run();
+        let before = net.rx[1].borrow().len();
+        // Two ingress ports blast the same egress port at twice its drain
+        // rate: the 4-frame output queue overflows.
+        for _ in 0..20 {
+            for &src in &[0usize, 2] {
+                let f = Frame::new(
+                    station(1),
+                    station(src),
+                    EtherType::CLIC,
+                    Bytes::from(vec![1u8; 1500]),
+                );
+                Link::transmit(&net.links[src], &mut sim, LinkEnd::A, f);
+            }
+        }
+        sim.run();
+        let delivered = (net.rx[1].borrow().len() - before) as u64;
+        let dropped = net.switch.borrow().frames_dropped();
+        assert_eq!(delivered + dropped, 40);
+        assert!(dropped > 0, "expected tail drops, delivered={delivered}");
+    }
+}

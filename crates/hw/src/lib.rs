@@ -1,0 +1,30 @@
+//! # clic-hw — host hardware models
+//!
+//! The pieces of the communication path below the operating system:
+//!
+//! * [`pci`] — the 33 MHz / 32-bit PCI bus of the paper's testbed, a shared
+//!   FIFO resource with per-transaction setup cost. The paper singles out
+//!   PCI as the emerging bottleneck of gigabit-class communication.
+//! * [`membus`] — the memory-copy cost model (CPU copies user↔kernel and
+//!   kernel→NIC staging): a fixed per-copy overhead plus a per-byte term at
+//!   the host's copy bandwidth.
+//! * [`nic`] — the Gigabit Ethernet NIC: TX/RX descriptor rings, bus-master
+//!   DMA over the PCI bus, MAC filtering, MTU enforcement (standard 1500 and
+//!   jumbo 9000), **interrupt coalescing** (timer + frame-count thresholds,
+//!   dynamically adjustable as the paper notes contemporary drivers allow),
+//!   scatter-gather TX (what makes the 0-copy send path possible), and an
+//!   optional **TX/RX fragmentation offload** (the Alteon-style feature the
+//!   paper describes in §2 and defers to future work).
+//! * [`frag`] — the on-wire shim header used by the fragmentation offload.
+
+#![allow(clippy::type_complexity)]
+#![warn(missing_docs)]
+
+pub mod frag;
+pub mod membus;
+pub mod nic;
+pub mod pci;
+
+pub use membus::CopyModel;
+pub use nic::{Nic, NicConfig, RxPacket, TxDescriptor};
+pub use pci::PciBus;

@@ -1,0 +1,223 @@
+//! Collective operations over the p2p layer.
+//!
+//! Linear algorithms only — the paper's evaluation is point-to-point, so
+//! these exist for the example applications and tests (and to exercise the
+//! broadcast capability §5 advertises).
+
+use crate::p2p::{Mpi, ANY_TAG};
+use bytes::Bytes;
+use clic_sim::Sim;
+use std::rc::Rc;
+
+/// Tags reserved by the collectives (user code must use tags below this).
+pub const RESERVED_TAG_BASE: i32 = 1 << 24;
+const TAG_BARRIER_IN: i32 = RESERVED_TAG_BASE;
+const TAG_BARRIER_OUT: i32 = RESERVED_TAG_BASE + 1;
+const TAG_BCAST: i32 = RESERVED_TAG_BASE + 2;
+const TAG_GATHER: i32 = RESERVED_TAG_BASE + 3;
+const TAG_SCATTER: i32 = RESERVED_TAG_BASE + 4;
+const TAG_REDUCE_IN: i32 = RESERVED_TAG_BASE + 5;
+const TAG_REDUCE_OUT: i32 = RESERVED_TAG_BASE + 6;
+
+/// Linear barrier: everyone reports to rank 0, rank 0 releases everyone.
+/// Every rank must call this; `done` fires locally when released.
+pub fn barrier(mpi: &Rc<Mpi>, sim: &mut Sim, done: impl FnOnce(&mut Sim) + 'static) {
+    let size = mpi.size();
+    if size == 1 {
+        done(sim);
+        return;
+    }
+    if mpi.rank() == 0 {
+        // Gather size-1 notifications, then release.
+        fn gather(mpi: Rc<Mpi>, sim: &mut Sim, left: usize, done: Box<dyn FnOnce(&mut Sim)>) {
+            if left == 0 {
+                let size = mpi.size();
+                for r in 1..size {
+                    mpi.send(sim, r, TAG_BARRIER_OUT, Bytes::new());
+                }
+                done(sim);
+                return;
+            }
+            let m2 = mpi.clone();
+            mpi.clone().recv(sim, crate::p2p::ANY_SOURCE, TAG_BARRIER_IN, move |sim, _| {
+                gather(m2, sim, left - 1, done);
+            });
+        }
+        gather(mpi.clone(), sim, size - 1, Box::new(done));
+    } else {
+        mpi.send(sim, 0, TAG_BARRIER_IN, Bytes::new());
+        mpi.recv(sim, 0, TAG_BARRIER_OUT, move |sim, _| done(sim));
+    }
+}
+
+/// Linear broadcast from `root`. The root passes `Some(data)`; the others
+/// pass `None` and get the payload in `done`.
+pub fn bcast(
+    mpi: &Rc<Mpi>,
+    sim: &mut Sim,
+    root: usize,
+    data: Option<Bytes>,
+    done: impl FnOnce(&mut Sim, Bytes) + 'static,
+) {
+    if mpi.rank() == root {
+        let data = data.expect("root must supply the broadcast payload");
+        for r in 0..mpi.size() {
+            if r != root {
+                mpi.send(sim, r, TAG_BCAST, data.clone());
+            }
+        }
+        done(sim, data);
+    } else {
+        assert!(data.is_none(), "non-root must not supply data");
+        mpi.recv(sim, root as i32, TAG_BCAST, move |sim, msg| {
+            done(sim, msg.data)
+        });
+    }
+}
+
+/// Linear gather to `root`: every rank contributes `data`; the root's
+/// `done` gets the contributions indexed by rank; other ranks' `done` gets
+/// an empty vector.
+pub fn gather(
+    mpi: &Rc<Mpi>,
+    sim: &mut Sim,
+    root: usize,
+    data: Bytes,
+    done: impl FnOnce(&mut Sim, Vec<Bytes>) + 'static,
+) {
+    let size = mpi.size();
+    if mpi.rank() == root {
+        struct St {
+            slots: Vec<Option<Bytes>>,
+            missing: usize,
+        }
+        let st = Rc::new(std::cell::RefCell::new(St {
+            slots: vec![None; size],
+            missing: size - 1,
+        }));
+        st.borrow_mut().slots[root] = Some(data);
+        if size == 1 {
+            let slots = st.borrow_mut().slots.drain(..).map(Option::unwrap).collect();
+            done(sim, slots);
+            return;
+        }
+        let done = Rc::new(std::cell::RefCell::new(Some(Box::new(done)
+            as Box<dyn FnOnce(&mut Sim, Vec<Bytes>)>)));
+        for _ in 1..size {
+            let st2 = st.clone();
+            let done2 = done.clone();
+            mpi.recv(sim, crate::p2p::ANY_SOURCE, TAG_GATHER, move |sim, msg| {
+                {
+                    let mut s = st2.borrow_mut();
+                    assert!(s.slots[msg.src].is_none(), "duplicate gather contribution");
+                    s.slots[msg.src] = Some(msg.data);
+                    s.missing -= 1;
+                }
+                if st2.borrow().missing == 0 {
+                    let slots = st2
+                        .borrow_mut()
+                        .slots
+                        .drain(..)
+                        .map(Option::unwrap)
+                        .collect();
+                    (done2.borrow_mut().take().unwrap())(sim, slots);
+                }
+            });
+        }
+    } else {
+        mpi.send(sim, root, TAG_GATHER, data);
+        done(sim, Vec::new());
+    }
+}
+
+/// Linear scatter from `root`: the root supplies one payload per rank;
+/// every rank's `done` receives its own piece.
+pub fn scatter(
+    mpi: &Rc<Mpi>,
+    sim: &mut Sim,
+    root: usize,
+    pieces: Option<Vec<Bytes>>,
+    done: impl FnOnce(&mut Sim, Bytes) + 'static,
+) {
+    if mpi.rank() == root {
+        let pieces = pieces.expect("root must supply the pieces");
+        assert_eq!(pieces.len(), mpi.size(), "one piece per rank");
+        let mine = pieces[root].clone();
+        for (r, piece) in pieces.into_iter().enumerate() {
+            if r != root {
+                mpi.send(sim, r, TAG_SCATTER, piece);
+            }
+        }
+        done(sim, mine);
+    } else {
+        assert!(pieces.is_none(), "non-root must not supply pieces");
+        mpi.recv(sim, root as i32, TAG_SCATTER, move |sim, msg| {
+            done(sim, msg.data)
+        });
+    }
+}
+
+/// All-reduce of a u64 by summation: every rank contributes `value` and
+/// receives the global sum (gather-to-0 + broadcast, linear).
+pub fn allreduce_sum(
+    mpi: &Rc<Mpi>,
+    sim: &mut Sim,
+    value: u64,
+    done: impl FnOnce(&mut Sim, u64) + 'static,
+) {
+    let size = mpi.size();
+    if mpi.rank() == 0 {
+        let acc = Rc::new(std::cell::RefCell::new((value, size - 1)));
+        if size == 1 {
+            done(sim, value);
+            return;
+        }
+        let done = Rc::new(std::cell::RefCell::new(Some(Box::new(done)
+            as Box<dyn FnOnce(&mut Sim, u64)>)));
+        for _ in 1..size {
+            let acc2 = acc.clone();
+            let done2 = done.clone();
+            let mpi2 = mpi.clone();
+            mpi.recv(sim, crate::p2p::ANY_SOURCE, TAG_REDUCE_IN, move |sim, msg| {
+                let v = u64::from_be_bytes(msg.data[..8].try_into().unwrap());
+                let finished = {
+                    let mut a = acc2.borrow_mut();
+                    a.0 = a.0.wrapping_add(v);
+                    a.1 -= 1;
+                    a.1 == 0
+                };
+                if finished {
+                    let total = acc2.borrow().0;
+                    for r in 1..mpi2.size() {
+                        mpi2.send(
+                            sim,
+                            r,
+                            TAG_REDUCE_OUT,
+                            Bytes::copy_from_slice(&total.to_be_bytes()),
+                        );
+                    }
+                    (done2.borrow_mut().take().unwrap())(sim, total);
+                }
+            });
+        }
+    } else {
+        mpi.send(
+            sim,
+            0,
+            TAG_REDUCE_IN,
+            Bytes::copy_from_slice(&value.to_be_bytes()),
+        );
+        mpi.recv(sim, 0, TAG_REDUCE_OUT, move |sim, msg| {
+            let total = u64::from_be_bytes(msg.data[..8].try_into().unwrap());
+            done(sim, total);
+        });
+    }
+}
+
+/// Guard: user tags must stay below the reserved range.
+pub fn assert_user_tag(tag: i32) {
+    assert!(
+        (0..RESERVED_TAG_BASE).contains(&tag) || tag == ANY_TAG,
+        "tag {tag} collides with the reserved collective range"
+    );
+}

@@ -1,0 +1,33 @@
+//! # clic-os — Linux-like kernel substrate
+//!
+//! Everything the paper's protocols touch inside the operating system:
+//!
+//! * [`costs`] — the OS-level cost model: the 0.65 µs system call of §3.1,
+//!   the lightweight-call variant GAMMA uses (§3.2), IRQ entry, bottom-half
+//!   dispatch, context switches, per-frame driver work.
+//! * [`skbuff`] — the `SK_BUFF` abstraction: composed protocol headers plus
+//!   scatter-gather data fragments that may point at **user** memory
+//!   (0-copy) or a **kernel** staging buffer (1-copy).
+//! * [`process`] — minimal process bookkeeping: pids, blocked/running
+//!   state, context-switch accounting for wakeups.
+//! * [`kernel`] — the per-node kernel: CPU, system calls, protocol handler
+//!   dispatch by EtherType, bottom halves (with the Figure 8b "direct call"
+//!   improvement as a switch), timers.
+//! * [`driver`] — the unmodified GbE driver both TCP/IP and CLIC share:
+//!   `hard_start_xmit` on the send side; on receive the IRQ routine that
+//!   moves frames from NIC to system memory (the dominant stage of
+//!   Figure 7a) and hands them to protocols via bottom halves.
+
+#![allow(clippy::type_complexity)]
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod driver;
+pub mod kernel;
+pub mod process;
+pub mod skbuff;
+
+pub use costs::OsCosts;
+pub use kernel::{Kernel, PacketHandler};
+pub use process::{Pid, ProcessTable};
+pub use skbuff::{DataLocation, SkBuff};

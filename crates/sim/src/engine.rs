@@ -1,0 +1,320 @@
+//! The deterministic event loop.
+//!
+//! Events are boxed `FnOnce(&mut Sim)` closures ordered by `(time, seq)`:
+//! ties in time execute in the order they were scheduled, which keeps every
+//! run reproducible. Component state lives in `Rc<RefCell<_>>` cells captured
+//! by the closures; the `Sim` itself only owns the clock, the queue, the RNG
+//! and the trace sink.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// A scheduled event: a closure to run at a virtual instant.
+type Action = Box<dyn FnOnce(&mut Sim)>;
+
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest
+// (time, seq) first.
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Why [`Sim::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained.
+    Drained,
+    /// The configured horizon was reached before the queue drained.
+    Horizon,
+    /// The event budget was exhausted (runaway protection).
+    EventLimit,
+}
+
+/// The simulation world: clock, event queue, RNG and trace sink.
+pub struct Sim {
+    now: SimTime,
+    queue: BinaryHeap<Entry>,
+    next_seq: u64,
+    executed: u64,
+    event_limit: u64,
+    /// Deterministic randomness shared by all components of this run.
+    pub rng: SimRng,
+    /// Pipeline-stage trace sink (disabled by default; see [`Trace`]).
+    pub trace: Trace,
+}
+
+impl Sim {
+    /// Create a simulation with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            executed: 0,
+            event_limit: u64::MAX,
+            rng: SimRng::new(seed),
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Cap the total number of events this run may execute. Exceeding the
+    /// cap stops `run` with [`StopReason::EventLimit`] — runaway protection
+    /// for misconfigured experiments, not a normal control flow tool.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Schedule `action` at absolute time `at`. Scheduling in the past is a
+    /// logic error in the calling component.
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Sim) + 'static) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {} < {}",
+            at,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Entry {
+            time: at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedule `action` after a relative delay.
+    pub fn schedule_in(&mut self, delay: SimDuration, action: impl FnOnce(&mut Sim) + 'static) {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Schedule `action` at the current instant, after all events already
+    /// queued for this instant.
+    pub fn schedule_now(&mut self, action: impl FnOnce(&mut Sim) + 'static) {
+        self.schedule_at(self.now, action);
+    }
+
+    /// Execute a single event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(entry) => {
+                debug_assert!(entry.time >= self.now, "time ran backwards");
+                self.now = entry.time;
+                self.executed += 1;
+                (entry.action)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the queue drains or a limit is hit.
+    pub fn run(&mut self) -> StopReason {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    /// Run until `horizon` (exclusive of events strictly after it), the
+    /// queue drains, or the event budget is exhausted. The clock is advanced
+    /// to `horizon` when stopping on the horizon so throughput windows are
+    /// well-defined.
+    pub fn run_until(&mut self, horizon: SimTime) -> StopReason {
+        loop {
+            if self.executed >= self.event_limit {
+                return StopReason::EventLimit;
+            }
+            match self.queue.peek() {
+                None => return StopReason::Drained,
+                Some(entry) if entry.time > horizon => {
+                    self.now = horizon;
+                    return StopReason::Horizon;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Sim::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for &us in &[30u64, 10, 20] {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_us(us), move |s| {
+                log.borrow_mut().push(s.now().as_us_f64() as u64);
+            });
+        }
+        assert_eq!(sim.run(), StopReason::Drained);
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_run_fifo() {
+        let mut sim = Sim::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..100 {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_us(5), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling_advances_clock() {
+        let mut sim = Sim::new(0);
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        sim.schedule_in(SimDuration::from_us(1), move |s| {
+            h.borrow_mut().push(s.now());
+            let h2 = h.clone();
+            s.schedule_in(SimDuration::from_us(2), move |s| {
+                h2.borrow_mut().push(s.now());
+            });
+        });
+        sim.run();
+        assert_eq!(
+            *hits.borrow(),
+            vec![SimTime::from_us(1), SimTime::from_us(3)]
+        );
+    }
+
+    #[test]
+    fn schedule_now_runs_after_current_instant_queue() {
+        let mut sim = Sim::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let (l1, l2) = (log.clone(), log.clone());
+        sim.schedule_at(SimTime::ZERO, move |s| {
+            l1.borrow_mut().push("first");
+            let l = l1.clone();
+            s.schedule_now(move |_| l.borrow_mut().push("third"));
+        });
+        sim.schedule_at(SimTime::ZERO, move |_| l2.borrow_mut().push("second"));
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn horizon_stops_and_pins_clock() {
+        let mut sim = Sim::new(0);
+        let fired = Rc::new(RefCell::new(0u32));
+        let f = fired.clone();
+        sim.schedule_at(SimTime::from_us(10), move |_| *f.borrow_mut() += 1);
+        let f = fired.clone();
+        sim.schedule_at(SimTime::from_us(100), move |_| *f.borrow_mut() += 1);
+        assert_eq!(sim.run_until(SimTime::from_us(50)), StopReason::Horizon);
+        assert_eq!(*fired.borrow(), 1);
+        assert_eq!(sim.now(), SimTime::from_us(50));
+        assert_eq!(sim.events_pending(), 1);
+        // Resuming picks up the remaining event.
+        assert_eq!(sim.run(), StopReason::Drained);
+        assert_eq!(*fired.borrow(), 2);
+    }
+
+    #[test]
+    fn event_at_horizon_still_runs() {
+        let mut sim = Sim::new(0);
+        let fired = Rc::new(RefCell::new(false));
+        let f = fired.clone();
+        sim.schedule_at(SimTime::from_us(50), move |_| *f.borrow_mut() = true);
+        sim.run_until(SimTime::from_us(50));
+        assert!(*fired.borrow());
+    }
+
+    #[test]
+    fn event_limit_halts_runaway() {
+        let mut sim = Sim::new(0);
+        // A self-perpetuating event chain.
+        fn tick(s: &mut Sim) {
+            s.schedule_in(SimDuration::from_ns(1), tick);
+        }
+        sim.schedule_now(tick);
+        sim.set_event_limit(1000);
+        assert_eq!(sim.run(), StopReason::EventLimit);
+        assert_eq!(sim.events_executed(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Sim::new(0);
+        sim.schedule_at(SimTime::from_us(10), |s| {
+            s.schedule_at(SimTime::from_us(5), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        fn run_once() -> Vec<u64> {
+            let mut sim = Sim::new(42);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..50 {
+                let delay = sim.rng.gen_range_u64(1..1000);
+                let log = log.clone();
+                sim.schedule_in(SimDuration::from_ns(delay), move |s| {
+                    log.borrow_mut().push(s.now().as_ns());
+                });
+            }
+            sim.run();
+            Rc::try_unwrap(log).unwrap().into_inner()
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

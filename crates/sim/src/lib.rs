@@ -1,0 +1,35 @@
+//! # clic-sim — discrete-event simulation engine
+//!
+//! The substrate every other crate in this workspace runs on. It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time,
+//! * [`Sim`] — a deterministic event loop over boxed closures,
+//! * [`Cpu`] — a two-priority-class (IRQ > task) serial processor resource,
+//! * [`SerialResource`] — a FIFO bus resource (PCI, memory bus),
+//! * [`SimRng`] — a seeded, reproducible random source,
+//! * [`stats`] — counters, gauges, histograms and throughput meters,
+//! * [`trace`] — per-packet pipeline-stage tracing (used to regenerate the
+//!   paper's Figure 7 timing breakdown).
+//!
+//! A simulation is single-threaded; components are shared as
+//! `Rc<RefCell<T>>` and captured by the event closures. Parameter sweeps run
+//! many independent `Sim` instances in parallel (see `clic-cluster`).
+//!
+//! Determinism: events at equal timestamps execute in scheduling (FIFO)
+//! order, and all randomness flows through [`SimRng`], so a run is a pure
+//! function of its configuration and seed.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::Sim;
+pub use resource::{Cpu, CpuClass, SerialResource};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent};

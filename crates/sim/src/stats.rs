@@ -1,0 +1,270 @@
+//! Measurement primitives used by all experiments.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default, Clone)]
+pub struct Counter {
+    n: u64,
+}
+
+impl Counter {
+    /// New zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&mut self) {
+        self.n += 1;
+    }
+
+    /// Add `by`.
+    pub fn add(&mut self, by: u64) {
+        self.n += by;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Accumulates bytes over a time window and reports throughput.
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    bytes: u64,
+    start: SimTime,
+    last: SimTime,
+}
+
+impl ThroughputMeter {
+    /// Start measuring at `start`.
+    pub fn new(start: SimTime) -> Self {
+        ThroughputMeter {
+            bytes: 0,
+            start,
+            last: start,
+        }
+    }
+
+    /// Record `bytes` delivered at time `at`.
+    pub fn record(&mut self, at: SimTime, bytes: u64) {
+        self.bytes += bytes;
+        self.last = self.last.max(at);
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Megabits per second over `[start, last]`, the unit of the paper's
+    /// figures. Zero if the window is empty.
+    pub fn mbps(&self) -> f64 {
+        let window = self.last.saturating_since(self.start);
+        if window == SimDuration::ZERO {
+            return 0.0;
+        }
+        (self.bytes as f64 * 8.0) / window.as_secs_f64() / 1e6
+    }
+
+    /// Throughput over an externally supplied window (e.g. a fixed horizon).
+    pub fn mbps_over(&self, window: SimDuration) -> f64 {
+        if window == SimDuration::ZERO {
+            return 0.0;
+        }
+        (self.bytes as f64 * 8.0) / window.as_secs_f64() / 1e6
+    }
+}
+
+/// Collects duration samples and reports summary statistics.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyStats {
+    samples: Vec<SimDuration>,
+}
+
+impl LatencyStats {
+    /// New empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, `None` when empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: u128 = self.samples.iter().map(|d| d.as_ns() as u128).sum();
+        Some(SimDuration::from_ns((total / self.samples.len() as u128) as u64))
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<SimDuration> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.samples.iter().copied().max()
+    }
+
+    /// p-th percentile (0.0..=1.0) by nearest-rank on a sorted copy.
+    pub fn percentile(&self, p: f64) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+}
+
+/// Power-of-two bucketed histogram of u64 values (sizes, queue depths).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// buckets[i] counts values in [2^(i-1), 2^i), buckets[0] counts 0..1.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// New empty histogram (65 buckets cover the full u64 range).
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    fn bucket_for(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Record a value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_for(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty `(bucket_upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let upper = if i == 0 { 0 } else { 1u64 << i.min(63) };
+                (upper, c)
+            })
+            .collect()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn throughput_mbps() {
+        let mut m = ThroughputMeter::new(SimTime::ZERO);
+        // 125 MB in 1 s = 1000 Mb/s.
+        m.record(SimTime::from_ns(1_000_000_000), 125_000_000);
+        assert!((m.mbps() - 1000.0).abs() < 1e-6);
+        assert_eq!(m.bytes(), 125_000_000);
+    }
+
+    #[test]
+    fn throughput_empty_window_is_zero() {
+        let m = ThroughputMeter::new(SimTime::from_us(5));
+        assert_eq!(m.mbps(), 0.0);
+        assert_eq!(m.mbps_over(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn throughput_over_fixed_window() {
+        let mut m = ThroughputMeter::new(SimTime::ZERO);
+        m.record(SimTime::from_us(1), 1000);
+        // 1000 B over 8 us = 1 Gb/s.
+        assert!((m.mbps_over(SimDuration::from_us(8)) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_summary() {
+        let mut l = LatencyStats::new();
+        assert_eq!(l.mean(), None);
+        for us in [10u64, 20, 30, 40] {
+            l.record(SimDuration::from_us(us));
+        }
+        assert_eq!(l.count(), 4);
+        assert_eq!(l.mean(), Some(SimDuration::from_us(25)));
+        assert_eq!(l.min(), Some(SimDuration::from_us(10)));
+        assert_eq!(l.max(), Some(SimDuration::from_us(40)));
+        assert_eq!(l.percentile(0.5), Some(SimDuration::from_us(20)));
+        assert_eq!(l.percentile(1.0), Some(SimDuration::from_us(40)));
+        assert_eq!(l.percentile(0.0), Some(SimDuration::from_us(10)));
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1500);
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - (1 + 2 + 3 + 1500) as f64 / 5.0).abs() < 1e-9);
+        let buckets = h.nonzero_buckets();
+        // 0 -> bucket 0; 1 -> bucket 1 (upper 2); 2,3 -> bucket 2 (upper 4);
+        // 1500 -> bucket 11 (upper 2048).
+        assert_eq!(buckets, vec![(0, 1), (2, 1), (4, 2), (2048, 1)]);
+    }
+}

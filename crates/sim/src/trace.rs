@@ -1,0 +1,219 @@
+//! Pipeline-stage tracing.
+//!
+//! The paper's Figure 7 decomposes the life of a single 1400-byte packet
+//! into named pipeline stages (CLIC_MODULE, driver, NIC, buses, flight,
+//! receiver driver, bottom halves, ...). Components emit begin/end marks for
+//! `(packet id, stage)` pairs into this sink; the experiment layer folds the
+//! marks into per-stage durations.
+//!
+//! Tracing is off by default — the marks cost a branch when disabled.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Which edge of a stage a mark denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Stage starts.
+    Begin,
+    /// Stage ends.
+    End,
+}
+
+/// One trace mark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the mark was emitted.
+    pub time: SimTime,
+    /// Stable stage name (e.g. `"driver_rx"`).
+    pub stage: &'static str,
+    /// Packet (or message) identity the mark refers to.
+    pub packet: u64,
+    /// Begin or end.
+    pub edge: Edge,
+}
+
+/// A collected per-packet stage span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSpan {
+    /// Stage name.
+    pub stage: &'static str,
+    /// Packet id.
+    pub packet: u64,
+    /// Span start.
+    pub begin: SimTime,
+    /// Span end.
+    pub end: SimTime,
+}
+
+impl StageSpan {
+    /// Span length.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.begin
+    }
+}
+
+/// Trace sink. Cheap no-op when disabled.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// A sink that records nothing.
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// A recording sink.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether marks are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Emit a begin mark.
+    pub fn begin(&mut self, time: SimTime, stage: &'static str, packet: u64) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                time,
+                stage,
+                packet,
+                edge: Edge::Begin,
+            });
+        }
+    }
+
+    /// Emit an end mark.
+    pub fn end(&mut self, time: SimTime, stage: &'static str, packet: u64) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                time,
+                stage,
+                packet,
+                edge: Edge::End,
+            });
+        }
+    }
+
+    /// Raw marks, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Fold begin/end marks into spans. Begin/end pairs match FIFO per
+    /// `(packet, stage)`, so a repeated stage (retransmission) yields
+    /// multiple spans. Unmatched begins are dropped.
+    pub fn spans(&self) -> Vec<StageSpan> {
+        let mut open: HashMap<(u64, &'static str), Vec<SimTime>> = HashMap::new();
+        let mut out = Vec::new();
+        for ev in &self.events {
+            let key = (ev.packet, ev.stage);
+            match ev.edge {
+                Edge::Begin => open.entry(key).or_default().push(ev.time),
+                Edge::End => {
+                    if let Some(starts) = open.get_mut(&key) {
+                        if !starts.is_empty() {
+                            let begin = starts.remove(0);
+                            out.push(StageSpan {
+                                stage: ev.stage,
+                                packet: ev.packet,
+                                begin,
+                                end: ev.time,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|s| (s.packet, s.begin, s.end));
+        out
+    }
+
+    /// Spans for one packet.
+    pub fn spans_for(&self, packet: u64) -> Vec<StageSpan> {
+        self.spans().into_iter().filter(|s| s.packet == packet).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.begin(SimTime::ZERO, "x", 1);
+        t.end(SimTime::from_us(1), "x", 1);
+        assert!(t.events().is_empty());
+        assert!(t.spans().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn spans_pair_begin_end() {
+        let mut t = Trace::enabled();
+        t.begin(SimTime::from_us(1), "driver", 7);
+        t.end(SimTime::from_us(4), "driver", 7);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].stage, "driver");
+        assert_eq!(spans[0].duration(), SimDuration::from_us(3));
+    }
+
+    #[test]
+    fn repeated_stage_yields_multiple_spans_fifo() {
+        let mut t = Trace::enabled();
+        t.begin(SimTime::from_us(0), "xmit", 1);
+        t.end(SimTime::from_us(2), "xmit", 1);
+        t.begin(SimTime::from_us(10), "xmit", 1);
+        t.end(SimTime::from_us(13), "xmit", 1);
+        let spans = t.spans_for(1);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].duration(), SimDuration::from_us(2));
+        assert_eq!(spans[1].duration(), SimDuration::from_us(3));
+    }
+
+    #[test]
+    fn packets_do_not_cross_match() {
+        let mut t = Trace::enabled();
+        t.begin(SimTime::from_us(0), "s", 1);
+        t.begin(SimTime::from_us(1), "s", 2);
+        t.end(SimTime::from_us(5), "s", 2);
+        // Packet 1 never ends: only packet 2's span is produced.
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].packet, 2);
+        assert_eq!(spans[0].duration(), SimDuration::from_us(4));
+    }
+
+    #[test]
+    fn end_without_begin_is_ignored() {
+        let mut t = Trace::enabled();
+        t.end(SimTime::from_us(5), "s", 1);
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn overlapping_stages_on_one_packet() {
+        let mut t = Trace::enabled();
+        t.begin(SimTime::from_us(0), "a", 1);
+        t.begin(SimTime::from_us(1), "b", 1);
+        t.end(SimTime::from_us(2), "a", 1);
+        t.end(SimTime::from_us(3), "b", 1);
+        let spans = t.spans_for(1);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].stage, "a");
+        assert_eq!(spans[1].stage, "b");
+    }
+}

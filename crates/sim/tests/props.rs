@@ -1,0 +1,100 @@
+//! Property-based tests of the DES engine's core invariants.
+
+use clic_sim::stats::{Histogram, LatencyStats};
+use clic_sim::{Sim, SimDuration, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    /// Events always execute in nondecreasing time order, with FIFO order
+    /// among equal timestamps, for arbitrary schedules.
+    #[test]
+    fn execution_order_sorted_stable(delays in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut sim = Sim::new(0);
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &d) in delays.iter().enumerate() {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_ns(d), move |s| {
+                log.borrow_mut().push((s.now().as_ns(), i));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        prop_assert_eq!(log.len(), delays.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated among ties");
+            }
+        }
+    }
+
+    /// The clock never runs backwards even under nested scheduling.
+    #[test]
+    fn nested_scheduling_monotonic(seed in any::<u64>(), n in 1usize..50) {
+        let mut sim = Sim::new(seed);
+        let times: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        fn spawn(sim: &mut Sim, times: Rc<RefCell<Vec<u64>>>, left: usize) {
+            if left == 0 {
+                return;
+            }
+            let delay = sim.rng.gen_range_u64(0..500);
+            sim.schedule_in(SimDuration::from_ns(delay), move |s| {
+                times.borrow_mut().push(s.now().as_ns());
+                spawn(s, times.clone(), left - 1);
+            });
+        }
+        spawn(&mut sim, times.clone(), n);
+        sim.run();
+        let times = times.borrow();
+        prop_assert_eq!(times.len(), n);
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentiles_monotone(samples in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut stats = LatencyStats::new();
+        for &s in &samples {
+            stats.record(SimDuration::from_ns(s));
+        }
+        let p25 = stats.percentile(0.25).unwrap();
+        let p50 = stats.percentile(0.5).unwrap();
+        let p99 = stats.percentile(0.99).unwrap();
+        prop_assert!(stats.min().unwrap() <= p25);
+        prop_assert!(p25 <= p50);
+        prop_assert!(p50 <= p99);
+        prop_assert!(p99 <= stats.max().unwrap());
+        let mean = stats.mean().unwrap();
+        prop_assert!(stats.min().unwrap() <= mean && mean <= stats.max().unwrap());
+    }
+
+    /// Histogram conserves count and mean.
+    #[test]
+    fn histogram_conserves(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let bucket_total: u64 = h.nonzero_buckets().iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, values.len() as u64);
+        let expect = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - expect).abs() < 1e-6);
+    }
+
+    /// for_bytes never returns zero for nonzero payloads and scales
+    /// monotonically.
+    #[test]
+    fn wire_time_monotone(a in 1u64..1_000_000, b in 1u64..1_000_000, bps in 1_000u64..10_000_000_000) {
+        let ta = SimDuration::for_bytes(a, bps);
+        let tb = SimDuration::for_bytes(b, bps);
+        prop_assert!(ta.as_ns() > 0);
+        if a <= b {
+            prop_assert!(ta <= tb);
+        } else {
+            prop_assert!(ta >= tb);
+        }
+    }
+}

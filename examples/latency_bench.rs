@@ -1,0 +1,55 @@
+//! Latency microbenchmark across every stack the paper evaluates:
+//! CLIC, TCP, MPI-on-CLIC, MPI-on-TCP, and the GAMMA-like baseline.
+//!
+//! ```text
+//! cargo run --example latency_bench [size_bytes] [iterations]
+//! ```
+
+use clic::cluster::builder::ClusterConfig;
+use clic::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let size: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let iters: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let model = CostModel::era_2002();
+
+    println!("one-way latency, {size}-byte messages, {iters} iterations:");
+    println!("{:<10} {:>12} {:>12} {:>12}", "stack", "min (us)", "mean (us)", "max (us)");
+
+    let stacks = [
+        StackKind::Clic,
+        StackKind::Tcp,
+        StackKind::MpiClic,
+        StackKind::MpiTcp,
+        StackKind::Gamma,
+    ];
+    for stack in stacks {
+        let mut cfg = ClusterConfig::paper_pair();
+        cfg.node = match stack {
+            StackKind::Clic => {
+                let mut n = NodeConfig::clic_default(&model);
+                n.nic = model.nic_low_latency(false);
+                n
+            }
+            StackKind::Tcp => NodeConfig::tcp_default(&model),
+            StackKind::MpiClic => NodeConfig::clic_default(&model),
+            StackKind::MpiTcp => NodeConfig::tcp_default(&model),
+            StackKind::Gamma => NodeConfig::gamma_default(&model),
+            StackKind::PvmTcp => unreachable!(),
+        };
+        let cluster = Cluster::build(&cfg);
+        let mut sim = Sim::new(42);
+        let result = ping_pong(&cluster, &mut sim, stack, size, iters);
+        let one_way = |d: Option<SimDuration>| d.map(|d| d.as_us_f64() / 2.0).unwrap_or(f64::NAN);
+        println!(
+            "{:<10} {:>12.2} {:>12.2} {:>12.2}",
+            stack.label(),
+            one_way(result.rtt.min()),
+            one_way(result.rtt.mean()),
+            one_way(result.rtt.max()),
+        );
+    }
+    println!();
+    println!("(paper: CLIC 36 us; GAMMA ~9.5-32 us depending on NIC)");
+}
