@@ -1,8 +1,8 @@
 //! Microbenchmarks of the DES engine: raw event throughput and the cost of
 //! the contended-resource abstractions everything else is built on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use clic_sim::{Cpu, CpuClass, SerialResource, Sim, SimDuration};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 /// Schedule-and-drain of a long chain of bare events.
 fn bench_event_chain(c: &mut Criterion) {

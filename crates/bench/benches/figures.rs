@@ -1,83 +1,94 @@
 //! Criterion benchmarks: one per paper figure/table + ablations.
 //!
-//! Each bench runs the corresponding experiment on the reduced size grid,
-//! so `cargo bench` both regenerates every result and tracks the
-//! simulator's own performance.
+//! Each bench pushes the figure's job set through the same runner the
+//! `figures` binary uses (cache disabled so real work is measured), so
+//! `cargo bench` both regenerates every result and tracks the simulator's
+//! own performance. `parallel_runner_quick_grid` measures the whole quick
+//! grid end to end on all cores, the headline number `BENCH_figures.json`
+//! reports.
 
+use clic_bench::runner::{run_jobs, RunnerConfig};
+use clic_cluster::experiments::FigureKind;
+use clic_cluster::jobs::JobSpec;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn sizes() -> Vec<usize> {
     clic_cluster::experiments::quick_sizes()
 }
 
+/// Run one figure's jobs through the (uncached, serial) runner and
+/// assemble the output, as the `figures` binary does.
+fn run_figure(kind: FigureKind) {
+    let sizes = sizes();
+    let (results, _) = run_jobs(&kind.jobs(&sizes), &RunnerConfig::uncached(1));
+    let _ = kind.assemble(&results, &sizes);
+}
+
 fn bench_fig4(c: &mut Criterion) {
     c.bench_function("fig4_clic_mtu_x_copy", |b| {
-        b.iter(|| clic_cluster::experiments::fig4(&sizes()))
+        b.iter(|| run_figure(FigureKind::Fig4))
     });
 }
 
 fn bench_fig5(c: &mut Criterion) {
     c.bench_function("fig5_clic_vs_tcp", |b| {
-        b.iter(|| clic_cluster::experiments::fig5(&sizes()))
+        b.iter(|| run_figure(FigureKind::Fig5))
     });
 }
 
 fn bench_fig6(c: &mut Criterion) {
     c.bench_function("fig6_middleware", |b| {
-        b.iter(|| clic_cluster::experiments::fig6(&sizes()))
+        b.iter(|| run_figure(FigureKind::Fig6))
     });
 }
 
 fn bench_fig7(c: &mut Criterion) {
     c.bench_function("fig7_stage_breakdown", |b| {
-        b.iter(|| {
-            (
-                clic_cluster::experiments::fig7(false),
-                clic_cluster::experiments::fig7(true),
-            )
-        })
+        b.iter(|| run_figure(FigureKind::Fig7))
     });
 }
 
 fn bench_gamma_table(c: &mut Criterion) {
     c.bench_function("gamma_comparison_table", |b| {
-        b.iter(|| clic_cluster::experiments::gamma_table(&sizes()))
+        b.iter(|| run_figure(FigureKind::Gamma))
     });
 }
 
 fn bench_ablations(c: &mut Criterion) {
-    c.bench_function("ablation_coalescing", |b| {
-        b.iter(clic_cluster::experiments::ablation_coalescing)
-    });
-    c.bench_function("ablation_fragmentation", |b| {
-        b.iter(|| clic_cluster::experiments::ablation_fragmentation(&sizes()))
-    });
-    c.bench_function("ablation_bonding", |b| {
-        b.iter(clic_cluster::experiments::ablation_bonding)
-    });
-    c.bench_function("ablation_syscall", |b| {
-        b.iter(clic_cluster::experiments::ablation_syscall)
-    });
-    c.bench_function("ablation_loss", |b| {
-        b.iter(clic_cluster::experiments::ablation_loss)
-    });
-    c.bench_function("ablation_cpu", |b| {
-        b.iter(clic_cluster::experiments::ablation_cpu)
-    });
-    c.bench_function("ablation_latency_under_load", |b| {
-        b.iter(clic_cluster::experiments::ablation_latency_under_load)
-    });
-    c.bench_function("ablation_paths", |b| {
-        b.iter(clic_cluster::experiments::ablation_paths)
-    });
-    c.bench_function("ablation_scaling", |b| {
-        b.iter(clic_cluster::experiments::ablation_scaling)
+    let cases = [
+        ("ablation_coalescing", FigureKind::Coalescing),
+        ("ablation_fragmentation", FigureKind::Fragmentation),
+        ("ablation_bonding", FigureKind::Bonding),
+        ("ablation_syscall", FigureKind::Syscall),
+        ("ablation_loss", FigureKind::Loss),
+        ("ablation_cpu", FigureKind::Cpu),
+        ("ablation_latency_under_load", FigureKind::Load),
+        ("ablation_paths", FigureKind::Paths),
+        ("ablation_scaling", FigureKind::Scaling),
+    ];
+    for (name, kind) in cases {
+        c.bench_function(name, |b| b.iter(|| run_figure(kind)));
+    }
+}
+
+/// The whole quick grid through the parallel runner on all cores —
+/// the wall-clock number that the `--jobs` flag exists to improve.
+fn bench_parallel_runner(c: &mut Criterion) {
+    let sizes = sizes();
+    let specs: Vec<JobSpec> = FigureKind::ALL
+        .into_iter()
+        .flat_map(|k| k.jobs(&sizes))
+        .collect();
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    c.bench_function("parallel_runner_quick_grid", |b| {
+        b.iter(|| run_jobs(&specs, &RunnerConfig::uncached(workers)))
     });
 }
 
 criterion_group! {
     name = figures;
     config = Criterion::default().sample_size(10);
-    targets = bench_fig4, bench_fig5, bench_fig6, bench_fig7, bench_gamma_table, bench_ablations
+    targets = bench_fig4, bench_fig5, bench_fig6, bench_fig7, bench_gamma_table,
+        bench_ablations, bench_parallel_runner
 }
 criterion_main!(figures);

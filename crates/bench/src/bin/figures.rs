@@ -1,330 +1,593 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [--json] <what>...
+//! figures [--quick] [--json] [--jobs N] [--no-cache] [--cache-dir DIR] <what>...
 //!   what: fig4 fig5 fig6 fig7 scalars gamma coalescing fragmentation
-//!         bonding syscall loss all
+//!         bonding syscall loss cpu load paths scaling claims all
 //! ```
 //!
-//! `--quick` uses a reduced size grid; `--json` emits machine-readable
-//! output instead of CSV + ASCII charts.
+//! * `--quick` uses a reduced size grid.
+//! * `--json` emits machine-readable output instead of CSV + ASCII charts.
+//! * `--jobs N` runs experiment jobs on N worker threads (default: all
+//!   cores). Results are bit-identical for every N.
+//! * `--no-cache` / `--cache-dir DIR` control the content-addressed result
+//!   cache (default `target/figures-cache/`); cached jobs are reused when
+//!   the job configuration and cost-model constants are unchanged.
+//!
+//! Every run (except `claims`) also writes `BENCH_figures.json`: wall
+//! clock and cache statistics per figure plus the speedup over a serial
+//! run of the executed jobs.
 
+use clic_bench::json::Json;
 use clic_bench::render::{series_ascii, series_csv};
-use clic_cluster::experiments::{self, Series};
+use clic_bench::runner::{run_jobs, RunReport, RunnerConfig};
+use clic_cluster::experiments::{self, FigureKind, FigureOutput, Series, StageRow};
+
+const USAGE: &str =
+    "usage: figures [--quick] [--json] [--jobs N] [--no-cache] [--cache-dir DIR] <what>...
+  what: fig4 fig5 fig6 fig7 scalars gamma coalescing fragmentation
+        bonding syscall loss cpu load paths scaling claims all";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
-    let mut what: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    if what.is_empty() || what.contains(&"all") {
-        what = vec![
-            "fig4", "fig5", "fig6", "fig7", "scalars", "gamma", "coalescing", "fragmentation",
-            "bonding", "syscall", "loss", "cpu", "load", "paths", "scaling",
-        ];
+    let mut quick = false;
+    let mut json = false;
+    let mut jobs: Option<usize> = None;
+    let mut cache = true;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut what: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--no-cache" => cache = false,
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => die("--jobs needs a positive integer"),
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => cache_dir = Some(dir.into()),
+                None => die("--cache-dir needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if other.starts_with("--") => die(&format!("unknown flag '{other}'")),
+            other => what.push(other.to_string()),
+        }
     }
+    if what.is_empty() || what.iter().any(|w| w == "all") {
+        what = FigureKind::ALL
+            .iter()
+            .map(|k| k.name().to_string())
+            .collect();
+    }
+
     let sizes = if quick {
         experiments::quick_sizes()
     } else {
         experiments::paper_sizes()
     };
+    let config = RunnerConfig {
+        jobs: jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        cache_dir: cache.then(|| cache_dir.unwrap_or_else(RunnerConfig::default_cache_dir)),
+    };
 
-    for item in what {
-        match item {
-            "fig4" => figure(
-                json,
-                "Figure 4: CLIC bandwidth, MTU x copy-path",
-                &experiments::fig4(&sizes),
+    let mut timings: Vec<(String, RunReport)> = Vec::new();
+    for item in &what {
+        if item == "claims" {
+            render_claims(json);
+            continue;
+        }
+        let Some(kind) = FigureKind::from_name(item) else {
+            eprintln!("unknown experiment '{item}'");
+            std::process::exit(2);
+        };
+        let specs = kind.jobs(&sizes);
+        let (results, report) = run_jobs(&specs, &config);
+        render(json, kind, kind.assemble(&results, &sizes));
+        timings.push((kind.name().to_string(), report));
+    }
+
+    if !timings.is_empty() {
+        let path = "BENCH_figures.json";
+        match std::fs::write(path, bench_report(quick, &config, &timings).pretty()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// The `BENCH_figures.json` document: per-figure and total wall clock,
+/// cache statistics and executed-work speedup over serial.
+fn bench_report(quick: bool, config: &RunnerConfig, timings: &[(String, RunReport)]) -> Json {
+    let figure_entry = |name: &str, r: &RunReport| {
+        Json::obj([
+            ("name", Json::from(name)),
+            ("jobs", Json::from(r.jobs.len())),
+            ("cache_hits", Json::from(r.cache_hits())),
+            ("cache_hit_rate", Json::Num(r.cache_hit_rate())),
+            ("wall_secs", Json::Num(r.wall_secs)),
+            ("serial_equiv_secs", Json::Num(r.serial_equiv_secs())),
+            ("speedup_vs_serial", Json::Num(r.speedup_vs_serial())),
+        ])
+    };
+    let mut total = RunReport::default();
+    for (_, r) in timings {
+        total.merge(r);
+    }
+    Json::obj([
+        ("grid", Json::from(if quick { "quick" } else { "paper" })),
+        ("workers", Json::from(config.jobs)),
+        // Recorded so speedup numbers can be interpreted: with more
+        // workers than cores, per-job timings include preemption time
+        // and `speedup_vs_serial` overstates the real wall-clock gain.
+        (
+            "host_cores",
+            Json::from(std::thread::available_parallelism().map_or(1, |n| n.get())),
+        ),
+        ("cache_enabled", Json::from(config.cache_dir.is_some())),
+        (
+            "figures",
+            Json::Arr(
+                timings
+                    .iter()
+                    .map(|(name, r)| figure_entry(name, r))
+                    .collect(),
             ),
-            "fig5" => figure(
-                json,
-                "Figure 5: CLIC vs TCP/IP, MTU 9000/1500",
-                &experiments::fig5(&sizes),
-            ),
-            "fig6" => figure(
-                json,
-                "Figure 6: CLIC, MPI-CLIC, MPI-TCP, PVM-TCP",
-                &experiments::fig6(&sizes),
-            ),
-            "fig7" => {
-                let a = experiments::fig7(false);
-                let b = experiments::fig7(true);
-                if json {
+        ),
+        ("total", figure_entry("total", &total)),
+    ])
+}
+
+fn render(json: bool, kind: FigureKind, output: FigureOutput) {
+    match output {
+        FigureOutput::Series(series) => figure(json, kind.title(), &series),
+        FigureOutput::Stages { a, b } => render_fig7(json, kind.title(), &a, &b),
+        FigureOutput::Scalars(s) => render_scalars(json, kind.title(), &s),
+        FigureOutput::Gamma(rows) => {
+            if json {
+                print_json(Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("protocol", Json::from(r.protocol.as_str())),
+                                ("latency_us", Json::Num(r.latency_us)),
+                                ("bandwidth_mbps", Json::Num(r.bandwidth_mbps)),
+                            ])
+                        })
+                        .collect(),
+                ));
+            } else {
+                println!("== {} ==", kind.title());
+                println!(
+                    "{:<16} {:>12} {:>16}",
+                    "protocol", "latency(us)", "bandwidth(Mb/s)"
+                );
+                for r in rows {
                     println!(
-                        "{}",
-                        serde_json::json!({"fig7a": a, "fig7b": b})
+                        "{:<16} {:>12.1} {:>16.1}",
+                        r.protocol, r.latency_us, r.bandwidth_mbps
                     );
-                } else {
-                    println!("== Figure 7: 1400-byte packet pipeline stages ==");
-                    println!("{:<18} {:>10} {:>10}", "stage", "7a (us)", "7b (us)");
-                    let stage_names: Vec<&String> = a.iter().map(|r| &r.stage).collect();
-                    for name in stage_names {
-                        let va = a.iter().find(|r| &r.stage == name).map(|r| r.us);
-                        let vb = b.iter().find(|r| &r.stage == name).map(|r| r.us);
-                        println!(
-                            "{:<18} {:>10} {:>10}",
-                            name,
-                            va.map(|v| format!("{v:.2}")).unwrap_or_default(),
-                            vb.map(|v| format!("{v:.2}")).unwrap_or("-".into()),
-                        );
-                    }
-                    let total = |rows: &[experiments::StageRow]| -> f64 {
-                        rows.iter()
-                            .filter(|r| {
-                                ["driver_rx", "bottom_half", "clic_module_rx", "copy_to_user"]
-                                    .contains(&r.stage.as_str())
-                            })
-                            .map(|r| r.us)
-                            .sum()
-                    };
-                    println!(
-                        "receive-path total: 7a = {:.1} us, 7b = {:.1} us (paper: ~20 -> ~5)",
-                        total(&a),
-                        total(&b)
-                    );
-                    println!();
                 }
+                println!("(paper: CLIC 36 us / ~600 Mb/s; GAMMA 32 us (GA620) / 768-824 Mb/s)");
+                println!();
             }
-            "scalars" => {
-                let s = experiments::scalars(&sizes);
-                if json {
-                    println!("{}", serde_json::to_string_pretty(&s).unwrap());
-                } else {
-                    println!("== Headline scalars (paper Section 4/5) ==");
+        }
+        FigureOutput::Coalescing(rows) => {
+            if json {
+                print_json(Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("usecs", Json::Num(r.usecs as f64)),
+                                ("frames", Json::Num(r.frames as f64)),
+                                ("mbps", Json::Num(r.mbps)),
+                                ("irqs_per_kframe", Json::Num(r.irqs_per_kframe)),
+                                ("latency_us", Json::Num(r.latency_us)),
+                            ])
+                        })
+                        .collect(),
+                ));
+            } else {
+                println!("== {} ==", kind.title());
+                println!(
+                    "{:>7} {:>7} {:>10} {:>14} {:>12}",
+                    "usecs", "frames", "Mb/s", "irqs/kframe", "latency(us)"
+                );
+                for r in rows {
                     println!(
-                        "0-byte one-way latency : {:7.1} us   (paper: 36)",
-                        s.zero_byte_latency_us
+                        "{:>7} {:>7} {:>10.1} {:>14.1} {:>12.1}",
+                        r.usecs, r.frames, r.mbps, r.irqs_per_kframe, r.latency_us
                     );
-                    println!(
-                        "CLIC asymptote MTU9000 : {:7.1} Mb/s (paper: ~600)",
-                        s.clic_asymptote_9000_mbps
-                    );
-                    println!(
-                        "CLIC asymptote MTU1500 : {:7.1} Mb/s (paper: ~450)",
-                        s.clic_asymptote_1500_mbps
-                    );
-                    println!(
-                        "TCP  asymptote MTU9000 : {:7.1} Mb/s (paper: CLIC > 2x TCP)",
-                        s.tcp_asymptote_9000_mbps
-                    );
-                    println!(
-                        "CLIC 50%-of-peak (1500): {:7} B    (paper: ~4 KB)",
-                        s.clic_half_bandwidth_bytes_1500
-                    );
-                    println!(
-                        "CLIC 50%-of-peak (9000): {:7} B",
-                        s.clic_half_bandwidth_bytes_9000
-                    );
-                    println!(
-                        "TCP  50%-of-peak       : {:7} B    (paper: ~16 KB)",
-                        s.tcp_half_bandwidth_bytes
-                    );
-                    println!();
                 }
+                println!();
             }
-            "gamma" => {
-                let rows = experiments::gamma_table(&sizes);
-                if json {
-                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
-                } else {
-                    println!("== Section 5 comparison: CLIC vs GAMMA ==");
-                    println!("{:<16} {:>12} {:>16}", "protocol", "latency(us)", "bandwidth(Mb/s)");
-                    for r in rows {
-                        println!(
-                            "{:<16} {:>12.1} {:>16.1}",
-                            r.protocol, r.latency_us, r.bandwidth_mbps
-                        );
-                    }
-                    println!("(paper: CLIC 36 us / ~600 Mb/s; GAMMA 32 us (GA620) / 768-824 Mb/s)");
-                    println!();
-                }
-            }
-            "coalescing" => {
-                let rows = experiments::ablation_coalescing();
-                if json {
-                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
-                } else {
-                    println!("== Ablation A: interrupt coalescing ==");
+        }
+        FigureOutput::Bonding(rows) => {
+            if json {
+                print_json(Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("width", Json::from(r.width)),
+                                ("mbps_pci33", Json::Num(r.mbps_pci33)),
+                                ("mbps_pci66", Json::Num(r.mbps_pci66)),
+                            ])
+                        })
+                        .collect(),
+                ));
+            } else {
+                println!("== {} ==", kind.title());
+                println!(
+                    "{:>6} {:>16} {:>16}",
+                    "width", "PCI 33/32 Mb/s", "PCI 66/64 Mb/s"
+                );
+                for r in rows {
                     println!(
-                        "{:>7} {:>7} {:>10} {:>14} {:>12}",
-                        "usecs", "frames", "Mb/s", "irqs/kframe", "latency(us)"
+                        "{:>6} {:>16.1} {:>16.1}",
+                        r.width, r.mbps_pci33, r.mbps_pci66
                     );
-                    for r in rows {
-                        println!(
-                            "{:>7} {:>7} {:>10.1} {:>14.1} {:>12.1}",
-                            r.usecs, r.frames, r.mbps, r.irqs_per_kframe, r.latency_us
-                        );
-                    }
-                    println!();
                 }
+                println!();
             }
-            "fragmentation" => figure(
-                json,
-                "Ablation B: NIC fragmentation offload (paper future work)",
-                &experiments::ablation_fragmentation(&sizes),
-            ),
-            "bonding" => {
-                let rows = experiments::ablation_bonding();
-                if json {
-                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
-                } else {
-                    println!("== Ablation C: channel bonding ==");
+        }
+        FigureOutput::Syscall(rows) => {
+            if json {
+                print_json(Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("flavour", Json::from(r.flavour.as_str())),
+                                ("latency_us", Json::Num(r.latency_us)),
+                            ])
+                        })
+                        .collect(),
+                ));
+            } else {
+                println!("== {} ==", kind.title());
+                for r in rows {
+                    println!("{:<12} {:>8.2} us one-way", r.flavour, r.latency_us);
+                }
+                println!();
+            }
+        }
+        FigureOutput::Loss(rows) => {
+            if json {
+                print_json(Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("loss", Json::Num(r.loss)),
+                                ("mbps", Json::Num(r.mbps)),
+                                ("retx_per_kpkt", Json::Num(r.retx_per_kpkt)),
+                            ])
+                        })
+                        .collect(),
+                ));
+            } else {
+                println!("== {} ==", kind.title());
+                println!("{:>8} {:>10} {:>14}", "loss", "Mb/s", "retx/kpkt");
+                for r in rows {
+                    println!("{:>8.3} {:>10.1} {:>14.2}", r.loss, r.mbps, r.retx_per_kpkt);
+                }
+                println!();
+            }
+        }
+        FigureOutput::Cpu(rows) => {
+            if json {
+                print_json(Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("stack", Json::from(r.stack.as_str())),
+                                ("link_mbps", Json::Num(r.link_mbps as f64)),
+                                ("mbps", Json::Num(r.mbps)),
+                                ("pct_of_wire", Json::Num(r.pct_of_wire)),
+                                ("sender_cpu", Json::Num(r.sender_cpu)),
+                                ("receiver_cpu", Json::Num(r.receiver_cpu)),
+                            ])
+                        })
+                        .collect(),
+                ));
+            } else {
+                println!("== {} ==", kind.title());
+                println!(
+                    "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    "stack", "link Mb/s", "Mb/s", "% of wire", "tx CPU", "rx CPU"
+                );
+                for r in rows {
                     println!(
-                        "{:>6} {:>16} {:>16}",
-                        "width", "PCI 33/32 Mb/s", "PCI 66/64 Mb/s"
+                        "{:<6} {:>10} {:>10.1} {:>9.1}% {:>9.0}% {:>9.0}%",
+                        r.stack,
+                        r.link_mbps,
+                        r.mbps,
+                        r.pct_of_wire,
+                        r.sender_cpu * 100.0,
+                        r.receiver_cpu * 100.0
                     );
-                    for r in rows {
-                        println!(
-                            "{:>6} {:>16.1} {:>16.1}",
-                            r.width, r.mbps_pci33, r.mbps_pci66
-                        );
-                    }
-                    println!();
                 }
+                println!();
             }
-            "syscall" => {
-                let rows = experiments::ablation_syscall();
-                if json {
-                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
-                } else {
-                    println!("== Ablation D: system-call flavour (Section 3.2) ==");
-                    for r in rows {
-                        println!("{:<12} {:>8.2} us one-way", r.flavour, r.latency_us);
-                    }
-                    println!();
-                }
-            }
-            "scaling" => {
-                let rows = experiments::ablation_scaling();
-                if json {
-                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
-                } else {
-                    println!("== Ablation I: CLIC all-to-all scaling on a switch ==");
-                    println!("{:>6} {:>16} {:>14}", "nodes", "aggregate Mb/s", "per node Mb/s");
-                    for r in rows {
-                        println!(
-                            "{:>6} {:>16.1} {:>14.1}",
-                            r.nodes, r.aggregate_mbps, r.per_node_mbps
-                        );
-                    }
-                    println!();
-                }
-            }
-            "claims" => {
-                let rows = experiments::claims();
-                if json {
-                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
-                } else {
-                    println!("== Paper-claim checklist ==");
-                    let mut all_pass = true;
-                    for r in &rows {
-                        all_pass &= r.pass;
-                        println!(
-                            "[{}] {:<4} {}\n        measured: {}",
-                            if r.pass { "PASS" } else { "FAIL" },
-                            r.id,
-                            r.claim,
-                            r.measured
-                        );
-                    }
-                    println!();
+        }
+        FigureOutput::Load(rows) => {
+            if json {
+                print_json(Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("stack", Json::from(r.stack.as_str())),
+                                ("loaded", Json::from(r.loaded)),
+                                ("min_us", Json::Num(r.min_us)),
+                                ("mean_us", Json::Num(r.mean_us)),
+                                ("p99_us", Json::Num(r.p99_us)),
+                            ])
+                        })
+                        .collect(),
+                ));
+            } else {
+                println!("== {} ==", kind.title());
+                println!(
+                    "{:<6} {:>8} {:>10} {:>10} {:>10}",
+                    "stack", "loaded", "min (us)", "mean (us)", "p99 (us)"
+                );
+                for r in rows {
                     println!(
-                        "{} of {} claims reproduced",
-                        rows.iter().filter(|r| r.pass).count(),
-                        rows.len()
+                        "{:<6} {:>8} {:>10.1} {:>10.1} {:>10.1}",
+                        r.stack, r.loaded, r.min_us, r.mean_us, r.p99_us
                     );
-                    if !all_pass {
-                        std::process::exit(1);
-                    }
                 }
+                println!();
             }
-            "paths" => {
-                let rows = experiments::ablation_paths();
-                if json {
-                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
-                } else {
-                    println!("== Ablation H: Figure 1 data paths ==");
-                    println!("{:<5} {:>10} {:>10}  {}", "path", "link Mb/s", "Mb/s", "description");
-                    for r in rows {
-                        println!(
-                            "{:<5} {:>10} {:>10.1}  {}",
-                            r.path, r.link_mbps, r.mbps, r.description
-                        );
-                    }
-                    println!();
-                }
-            }
-            "load" => {
-                let rows = experiments::ablation_latency_under_load();
-                if json {
-                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
-                } else {
-                    println!("== Ablation G: 64-byte latency under bulk load ==");
+        }
+        FigureOutput::Paths(rows) => {
+            if json {
+                print_json(Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("path", Json::Num(r.path as f64)),
+                                ("description", Json::from(r.description.as_str())),
+                                ("link_mbps", Json::Num(r.link_mbps as f64)),
+                                ("mbps", Json::Num(r.mbps)),
+                            ])
+                        })
+                        .collect(),
+                ));
+            } else {
+                println!("== {} ==", kind.title());
+                println!(
+                    "{:<5} {:>10} {:>10}  description",
+                    "path", "link Mb/s", "Mb/s"
+                );
+                for r in rows {
                     println!(
-                        "{:<6} {:>8} {:>10} {:>10} {:>10}",
-                        "stack", "loaded", "min (us)", "mean (us)", "p99 (us)"
+                        "{:<5} {:>10} {:>10.1}  {}",
+                        r.path, r.link_mbps, r.mbps, r.description
                     );
-                    for r in rows {
-                        println!(
-                            "{:<6} {:>8} {:>10.1} {:>10.1} {:>10.1}",
-                            r.stack, r.loaded, r.min_us, r.mean_us, r.p99_us
-                        );
-                    }
-                    println!();
                 }
+                println!();
             }
-            "cpu" => {
-                let rows = experiments::ablation_cpu();
-                if json {
-                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
-                } else {
-                    println!("== Ablation F: CPU utilisation vs link speed (Section 2 claim) ==");
+        }
+        FigureOutput::Scaling(rows) => {
+            if json {
+                print_json(Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("nodes", Json::from(r.nodes)),
+                                ("aggregate_mbps", Json::Num(r.aggregate_mbps)),
+                                ("per_node_mbps", Json::Num(r.per_node_mbps)),
+                            ])
+                        })
+                        .collect(),
+                ));
+            } else {
+                println!("== {} ==", kind.title());
+                println!(
+                    "{:>6} {:>16} {:>14}",
+                    "nodes", "aggregate Mb/s", "per node Mb/s"
+                );
+                for r in rows {
                     println!(
-                        "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10}",
-                        "stack", "link Mb/s", "Mb/s", "% of wire", "tx CPU", "rx CPU"
+                        "{:>6} {:>16.1} {:>14.1}",
+                        r.nodes, r.aggregate_mbps, r.per_node_mbps
                     );
-                    for r in rows {
-                        println!(
-                            "{:<6} {:>10} {:>10.1} {:>9.1}% {:>9.0}% {:>9.0}%",
-                            r.stack,
-                            r.link_mbps,
-                            r.mbps,
-                            r.pct_of_wire,
-                            r.sender_cpu * 100.0,
-                            r.receiver_cpu * 100.0
-                        );
-                    }
-                    println!();
                 }
-            }
-            "loss" => {
-                let rows = experiments::ablation_loss();
-                if json {
-                    println!("{}", serde_json::to_string_pretty(&rows).unwrap());
-                } else {
-                    println!("== Ablation E: CLIC goodput under frame loss ==");
-                    println!("{:>8} {:>10} {:>14}", "loss", "Mb/s", "retx/kpkt");
-                    for r in rows {
-                        println!("{:>8.3} {:>10.1} {:>14.2}", r.loss, r.mbps, r.retx_per_kpkt);
-                    }
-                    println!();
-                }
-            }
-            other => {
-                eprintln!("unknown experiment '{other}'");
-                std::process::exit(2);
+                println!();
             }
         }
     }
 }
 
+fn render_fig7(json: bool, title: &str, a: &[StageRow], b: &[StageRow]) {
+    if json {
+        let stages = |rows: &[StageRow]| {
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("stage", Json::from(r.stage.as_str())),
+                            ("us", Json::Num(r.us)),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        print_json(Json::obj([("fig7a", stages(a)), ("fig7b", stages(b))]));
+        return;
+    }
+    println!("== {title} ==");
+    println!("{:<18} {:>10} {:>10}", "stage", "7a (us)", "7b (us)");
+    let stage_names: Vec<&String> = a.iter().map(|r| &r.stage).collect();
+    for name in stage_names {
+        let va = a.iter().find(|r| &r.stage == name).map(|r| r.us);
+        let vb = b.iter().find(|r| &r.stage == name).map(|r| r.us);
+        println!(
+            "{:<18} {:>10} {:>10}",
+            name,
+            va.map(|v| format!("{v:.2}")).unwrap_or_default(),
+            vb.map(|v| format!("{v:.2}")).unwrap_or("-".into()),
+        );
+    }
+    let total = |rows: &[StageRow]| -> f64 {
+        rows.iter()
+            .filter(|r| {
+                ["driver_rx", "bottom_half", "clic_module_rx", "copy_to_user"]
+                    .contains(&r.stage.as_str())
+            })
+            .map(|r| r.us)
+            .sum()
+    };
+    println!(
+        "receive-path total: 7a = {:.1} us, 7b = {:.1} us (paper: ~20 -> ~5)",
+        total(a),
+        total(b)
+    );
+    println!();
+}
+
+fn render_scalars(json: bool, title: &str, s: &experiments::Scalars) {
+    if json {
+        print_json(Json::obj([
+            ("zero_byte_latency_us", Json::Num(s.zero_byte_latency_us)),
+            (
+                "clic_asymptote_9000_mbps",
+                Json::Num(s.clic_asymptote_9000_mbps),
+            ),
+            (
+                "clic_asymptote_1500_mbps",
+                Json::Num(s.clic_asymptote_1500_mbps),
+            ),
+            (
+                "tcp_asymptote_9000_mbps",
+                Json::Num(s.tcp_asymptote_9000_mbps),
+            ),
+            (
+                "clic_half_bandwidth_bytes_1500",
+                Json::from(s.clic_half_bandwidth_bytes_1500),
+            ),
+            (
+                "clic_half_bandwidth_bytes_9000",
+                Json::from(s.clic_half_bandwidth_bytes_9000),
+            ),
+            (
+                "tcp_half_bandwidth_bytes",
+                Json::from(s.tcp_half_bandwidth_bytes),
+            ),
+        ]));
+        return;
+    }
+    println!("== {title} ==");
+    println!(
+        "0-byte one-way latency : {:7.1} us   (paper: 36)",
+        s.zero_byte_latency_us
+    );
+    println!(
+        "CLIC asymptote MTU9000 : {:7.1} Mb/s (paper: ~600)",
+        s.clic_asymptote_9000_mbps
+    );
+    println!(
+        "CLIC asymptote MTU1500 : {:7.1} Mb/s (paper: ~450)",
+        s.clic_asymptote_1500_mbps
+    );
+    println!(
+        "TCP  asymptote MTU9000 : {:7.1} Mb/s (paper: CLIC > 2x TCP)",
+        s.tcp_asymptote_9000_mbps
+    );
+    println!(
+        "CLIC 50%-of-peak (1500): {:7} B    (paper: ~4 KB)",
+        s.clic_half_bandwidth_bytes_1500
+    );
+    println!(
+        "CLIC 50%-of-peak (9000): {:7} B",
+        s.clic_half_bandwidth_bytes_9000
+    );
+    println!(
+        "TCP  50%-of-peak       : {:7} B    (paper: ~16 KB)",
+        s.tcp_half_bandwidth_bytes
+    );
+    println!();
+}
+
+fn render_claims(json: bool) {
+    let rows = experiments::claims();
+    if json {
+        print_json(Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("id", Json::from(r.id.as_str())),
+                        ("claim", Json::from(r.claim.as_str())),
+                        ("measured", Json::from(r.measured.as_str())),
+                        ("pass", Json::from(r.pass)),
+                    ])
+                })
+                .collect(),
+        ));
+        return;
+    }
+    println!("== Paper-claim checklist ==");
+    let mut all_pass = true;
+    for r in &rows {
+        all_pass &= r.pass;
+        println!(
+            "[{}] {:<4} {}\n        measured: {}",
+            if r.pass { "PASS" } else { "FAIL" },
+            r.id,
+            r.claim,
+            r.measured
+        );
+    }
+    println!();
+    println!(
+        "{} of {} claims reproduced",
+        rows.iter().filter(|r| r.pass).count(),
+        rows.len()
+    );
+    if !all_pass {
+        std::process::exit(1);
+    }
+}
+
+fn print_json(doc: Json) {
+    print!("{}", doc.pretty());
+}
+
 fn figure(json: bool, title: &str, series: &[Series]) {
     if json {
-        println!("{}", serde_json::to_string_pretty(series).unwrap());
+        print_json(Json::Arr(
+            series
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("label", Json::from(s.label.as_str())),
+                        (
+                            "points",
+                            Json::Arr(
+                                s.points
+                                    .iter()
+                                    .map(|p| {
+                                        Json::obj([
+                                            ("size", Json::from(p.size)),
+                                            ("mbps", Json::Num(p.mbps)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        ));
     } else {
         println!("== {title} ==");
         print!("{}", series_csv(series));

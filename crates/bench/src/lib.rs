@@ -2,7 +2,14 @@
 //!
 //! * `figures` binary — regenerates every table and figure of the paper's
 //!   evaluation as CSV/text (see `figures --help`); EXPERIMENTS.md records
-//!   paper-vs-measured for each.
+//!   paper-vs-measured for each. Experiment jobs run on a worker pool
+//!   (`--jobs N`) backed by a content-addressed result cache, and every
+//!   run writes a machine-readable `BENCH_figures.json` timing report.
+//! * [`runner`] — the worker pool + cache: executes
+//!   [`clic_cluster::jobs::JobSpec`] sets with results bit-identical to a
+//!   serial run.
+//! * [`json`] — the minimal JSON reader/writer behind the cache,
+//!   `--json` output and `BENCH_figures.json`.
 //! * `benches/figures.rs` — Criterion benchmarks wrapping each experiment
 //!   so regressions in simulator performance are visible.
 //! * `benches/engine.rs` — microbenchmarks of the DES engine itself
@@ -10,4 +17,6 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod render;
+pub mod runner;

@@ -70,7 +70,10 @@ mod tests {
             Series {
                 label: "A".into(),
                 points: vec![
-                    SeriesPoint { size: 64, mbps: 10.0 },
+                    SeriesPoint {
+                        size: 64,
+                        mbps: 10.0,
+                    },
                     SeriesPoint {
                         size: 1024,
                         mbps: 100.0,
@@ -80,7 +83,10 @@ mod tests {
             Series {
                 label: "B".into(),
                 points: vec![
-                    SeriesPoint { size: 64, mbps: 5.0 },
+                    SeriesPoint {
+                        size: 64,
+                        mbps: 5.0,
+                    },
                     SeriesPoint {
                         size: 1024,
                         mbps: 50.0,

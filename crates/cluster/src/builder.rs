@@ -95,7 +95,10 @@ impl Cluster {
                 }
             }
             Topology::Switched => {
-                assert_eq!(config.node.nics, 1, "bonding through a switch is unsupported");
+                assert_eq!(
+                    config.node.nics, 1,
+                    "bonding through a switch is unsupported"
+                );
                 let switch = Switch::gigabit_default();
                 let mut nodes = Vec::new();
                 let mut links = Vec::new();

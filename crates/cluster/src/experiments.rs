@@ -1,21 +1,38 @@
 //! One function per paper figure/table, plus the DESIGN.md ablations.
 //!
-//! Every experiment builds fresh clusters (deterministic seeds) and
-//! returns structured rows; the `clic-bench` harness prints them. Sweeps
-//! run points in parallel threads — each simulation is single-threaded and
-//! independent.
+//! Every figure is decomposed into independent, named [`JobSpec`]s (see
+//! [`crate::jobs`]): `<figure>_jobs(..)` lists the grid points and
+//! `<figure>_from(..)` assembles the figure from a [`ResultMap`] keyed by
+//! job id — so assembly is independent of the order jobs completed in,
+//! and the whole grid can be executed by any scheduler (the parallel
+//! runner with its result cache lives in `clic-bench`). The plain
+//! `fig4(..)`-style functions are convenience wrappers that run their own
+//! jobs serially in-process.
 
-use crate::builder::{Cluster, ClusterConfig};
+use crate::builder::ClusterConfig;
 use crate::calibration::CostModel;
+use crate::jobs::{sweep_point, JobKind, JobSpec, Measurement};
 use crate::node::NodeConfig;
-use crate::workload::{ping_pong, request_reply_cycles_with_background, stream, stream_count, stream_pipelined, StackKind};
+use crate::workload::StackKind;
 use clic_core::ClicConfig;
 use clic_ethernet::LossModel;
-use clic_sim::{Sim, SimDuration};
-use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Job results keyed by job id. Deterministically ordered, so iteration
+/// (and therefore everything assembled from it) is reproducible.
+pub type ResultMap = BTreeMap<String, Measurement>;
+
+/// Run a job set serially on the calling thread. The reference executor:
+/// the parallel runner in `clic-bench` must produce bit-identical maps.
+pub fn run_serial(specs: &[JobSpec]) -> ResultMap {
+    specs
+        .iter()
+        .map(|spec| (spec.id.clone(), spec.run()))
+        .collect()
+}
 
 /// A bandwidth point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeriesPoint {
     /// Message size in bytes (the x axis).
     pub size: usize,
@@ -24,7 +41,7 @@ pub struct SeriesPoint {
 }
 
 /// One labelled curve of a figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -45,41 +62,58 @@ pub fn quick_sizes() -> Vec<usize> {
     vec![64, 1_024, 4_096, 65_536, 1_048_576]
 }
 
-/// Run a bandwidth sweep for one (cluster config, stack) pair. Points run
-/// in parallel threads; each point uses its own simulator.
-pub fn bandwidth_sweep(
+/// The jobs of one bandwidth sweep: one standard stream job per size,
+/// with ids `"<prefix>/<label>/size=<n>"`.
+pub fn sweep_jobs(
+    prefix: &str,
     label: &str,
     config: &ClusterConfig,
     stack: StackKind,
     sizes: &[usize],
-) -> Series {
-    let mut points: Vec<SeriesPoint> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = sizes
-            .iter()
-            .map(|&size| {
-                let config = config.clone();
-                scope.spawn(move |_| {
-                    let cluster = Cluster::build(&config);
-                    let mut sim = Sim::new(size as u64);
-                    let result = stream(&cluster, &mut sim, stack, size, stream_count(size));
-                    SeriesPoint {
-                        size,
-                        mbps: result.mbps(),
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
-    points.sort_by_key(|p| p.size);
+) -> Vec<JobSpec> {
+    sizes
+        .iter()
+        .map(|&size| {
+            sweep_point(
+                format!("{prefix}/{label}/size={size}"),
+                config.clone(),
+                stack,
+                size,
+            )
+        })
+        .collect()
+}
+
+/// Assemble one sweep's [`Series`] from its job results.
+pub fn sweep_from(results: &ResultMap, prefix: &str, label: &str, sizes: &[usize]) -> Series {
+    let points = sizes
+        .iter()
+        .map(|&size| SeriesPoint {
+            size,
+            mbps: results[&format!("{prefix}/{label}/size={size}")].require("mbps"),
+        })
+        .collect();
     Series {
         label: label.to_string(),
         points,
     }
 }
 
-fn clic_pair(model: &CostModel, jumbo: bool, zero_copy: bool) -> ClusterConfig {
+/// Run a bandwidth sweep for one (cluster config, stack) pair, serially
+/// in-process. Convenience wrapper over [`sweep_jobs`]/[`sweep_from`].
+pub fn bandwidth_sweep(
+    label: &str,
+    config: &ClusterConfig,
+    stack: StackKind,
+    sizes: &[usize],
+) -> Series {
+    let specs = sweep_jobs("sweep", label, config, stack, sizes);
+    sweep_from(&run_serial(&specs), "sweep", label, sizes)
+}
+
+/// The paper's two-node CLIC testbed config: standard or jumbo MTU,
+/// zero-copy or one-copy module.
+pub fn clic_pair(model: &CostModel, jumbo: bool, zero_copy: bool) -> ClusterConfig {
     let mut cfg = ClusterConfig::paper_pair();
     cfg.node = NodeConfig::clic_default(model);
     cfg.node.nic = if jumbo {
@@ -95,7 +129,8 @@ fn clic_pair(model: &CostModel, jumbo: bool, zero_copy: bool) -> ClusterConfig {
     cfg
 }
 
-fn tcp_pair(model: &CostModel, jumbo: bool) -> ClusterConfig {
+/// The TCP/IP baseline config on the same hardware.
+pub fn tcp_pair(model: &CostModel, jumbo: bool) -> ClusterConfig {
     let mut cfg = ClusterConfig::paper_pair();
     cfg.node = NodeConfig::tcp_default(model);
     cfg.node.nic = if jumbo {
@@ -110,76 +145,116 @@ fn tcp_pair(model: &CostModel, jumbo: bool) -> ClusterConfig {
 // Figures
 // ---------------------------------------------------------------------
 
-/// Figure 4: CLIC bandwidth for MTU {1500, 9000} × {0-copy, 1-copy}.
-pub fn fig4(sizes: &[usize]) -> Vec<Series> {
-    let model = CostModel::era_2002();
-    [
+/// Figure 4's four (label, jumbo, zero-copy) sweeps.
+fn fig4_cases() -> Vec<(&'static str, bool, bool)> {
+    vec![
         ("0-copy MTU 9000", true, true),
         ("0-copy MTU 1500", false, true),
         ("1-copy MTU 9000", true, false),
         ("1-copy MTU 1500", false, false),
     ]
-    .into_iter()
-    .map(|(label, jumbo, zc)| {
-        bandwidth_sweep(label, &clic_pair(&model, jumbo, zc), StackKind::Clic, sizes)
-    })
-    .collect()
+}
+
+/// Figure 4 jobs: CLIC bandwidth for MTU {1500, 9000} × {0-copy, 1-copy}.
+pub fn fig4_jobs(sizes: &[usize]) -> Vec<JobSpec> {
+    let model = CostModel::era_2002();
+    fig4_cases()
+        .into_iter()
+        .flat_map(|(label, jumbo, zc)| {
+            sweep_jobs(
+                "fig4",
+                label,
+                &clic_pair(&model, jumbo, zc),
+                StackKind::Clic,
+                sizes,
+            )
+        })
+        .collect()
+}
+
+/// Assemble Figure 4 from job results.
+pub fn fig4_from(results: &ResultMap, sizes: &[usize]) -> Vec<Series> {
+    fig4_cases()
+        .into_iter()
+        .map(|(label, _, _)| sweep_from(results, "fig4", label, sizes))
+        .collect()
+}
+
+/// Figure 4: CLIC bandwidth for MTU {1500, 9000} × {0-copy, 1-copy}.
+pub fn fig4(sizes: &[usize]) -> Vec<Series> {
+    fig4_from(&run_serial(&fig4_jobs(sizes)), sizes)
+}
+
+/// Figure 5's four (label, config, stack) sweeps.
+fn fig5_cases() -> Vec<(&'static str, ClusterConfig, StackKind)> {
+    let model = CostModel::era_2002();
+    vec![
+        ("CLIC 9000", clic_pair(&model, true, true), StackKind::Clic),
+        ("CLIC 1500", clic_pair(&model, false, true), StackKind::Clic),
+        ("TCP 9000", tcp_pair(&model, true), StackKind::Tcp),
+        ("TCP 1500", tcp_pair(&model, false), StackKind::Tcp),
+    ]
+}
+
+/// Figure 5 jobs: CLIC vs TCP/IP for MTU {1500, 9000}, all 0-copy.
+pub fn fig5_jobs(sizes: &[usize]) -> Vec<JobSpec> {
+    fig5_cases()
+        .into_iter()
+        .flat_map(|(label, cfg, stack)| sweep_jobs("fig5", label, &cfg, stack, sizes))
+        .collect()
+}
+
+/// Assemble Figure 5 from job results.
+pub fn fig5_from(results: &ResultMap, sizes: &[usize]) -> Vec<Series> {
+    fig5_cases()
+        .into_iter()
+        .map(|(label, _, _)| sweep_from(results, "fig5", label, sizes))
+        .collect()
 }
 
 /// Figure 5: CLIC vs TCP/IP for MTU {1500, 9000}, all 0-copy.
 pub fn fig5(sizes: &[usize]) -> Vec<Series> {
+    fig5_from(&run_serial(&fig5_jobs(sizes)), sizes)
+}
+
+/// Figure 6's four middleware sweeps.
+fn fig6_cases() -> Vec<(&'static str, ClusterConfig, StackKind)> {
     let model = CostModel::era_2002();
     vec![
-        bandwidth_sweep(
-            "CLIC 9000",
-            &clic_pair(&model, true, true),
-            StackKind::Clic,
-            sizes,
+        ("CLIC", clic_pair(&model, true, true), StackKind::Clic),
+        (
+            "MPI-CLIC",
+            clic_pair(&model, true, true),
+            StackKind::MpiClic,
         ),
-        bandwidth_sweep(
-            "CLIC 1500",
-            &clic_pair(&model, false, true),
-            StackKind::Clic,
-            sizes,
-        ),
-        bandwidth_sweep("TCP 9000", &tcp_pair(&model, true), StackKind::Tcp, sizes),
-        bandwidth_sweep("TCP 1500", &tcp_pair(&model, false), StackKind::Tcp, sizes),
+        ("MPI-TCP", tcp_pair(&model, true), StackKind::MpiTcp),
+        ("PVM-TCP", tcp_pair(&model, true), StackKind::PvmTcp),
     ]
+}
+
+/// Figure 6 jobs: CLIC, MPI-CLIC, MPI-TCP, PVM-TCP (jumbo, 0-copy).
+pub fn fig6_jobs(sizes: &[usize]) -> Vec<JobSpec> {
+    fig6_cases()
+        .into_iter()
+        .flat_map(|(label, cfg, stack)| sweep_jobs("fig6", label, &cfg, stack, sizes))
+        .collect()
+}
+
+/// Assemble Figure 6 from job results.
+pub fn fig6_from(results: &ResultMap, sizes: &[usize]) -> Vec<Series> {
+    fig6_cases()
+        .into_iter()
+        .map(|(label, _, _)| sweep_from(results, "fig6", label, sizes))
+        .collect()
 }
 
 /// Figure 6: CLIC, MPI-CLIC, MPI-TCP, PVM-TCP (jumbo frames, 0-copy).
 pub fn fig6(sizes: &[usize]) -> Vec<Series> {
-    let model = CostModel::era_2002();
-    vec![
-        bandwidth_sweep(
-            "CLIC",
-            &clic_pair(&model, true, true),
-            StackKind::Clic,
-            sizes,
-        ),
-        bandwidth_sweep(
-            "MPI-CLIC",
-            &clic_pair(&model, true, true),
-            StackKind::MpiClic,
-            sizes,
-        ),
-        bandwidth_sweep(
-            "MPI-TCP",
-            &tcp_pair(&model, true),
-            StackKind::MpiTcp,
-            sizes,
-        ),
-        bandwidth_sweep(
-            "PVM-TCP",
-            &tcp_pair(&model, true),
-            StackKind::PvmTcp,
-            sizes,
-        ),
-    ]
+    fig6_from(&run_serial(&fig6_jobs(sizes)), sizes)
 }
 
 /// One pipeline stage of Figure 7.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageRow {
     /// Stage name, in pipeline order.
     pub stage: String,
@@ -187,60 +262,52 @@ pub struct StageRow {
     pub us: f64,
 }
 
-/// Figure 7: per-stage timing of a 1400-byte packet through the CLIC
-/// pipeline. `direct_call` selects the Figure 8b improvement (7b vs 7a).
-pub fn fig7(direct_call: bool) -> Vec<StageRow> {
+/// The Figure 7 cluster config: latency-tuned NIC; `direct_call` selects
+/// the Figure 8b improvement (7b vs 7a), which also assumes a bus-master
+/// receive path (frames in host memory before the interrupt) — the driver
+/// change the portable CLIC deliberately avoided.
+fn fig7_config(direct_call: bool) -> ClusterConfig {
     let model = CostModel::era_2002();
     let mut cfg = clic_pair(&model, false, true);
     cfg.node.nic = model.nic_low_latency(false);
     cfg.node.direct_dispatch = direct_call;
-    // The proposed improvement also assumes a bus-master receive path
-    // (frames in host memory before the interrupt) — the driver change the
-    // portable CLIC deliberately avoided.
     cfg.node.nic.host_rings = direct_call;
-    let cluster = Cluster::build(&cfg);
-    let mut sim = Sim::new(0);
-    sim.trace = clic_sim::Trace::enabled();
+    cfg
+}
 
-    const CH: u16 = 100;
-    let a = &cluster.nodes[0];
-    let b = &cluster.nodes[1];
-    let pid_a = a.kernel.borrow_mut().processes.spawn("tx");
-    let pid_b = b.kernel.borrow_mut().processes.spawn("rx");
-    let tx = clic_core::ClicPort::bind(&a.clic(), pid_a, CH);
-    let rx = clic_core::ClicPort::bind(&b.clic(), pid_b, CH);
-    rx.recv(&mut sim, |_s, _m| {});
-    let data = bytes::Bytes::from(vec![0x55u8; 1400]);
-    tx.send_traced(&mut sim, b.mac, CH, data, 42);
-    sim.run();
+/// Figure 7 jobs: one traced 1400-byte packet per variant (7a, 7b).
+pub fn fig7_jobs() -> Vec<JobSpec> {
+    [false, true]
+        .into_iter()
+        .map(|direct_call| {
+            JobSpec::new(
+                format!("fig7/{}", if direct_call { "7b" } else { "7a" }),
+                JobKind::StageTrace {
+                    cluster: fig7_config(direct_call),
+                    seed: 0,
+                },
+            )
+        })
+        .collect()
+}
 
-    let spans = sim.trace.spans_for(42);
-    let span = |name: &str| spans.iter().find(|s| s.stage == name);
-    let mut rows = Vec::new();
-    let mut push = |stage: &str, d: Option<SimDuration>| {
-        if let Some(d) = d {
-            rows.push(StageRow {
-                stage: stage.to_string(),
-                us: d.as_us_f64(),
-            });
-        }
-    };
-    push("syscall", span("syscall").map(|s| s.duration()));
-    push("clic_module_tx", span("clic_module_tx").map(|s| s.duration()));
-    push("driver_tx", span("driver_tx").map(|s| s.duration()));
-    push("nic_tx_dma", span("nic_tx_dma").map(|s| s.duration()));
-    // Flight + interrupt wait: from the TX DMA completing to the receive
-    // driver starting on the frame (wire + coalescing + IRQ entry).
-    let flight = match (span("nic_tx_dma"), span("driver_rx")) {
-        (Some(tx), Some(rx)) => rx.begin.checked_since(tx.end),
-        _ => None,
-    };
-    push("flight+irq", flight);
-    push("driver_rx", span("driver_rx").map(|s| s.duration()));
-    push("bottom_half", span("bottom_half").map(|s| s.duration()));
-    push("clic_module_rx", span("clic_module_rx").map(|s| s.duration()));
-    push("copy_to_user", span("copy_to_user").map(|s| s.duration()));
-    rows
+/// Assemble one Figure 7 variant from job results.
+pub fn fig7_from(results: &ResultMap, direct_call: bool) -> Vec<StageRow> {
+    let id = format!("fig7/{}", if direct_call { "7b" } else { "7a" });
+    results[&id]
+        .values
+        .iter()
+        .map(|(stage, us)| StageRow {
+            stage: stage.clone(),
+            us: *us,
+        })
+        .collect()
+}
+
+/// Figure 7: per-stage timing of a 1400-byte packet through the CLIC
+/// pipeline. `direct_call` selects the Figure 8b improvement (7b vs 7a).
+pub fn fig7(direct_call: bool) -> Vec<StageRow> {
+    fig7_from(&run_serial(&fig7_jobs()), direct_call)
 }
 
 // ---------------------------------------------------------------------
@@ -248,7 +315,7 @@ pub fn fig7(direct_call: bool) -> Vec<StageRow> {
 // ---------------------------------------------------------------------
 
 /// The headline scalars of §4/§5.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scalars {
     /// One-way 0-byte latency, µs (paper: 36 µs).
     pub zero_byte_latency_us: f64,
@@ -269,11 +336,7 @@ pub struct Scalars {
 }
 
 fn half_bandwidth_point(series: &Series) -> usize {
-    let peak = series
-        .points
-        .iter()
-        .map(|p| p.mbps)
-        .fold(0.0f64, f64::max);
+    let peak = series.points.iter().map(|p| p.mbps).fold(0.0f64, f64::max);
     series
         .points
         .iter()
@@ -282,24 +345,60 @@ fn half_bandwidth_point(series: &Series) -> usize {
         .unwrap_or(usize::MAX)
 }
 
-/// Compute the §4 scalars.
-pub fn scalars(sizes: &[usize]) -> Scalars {
+/// The latency-measurement config: ping-pong with the latency-tuned NIC,
+/// as the paper's latency figure uses the NICs' adjustable coalescing.
+fn latency_config() -> ClusterConfig {
     let model = CostModel::era_2002();
-    // Latency: ping-pong with the latency-tuned NIC, as the paper's
-    // latency figure uses the NICs' adjustable coalescing.
-    let mut lat_cfg = clic_pair(&model, false, true);
-    lat_cfg.node.nic = model.nic_low_latency(false);
-    let cluster = Cluster::build(&lat_cfg);
-    let mut sim = Sim::new(1);
-    let pp = ping_pong(&cluster, &mut sim, StackKind::Clic, 0, 20);
-    let zero_byte_latency_us = pp.one_way().as_us_f64();
+    let mut cfg = clic_pair(&model, false, true);
+    cfg.node.nic = model.nic_low_latency(false);
+    cfg
+}
 
-    let clic_9000 = bandwidth_sweep("c9000", &clic_pair(&model, true, true), StackKind::Clic, sizes);
-    let clic_1500 = bandwidth_sweep("c1500", &clic_pair(&model, false, true), StackKind::Clic, sizes);
-    let tcp_9000 = bandwidth_sweep("t9000", &tcp_pair(&model, true), StackKind::Tcp, sizes);
+/// Scalars jobs: a latency ping-pong plus three bandwidth sweeps.
+pub fn scalars_jobs(sizes: &[usize]) -> Vec<JobSpec> {
+    let model = CostModel::era_2002();
+    let mut specs = vec![JobSpec::new(
+        "scalars/latency",
+        JobKind::PingPong {
+            cluster: latency_config(),
+            stack: StackKind::Clic,
+            size: 0,
+            rounds: 20,
+            seed: 1,
+        },
+    )];
+    specs.extend(sweep_jobs(
+        "scalars",
+        "c9000",
+        &clic_pair(&model, true, true),
+        StackKind::Clic,
+        sizes,
+    ));
+    specs.extend(sweep_jobs(
+        "scalars",
+        "c1500",
+        &clic_pair(&model, false, true),
+        StackKind::Clic,
+        sizes,
+    ));
+    specs.extend(sweep_jobs(
+        "scalars",
+        "t9000",
+        &tcp_pair(&model, true),
+        StackKind::Tcp,
+        sizes,
+    ));
+    specs
+}
+
+/// Assemble the §4 scalars from job results.
+pub fn scalars_from(results: &ResultMap, sizes: &[usize]) -> Scalars {
+    let clic_9000 = sweep_from(results, "scalars", "c9000", sizes);
+    let clic_1500 = sweep_from(results, "scalars", "c1500", sizes);
+    let tcp_9000 = sweep_from(results, "scalars", "t9000", sizes);
     let peak = |s: &Series| s.points.iter().map(|p| p.mbps).fold(0.0f64, f64::max);
     Scalars {
-        zero_byte_latency_us,
+        zero_byte_latency_us: results["scalars/latency"].require("one_way_us"),
         clic_asymptote_9000_mbps: peak(&clic_9000),
         clic_asymptote_1500_mbps: peak(&clic_1500),
         tcp_asymptote_9000_mbps: peak(&tcp_9000),
@@ -309,12 +408,17 @@ pub fn scalars(sizes: &[usize]) -> Scalars {
     }
 }
 
+/// Compute the §4 scalars.
+pub fn scalars(sizes: &[usize]) -> Scalars {
+    scalars_from(&run_serial(&scalars_jobs(sizes)), sizes)
+}
+
 // ---------------------------------------------------------------------
 // §5 comparison table (CLIC vs GAMMA)
 // ---------------------------------------------------------------------
 
 /// One row of the §5 comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonRow {
     /// Protocol name.
     pub protocol: String,
@@ -324,41 +428,73 @@ pub struct ComparisonRow {
     pub bandwidth_mbps: f64,
 }
 
+fn gamma_config() -> ClusterConfig {
+    let model = CostModel::era_2002();
+    let mut cfg = ClusterConfig::paper_pair();
+    cfg.node = NodeConfig::gamma_default(&model);
+    cfg
+}
+
+/// Gamma-table jobs: per protocol, a latency ping-pong plus a sweep.
+pub fn gamma_jobs(sizes: &[usize]) -> Vec<JobSpec> {
+    let model = CostModel::era_2002();
+    let mut specs = vec![JobSpec::new(
+        "gamma/clic/latency",
+        JobKind::PingPong {
+            cluster: latency_config(),
+            stack: StackKind::Clic,
+            size: 0,
+            rounds: 20,
+            seed: 1,
+        },
+    )];
+    specs.extend(sweep_jobs(
+        "gamma",
+        "clic",
+        &clic_pair(&model, true, true),
+        StackKind::Clic,
+        sizes,
+    ));
+    specs.push(JobSpec::new(
+        "gamma/gamma/latency",
+        JobKind::PingPong {
+            cluster: gamma_config(),
+            stack: StackKind::Gamma,
+            size: 0,
+            rounds: 20,
+            seed: 1,
+        },
+    ));
+    specs.extend(sweep_jobs(
+        "gamma",
+        "gamma",
+        &gamma_config(),
+        StackKind::Gamma,
+        sizes,
+    ));
+    specs
+}
+
+/// Assemble the §5 comparison from job results.
+pub fn gamma_from(results: &ResultMap, sizes: &[usize]) -> Vec<ComparisonRow> {
+    let peak = |s: &Series| s.points.iter().map(|p| p.mbps).fold(0.0f64, f64::max);
+    vec![
+        ComparisonRow {
+            protocol: "CLIC".into(),
+            latency_us: results["gamma/clic/latency"].require("one_way_us"),
+            bandwidth_mbps: peak(&sweep_from(results, "gamma", "clic", sizes)),
+        },
+        ComparisonRow {
+            protocol: "GAMMA (model)".into(),
+            latency_us: results["gamma/gamma/latency"].require("one_way_us"),
+            bandwidth_mbps: peak(&sweep_from(results, "gamma", "gamma", sizes)),
+        },
+    ]
+}
+
 /// CLIC vs the GAMMA-like baseline.
 pub fn gamma_table(sizes: &[usize]) -> Vec<ComparisonRow> {
-    let model = CostModel::era_2002();
-    let mut rows = Vec::new();
-    // CLIC row.
-    {
-        let mut cfg = clic_pair(&model, false, true);
-        cfg.node.nic = model.nic_low_latency(false);
-        let cluster = Cluster::build(&cfg);
-        let mut sim = Sim::new(1);
-        let pp = ping_pong(&cluster, &mut sim, StackKind::Clic, 0, 20);
-        let bw = bandwidth_sweep("clic", &clic_pair(&model, true, true), StackKind::Clic, sizes);
-        rows.push(ComparisonRow {
-            protocol: "CLIC".into(),
-            latency_us: pp.one_way().as_us_f64(),
-            bandwidth_mbps: bw.points.iter().map(|p| p.mbps).fold(0.0, f64::max),
-        });
-    }
-    // GAMMA row.
-    {
-        let mut cfg = ClusterConfig::paper_pair();
-        cfg.node = NodeConfig::gamma_default(&model);
-        let cluster = Cluster::build(&cfg);
-        let mut sim = Sim::new(1);
-        let pp = ping_pong(&cluster, &mut sim, StackKind::Gamma, 0, 20);
-        let mut bw_cfg = ClusterConfig::paper_pair();
-        bw_cfg.node = NodeConfig::gamma_default(&model);
-        let bw = bandwidth_sweep("gamma", &bw_cfg, StackKind::Gamma, sizes);
-        rows.push(ComparisonRow {
-            protocol: "GAMMA (model)".into(),
-            latency_us: pp.one_way().as_us_f64(),
-            bandwidth_mbps: bw.points.iter().map(|p| p.mbps).fold(0.0, f64::max),
-        });
-    }
-    rows
+    gamma_from(&run_serial(&gamma_jobs(sizes)), sizes)
 }
 
 // ---------------------------------------------------------------------
@@ -367,7 +503,7 @@ pub fn gamma_table(sizes: &[usize]) -> Vec<ComparisonRow> {
 
 /// Ablation A row: interrupt coalescing setting vs delivered bandwidth,
 /// interrupt rate and small-message latency.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoalescingRow {
     /// Coalescing timer, µs.
     pub usecs: u64,
@@ -381,60 +517,110 @@ pub struct CoalescingRow {
     pub latency_us: f64,
 }
 
-/// Ablation A: sweep interrupt coalescing (§2's ~12 µs/interrupt claim).
-pub fn ablation_coalescing() -> Vec<CoalescingRow> {
+/// The coalescing settings swept by Ablation A.
+fn coalescing_settings() -> &'static [(u64, u32)] {
+    &[(0, 1), (5, 1), (30, 8), (70, 16), (200, 64)]
+}
+
+/// Ablation A jobs: per setting, a 256 KB stream and a 0-byte ping-pong.
+pub fn coalescing_jobs() -> Vec<JobSpec> {
     let model = CostModel::era_2002();
-    let settings: &[(u64, u32)] = &[(0, 1), (5, 1), (30, 8), (70, 16), (200, 64)];
-    settings
+    let mut specs = Vec::new();
+    for &(usecs, frames) in coalescing_settings() {
+        let mut cfg = clic_pair(&model, false, true);
+        cfg.node.nic.coalesce_usecs = usecs;
+        cfg.node.nic.coalesce_frames = frames;
+        let size = 262_144;
+        specs.push(JobSpec::new(
+            format!("coalescing/u{usecs}f{frames}/stream"),
+            JobKind::Stream {
+                cluster: cfg.clone(),
+                stack: StackKind::Clic,
+                size,
+                count: crate::workload::stream_count(size),
+                seed: 2,
+                pipelined: false,
+            },
+        ));
+        specs.push(JobSpec::new(
+            format!("coalescing/u{usecs}f{frames}/latency"),
+            JobKind::PingPong {
+                cluster: cfg,
+                stack: StackKind::Clic,
+                size: 0,
+                rounds: 10,
+                seed: 3,
+            },
+        ));
+    }
+    specs
+}
+
+/// Assemble Ablation A from job results.
+pub fn coalescing_from(results: &ResultMap) -> Vec<CoalescingRow> {
+    coalescing_settings()
         .iter()
         .map(|&(usecs, frames)| {
-            let mut cfg = clic_pair(&model, false, true);
-            cfg.node.nic.coalesce_usecs = usecs;
-            cfg.node.nic.coalesce_frames = frames;
-            // Bandwidth + interrupt rate.
-            let cluster = Cluster::build(&cfg);
-            let mut sim = Sim::new(2);
-            let size = 262_144;
-            let res = stream(&cluster, &mut sim, StackKind::Clic, size, stream_count(size));
-            let rx_kernel = cluster.nodes[1].kernel.borrow();
-            let irqs = rx_kernel.stats().irqs as f64;
-            let frames_rx = rx_kernel.stats().frames_received.max(1) as f64;
-            drop(rx_kernel);
-            // Latency.
-            let cluster2 = Cluster::build(&cfg);
-            let mut sim2 = Sim::new(3);
-            let pp = ping_pong(&cluster2, &mut sim2, StackKind::Clic, 0, 10);
+            let stream = &results[&format!("coalescing/u{usecs}f{frames}/stream")];
+            let latency = &results[&format!("coalescing/u{usecs}f{frames}/latency")];
             CoalescingRow {
                 usecs,
                 frames,
-                mbps: res.mbps(),
-                irqs_per_kframe: irqs / frames_rx * 1000.0,
-                latency_us: pp.one_way().as_us_f64(),
+                mbps: stream.require("mbps"),
+                irqs_per_kframe: stream.require("rx_irqs") / stream.require("rx_frames").max(1.0)
+                    * 1000.0,
+                latency_us: latency.require("one_way_us"),
             }
         })
         .collect()
 }
 
-/// Ablation B: NIC TX/RX fragmentation offload (the paper's future work).
-pub fn ablation_fragmentation(sizes: &[usize]) -> Vec<Series> {
+/// Ablation A: sweep interrupt coalescing (§2's ~12 µs/interrupt claim).
+pub fn ablation_coalescing() -> Vec<CoalescingRow> {
+    coalescing_from(&run_serial(&coalescing_jobs()))
+}
+
+/// Ablation B's two configurations: baseline vs NIC fragmentation
+/// offload. With offload the module can hand the NIC super-packets;
+/// emulate the Alteon firmware's limit of 255 fragments.
+fn fragmentation_cases() -> Vec<(&'static str, ClusterConfig)> {
     let model = CostModel::era_2002();
     let base = clic_pair(&model, false, true);
     let mut offload = base.clone();
     offload.node.nic.tx_frag_offload = true;
     offload.node.nic.rx_frag_offload = true;
-    // With offload the module can hand the NIC super-packets; emulate the
-    // Alteon firmware's limit of 255 fragments.
     if let Some(clic) = &mut offload.node.clic {
         clic.mtu_override = Some(64 * 1024);
     }
     vec![
-        bandwidth_sweep("no offload (MTU 1500)", &base, StackKind::Clic, sizes),
-        bandwidth_sweep("frag offload (64K super-packets)", &offload, StackKind::Clic, sizes),
+        ("no offload (MTU 1500)", base),
+        ("frag offload (64K super-packets)", offload),
     ]
 }
 
+/// Ablation B jobs: both sweeps.
+pub fn fragmentation_jobs(sizes: &[usize]) -> Vec<JobSpec> {
+    fragmentation_cases()
+        .into_iter()
+        .flat_map(|(label, cfg)| sweep_jobs("fragmentation", label, &cfg, StackKind::Clic, sizes))
+        .collect()
+}
+
+/// Assemble Ablation B from job results.
+pub fn fragmentation_from(results: &ResultMap, sizes: &[usize]) -> Vec<Series> {
+    fragmentation_cases()
+        .into_iter()
+        .map(|(label, _)| sweep_from(results, "fragmentation", label, sizes))
+        .collect()
+}
+
+/// Ablation B: NIC TX/RX fragmentation offload (the paper's future work).
+pub fn ablation_fragmentation(sizes: &[usize]) -> Vec<Series> {
+    fragmentation_from(&run_serial(&fragmentation_jobs(sizes)), sizes)
+}
+
 /// Ablation C row: channel bonding width vs bandwidth.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BondingRow {
     /// Number of bonded NICs/links.
     pub width: usize,
@@ -446,33 +632,59 @@ pub struct BondingRow {
     pub mbps_pci66: f64,
 }
 
-/// Ablation C: channel bonding scaling (§5 feature list).
-pub fn ablation_bonding() -> Vec<BondingRow> {
+fn bonding_config(width: usize, fast: bool) -> ClusterConfig {
     let model = CostModel::era_2002();
-    let run = |width: usize, fast: bool| {
-        let mut cfg = clic_pair(&model, true, true);
-        cfg.node.nics = width;
-        cfg.node.fast_pci = fast;
-        if fast {
-            cfg.node.nic.host_rings = true;
-        }
-        let cluster = Cluster::build(&cfg);
-        let mut sim = Sim::new(4);
-        let size = 1 << 20;
-        let res = stream(&cluster, &mut sim, StackKind::Clic, size, stream_count(size));
-        res.mbps()
-    };
+    let mut cfg = clic_pair(&model, true, true);
+    cfg.node.nics = width;
+    cfg.node.fast_pci = fast;
+    if fast {
+        cfg.node.nic.host_rings = true;
+    }
+    cfg
+}
+
+/// Ablation C jobs: width {1, 2, 3} × PCI {33/32, 66/64}.
+pub fn bonding_jobs() -> Vec<JobSpec> {
+    let size = 1 << 20;
     (1..=3)
-        .map(|width| BondingRow {
-            width,
-            mbps_pci33: run(width, false),
-            mbps_pci66: run(width, true),
+        .flat_map(|width| {
+            [(false, "pci33"), (true, "pci66")]
+                .into_iter()
+                .map(move |(fast, tag)| {
+                    JobSpec::new(
+                        format!("bonding/w{width}/{tag}"),
+                        JobKind::Stream {
+                            cluster: bonding_config(width, fast),
+                            stack: StackKind::Clic,
+                            size,
+                            count: crate::workload::stream_count(size),
+                            seed: 4,
+                            pipelined: false,
+                        },
+                    )
+                })
         })
         .collect()
 }
 
+/// Assemble Ablation C from job results.
+pub fn bonding_from(results: &ResultMap) -> Vec<BondingRow> {
+    (1..=3)
+        .map(|width| BondingRow {
+            width,
+            mbps_pci33: results[&format!("bonding/w{width}/pci33")].require("mbps"),
+            mbps_pci66: results[&format!("bonding/w{width}/pci66")].require("mbps"),
+        })
+        .collect()
+}
+
+/// Ablation C: channel bonding scaling (§5 feature list).
+pub fn ablation_bonding() -> Vec<BondingRow> {
+    bonding_from(&run_serial(&bonding_jobs()))
+}
+
 /// Ablation D row: system-call flavour vs latency.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyscallRow {
     /// "standard" (INT 80h + scheduler) or "lightweight" (GAMMA-style).
     pub flavour: String,
@@ -480,30 +692,50 @@ pub struct SyscallRow {
     pub latency_us: f64,
 }
 
+/// Ablation D jobs: one ping-pong per system-call flavour.
+pub fn syscall_jobs() -> Vec<JobSpec> {
+    let model = CostModel::era_2002();
+    [("standard", false), ("lightweight", true)]
+        .into_iter()
+        .map(|(flavour, lightweight)| {
+            let mut cfg = clic_pair(&model, false, true);
+            cfg.node.nic = model.nic_low_latency(false);
+            if lightweight {
+                cfg.node.os.syscall = cfg.node.os.lightweight_call;
+            }
+            JobSpec::new(
+                format!("syscall/{flavour}"),
+                JobKind::PingPong {
+                    cluster: cfg,
+                    stack: StackKind::Clic,
+                    size: 0,
+                    rounds: 10,
+                    seed: 5,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Assemble Ablation D from job results.
+pub fn syscall_from(results: &ResultMap) -> Vec<SyscallRow> {
+    ["standard", "lightweight"]
+        .into_iter()
+        .map(|flavour| SyscallRow {
+            flavour: flavour.into(),
+            latency_us: results[&format!("syscall/{flavour}")].require("one_way_us"),
+        })
+        .collect()
+}
+
 /// Ablation D: the §3.2 discussion — how much does the standard system
 /// call actually cost CLIC versus GAMMA-style lightweight calls?
 pub fn ablation_syscall() -> Vec<SyscallRow> {
-    let model = CostModel::era_2002();
-    let mut rows = Vec::new();
-    for (flavour, lightweight) in [("standard", false), ("lightweight", true)] {
-        let mut cfg = clic_pair(&model, false, true);
-        cfg.node.nic = model.nic_low_latency(false);
-        if lightweight {
-            cfg.node.os.syscall = cfg.node.os.lightweight_call;
-        }
-        let cluster = Cluster::build(&cfg);
-        let mut sim = Sim::new(5);
-        let pp = ping_pong(&cluster, &mut sim, StackKind::Clic, 0, 10);
-        rows.push(SyscallRow {
-            flavour: flavour.into(),
-            latency_us: pp.one_way().as_us_f64(),
-        });
-    }
-    rows
+    syscall_from(&run_serial(&syscall_jobs()))
 }
 
 /// Ablation E row: loss rate vs CLIC goodput and retransmissions.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LossRow {
     /// Bernoulli frame-loss probability.
     pub loss: f64,
@@ -513,10 +745,15 @@ pub struct LossRow {
     pub retx_per_kpkt: f64,
 }
 
-/// Ablation E: reliability under injected loss.
-pub fn ablation_loss() -> Vec<LossRow> {
-    let model = CostModel::era_2002();
+/// The loss probabilities swept by Ablation E.
+fn loss_rates() -> [f64; 4] {
     [0.0, 0.001, 0.005, 0.02]
+}
+
+/// Ablation E jobs: one 64 KB stream per loss rate.
+pub fn loss_jobs() -> Vec<JobSpec> {
+    let model = CostModel::era_2002();
+    loss_rates()
         .into_iter()
         .map(|loss| {
             let mut cfg = clic_pair(&model, false, true);
@@ -525,24 +762,46 @@ pub fn ablation_loss() -> Vec<LossRow> {
             } else {
                 LossModel::Bernoulli(loss)
             };
-            let cluster = Cluster::build(&cfg);
-            let mut sim = Sim::new(6);
             let size = 65_536;
-            let res = stream(&cluster, &mut sim, StackKind::Clic, size, stream_count(size));
-            let stats = cluster.nodes[0].clic().borrow().stats();
+            JobSpec::new(
+                format!("loss/p{loss}"),
+                JobKind::Stream {
+                    cluster: cfg,
+                    stack: StackKind::Clic,
+                    size,
+                    count: crate::workload::stream_count(size),
+                    seed: 6,
+                    pipelined: false,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Assemble Ablation E from job results.
+pub fn loss_from(results: &ResultMap) -> Vec<LossRow> {
+    loss_rates()
+        .into_iter()
+        .map(|loss| {
+            let m = &results[&format!("loss/p{loss}")];
             LossRow {
                 loss,
-                mbps: res.mbps(),
-                retx_per_kpkt: stats.retransmits as f64 / stats.packets_sent.max(1) as f64
+                mbps: m.require("mbps"),
+                retx_per_kpkt: m.require("retransmits") / m.require("packets_sent").max(1.0)
                     * 1000.0,
             }
         })
         .collect()
 }
 
+/// Ablation E: reliability under injected loss.
+pub fn ablation_loss() -> Vec<LossRow> {
+    loss_from(&run_serial(&loss_jobs()))
+}
+
 /// Ablation F row: offered-load bandwidth and CPU cost per stack and link
 /// speed.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuRow {
     /// Stack under test.
     pub stack: String,
@@ -558,50 +817,77 @@ pub struct CpuRow {
     pub receiver_cpu: f64,
 }
 
+/// The (stack, is_clic, link) grid of Ablation F.
+fn cpu_cases() -> &'static [(&'static str, bool, u64)] {
+    &[
+        ("TCP", false, 100_000_000),
+        ("TCP", false, 1_000_000_000),
+        ("CLIC", true, 100_000_000),
+        ("CLIC", true, 1_000_000_000),
+    ]
+}
+
+/// Ablation F jobs: one pipelined 256 KB stream per (stack, link speed).
+pub fn cpu_jobs() -> Vec<JobSpec> {
+    let model = CostModel::era_2002();
+    cpu_cases()
+        .iter()
+        .map(|&(name, is_clic, bps)| {
+            let mut cfg = if is_clic {
+                clic_pair(&model, false, true)
+            } else {
+                tcp_pair(&model, false)
+            };
+            cfg.model.link_bps = bps;
+            let size = 262_144;
+            JobSpec::new(
+                format!("cpu/{name}/l{}", bps / 1_000_000),
+                JobKind::Stream {
+                    cluster: cfg,
+                    stack: if is_clic {
+                        StackKind::Clic
+                    } else {
+                        StackKind::Tcp
+                    },
+                    size,
+                    count: crate::workload::stream_count(size),
+                    seed: 8,
+                    pipelined: true,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Assemble Ablation F from job results.
+pub fn cpu_from(results: &ResultMap) -> Vec<CpuRow> {
+    cpu_cases()
+        .iter()
+        .map(|&(name, _, bps)| {
+            let m = &results[&format!("cpu/{name}/l{}", bps / 1_000_000)];
+            let mbps = m.require("mbps");
+            CpuRow {
+                stack: name.to_string(),
+                link_mbps: bps / 1_000_000,
+                mbps,
+                pct_of_wire: mbps / (bps as f64 / 1e6) * 100.0,
+                sender_cpu: m.require("sender_cpu"),
+                receiver_cpu: m.require("receiver_cpu"),
+            }
+        })
+        .collect()
+}
+
 /// Ablation F — §2's scaling claim: "in Fast Ethernet ... 90 % of the
 /// maximum bandwidth with a 15–20 % CPU use. Having a similar situation in
 /// networks with 1 Gb/s bandwidths would require almost 100 % of the
 /// processor power." Offered-load streaming, 256 KB messages.
 pub fn ablation_cpu() -> Vec<CpuRow> {
-    let model = CostModel::era_2002();
-    let mut rows = Vec::new();
-    let cases: &[(&str, bool, u64)] = &[
-        ("TCP", false, 100_000_000),
-        ("TCP", false, 1_000_000_000),
-        ("CLIC", true, 100_000_000),
-        ("CLIC", true, 1_000_000_000),
-    ];
-    for &(name, is_clic, bps) in cases {
-        let mut cfg = if is_clic {
-            clic_pair(&model, false, true)
-        } else {
-            tcp_pair(&model, false)
-        };
-        cfg.model.link_bps = bps;
-        let cluster = Cluster::build(&cfg);
-        let mut sim = Sim::new(8);
-        let size = 262_144;
-        let res = stream_pipelined(
-            &cluster,
-            &mut sim,
-            if is_clic { StackKind::Clic } else { StackKind::Tcp },
-            size,
-            stream_count(size),
-        );
-        rows.push(CpuRow {
-            stack: name.to_string(),
-            link_mbps: bps / 1_000_000,
-            mbps: res.mbps(),
-            pct_of_wire: res.mbps() / (bps as f64 / 1e6) * 100.0,
-            sender_cpu: res.sender_cpu,
-            receiver_cpu: res.receiver_cpu,
-        });
-    }
-    rows
+    cpu_from(&run_serial(&cpu_jobs()))
 }
 
 /// Ablation H row: one of Figure 1's data paths, measured on one link.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PathRow {
     /// Which Figure 1 path (2, 3, or 4).
     pub path: u8,
@@ -613,28 +899,47 @@ pub struct PathRow {
     pub mbps: f64,
 }
 
-/// Ablation H — Figure 1's data-path taxonomy: path 2 (scatter-gather DMA
-/// from user memory, the Gigabit CLIC), path 3 (CPU copy to a kernel
-/// buffer, DMA from there), and path 4 (kernel copy + DMA to the NIC
-/// output buffer + the NIC processor's internal copy — the Fast Ethernet
-/// CLIC). At 100 Mb/s the wire hides the difference, which is why the
-/// first CLIC shipped path 4; at 1 Gb/s it no longer does.
-pub fn ablation_paths() -> Vec<PathRow> {
+fn path_config(path: u8, link_bps: u64) -> ClusterConfig {
     let model = CostModel::era_2002();
+    let mut cfg = clic_pair(&model, false, path == 2);
+    cfg.model.link_bps = link_bps;
+    if path == 4 {
+        // An older NIC: frames cross its internal buffer at a rate
+        // comparable to the era's on-NIC processors.
+        cfg.node.nic.internal_copy_bytes_per_sec = Some(60_000_000);
+    }
+    cfg
+}
+
+/// Ablation H jobs: paths {2, 3, 4} × links {100 Mb/s, 1 Gb/s}.
+pub fn paths_jobs() -> Vec<JobSpec> {
+    let size = 262_144;
+    [100_000_000u64, 1_000_000_000]
+        .into_iter()
+        .flat_map(|link_bps| {
+            [2u8, 3, 4].into_iter().map(move |path| {
+                JobSpec::new(
+                    format!("paths/p{path}/l{}", link_bps / 1_000_000),
+                    JobKind::Stream {
+                        cluster: path_config(path, link_bps),
+                        stack: StackKind::Clic,
+                        size,
+                        count: crate::workload::stream_count(size),
+                        seed: 12,
+                        pipelined: false,
+                    },
+                )
+            })
+        })
+        .collect()
+}
+
+/// Assemble Ablation H from job results.
+pub fn paths_from(results: &ResultMap) -> Vec<PathRow> {
     let mut rows = Vec::new();
     for link_bps in [100_000_000u64, 1_000_000_000] {
         for path in [2u8, 3, 4] {
-            let mut cfg = clic_pair(&model, false, path == 2);
-            cfg.model.link_bps = link_bps;
-            if path == 4 {
-                // An older NIC: frames cross its internal buffer at a rate
-                // comparable to the era's on-NIC processors.
-                cfg.node.nic.internal_copy_bytes_per_sec = Some(60_000_000);
-            }
-            let cluster = Cluster::build(&cfg);
-            let mut sim = Sim::new(12);
-            let size = 262_144;
-            let res = stream(&cluster, &mut sim, StackKind::Clic, size, stream_count(size));
+            let m = &results[&format!("paths/p{path}/l{}", link_bps / 1_000_000)];
             rows.push(PathRow {
                 path,
                 description: match path {
@@ -643,16 +948,26 @@ pub fn ablation_paths() -> Vec<PathRow> {
                     _ => "1-copy + NIC internal copy (Fast Ethernet CLIC)".into(),
                 },
                 link_mbps: link_bps / 1_000_000,
-                mbps: res.mbps(),
+                mbps: m.require("mbps"),
             });
         }
     }
     rows
 }
 
+/// Ablation H — Figure 1's data-path taxonomy: path 2 (scatter-gather DMA
+/// from user memory, the Gigabit CLIC), path 3 (CPU copy to a kernel
+/// buffer, DMA from there), and path 4 (kernel copy + DMA to the NIC
+/// output buffer + the NIC processor's internal copy — the Fast Ethernet
+/// CLIC). At 100 Mb/s the wire hides the difference, which is why the
+/// first CLIC shipped path 4; at 1 Gb/s it no longer does.
+pub fn ablation_paths() -> Vec<PathRow> {
+    paths_from(&run_serial(&paths_jobs()))
+}
+
 /// Ablation G row: small-message latency with and without competing bulk
 /// traffic.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadedLatencyRow {
     /// Stack under test.
     pub stack: String,
@@ -666,123 +981,49 @@ pub struct LoadedLatencyRow {
     pub p99_us: f64,
 }
 
-/// Ablation G — §3.2's multiprogramming argument: CLIC keeps standard
-/// system calls so the scheduler can service pending messages promptly
-/// even when other traffic loads the node. Measure 64-byte request/reply
-/// latency while a bulk transfer saturates the same pair of nodes.
-pub fn ablation_latency_under_load() -> Vec<LoadedLatencyRow> {
-    use bytes::Bytes;
-    let model = CostModel::era_2002();
+/// Ablation G jobs: {CLIC, TCP} × {idle, loaded}.
+pub fn load_jobs() -> Vec<JobSpec> {
+    [("CLIC", true), ("TCP", false)]
+        .into_iter()
+        .flat_map(|(name, clic)| {
+            [false, true].into_iter().map(move |loaded| {
+                JobSpec::new(
+                    format!("load/{name}/{}", if loaded { "loaded" } else { "idle" }),
+                    JobKind::LoadedLatency { clic, loaded },
+                )
+            })
+        })
+        .collect()
+}
+
+/// Assemble Ablation G from job results.
+pub fn load_from(results: &ResultMap) -> Vec<LoadedLatencyRow> {
     let mut rows = Vec::new();
-    for (name, is_clic) in [("CLIC", true), ("TCP", false)] {
+    for (name, _) in [("CLIC", true), ("TCP", false)] {
         for loaded in [false, true] {
-            let cfg = if is_clic {
-                clic_pair(&model, false, true)
-            } else {
-                tcp_pair(&model, false)
-            };
-            let cluster = Cluster::build(&cfg);
-            let mut sim = Sim::new(10);
-            let post_bulk = move |sim: &mut Sim, cluster: &Cluster| {
-                // Background bulk: node 0 -> node 1, separate channel/port.
-                if is_clic {
-                    let a = &cluster.nodes[0];
-                    let b = &cluster.nodes[1];
-                    let pid_a = a.kernel.borrow_mut().processes.spawn("bulk-tx");
-                    let pid_b = b.kernel.borrow_mut().processes.spawn("bulk-rx");
-                    let tx = clic_core::ClicPort::bind(&a.clic(), pid_a, 200);
-                    let rx =
-                        std::rc::Rc::new(clic_core::ClicPort::bind(&b.clic(), pid_b, 200));
-                    fn drain(
-                        port: std::rc::Rc<clic_core::ClicPort>,
-                        sim: &mut Sim,
-                        left: usize,
-                    ) {
-                        if left == 0 {
-                            return;
-                        }
-                        let p = port.clone();
-                        port.recv(sim, move |sim, _| drain(p.clone(), sim, left - 1));
-                    }
-                    let n_msgs = 24;
-                    drain(rx, sim, n_msgs);
-                    let dst = b.mac;
-                    let bulk = Bytes::from(vec![0xBBu8; 512 * 1024]);
-                    for _ in 0..n_msgs {
-                        tx.send(sim, dst, 200, bulk.clone());
-                    }
-                } else {
-                    use clic_tcpip::TcpStack;
-                    let a = cluster.nodes[0].tcp();
-                    let b = cluster.nodes[1].tcp();
-                    let b2 = b.clone();
-                    b.borrow_mut().listen(9100, move |sim, conn| {
-                        fn drain(
-                            stack: std::rc::Rc<std::cell::RefCell<TcpStack>>,
-                            sim: &mut Sim,
-                            conn: clic_tcpip::ConnId,
-                            left: usize,
-                        ) {
-                            if left == 0 {
-                                return;
-                            }
-                            let s2 = stack.clone();
-                            TcpStack::recv(&stack, sim, conn, 512 * 1024, move |sim, _| {
-                                drain(s2.clone(), sim, conn, left - 1);
-                            });
-                        }
-                        drain(b2.clone(), sim, conn, 24);
-                    });
-                    let a2 = a.clone();
-                    TcpStack::connect(
-                        &a,
-                        sim,
-                        cluster.nodes[1].ip,
-                        9100,
-                        move |sim, conn| {
-                            let bulk = Bytes::from(vec![0xBBu8; 512 * 1024]);
-                            for _ in 0..24 {
-                                TcpStack::send(&a2, sim, conn, bulk.clone());
-                            }
-                        },
-                    );
-                }
-            };
-            // Foreground: 64-byte request/reply cycles, sampled while the
-            // bulk transfer (if any) is in flight (the hook runs after the
-            // foreground connection establishes).
-            let stack = if is_clic { StackKind::Clic } else { StackKind::Tcp };
-            let cluster_ref = &cluster;
-            let cycles = request_reply_cycles_with_background(
-                &cluster,
-                &mut sim,
-                stack,
-                64,
-                4,
-                30,
-                move |sim| {
-                    if loaded {
-                        post_bulk(sim, cluster_ref);
-                    }
-                },
-            );
-            let one_way = |d: Option<clic_sim::SimDuration>| {
-                d.map(|d| d.as_us_f64() / 2.0).unwrap_or(f64::NAN)
-            };
+            let m = &results[&format!("load/{name}/{}", if loaded { "loaded" } else { "idle" })];
             rows.push(LoadedLatencyRow {
                 stack: name.to_string(),
                 loaded,
-                min_us: one_way(cycles.min()),
-                mean_us: one_way(cycles.mean()),
-                p99_us: one_way(cycles.percentile(0.99)),
+                min_us: m.require("min_us"),
+                mean_us: m.require("mean_us"),
+                p99_us: m.require("p99_us"),
             });
         }
     }
     rows
 }
 
+/// Ablation G — §3.2's multiprogramming argument: CLIC keeps standard
+/// system calls so the scheduler can service pending messages promptly
+/// even when other traffic loads the node. Measure 64-byte request/reply
+/// latency while a bulk transfer saturates the same pair of nodes.
+pub fn ablation_latency_under_load() -> Vec<LoadedLatencyRow> {
+    load_from(&run_serial(&load_jobs()))
+}
+
 /// Ablation I row: all-to-all exchange scaling on a switched cluster.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalingRow {
     /// Cluster size.
     pub nodes: usize,
@@ -792,10 +1033,8 @@ pub struct ScalingRow {
     pub per_node_mbps: f64,
 }
 
-/// Ablation I (extension): CLIC all-to-all on switched clusters of
-/// growing size — the cluster-computing workload the paper positions CLIC
-/// for, beyond its two-node testbed.
-pub fn ablation_scaling() -> Vec<ScalingRow> {
+/// Ablation I jobs: all-to-all on switched clusters of 2, 4 and 8 nodes.
+pub fn scaling_jobs() -> Vec<JobSpec> {
     use crate::builder::Topology;
     let model = CostModel::era_2002();
     [2usize, 4, 8]
@@ -804,20 +1043,236 @@ pub fn ablation_scaling() -> Vec<ScalingRow> {
             let mut cfg = clic_pair(&model, true, true);
             cfg.nodes = nodes;
             cfg.topology = Topology::Switched;
-            let cluster = Cluster::build(&cfg);
-            let mut sim = Sim::new(14);
-            let res = crate::workload::all_to_all_clic(&cluster, &mut sim, 65_536);
+            JobSpec::new(
+                format!("scaling/n{nodes}"),
+                JobKind::AllToAll {
+                    cluster: cfg,
+                    size: 65_536,
+                    seed: 14,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Assemble Ablation I from job results.
+pub fn scaling_from(results: &ResultMap) -> Vec<ScalingRow> {
+    [2usize, 4, 8]
+        .into_iter()
+        .map(|nodes| {
+            let aggregate_mbps = results[&format!("scaling/n{nodes}")].require("aggregate_mbps");
             ScalingRow {
                 nodes,
-                aggregate_mbps: res.aggregate_mbps(),
-                per_node_mbps: res.aggregate_mbps() / nodes as f64,
+                aggregate_mbps,
+                per_node_mbps: aggregate_mbps / nodes as f64,
             }
         })
         .collect()
 }
 
+/// Ablation I (extension): CLIC all-to-all on switched clusters of
+/// growing size — the cluster-computing workload the paper positions CLIC
+/// for, beyond its two-node testbed.
+pub fn ablation_scaling() -> Vec<ScalingRow> {
+    scaling_from(&run_serial(&scaling_jobs()))
+}
+
+// ---------------------------------------------------------------------
+// Figure registry
+// ---------------------------------------------------------------------
+
+/// Every runnable figure/table/ablation, for CLI dispatch and the runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureKind {
+    /// Figure 4: CLIC bandwidth, MTU × copy path.
+    Fig4,
+    /// Figure 5: CLIC vs TCP/IP.
+    Fig5,
+    /// Figure 6: middleware comparison.
+    Fig6,
+    /// Figure 7: packet pipeline stage breakdown.
+    Fig7,
+    /// §4 headline scalars.
+    Scalars,
+    /// §5 CLIC vs GAMMA table.
+    Gamma,
+    /// Ablation A: interrupt coalescing.
+    Coalescing,
+    /// Ablation B: NIC fragmentation offload.
+    Fragmentation,
+    /// Ablation C: channel bonding.
+    Bonding,
+    /// Ablation D: system-call flavour.
+    Syscall,
+    /// Ablation E: goodput under loss.
+    Loss,
+    /// Ablation F: CPU utilisation vs link speed.
+    Cpu,
+    /// Ablation G: latency under bulk load.
+    Load,
+    /// Ablation H: Figure 1 data paths.
+    Paths,
+    /// Ablation I: all-to-all scaling.
+    Scaling,
+}
+
+/// The result of one assembled figure, ready for rendering.
+#[derive(Debug, Clone)]
+pub enum FigureOutput {
+    /// Bandwidth curves (figures 4, 5, 6 and Ablation B).
+    Series(Vec<Series>),
+    /// Figure 7's two stage breakdowns (7a, 7b).
+    Stages {
+        /// Without the direct-call improvement.
+        a: Vec<StageRow>,
+        /// With the direct-call improvement (Fig. 8b).
+        b: Vec<StageRow>,
+    },
+    /// The §4 scalars.
+    Scalars(Scalars),
+    /// The §5 comparison rows.
+    Gamma(Vec<ComparisonRow>),
+    /// Ablation A rows.
+    Coalescing(Vec<CoalescingRow>),
+    /// Ablation C rows.
+    Bonding(Vec<BondingRow>),
+    /// Ablation D rows.
+    Syscall(Vec<SyscallRow>),
+    /// Ablation E rows.
+    Loss(Vec<LossRow>),
+    /// Ablation F rows.
+    Cpu(Vec<CpuRow>),
+    /// Ablation G rows.
+    Load(Vec<LoadedLatencyRow>),
+    /// Ablation H rows.
+    Paths(Vec<PathRow>),
+    /// Ablation I rows.
+    Scaling(Vec<ScalingRow>),
+}
+
+impl FigureKind {
+    /// Every figure, in the order `figures all` runs them.
+    pub const ALL: [FigureKind; 15] = [
+        FigureKind::Fig4,
+        FigureKind::Fig5,
+        FigureKind::Fig6,
+        FigureKind::Fig7,
+        FigureKind::Scalars,
+        FigureKind::Gamma,
+        FigureKind::Coalescing,
+        FigureKind::Fragmentation,
+        FigureKind::Bonding,
+        FigureKind::Syscall,
+        FigureKind::Loss,
+        FigureKind::Cpu,
+        FigureKind::Load,
+        FigureKind::Paths,
+        FigureKind::Scaling,
+    ];
+
+    /// The CLI name (`figures <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FigureKind::Fig4 => "fig4",
+            FigureKind::Fig5 => "fig5",
+            FigureKind::Fig6 => "fig6",
+            FigureKind::Fig7 => "fig7",
+            FigureKind::Scalars => "scalars",
+            FigureKind::Gamma => "gamma",
+            FigureKind::Coalescing => "coalescing",
+            FigureKind::Fragmentation => "fragmentation",
+            FigureKind::Bonding => "bonding",
+            FigureKind::Syscall => "syscall",
+            FigureKind::Loss => "loss",
+            FigureKind::Cpu => "cpu",
+            FigureKind::Load => "load",
+            FigureKind::Paths => "paths",
+            FigureKind::Scaling => "scaling",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn from_name(name: &str) -> Option<FigureKind> {
+        FigureKind::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// The jobs of this figure on the given size grid (figures that don't
+    /// sweep sizes ignore it).
+    pub fn jobs(self, sizes: &[usize]) -> Vec<JobSpec> {
+        match self {
+            FigureKind::Fig4 => fig4_jobs(sizes),
+            FigureKind::Fig5 => fig5_jobs(sizes),
+            FigureKind::Fig6 => fig6_jobs(sizes),
+            FigureKind::Fig7 => fig7_jobs(),
+            FigureKind::Scalars => scalars_jobs(sizes),
+            FigureKind::Gamma => gamma_jobs(sizes),
+            FigureKind::Coalescing => coalescing_jobs(),
+            FigureKind::Fragmentation => fragmentation_jobs(sizes),
+            FigureKind::Bonding => bonding_jobs(),
+            FigureKind::Syscall => syscall_jobs(),
+            FigureKind::Loss => loss_jobs(),
+            FigureKind::Cpu => cpu_jobs(),
+            FigureKind::Load => load_jobs(),
+            FigureKind::Paths => paths_jobs(),
+            FigureKind::Scaling => scaling_jobs(),
+        }
+    }
+
+    /// Assemble this figure's output from job results (which must contain
+    /// every id listed by [`FigureKind::jobs`] for the same `sizes`).
+    pub fn assemble(self, results: &ResultMap, sizes: &[usize]) -> FigureOutput {
+        match self {
+            FigureKind::Fig4 => FigureOutput::Series(fig4_from(results, sizes)),
+            FigureKind::Fig5 => FigureOutput::Series(fig5_from(results, sizes)),
+            FigureKind::Fig6 => FigureOutput::Series(fig6_from(results, sizes)),
+            FigureKind::Fig7 => FigureOutput::Stages {
+                a: fig7_from(results, false),
+                b: fig7_from(results, true),
+            },
+            FigureKind::Scalars => FigureOutput::Scalars(scalars_from(results, sizes)),
+            FigureKind::Gamma => FigureOutput::Gamma(gamma_from(results, sizes)),
+            FigureKind::Coalescing => FigureOutput::Coalescing(coalescing_from(results)),
+            FigureKind::Fragmentation => FigureOutput::Series(fragmentation_from(results, sizes)),
+            FigureKind::Bonding => FigureOutput::Bonding(bonding_from(results)),
+            FigureKind::Syscall => FigureOutput::Syscall(syscall_from(results)),
+            FigureKind::Loss => FigureOutput::Loss(loss_from(results)),
+            FigureKind::Cpu => FigureOutput::Cpu(cpu_from(results)),
+            FigureKind::Load => FigureOutput::Load(load_from(results)),
+            FigureKind::Paths => FigureOutput::Paths(paths_from(results)),
+            FigureKind::Scaling => FigureOutput::Scaling(scaling_from(results)),
+        }
+    }
+
+    /// The figure's display title, as printed by the `figures` binary.
+    pub fn title(self) -> &'static str {
+        match self {
+            FigureKind::Fig4 => "Figure 4: CLIC bandwidth, MTU x copy-path",
+            FigureKind::Fig5 => "Figure 5: CLIC vs TCP/IP, MTU 9000/1500",
+            FigureKind::Fig6 => "Figure 6: CLIC, MPI-CLIC, MPI-TCP, PVM-TCP",
+            FigureKind::Fig7 => "Figure 7: 1400-byte packet pipeline stages",
+            FigureKind::Scalars => "Headline scalars (paper Section 4/5)",
+            FigureKind::Gamma => "Section 5 comparison: CLIC vs GAMMA",
+            FigureKind::Coalescing => "Ablation A: interrupt coalescing",
+            FigureKind::Fragmentation => {
+                "Ablation B: NIC fragmentation offload (paper future work)"
+            }
+            FigureKind::Bonding => "Ablation C: channel bonding",
+            FigureKind::Syscall => "Ablation D: system-call flavour (Section 3.2)",
+            FigureKind::Loss => "Ablation E: CLIC goodput under frame loss",
+            FigureKind::Cpu => "Ablation F: CPU utilisation vs link speed (Section 2 claim)",
+            FigureKind::Load => "Ablation G: 64-byte latency under bulk load",
+            FigureKind::Paths => "Ablation H: Figure 1 data paths",
+            FigureKind::Scaling => "Ablation I: CLIC all-to-all scaling on a switch",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Paper-claim checklist
+// ---------------------------------------------------------------------
+
 /// One verifiable claim from the paper.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClaimRow {
     /// Identifier (C1, C2, ...).
     pub id: String,
@@ -928,7 +1383,10 @@ pub fn claims() -> Vec<ClaimRow> {
     let f7a = fig7(false);
     let f7b = fig7(true);
     let stage = |rows: &[StageRow], name: &str| {
-        rows.iter().find(|r| r.stage == name).map(|r| r.us).unwrap_or(0.0)
+        rows.iter()
+            .find(|r| r.stage == name)
+            .map(|r| r.us)
+            .unwrap_or(0.0)
     };
     let rx_total = |rows: &[StageRow]| {
         ["driver_rx", "bottom_half", "clic_module_rx", "copy_to_user"]
@@ -961,7 +1419,10 @@ pub fn claims() -> Vec<ClaimRow> {
     );
 
     let cpu = ablation_cpu();
-    let tcp_fe = cpu.iter().find(|r| r.stack == "TCP" && r.link_mbps == 100).unwrap();
+    let tcp_fe = cpu
+        .iter()
+        .find(|r| r.stack == "TCP" && r.link_mbps == 100)
+        .unwrap();
     let tcp_ge = cpu
         .iter()
         .find(|r| r.stack == "TCP" && r.link_mbps == 1000)
@@ -998,11 +1459,51 @@ mod tests {
         let series = Series {
             label: "x".into(),
             points: vec![
-                SeriesPoint { size: 1, mbps: 10.0 },
-                SeriesPoint { size: 2, mbps: 40.0 },
-                SeriesPoint { size: 4, mbps: 100.0 },
+                SeriesPoint {
+                    size: 1,
+                    mbps: 10.0,
+                },
+                SeriesPoint {
+                    size: 2,
+                    mbps: 40.0,
+                },
+                SeriesPoint {
+                    size: 4,
+                    mbps: 100.0,
+                },
             ],
         };
         assert_eq!(half_bandwidth_point(&series), 4);
+    }
+
+    #[test]
+    fn registry_names_roundtrip() {
+        for kind in FigureKind::ALL {
+            assert_eq!(FigureKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FigureKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn job_ids_are_unique_across_all_figures() {
+        let sizes = quick_sizes();
+        let mut seen = std::collections::HashSet::new();
+        for kind in FigureKind::ALL {
+            for spec in kind.jobs(&sizes) {
+                assert!(seen.insert(spec.id.clone()), "duplicate job id {}", spec.id);
+            }
+        }
+        assert!(seen.len() > 100, "expected a substantial grid");
+    }
+
+    #[test]
+    fn sweep_assembly_matches_direct_run() {
+        let model = CostModel::era_2002();
+        let sizes = [1_024usize, 65_536];
+        let cfg = clic_pair(&model, false, true);
+        let series = bandwidth_sweep("x", &cfg, StackKind::Clic, &sizes);
+        assert_eq!(series.points.len(), 2);
+        assert!(series.points[0].size < series.points[1].size);
+        assert!(series.points.iter().all(|p| p.mbps > 0.0));
     }
 }

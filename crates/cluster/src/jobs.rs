@@ -1,0 +1,494 @@
+//! Self-contained experiment jobs.
+//!
+//! Every point of every figure/ablation grid is a [`JobSpec`]: a stable
+//! string id plus a [`JobKind`] describing one deterministic simulation.
+//! A job is **pure** — it builds its own cluster and simulator from plain
+//! configuration data, runs to completion, and returns a flat
+//! [`Measurement`] — and `Send`, so a job set can be executed on any
+//! number of worker threads (each job keeps its whole `Rc`/`RefCell`
+//! simulation on the thread that runs it). The figure-level assembly in
+//! [`crate::experiments`] consumes job results by id, so output never
+//! depends on completion order.
+//!
+//! Job results are also cache-friendly: [`JobSpec::fingerprint`] hashes
+//! the id, the full job configuration, and the calibrated cost-model
+//! constants, so a content-addressed result cache (see `clic-bench`)
+//! invalidates itself automatically when any of those change.
+
+use crate::builder::{Cluster, ClusterConfig};
+use crate::calibration::CostModel;
+use crate::workload::{
+    ping_pong, request_reply_cycles_with_background, stream, stream_count, stream_pipelined,
+    StackKind,
+};
+use clic_sim::{Sim, SimDuration};
+
+/// Bump when the measurement schema changes (new/renamed value keys), so
+/// stale cache entries from older binaries are never reused.
+pub const MEASUREMENT_SCHEMA_VERSION: u32 = 1;
+
+/// The flat result of one job: named scalar values, in a stable,
+/// job-defined order (stage breakdowns rely on the order).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Measurement {
+    /// `(name, value)` pairs, e.g. `("mbps", 461.8)`.
+    pub values: Vec<(String, f64)>,
+}
+
+impl Measurement {
+    fn push(&mut self, name: &str, value: f64) {
+        self.values.push((name.to_string(), value));
+    }
+
+    /// Look up a value by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Look up a value by name, panicking with a diagnostic if absent
+    /// (indicates a job/assembly mismatch, i.e. a bug).
+    pub fn require(&self, name: &str) -> f64 {
+        self.get(name)
+            .unwrap_or_else(|| panic!("measurement has no value named {name:?}: {self:?}"))
+    }
+}
+
+/// One deterministic simulation, described entirely by plain data.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// Unidirectional message stream; reports bandwidth, CPU fractions,
+    /// receiver interrupt counts and (for CLIC) retransmission counters.
+    Stream {
+        /// Cluster under test.
+        cluster: ClusterConfig,
+        /// Stack under test.
+        stack: StackKind,
+        /// Message size in bytes.
+        size: usize,
+        /// Message count (`stream_count(size)` for the standard sweeps).
+        count: usize,
+        /// Simulator seed.
+        seed: u64,
+        /// Use the offered-load (pipelined) sender of Ablation F.
+        pipelined: bool,
+    },
+    /// Ping-pong latency; reports the one-way time.
+    PingPong {
+        /// Cluster under test.
+        cluster: ClusterConfig,
+        /// Stack under test.
+        stack: StackKind,
+        /// Message size in bytes.
+        size: usize,
+        /// Number of round trips averaged.
+        rounds: usize,
+        /// Simulator seed.
+        seed: u64,
+    },
+    /// Figure 7: trace one 1400-byte CLIC packet and report the per-stage
+    /// breakdown of the send/receive pipeline, in pipeline order.
+    StageTrace {
+        /// Cluster under test (CLIC, latency-tuned NIC).
+        cluster: ClusterConfig,
+        /// Simulator seed.
+        seed: u64,
+    },
+    /// Ablation G: 64-byte request/reply latency, optionally while a bulk
+    /// transfer saturates the same node pair.
+    LoadedLatency {
+        /// CLIC when true, the TCP baseline when false.
+        clic: bool,
+        /// Whether the competing bulk transfer runs.
+        loaded: bool,
+    },
+    /// Ablation I: all-to-all exchange on a switched cluster; reports
+    /// aggregate bandwidth.
+    AllToAll {
+        /// Cluster under test.
+        cluster: ClusterConfig,
+        /// Per-pair message size in bytes.
+        size: usize,
+        /// Simulator seed.
+        seed: u64,
+    },
+}
+
+/// A named, self-contained experiment job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Stable identifier, e.g. `"fig4/0-copy MTU 9000/size=65536"`. Also
+    /// the key of the job's result in a [`crate::experiments::ResultMap`].
+    pub id: String,
+    /// What to simulate.
+    pub kind: JobKind,
+}
+
+impl JobSpec {
+    /// Build a job.
+    pub fn new(id: impl Into<String>, kind: JobKind) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            kind,
+        }
+    }
+
+    /// Run the simulation described by this job. Pure: same spec, same
+    /// [`Measurement`], bit for bit, on any thread.
+    pub fn run(&self) -> Measurement {
+        self.kind.run()
+    }
+
+    /// Content hash of everything the result depends on: the job id, the
+    /// full job configuration (including any embedded [`ClusterConfig`]
+    /// and its cost model), the calibrated-era constants used by jobs
+    /// that build their configs internally, and the measurement schema
+    /// version. Changing any constant in `calibration.rs` therefore
+    /// changes the fingerprint and invalidates cached results.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(self.id.as_bytes());
+        h.write(format!("{:?}", self.kind).as_bytes());
+        h.write(format!("{:?}", CostModel::era_2002()).as_bytes());
+        h.write(&MEASUREMENT_SCHEMA_VERSION.to_le_bytes());
+        h.finish()
+    }
+}
+
+/// 64-bit FNV-1a. Stable across platforms and Rust versions (unlike
+/// `DefaultHasher`), which the on-disk cache relies on.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separator so concatenations can't collide field boundaries.
+        self.0 ^= 0xff;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl JobKind {
+    /// Execute the simulation. See [`JobSpec::run`].
+    pub fn run(&self) -> Measurement {
+        match self {
+            JobKind::Stream {
+                cluster,
+                stack,
+                size,
+                count,
+                seed,
+                pipelined,
+            } => run_stream(cluster, *stack, *size, *count, *seed, *pipelined),
+            JobKind::PingPong {
+                cluster,
+                stack,
+                size,
+                rounds,
+                seed,
+            } => run_ping_pong(cluster, *stack, *size, *rounds, *seed),
+            JobKind::StageTrace { cluster, seed } => run_stage_trace(cluster, *seed),
+            JobKind::LoadedLatency { clic, loaded } => run_loaded_latency(*clic, *loaded),
+            JobKind::AllToAll {
+                cluster,
+                size,
+                seed,
+            } => run_all_to_all(cluster, *size, *seed),
+        }
+    }
+}
+
+fn run_stream(
+    config: &ClusterConfig,
+    stack: StackKind,
+    size: usize,
+    count: usize,
+    seed: u64,
+    pipelined: bool,
+) -> Measurement {
+    let cluster = Cluster::build(config);
+    let mut sim = Sim::new(seed);
+    let res = if pipelined {
+        stream_pipelined(&cluster, &mut sim, stack, size, count)
+    } else {
+        stream(&cluster, &mut sim, stack, size, count)
+    };
+    let mut m = Measurement::default();
+    m.push("mbps", res.mbps());
+    m.push("sender_cpu", res.sender_cpu);
+    m.push("receiver_cpu", res.receiver_cpu);
+    let rx_kernel = cluster.nodes[1].kernel.borrow();
+    m.push("rx_irqs", rx_kernel.stats().irqs as f64);
+    m.push("rx_frames", rx_kernel.stats().frames_received as f64);
+    drop(rx_kernel);
+    if matches!(stack, StackKind::Clic) {
+        let stats = cluster.nodes[0].clic().borrow().stats();
+        m.push("retransmits", stats.retransmits as f64);
+        m.push("packets_sent", stats.packets_sent as f64);
+    }
+    m
+}
+
+fn run_ping_pong(
+    config: &ClusterConfig,
+    stack: StackKind,
+    size: usize,
+    rounds: usize,
+    seed: u64,
+) -> Measurement {
+    let cluster = Cluster::build(config);
+    let mut sim = Sim::new(seed);
+    let pp = ping_pong(&cluster, &mut sim, stack, size, rounds);
+    let mut m = Measurement::default();
+    m.push("one_way_us", pp.one_way().as_us_f64());
+    m
+}
+
+fn run_stage_trace(config: &ClusterConfig, seed: u64) -> Measurement {
+    let cluster = Cluster::build(config);
+    let mut sim = Sim::new(seed);
+    sim.trace = clic_sim::Trace::enabled();
+
+    const CH: u16 = 100;
+    let a = &cluster.nodes[0];
+    let b = &cluster.nodes[1];
+    let pid_a = a.kernel.borrow_mut().processes.spawn("tx");
+    let pid_b = b.kernel.borrow_mut().processes.spawn("rx");
+    let tx = clic_core::ClicPort::bind(&a.clic(), pid_a, CH);
+    let rx = clic_core::ClicPort::bind(&b.clic(), pid_b, CH);
+    rx.recv(&mut sim, |_s, _m| {});
+    let data = bytes::Bytes::from(vec![0x55u8; 1400]);
+    tx.send_traced(&mut sim, b.mac, CH, data, 42);
+    sim.run();
+
+    let spans = sim.trace.spans_for(42);
+    let span = |name: &str| spans.iter().find(|s| s.stage == name);
+    let mut m = Measurement::default();
+    let mut push = |stage: &str, d: Option<SimDuration>| {
+        if let Some(d) = d {
+            m.push(stage, d.as_us_f64());
+        }
+    };
+    push("syscall", span("syscall").map(|s| s.duration()));
+    push(
+        "clic_module_tx",
+        span("clic_module_tx").map(|s| s.duration()),
+    );
+    push("driver_tx", span("driver_tx").map(|s| s.duration()));
+    push("nic_tx_dma", span("nic_tx_dma").map(|s| s.duration()));
+    // Flight + interrupt wait: from the TX DMA completing to the receive
+    // driver starting on the frame (wire + coalescing + IRQ entry).
+    let flight = match (span("nic_tx_dma"), span("driver_rx")) {
+        (Some(tx), Some(rx)) => rx.begin.checked_since(tx.end),
+        _ => None,
+    };
+    push("flight+irq", flight);
+    push("driver_rx", span("driver_rx").map(|s| s.duration()));
+    push("bottom_half", span("bottom_half").map(|s| s.duration()));
+    push(
+        "clic_module_rx",
+        span("clic_module_rx").map(|s| s.duration()),
+    );
+    push("copy_to_user", span("copy_to_user").map(|s| s.duration()));
+    m
+}
+
+fn run_loaded_latency(is_clic: bool, loaded: bool) -> Measurement {
+    use bytes::Bytes;
+    let model = CostModel::era_2002();
+    let cfg = if is_clic {
+        crate::experiments::clic_pair(&model, false, true)
+    } else {
+        crate::experiments::tcp_pair(&model, false)
+    };
+    let cluster = Cluster::build(&cfg);
+    let mut sim = Sim::new(10);
+    let post_bulk = move |sim: &mut Sim, cluster: &Cluster| {
+        // Background bulk: node 0 -> node 1, separate channel/port.
+        if is_clic {
+            let a = &cluster.nodes[0];
+            let b = &cluster.nodes[1];
+            let pid_a = a.kernel.borrow_mut().processes.spawn("bulk-tx");
+            let pid_b = b.kernel.borrow_mut().processes.spawn("bulk-rx");
+            let tx = clic_core::ClicPort::bind(&a.clic(), pid_a, 200);
+            let rx = std::rc::Rc::new(clic_core::ClicPort::bind(&b.clic(), pid_b, 200));
+            fn drain(port: std::rc::Rc<clic_core::ClicPort>, sim: &mut Sim, left: usize) {
+                if left == 0 {
+                    return;
+                }
+                let p = port.clone();
+                port.recv(sim, move |sim, _| drain(p.clone(), sim, left - 1));
+            }
+            let n_msgs = 24;
+            drain(rx, sim, n_msgs);
+            let dst = b.mac;
+            let bulk = Bytes::from(vec![0xBBu8; 512 * 1024]);
+            for _ in 0..n_msgs {
+                tx.send(sim, dst, 200, bulk.clone());
+            }
+        } else {
+            use clic_tcpip::TcpStack;
+            let a = cluster.nodes[0].tcp();
+            let b = cluster.nodes[1].tcp();
+            let b2 = b.clone();
+            b.borrow_mut().listen(9100, move |sim, conn| {
+                fn drain(
+                    stack: std::rc::Rc<std::cell::RefCell<TcpStack>>,
+                    sim: &mut Sim,
+                    conn: clic_tcpip::ConnId,
+                    left: usize,
+                ) {
+                    if left == 0 {
+                        return;
+                    }
+                    let s2 = stack.clone();
+                    TcpStack::recv(&stack, sim, conn, 512 * 1024, move |sim, _| {
+                        drain(s2.clone(), sim, conn, left - 1);
+                    });
+                }
+                drain(b2.clone(), sim, conn, 24);
+            });
+            let a2 = a.clone();
+            TcpStack::connect(&a, sim, cluster.nodes[1].ip, 9100, move |sim, conn| {
+                let bulk = Bytes::from(vec![0xBBu8; 512 * 1024]);
+                for _ in 0..24 {
+                    TcpStack::send(&a2, sim, conn, bulk.clone());
+                }
+            });
+        }
+    };
+    // Foreground: 64-byte request/reply cycles, sampled while the bulk
+    // transfer (if any) is in flight (the hook runs after the foreground
+    // connection establishes).
+    let stack = if is_clic {
+        StackKind::Clic
+    } else {
+        StackKind::Tcp
+    };
+    let cluster_ref = &cluster;
+    let cycles =
+        request_reply_cycles_with_background(&cluster, &mut sim, stack, 64, 4, 30, move |sim| {
+            if loaded {
+                post_bulk(sim, cluster_ref);
+            }
+        });
+    let one_way = |d: Option<SimDuration>| d.map(|d| d.as_us_f64() / 2.0).unwrap_or(f64::NAN);
+    let mut m = Measurement::default();
+    m.push("min_us", one_way(cycles.min()));
+    m.push("mean_us", one_way(cycles.mean()));
+    m.push("p99_us", one_way(cycles.percentile(0.99)));
+    m
+}
+
+fn run_all_to_all(config: &ClusterConfig, size: usize, seed: u64) -> Measurement {
+    let cluster = Cluster::build(config);
+    let mut sim = Sim::new(seed);
+    let res = crate::workload::all_to_all_clic(&cluster, &mut sim, size);
+    let mut m = Measurement::default();
+    m.push("aggregate_mbps", res.aggregate_mbps());
+    m
+}
+
+/// Convenience: a standard-sweep stream job (`stream_count(size)`
+/// messages, seed = size, not pipelined — exactly the historical
+/// `bandwidth_sweep` point).
+pub fn sweep_point(
+    id: impl Into<String>,
+    cluster: ClusterConfig,
+    stack: StackKind,
+    size: usize,
+) -> JobSpec {
+    JobSpec::new(
+        id,
+        JobKind::Stream {
+            cluster,
+            stack,
+            size,
+            count: stream_count(size),
+            seed: size as u64,
+            pipelined: false,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments;
+
+    #[test]
+    fn fingerprint_is_stable_and_config_sensitive() {
+        let model = CostModel::era_2002();
+        let mk = |size: usize| {
+            sweep_point(
+                "t/x",
+                experiments::clic_pair(&model, true, true),
+                StackKind::Clic,
+                size,
+            )
+        };
+        assert_eq!(mk(1024).fingerprint(), mk(1024).fingerprint());
+        assert_ne!(mk(1024).fingerprint(), mk(2048).fingerprint());
+        // Same config, different id: distinct cache entries.
+        let mut renamed = mk(1024);
+        renamed.id = "t/y".into();
+        assert_ne!(renamed.fingerprint(), mk(1024).fingerprint());
+        // Config changes invalidate.
+        let mut tweaked = mk(1024);
+        if let JobKind::Stream { cluster, .. } = &mut tweaked.kind {
+            cluster.model.link_bps += 1;
+        }
+        assert_ne!(tweaked.fingerprint(), mk(1024).fingerprint());
+    }
+
+    #[test]
+    fn jobs_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<JobSpec>();
+        assert_send::<Measurement>();
+    }
+
+    #[test]
+    fn measurement_lookup() {
+        let mut m = Measurement::default();
+        m.push("a", 1.0);
+        m.push("b", 2.0);
+        assert_eq!(m.get("b"), Some(2.0));
+        assert_eq!(m.get("c"), None);
+        assert_eq!(m.require("a"), 1.0);
+    }
+
+    #[test]
+    fn stream_job_runs_and_reports() {
+        let model = CostModel::era_2002();
+        let spec = sweep_point(
+            "t/stream",
+            experiments::clic_pair(&model, false, true),
+            StackKind::Clic,
+            4096,
+        );
+        let m = spec.run();
+        assert!(m.require("mbps") > 0.0);
+        assert!(m.get("retransmits").is_some());
+        // Re-running is bit-identical (purity).
+        let m2 = spec.run();
+        assert_eq!(
+            m.values
+                .iter()
+                .map(|(n, v)| (n.clone(), v.to_bits()))
+                .collect::<Vec<_>>(),
+            m2.values
+                .iter()
+                .map(|(n, v)| (n.clone(), v.to_bits()))
+                .collect::<Vec<_>>(),
+        );
+    }
+}

@@ -12,8 +12,14 @@
 //! * [`workload`] — ping-pong latency and unidirectional streaming
 //!   bandwidth drivers for every stack (raw CLIC, TCP, MPI-CLIC, MPI-TCP,
 //!   PVM-TCP, GAMMA).
+//! * [`jobs`] — the unit of experiment execution: every figure point is a
+//!   self-contained, named [`jobs::JobSpec`] that builds its own cluster,
+//!   runs one measurement and returns a flat [`jobs::Measurement`]. Jobs
+//!   are pure and `Send`, so any scheduler (serial, thread pool, cached)
+//!   can run them.
 //! * [`experiments`] — one function per paper figure/table plus the
-//!   ablations listed in DESIGN.md §4, returning structured rows the
+//!   ablations listed in DESIGN.md §4: per-figure job builders and
+//!   order-independent assemblers, returning structured rows the
 //!   `clic-bench` harness prints.
 
 #![warn(missing_docs)]
@@ -21,6 +27,7 @@
 pub mod builder;
 pub mod calibration;
 pub mod experiments;
+pub mod jobs;
 pub mod node;
 pub mod workload;
 

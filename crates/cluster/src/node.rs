@@ -162,6 +162,8 @@ impl Node {
 
     /// GAMMA module (panics when not installed).
     pub fn gamma(&self) -> Rc<RefCell<GammaModule>> {
-        self.gamma.clone().expect("GAMMA not installed on this node")
+        self.gamma
+            .clone()
+            .expect("GAMMA not installed on this node")
     }
 }

@@ -150,17 +150,23 @@ pub fn request_reply_cycles_with_background(
         StackKind::Tcp => {
             // Establishment happens inside; the hook runs after it so
             // injected traffic is not drained by the setup run.
-            pingpong_tcp(cluster, sim, req_size, reply_size, iters, &samples, background);
+            pingpong_tcp(
+                cluster, sim, req_size, reply_size, iters, &samples, background,
+            );
         }
         StackKind::Gamma => {
             background(sim);
             pingpong_gamma(cluster, sim, req_size, reply_size, iters, &samples);
         }
         StackKind::MpiClic | StackKind::MpiTcp => {
-            pingpong_mpi(cluster, sim, stack, req_size, reply_size, iters, &samples, background);
+            pingpong_mpi(
+                cluster, sim, stack, req_size, reply_size, iters, &samples, background,
+            );
         }
         StackKind::PvmTcp => {
-            pingpong_pvm(cluster, sim, req_size, reply_size, iters, &samples, background);
+            pingpong_pvm(
+                cluster, sim, req_size, reply_size, iters, &samples, background,
+            );
         }
     }
     sim.run();
@@ -260,10 +266,13 @@ fn pingpong_tcp(
     let b_ip = cluster.nodes[1].ip;
     let server_conn: Rc<RefCell<Option<clic_tcpip::ConnId>>> = Rc::new(RefCell::new(None));
     let sc = server_conn.clone();
-    b.borrow_mut().listen(9000, move |_s, id| *sc.borrow_mut() = Some(id));
+    b.borrow_mut()
+        .listen(9000, move |_s, id| *sc.borrow_mut() = Some(id));
     let client_conn: Rc<RefCell<Option<clic_tcpip::ConnId>>> = Rc::new(RefCell::new(None));
     let cc = client_conn.clone();
-    TcpStack::connect(&a, sim, b_ip, 9000, move |_s, id| *cc.borrow_mut() = Some(id));
+    TcpStack::connect(&a, sim, b_ip, 9000, move |_s, id| {
+        *cc.borrow_mut() = Some(id)
+    });
     sim.run();
     let client = client_conn.borrow().expect("connect failed");
     let server = server_conn.borrow().expect("accept failed");
@@ -307,10 +316,16 @@ fn pingpong_tcp(
         let t0 = sim.now();
         TcpStack::send(&st.stack, sim, st.conn, payload(st.size));
         let st2 = st.clone();
-        TcpStack::recv(&st.stack.clone(), sim, st.conn, st.reply_size, move |sim, _| {
-            st2.samples.borrow_mut().record(sim.now() - t0);
-            iterate(st2.clone(), sim, left - 1);
-        });
+        TcpStack::recv(
+            &st.stack.clone(),
+            sim,
+            st.conn,
+            st.reply_size,
+            move |sim, _| {
+                st2.samples.borrow_mut().record(sim.now() - t0);
+                iterate(st2.clone(), sim, left - 1);
+            },
+        );
     }
     iterate(
         Rc::new(St {
@@ -368,6 +383,7 @@ fn pingpong_gamma(
     GammaModule::send(&a, sim, b_mac, PORT, payload(size));
 }
 
+#[allow(clippy::too_many_arguments)]
 fn pingpong_mpi(
     cluster: &Cluster,
     sim: &mut Sim,
@@ -510,10 +526,7 @@ fn mpi_pair(cluster: &Cluster, sim: &mut Sim, stack: StackKind) -> (Rc<Mpi>, Rc<
     }
 }
 
-fn tcp_transport_pair(
-    cluster: &Cluster,
-    sim: &mut Sim,
-) -> (Rc<dyn Transport>, Rc<dyn Transport>) {
+fn tcp_transport_pair(cluster: &Cluster, sim: &mut Sim) -> (Rc<dyn Transport>, Rc<dyn Transport>) {
     let ips = vec![cluster.nodes[0].ip, cluster.nodes[1].ip];
     let t0 = TcpTransport::new(sim, &cluster.nodes[0].tcp(), 0, ips.clone());
     let t1 = TcpTransport::new(sim, &cluster.nodes[1].tcp(), 1, ips);
@@ -540,8 +553,18 @@ pub fn stream(
     let cycles = request_reply_cycles(cluster, sim, stack, size.max(1), 4, count);
     let elapsed = sim.now().saturating_since(start);
     let window = elapsed.max(SimDuration::from_ns(1));
-    let sender_cpu = cluster.nodes[0].kernel.borrow().cpu.borrow().utilization(window);
-    let receiver_cpu = cluster.nodes[1].kernel.borrow().cpu.borrow().utilization(window);
+    let sender_cpu = cluster.nodes[0]
+        .kernel
+        .borrow()
+        .cpu
+        .borrow()
+        .utilization(window);
+    let receiver_cpu = cluster.nodes[1]
+        .kernel
+        .borrow()
+        .cpu
+        .borrow()
+        .utilization(window);
     // Goodput counts the request payloads over the sum of cycle times
     // (excluding the post-run settling the simulator does after the last
     // reply).
@@ -573,8 +596,7 @@ pub fn stream_pipelined(
 ) -> StreamResult {
     assert!(size > 0 && count > 0);
     // (delivered bytes, delivered msgs, last delivery time)
-    let progress: Rc<RefCell<(u64, u64, SimTime)>> =
-        Rc::new(RefCell::new((0, 0, SimTime::ZERO)));
+    let progress: Rc<RefCell<(u64, u64, SimTime)>> = Rc::new(RefCell::new((0, 0, SimTime::ZERO)));
     let start = match stack {
         StackKind::Clic => stream_clic(cluster, sim, size, count, &progress),
         StackKind::Tcp => stream_tcp(cluster, sim, size, count, &progress),
@@ -590,8 +612,18 @@ pub fn stream_pipelined(
     assert!(msgs > 0, "stream delivered nothing");
     let elapsed = last.saturating_since(start);
     let window = elapsed.max(SimDuration::from_ns(1));
-    let sender_cpu = cluster.nodes[0].kernel.borrow().cpu.borrow().utilization(window);
-    let receiver_cpu = cluster.nodes[1].kernel.borrow().cpu.borrow().utilization(window);
+    let sender_cpu = cluster.nodes[0]
+        .kernel
+        .borrow()
+        .cpu
+        .borrow()
+        .utilization(window);
+    let receiver_cpu = cluster.nodes[1]
+        .kernel
+        .borrow()
+        .cpu
+        .borrow()
+        .utilization(window);
     StreamResult {
         bytes,
         msgs,
@@ -655,10 +687,13 @@ fn stream_tcp(
     let b_ip = cluster.nodes[1].ip;
     let server_conn: Rc<RefCell<Option<clic_tcpip::ConnId>>> = Rc::new(RefCell::new(None));
     let sc = server_conn.clone();
-    b.borrow_mut().listen(9100, move |_s, id| *sc.borrow_mut() = Some(id));
+    b.borrow_mut()
+        .listen(9100, move |_s, id| *sc.borrow_mut() = Some(id));
     let client_conn: Rc<RefCell<Option<clic_tcpip::ConnId>>> = Rc::new(RefCell::new(None));
     let cc = client_conn.clone();
-    TcpStack::connect(&a, sim, b_ip, 9100, move |_s, id| *cc.borrow_mut() = Some(id));
+    TcpStack::connect(&a, sim, b_ip, 9100, move |_s, id| {
+        *cc.borrow_mut() = Some(id)
+    });
     sim.run();
     let client = client_conn.borrow().expect("connect failed");
     let server = server_conn.borrow().expect("accept failed");
@@ -840,7 +875,7 @@ pub fn all_to_all_clic(cluster: &Cluster, sim: &mut Sim, size: usize) -> AllToAl
     let data = payload(size);
     for (i, node) in cluster.nodes.iter().enumerate() {
         let pid = node.kernel.borrow_mut().processes.spawn("a2a-tx");
-        let port = ClicPort::bind(&node.clic(), pid, (CH + 1) as u16);
+        let port = ClicPort::bind(&node.clic(), pid, CH + 1);
         for (j, peer) in cluster.nodes.iter().enumerate() {
             if i != j {
                 port.send(sim, peer.mac, CH, data.clone());

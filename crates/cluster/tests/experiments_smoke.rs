@@ -89,8 +89,14 @@ fn coalescing_rows_trade_latency_for_interrupt_rate() {
     assert!(rows.len() >= 4);
     let first = &rows[0];
     let last = &rows[rows.len() - 1];
-    assert!(last.latency_us > first.latency_us * 2.0, "coalescing delays singles");
-    assert!(last.irqs_per_kframe < first.irqs_per_kframe, "but batches interrupts");
+    assert!(
+        last.latency_us > first.latency_us * 2.0,
+        "coalescing delays singles"
+    );
+    assert!(
+        last.irqs_per_kframe < first.irqs_per_kframe,
+        "but batches interrupts"
+    );
 }
 
 #[test]

@@ -91,7 +91,9 @@ fn latency_ordering_matches_paper() {
         }
         let cluster = Cluster::build(&cfg);
         let mut sim = Sim::new(4);
-        ping_pong(&cluster, &mut sim, stack, 0, 8).one_way().as_us_f64()
+        ping_pong(&cluster, &mut sim, stack, 0, 8)
+            .one_way()
+            .as_us_f64()
     };
     let gamma = lat(StackKind::Gamma);
     let clic = lat(StackKind::Clic);
@@ -99,7 +101,10 @@ fn latency_ordering_matches_paper() {
     let mpi_tcp = lat(StackKind::MpiTcp);
     assert!(gamma < clic, "GAMMA {gamma} < CLIC {clic}");
     assert!(clic < mpi_clic, "CLIC {clic} < MPI-CLIC {mpi_clic}");
-    assert!(mpi_clic < mpi_tcp, "MPI-CLIC {mpi_clic} < MPI-TCP {mpi_tcp}");
+    assert!(
+        mpi_clic < mpi_tcp,
+        "MPI-CLIC {mpi_clic} < MPI-TCP {mpi_tcp}"
+    );
 }
 
 #[test]

@@ -211,7 +211,10 @@ impl ClicModule {
         assert!(!devices.is_empty(), "CLIC needs at least one device");
         let (macs, device_mtu) = {
             let k = kernel.borrow();
-            let macs: Vec<MacAddr> = devices.iter().map(|&d| k.device(d).borrow().mac()).collect();
+            let macs: Vec<MacAddr> = devices
+                .iter()
+                .map(|&d| k.device(d).borrow().mac())
+                .collect();
             let mtu = devices
                 .iter()
                 .map(|&d| k.device(d).borrow().mtu())
@@ -374,8 +377,7 @@ impl ClicModule {
         let (cost, key) = {
             let mut m = module.borrow_mut();
             m.stats.msgs_sent += 1;
-            let npackets =
-                (MSG_PREFIX + data.len()).div_ceil(m.max_chunk).max(1) as u64;
+            let npackets = (MSG_PREFIX + data.len()).div_ceil(m.max_chunk).max(1) as u64;
             let mut cost = m.config.costs.tx_per_message + m.config.costs.tx_per_packet * npackets;
             if !m.config.zero_copy {
                 // Legacy path: stage the whole message through kernel
@@ -558,8 +560,7 @@ impl ClicModule {
                 let Some(flow) = m.out.get_mut(&key) else {
                     return;
                 };
-                if flow.queue.is_empty()
-                    || flow.window.inflight_len() + flow.posting >= window_cap
+                if flow.queue.is_empty() || flow.window.inflight_len() + flow.posting >= window_cap
                 {
                     None
                 } else {
@@ -1092,9 +1093,7 @@ impl ClicModule {
                         sim.trace.end(sim.now(), "copy_to_user", trace);
                     }
                     match pid {
-                        Some(pid) => {
-                            Kernel::wake(&kernel2, sim, pid, move |sim| waiter(sim, msg))
-                        }
+                        Some(pid) => Kernel::wake(&kernel2, sim, pid, move |sim| waiter(sim, msg)),
                         None => waiter(sim, msg),
                     }
                 });
@@ -1225,6 +1224,9 @@ impl ClicModule {
 
     /// Number of messages parked on `channel`.
     pub fn pending_len(&self, channel: u16) -> usize {
-        self.ports.get(&channel).map(|p| p.pending.len()).unwrap_or(0)
+        self.ports
+            .get(&channel)
+            .map(|p| p.pending.len())
+            .unwrap_or(0)
     }
 }

@@ -50,7 +50,12 @@ fn mk_node_on(
 /// Two nodes back to back on one gigabit link.
 fn two_nodes(nic_cfg: NicConfig, clic_cfg: ClicConfig) -> (Node, Node) {
     let link = Link::gigabit();
-    let a = mk_node_on(1, nic_cfg.clone(), clic_cfg.clone(), vec![(link.clone(), LinkEnd::A)]);
+    let a = mk_node_on(
+        1,
+        nic_cfg.clone(),
+        clic_cfg.clone(),
+        vec![(link.clone(), LinkEnd::A)],
+    );
     let b = mk_node_on(2, nic_cfg, clic_cfg, vec![(link, LinkEnd::B)]);
     (a, b)
 }
@@ -148,7 +153,11 @@ fn large_message_fragments_and_reassembles() {
     assert_eq!(inbox.borrow().len(), 1);
     assert_eq!(inbox.borrow()[0].1.data, data);
     let stats = a.module.borrow().stats();
-    assert!(stats.packets_sent > 60, "expected many packets, got {}", stats.packets_sent);
+    assert!(
+        stats.packets_sent > 60,
+        "expected many packets, got {}",
+        stats.packets_sent
+    );
     assert_eq!(stats.retransmits, 0);
 }
 
@@ -268,7 +277,10 @@ fn send_confirmed_fires_after_ack() {
     sim.run();
     let t = confirmed.borrow().expect("confirmation must fire");
     // Confirmation needs a round trip: strictly after the one-way time.
-    assert!(t > SimTime::from_us(30), "confirmed at {t}, suspiciously early");
+    assert!(
+        t > SimTime::from_us(30),
+        "confirmed at {t}, suspiciously early"
+    );
     assert!(a.module.borrow().stats().acks_received > 0);
 }
 
@@ -333,7 +345,12 @@ fn broadcast_reaches_all_stations_on_switch() {
         recv_into(&rx, &mut sim, &inbox);
         inboxes.push(inbox);
     }
-    tx.send(&mut sim, MacAddr::BROADCAST, 1, Bytes::from_static(b"hello all"));
+    tx.send(
+        &mut sim,
+        MacAddr::BROADCAST,
+        1,
+        Bytes::from_static(b"hello all"),
+    );
     sim.run();
     for inbox in &inboxes {
         assert_eq!(inbox.borrow().len(), 1);
@@ -391,9 +408,16 @@ fn channel_bonding_two_links() {
             devs.push(Kernel::add_device(&kernel, nic));
         }
         let module = ClicModule::install(&kernel, devs, ClicConfig::paper_default());
-        Node { kernel, module, mac }
+        Node {
+            kernel,
+            module,
+            mac,
+        }
     }
-    let a = bonded_node(1, vec![(link0.clone(), LinkEnd::A), (link1.clone(), LinkEnd::A)]);
+    let a = bonded_node(
+        1,
+        vec![(link0.clone(), LinkEnd::A), (link1.clone(), LinkEnd::A)],
+    );
     let b = bonded_node(2, vec![(link0, LinkEnd::B), (link1, LinkEnd::B)]);
     let tx = bind_port(&a, "s", 1);
     let rx = bind_port(&b, "r", 1);
@@ -577,10 +601,12 @@ fn kernel_function_call_and_reply() {
     let mut sim = Sim::new(0);
     let (a, b) = default_pair();
     // Node b registers an in-kernel "double every byte" service as id 40.
-    b.module.borrow_mut().register_kernel_function(40, |_sim, msg| {
-        let doubled: Vec<u8> = msg.data.iter().map(|&x| x.wrapping_mul(2)).collect();
-        Some(Bytes::from(doubled))
-    });
+    b.module
+        .borrow_mut()
+        .register_kernel_function(40, |_sim, msg| {
+            let doubled: Vec<u8> = msg.data.iter().map(|&x| x.wrapping_mul(2)).collect();
+            Some(Bytes::from(doubled))
+        });
     // Node a calls it; the reply lands on a's channel 41.
     let reply_port = bind_port(&a, "caller", 41);
     let inbox: Inbox = Rc::new(RefCell::new(Vec::new()));
@@ -608,10 +634,12 @@ fn kernel_function_without_reply() {
     let (a, b) = default_pair();
     let hits: Rc<RefCell<u32>> = Rc::new(RefCell::new(0));
     let h = hits.clone();
-    b.module.borrow_mut().register_kernel_function(50, move |_sim, _msg| {
-        *h.borrow_mut() += 1;
-        None
-    });
+    b.module
+        .borrow_mut()
+        .register_kernel_function(50, move |_sim, _msg| {
+            *h.borrow_mut() += 1;
+            None
+        });
     clic_core::ClicModule::call_kernel_function(
         &a.module,
         &mut sim,
@@ -648,10 +676,12 @@ fn large_kernel_function_args_fragmented() {
     let (a, b) = default_pair();
     let echoed: Rc<RefCell<Option<usize>>> = Rc::new(RefCell::new(None));
     let e = echoed.clone();
-    b.module.borrow_mut().register_kernel_function(60, move |_s, msg| {
-        *e.borrow_mut() = Some(msg.data.len());
-        Some(Bytes::from_static(b"ok"))
-    });
+    b.module
+        .borrow_mut()
+        .register_kernel_function(60, move |_s, msg| {
+            *e.borrow_mut() = Some(msg.data.len());
+            Some(Bytes::from_static(b"ok"))
+        });
     let reply_port = bind_port(&a, "caller", 61);
     let inbox: Inbox = Rc::new(RefCell::new(Vec::new()));
     recv_into(&reply_port, &mut sim, &inbox);

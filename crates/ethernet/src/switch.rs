@@ -120,9 +120,9 @@ impl Switch {
                 match sw.table.get(&frame.dst).copied() {
                     Some(p) if p == ingress => Decision::Drop,
                     Some(p) => Decision::Unicast(p),
-                    None => Decision::Flood(
-                        (0..sw.ports.len()).filter(|&p| p != ingress).collect(),
-                    ),
+                    None => {
+                        Decision::Flood((0..sw.ports.len()).filter(|&p| p != ingress).collect())
+                    }
                 }
             } else {
                 Decision::Flood((0..sw.ports.len()).filter(|&p| p != ingress).collect())
@@ -199,7 +199,12 @@ mod tests {
     }
 
     fn send(net: &Net, sim: &mut Sim, from: usize, dst: MacAddr, tag: u8) {
-        let f = Frame::new(dst, station(from), EtherType::CLIC, Bytes::from(vec![tag; 100]));
+        let f = Frame::new(
+            dst,
+            station(from),
+            EtherType::CLIC,
+            Bytes::from(vec![tag; 100]),
+        );
         Link::transmit(&net.links[from], sim, LinkEnd::A, f);
     }
 
@@ -285,7 +290,7 @@ mod tests {
     fn output_queue_tail_drop() {
         let mut sim = Sim::new(0);
         let net = mk_net(3); // queue_limit = 4
-        // Teach the switch all locations first.
+                             // Teach the switch all locations first.
         for i in 0..3 {
             send(&net, &mut sim, i, station((i + 1) % 3), 0);
         }

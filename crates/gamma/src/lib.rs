@@ -176,12 +176,14 @@ impl GammaModule {
 
     /// Send `data` to (`dst`, `port`) — best effort, 0-copy, through a
     /// lightweight system call.
-    pub fn send(module: &Rc<RefCell<GammaModule>>, sim: &mut Sim, dst: MacAddr, port: u16, data: Bytes) {
-        let kernel = module
-            .borrow()
-            .kernel
-            .upgrade()
-            .expect("kernel dropped");
+    pub fn send(
+        module: &Rc<RefCell<GammaModule>>,
+        sim: &mut Sim,
+        dst: MacAddr,
+        port: u16,
+        data: Bytes,
+    ) {
+        let kernel = module.borrow().kernel.upgrade().expect("kernel dropped");
         let module2 = module.clone();
         Kernel::lightweight_call(&kernel.clone(), sim, move |sim| {
             let (_dev, chunks, cost) = {
@@ -305,19 +307,27 @@ fn post_in_order(
     };
     let kernel2 = kernel.clone();
     let skb = SkBuff::zero_copy(Bytes::new(), pkt.clone());
-    hard_start_xmit(kernel, sim, 0, dst, EtherType::GAMMA, skb, move |sim, ok| {
-        if ok {
-            post_in_order(&kernel2, sim, dst, chunks, 0);
-        } else if retries < 10_000 {
-            chunks.push_front(pkt);
-            let kernel3 = kernel2.clone();
-            sim.schedule_in(SimDuration::from_us(5), move |sim| {
-                post_in_order(&kernel3, sim, dst, chunks, retries + 1);
-            });
-        }
-        // After exhausting retries the rest of the message is lost —
-        // best effort ends somewhere.
-    });
+    hard_start_xmit(
+        kernel,
+        sim,
+        0,
+        dst,
+        EtherType::GAMMA,
+        skb,
+        move |sim, ok| {
+            if ok {
+                post_in_order(&kernel2, sim, dst, chunks, 0);
+            } else if retries < 10_000 {
+                chunks.push_front(pkt);
+                let kernel3 = kernel2.clone();
+                sim.schedule_in(SimDuration::from_us(5), move |sim| {
+                    post_in_order(&kernel3, sim, dst, chunks, retries + 1);
+                });
+            }
+            // After exhausting retries the rest of the message is lost —
+            // best effort ends somewhere.
+        },
+    );
 }
 
 #[cfg(test)]
@@ -325,7 +335,7 @@ mod tests {
     use super::*;
     use clic_ethernet::{Link, LinkEnd, LossModel};
     use clic_hw::{Nic, PciBus};
-        use clic_sim::SimTime;
+    use clic_sim::SimTime;
 
     struct Node {
         // Held so the module's Weak<Kernel> stays upgradable.
@@ -367,9 +377,11 @@ mod tests {
     fn port_into(node: &Node, port: u16) -> Inbox {
         let inbox: Inbox = Rc::new(RefCell::new(Vec::new()));
         let i = inbox.clone();
-        node.module.borrow_mut().register_port(port, move |sim, msg| {
-            i.borrow_mut().push((sim.now(), msg));
-        });
+        node.module
+            .borrow_mut()
+            .register_port(port, move |sim, msg| {
+                i.borrow_mut().push((sim.now(), msg));
+            });
         inbox
     }
 

@@ -46,7 +46,10 @@ mod tests {
             bytes_per_sec: 1_000_000_000,
         };
         assert_eq!(m.cost(0), SimDuration::from_ns(100));
-        assert_eq!(m.cost(1000), SimDuration::from_ns(100) + SimDuration::from_ns(1000));
+        assert_eq!(
+            m.cost(1000),
+            SimDuration::from_ns(100) + SimDuration::from_ns(1000)
+        );
         // Twice the bytes, twice the variable part.
         let c1 = m.cost(5000) - m.per_copy;
         let c2 = m.cost(10000) - m.per_copy;

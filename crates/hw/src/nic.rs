@@ -485,8 +485,7 @@ impl Nic {
             if n.irq_asserted || pending == 0 {
                 Decision::Nothing
             } else if (n.config.coalesce_frames <= 1 && n.config.coalesce_usecs == 0)
-                || (n.config.coalesce_frames >= 1
-                    && pending >= n.config.coalesce_frames as usize)
+                || (n.config.coalesce_frames >= 1 && pending >= n.config.coalesce_frames as usize)
             {
                 Decision::Assert
             } else if n.config.coalesce_usecs > 0 && !n.timer_armed {

@@ -57,7 +57,12 @@ impl PciBus {
 
     /// Perform a DMA of `bytes`; `done` runs when the transfer completes
     /// (after queueing behind other bus traffic).
-    pub fn dma(self: &Rc<Self>, sim: &mut Sim, bytes: usize, done: impl FnOnce(&mut Sim) + 'static) {
+    pub fn dma(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        bytes: usize,
+        done: impl FnOnce(&mut Sim) + 'static,
+    ) {
         *self.bytes_moved.borrow_mut() += bytes as u64;
         let t = self.service_time(bytes);
         SerialResource::acquire(&self.bus, sim, t, done);

@@ -39,9 +39,14 @@ pub fn barrier(mpi: &Rc<Mpi>, sim: &mut Sim, done: impl FnOnce(&mut Sim) + 'stat
                 return;
             }
             let m2 = mpi.clone();
-            mpi.clone().recv(sim, crate::p2p::ANY_SOURCE, TAG_BARRIER_IN, move |sim, _| {
-                gather(m2, sim, left - 1, done);
-            });
+            mpi.clone().recv(
+                sim,
+                crate::p2p::ANY_SOURCE,
+                TAG_BARRIER_IN,
+                move |sim, _| {
+                    gather(m2, sim, left - 1, done);
+                },
+            );
         }
         gather(mpi.clone(), sim, size - 1, Box::new(done));
     } else {
@@ -97,12 +102,18 @@ pub fn gather(
         }));
         st.borrow_mut().slots[root] = Some(data);
         if size == 1 {
-            let slots = st.borrow_mut().slots.drain(..).map(Option::unwrap).collect();
+            let slots = st
+                .borrow_mut()
+                .slots
+                .drain(..)
+                .map(Option::unwrap)
+                .collect();
             done(sim, slots);
             return;
         }
-        let done = Rc::new(std::cell::RefCell::new(Some(Box::new(done)
-            as Box<dyn FnOnce(&mut Sim, Vec<Bytes>)>)));
+        let done = Rc::new(std::cell::RefCell::new(Some(
+            Box::new(done) as Box<dyn FnOnce(&mut Sim, Vec<Bytes>)>
+        )));
         for _ in 1..size {
             let st2 = st.clone();
             let done2 = done.clone();
@@ -172,33 +183,39 @@ pub fn allreduce_sum(
             done(sim, value);
             return;
         }
-        let done = Rc::new(std::cell::RefCell::new(Some(Box::new(done)
-            as Box<dyn FnOnce(&mut Sim, u64)>)));
+        let done = Rc::new(std::cell::RefCell::new(Some(
+            Box::new(done) as Box<dyn FnOnce(&mut Sim, u64)>
+        )));
         for _ in 1..size {
             let acc2 = acc.clone();
             let done2 = done.clone();
             let mpi2 = mpi.clone();
-            mpi.recv(sim, crate::p2p::ANY_SOURCE, TAG_REDUCE_IN, move |sim, msg| {
-                let v = u64::from_be_bytes(msg.data[..8].try_into().unwrap());
-                let finished = {
-                    let mut a = acc2.borrow_mut();
-                    a.0 = a.0.wrapping_add(v);
-                    a.1 -= 1;
-                    a.1 == 0
-                };
-                if finished {
-                    let total = acc2.borrow().0;
-                    for r in 1..mpi2.size() {
-                        mpi2.send(
-                            sim,
-                            r,
-                            TAG_REDUCE_OUT,
-                            Bytes::copy_from_slice(&total.to_be_bytes()),
-                        );
+            mpi.recv(
+                sim,
+                crate::p2p::ANY_SOURCE,
+                TAG_REDUCE_IN,
+                move |sim, msg| {
+                    let v = u64::from_be_bytes(msg.data[..8].try_into().unwrap());
+                    let finished = {
+                        let mut a = acc2.borrow_mut();
+                        a.0 = a.0.wrapping_add(v);
+                        a.1 -= 1;
+                        a.1 == 0
+                    };
+                    if finished {
+                        let total = acc2.borrow().0;
+                        for r in 1..mpi2.size() {
+                            mpi2.send(
+                                sim,
+                                r,
+                                TAG_REDUCE_OUT,
+                                Bytes::copy_from_slice(&total.to_be_bytes()),
+                            );
+                        }
+                        (done2.borrow_mut().take().unwrap())(sim, total);
                     }
-                    (done2.borrow_mut().take().unwrap())(sim, total);
-                }
-            });
+                },
+            );
         }
     } else {
         mpi.send(

@@ -397,7 +397,11 @@ impl Mpi {
                 mpi.inner.borrow_mut().awaiting_data.insert(token, cont);
                 Self::send_cts(mpi, sim, peer, token);
             }
-            Hit::Miss => mpi.inner.borrow_mut().posted.push(Posted { src, tag, cont }),
+            Hit::Miss => mpi
+                .inner
+                .borrow_mut()
+                .posted
+                .push(Posted { src, tag, cont }),
         }
     }
 

@@ -110,9 +110,7 @@ impl Pvm {
                 inner
                     .pending
                     .iter()
-                    .position(|m| {
-                        (src == -1 || src == m.src as i32) && (tag == -1 || tag == m.tag)
-                    })
+                    .position(|m| (src == -1 || src == m.src as i32) && (tag == -1 || tag == m.tag))
                     .and_then(|i| inner.pending.remove(i))
             };
             match hit {

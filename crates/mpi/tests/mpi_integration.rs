@@ -162,10 +162,14 @@ fn selective_tag_matching_with_unexpected_queue() {
     sim.run();
     let order: Rc<RefCell<Vec<i32>>> = Rc::new(RefCell::new(Vec::new()));
     let o = order.clone();
-    mpis[1].recv(&mut sim, ANY_SOURCE, 2, move |_s, m| o.borrow_mut().push(m.tag));
+    mpis[1].recv(&mut sim, ANY_SOURCE, 2, move |_s, m| {
+        o.borrow_mut().push(m.tag)
+    });
     sim.run();
     let o = order.clone();
-    mpis[1].recv(&mut sim, ANY_SOURCE, 1, move |_s, m| o.borrow_mut().push(m.tag));
+    mpis[1].recv(&mut sim, ANY_SOURCE, 1, move |_s, m| {
+        o.borrow_mut().push(m.tag)
+    });
     sim.run();
     assert_eq!(*order.borrow(), vec![2, 1]);
     assert!(mpis[1].unexpected_peak() >= 1);
@@ -333,7 +337,9 @@ fn isend_irecv_requests() {
     assert!(!rreq.test(), "recv cannot complete before traffic flows");
     let got: Rc<RefCell<Option<Bytes>>> = Rc::new(RefCell::new(None));
     let g = got.clone();
-    rreq.wait(&mut sim, move |_s, m| *g.borrow_mut() = Some(m.unwrap().data));
+    rreq.wait(&mut sim, move |_s, m| {
+        *g.borrow_mut() = Some(m.unwrap().data)
+    });
     sim.run();
     assert!(sreq.test());
     assert!(rreq.test());
@@ -353,7 +359,11 @@ fn rendezvous_used_above_eager_limit() {
     mpis[0].send(&mut sim, 1, 3, big.clone());
     sim.run();
     assert_eq!(got.borrow().as_ref().unwrap(), &big);
-    assert_eq!(mpis[0].rendezvous_started(), 1, "must take the RTS/CTS path");
+    assert_eq!(
+        mpis[0].rendezvous_started(),
+        1,
+        "must take the RTS/CTS path"
+    );
 }
 
 #[test]

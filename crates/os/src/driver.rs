@@ -68,11 +68,12 @@ pub(crate) fn install_irq(kernel: &Rc<RefCell<Kernel>>, dev: usize) {
     // Weak reference: the NIC outlives nothing here, but a strong ref would
     // cycle kernel -> nic -> handler -> kernel.
     let weak: Weak<RefCell<Kernel>> = Rc::downgrade(kernel);
-    nic.borrow_mut().set_irq_handler(Rc::new(move |sim: &mut Sim| {
-        if let Some(kernel) = weak.upgrade() {
-            irq_top_half(&kernel, sim, dev);
-        }
-    }));
+    nic.borrow_mut()
+        .set_irq_handler(Rc::new(move |sim: &mut Sim| {
+            if let Some(kernel) = weak.upgrade() {
+                irq_top_half(&kernel, sim, dev);
+            }
+        }));
 }
 
 /// IRQ entry: charge prologue + per-interrupt driver fixed cost, then start
@@ -245,7 +246,8 @@ mod tests {
         let r = Rc::new(Recorder {
             frames: RefCell::new(Vec::new()),
         });
-        k.borrow_mut().register_handler(EtherType::CLIC.0, r.clone());
+        k.borrow_mut()
+            .register_handler(EtherType::CLIC.0, r.clone());
         r
     }
 
@@ -442,11 +444,18 @@ mod host_ring_tests {
             let stamp = Rc::new(Stamp {
                 at: RefCell::new(None),
             });
-            b.borrow_mut().register_handler(EtherType::CLIC.0, stamp.clone());
+            b.borrow_mut()
+                .register_handler(EtherType::CLIC.0, stamp.clone());
             let skb = SkBuff::zero_copy(Bytes::new(), Bytes::from(vec![3u8; 1400]));
-            hard_start_xmit(&a, &mut sim, 0, MacAddr::for_node(2, 0), EtherType::CLIC, skb, |_, ok| {
-                assert!(ok)
-            });
+            hard_start_xmit(
+                &a,
+                &mut sim,
+                0,
+                MacAddr::for_node(2, 0),
+                EtherType::CLIC,
+                skb,
+                |_, ok| assert!(ok),
+            );
             sim.run();
             let at = stamp.at.borrow().expect("frame must be dispatched");
             at

@@ -92,7 +92,10 @@ impl Kernel {
     /// Register the protocol handler for an EtherType.
     pub fn register_handler(&mut self, ethertype: u16, handler: Rc<dyn PacketHandler>) {
         let prev = self.handlers.insert(ethertype, handler);
-        assert!(prev.is_none(), "duplicate handler for ethertype {ethertype:#x}");
+        assert!(
+            prev.is_none(),
+            "duplicate handler for ethertype {ethertype:#x}"
+        );
     }
 
     pub(crate) fn handler_for(&self, ethertype: u16) -> Option<Rc<dyn PacketHandler>> {

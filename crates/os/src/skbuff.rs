@@ -106,10 +106,7 @@ mod tests {
 
     #[test]
     fn linearize_concatenates() {
-        let skb = SkBuff::zero_copy(
-            Bytes::from_static(&[1, 2]),
-            Bytes::from_static(&[3, 4, 5]),
-        );
+        let skb = SkBuff::zero_copy(Bytes::from_static(&[1, 2]), Bytes::from_static(&[3, 4, 5]));
         assert_eq!(skb.wire_payload_len(), 5);
         assert_eq!(&skb.linearize()[..], &[1, 2, 3, 4, 5]);
     }

@@ -1,0 +1,135 @@
+//! Workspace-local stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, providing the subset of its API this repository's
+//! benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves the `criterion` dependency to this path crate instead (see
+//! the root `Cargo.toml`). `cargo bench` works the same way from the
+//! outside — each `bench_function` runs its closure `sample_size` times
+//! and prints the median, min and max wall-clock time per iteration —
+//! but there is no warm-up modelling, outlier analysis, or HTML report.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver: collects samples and prints a summary line per
+/// benchmark.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run `f` as a named benchmark and print its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        bencher.samples.sort();
+        let median = bencher.samples[bencher.samples.len() / 2];
+        let min = *bencher.samples.first().unwrap_or(&Duration::ZERO);
+        let max = *bencher.samples.last().unwrap_or(&Duration::ZERO);
+        println!(
+            "{name:<40} median {:>12} (min {}, max {}, n={})",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            bencher.samples.len(),
+        );
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Passed to each benchmark closure; times one iteration per call.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed());
+        drop(black_box(out));
+    }
+}
+
+/// Group benchmark functions under a name with a shared config, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_function_runs_sample_size_times() {
+        let mut runs = 0usize;
+        let mut c = crate::Criterion::default().sample_size(7);
+        c.bench_function("t", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 7);
+    }
+}

@@ -1,0 +1,151 @@
+//! Workspace-local stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, providing the subset of its API this repository's property tests
+//! use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves the `proptest` dependency to this path crate instead (see the
+//! root `Cargo.toml`). It keeps the same shape — `proptest! { fn t(x in
+//! strategy) { .. } }` expands to a `#[test]` that samples each strategy
+//! for a number of cases — but the implementation is intentionally small:
+//!
+//! * Sampling is **deterministic**: the RNG is seeded from the test name
+//!   and case index, so every run and every machine explores the same
+//!   cases. There is no failure persistence (`.proptest-regressions`) and
+//!   no shrinking; a failing case panics with the `prop_assert!` message.
+//! * Strategies cover integer ranges, `any::<T>()` for primitives and
+//!   small tuples, `Just`, `prop_oneof!`, `prop_map`, and
+//!   `collection::vec`.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `vec(element, size_range)` — strategy for vectors of strategy-generated
+/// elements, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate vectors of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.below(self.size.end - self.size.start) + self.size.start;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that runs `body` for `Config::cases` sampled
+/// inputs. An optional `#![proptest_config(expr)]` header overrides the
+/// config for the whole block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{ @impl ($cfg); $($rest)* }
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(
+                        stringify!($name),
+                        case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{ @impl ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Choose uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut __union = $crate::strategy::Union::empty();
+        $(__union.push($strat);)+
+        __union
+    }};
+}
+
+/// Skip the current case when an assumption does not hold (expands to
+/// `continue` on the case loop, so it must appear directly in the test
+/// body, as in real proptest).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Assert a condition inside a property test (panics on failure, naming
+/// the failing expression; this shim does not shrink).
+///
+/// Messages go through `format!` explicitly so implicit `{var}` captures
+/// work even though this crate is edition 2018 (a bare `assert!` literal
+/// would not be treated as a format string here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            panic!("{}", format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}

@@ -1,0 +1,94 @@
+//! Test configuration and the deterministic RNG behind the shim.
+
+/// Per-block test configuration (subset of proptest's `Config`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of sampled cases per property.
+    pub cases: u64,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u64) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// A small deterministic RNG (SplitMix64 stream seeded from the test name
+/// and case index). Not cryptographic; stable across platforms.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the property name and case number, so every run of every
+    /// build explores the same inputs.
+    pub fn deterministic(name: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        // Widening-multiply rejection keeps this unbiased.
+        let n = n as u64;
+        let zone = (n << n.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = self.next_u64();
+            let m = (v as u128) * (n as u128);
+            if (m as u64) <= zone {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = TestRng::deterministic("t", 3);
+        let mut b = TestRng::deterministic("t", 3);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::deterministic("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = TestRng::deterministic("below", 0);
+        for n in [1usize, 2, 3, 7, 100, 1 << 20] {
+            for _ in 0..100 {
+                assert!(r.below(n) < n);
+            }
+        }
+    }
+}

@@ -282,7 +282,10 @@ mod tests {
                 (2, SimTime::from_us(30)),
             ]
         );
-        assert_eq!(cpu.borrow().busy_time(CpuClass::Task), SimDuration::from_us(30));
+        assert_eq!(
+            cpu.borrow().busy_time(CpuClass::Task),
+            SimDuration::from_us(30)
+        );
         assert_eq!(cpu.borrow().items_run(), 3);
     }
 
@@ -300,9 +303,13 @@ mod tests {
             });
         }
         let l = log.clone();
-        Cpu::run(&cpu, &mut sim, CpuClass::Irq, SimDuration::from_us(1), move |_| {
-            l.borrow_mut().push("irq")
-        });
+        Cpu::run(
+            &cpu,
+            &mut sim,
+            CpuClass::Irq,
+            SimDuration::from_us(1),
+            move |_| l.borrow_mut().push("irq"),
+        );
         sim.run();
         assert_eq!(*log.borrow(), vec!["t1", "irq", "t2"]);
     }
@@ -313,9 +320,13 @@ mod tests {
         let cpu = Cpu::new();
         let log = Rc::new(RefCell::new(Vec::new()));
         let l = log.clone();
-        Cpu::run(&cpu, &mut sim, CpuClass::Task, SimDuration::from_us(50), move |s| {
-            l.borrow_mut().push(("task", s.now()))
-        });
+        Cpu::run(
+            &cpu,
+            &mut sim,
+            CpuClass::Task,
+            SimDuration::from_us(50),
+            move |s| l.borrow_mut().push(("task", s.now())),
+        );
         // IRQ arrives mid-task; it completes only after the task finishes.
         let cpu2 = cpu.clone();
         let l = log.clone();
@@ -341,13 +352,25 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         let cpu2 = cpu.clone();
         let l = log.clone();
-        Cpu::run(&cpu, &mut sim, CpuClass::Task, SimDuration::from_us(5), move |s| {
-            l.borrow_mut().push(("a", s.now()));
-            let l2 = l.clone();
-            Cpu::run(&cpu2, s, CpuClass::Task, SimDuration::from_us(5), move |s| {
-                l2.borrow_mut().push(("b", s.now()));
-            });
-        });
+        Cpu::run(
+            &cpu,
+            &mut sim,
+            CpuClass::Task,
+            SimDuration::from_us(5),
+            move |s| {
+                l.borrow_mut().push(("a", s.now()));
+                let l2 = l.clone();
+                Cpu::run(
+                    &cpu2,
+                    s,
+                    CpuClass::Task,
+                    SimDuration::from_us(5),
+                    move |s| {
+                        l2.borrow_mut().push(("b", s.now()));
+                    },
+                );
+            },
+        );
         sim.run();
         assert_eq!(
             *log.borrow(),
@@ -361,9 +384,13 @@ mod tests {
         let cpu = Cpu::new();
         let done = Rc::new(RefCell::new(false));
         let d = done.clone();
-        Cpu::run(&cpu, &mut sim, CpuClass::Task, SimDuration::ZERO, move |_| {
-            *d.borrow_mut() = true
-        });
+        Cpu::run(
+            &cpu,
+            &mut sim,
+            CpuClass::Task,
+            SimDuration::ZERO,
+            move |_| *d.borrow_mut() = true,
+        );
         sim.run();
         assert!(*done.borrow());
     }
@@ -372,8 +399,20 @@ mod tests {
     fn cpu_utilization_accounting() {
         let mut sim = Sim::new(0);
         let cpu = Cpu::new();
-        Cpu::run(&cpu, &mut sim, CpuClass::Task, SimDuration::from_us(25), |_| {});
-        Cpu::run(&cpu, &mut sim, CpuClass::Irq, SimDuration::from_us(25), |_| {});
+        Cpu::run(
+            &cpu,
+            &mut sim,
+            CpuClass::Task,
+            SimDuration::from_us(25),
+            |_| {},
+        );
+        Cpu::run(
+            &cpu,
+            &mut sim,
+            CpuClass::Irq,
+            SimDuration::from_us(25),
+            |_| {},
+        );
         sim.run();
         let c = cpu.borrow();
         assert_eq!(c.busy_total(), SimDuration::from_us(50));

@@ -3,49 +3,136 @@
 //! All stochastic behaviour in the simulator (link loss, jitter, workload
 //! arrival processes) draws from this wrapper so a run is reproducible from
 //! its seed alone.
+//!
+//! The generator is a self-contained xoshiro256++ implementation that is
+//! **bit-compatible with `rand` 0.8's `SmallRng` on 64-bit platforms**:
+//! the same seed produces the same stream of values from every method.
+//! Earlier revisions wrapped `rand::rngs::SmallRng` directly; the crate
+//! dependency was dropped so the workspace builds without registry
+//! access, and keeping the streams identical preserves every published
+//! number in `EXPERIMENTS.md` / `figures_full.txt` that depends on
+//! randomness (the loss ablation in particular).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::ops::Range;
 
-/// A seeded random source. `SmallRng` is fast and, for a fixed rand version,
-/// stable across platforms with the same seed.
+/// A seeded random source: xoshiro256++, seeded exactly as `rand` 0.8's
+/// `SmallRng::seed_from_u64` does on 64-bit platforms. Stable across
+/// platforms with the same seed.
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Create from a 64-bit seed.
+    ///
+    /// Seed expansion is the `rand_core` 0.6 *default*
+    /// `SeedableRng::seed_from_u64` (a PCG32 stream filling the 32-byte
+    /// seed in 4-byte chunks, read little-endian into the four state
+    /// words). `SmallRng`'s `SeedableRng` impl does not forward
+    /// `seed_from_u64` to xoshiro256++'s SplitMix64 override, so this —
+    /// not SplitMix64 — is what `SmallRng::seed_from_u64` actually does.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut state = seed;
+        let mut seed_bytes = [0u8; 32];
+        for chunk in seed_bytes.chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
         }
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed_bytes.chunks_exact(8)) {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            *word = u64::from_le_bytes(b);
+        }
+        SimRng { s }
+    }
+
+    /// Next 64 uniform bits (the xoshiro256++ core step).
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 uniform bits. The upper half of a 64-bit draw is used
+    /// because xoshiro256++'s low bits have weak linear structure.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
     pub fn gen_bool(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen_bool(p)
+        // As rand's Bernoulli: p == 1 short-circuits without drawing;
+        // otherwise one draw is compared against p scaled to 64 bits.
+        if p == 1.0 {
+            return true;
+        }
+        let scale = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * scale) as u64;
+        self.next_u64() < p_int
     }
 
-    /// Uniform `u64` in `range`.
+    /// Uniform value in `[low, low + span)` for a non-zero span, by
+    /// widening multiply with rejection (rand's `UniformInt`, unbiased).
+    fn sample_range(&mut self, low: u64, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = (span << span.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = self.next_u64();
+            let m = (v as u128) * (span as u128);
+            if (m as u64) <= zone {
+                return low.wrapping_add((m >> 64) as u64);
+            }
+        }
+    }
+
+    /// Uniform `u64` in `range`. Panics on an empty range.
     pub fn gen_range_u64(&mut self, range: Range<u64>) -> u64 {
-        self.inner.gen_range(range)
+        assert!(range.start < range.end, "gen_range_u64: empty range");
+        let span = range.end.wrapping_sub(range.start);
+        self.sample_range(range.start, span)
     }
 
-    /// Uniform `usize` in `range`.
+    /// Uniform `usize` in `range`. Panics on an empty range.
     pub fn gen_range_usize(&mut self, range: Range<usize>) -> usize {
-        self.inner.gen_range(range)
+        assert!(range.start < range.end, "gen_range_usize: empty range");
+        self.sample_range(range.start as u64, (range.end - range.start) as u64) as usize
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        let scale = 1.0 / (1u64 << 53) as f64;
+        scale * (self.next_u64() >> 11) as f64
     }
 
-    /// Fill a byte buffer (used to generate test payloads).
+    /// Fill a byte buffer (used to generate test payloads): whole 64-bit
+    /// words little-endian, then a 64- or 32-bit draw for the tail.
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill(buf);
+        let mut chunks = buf.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        let n = rest.len();
+        if n > 4 {
+            rest.copy_from_slice(&self.next_u64().to_le_bytes()[..n]);
+        } else if n > 0 {
+            rest.copy_from_slice(&self.next_u32().to_le_bytes()[..n]);
+        }
     }
 }
 
@@ -102,5 +189,43 @@ mod tests {
         let mut buf = [0u8; 64];
         r.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    /// Reference vector: seeding must match `rand 0.8`'s
+    /// `SmallRng::seed_from_u64(0)` on 64-bit platforms, which expands the
+    /// seed with `rand_core`'s default PCG32-based `seed_from_u64` (NOT
+    /// xoshiro's SplitMix64 override — `SmallRng` doesn't forward it).
+    /// Guards the exact bitstream the recorded numbers in
+    /// `figures_full.txt` depend on.
+    #[test]
+    fn reference_stream_seed_zero() {
+        let expected_state: [u64; 4] = [
+            0x45cd_b581_f973_f2ec,
+            0xad6c_ad06_7346_f087,
+            0x67e7_1733_e3a3_d0d0,
+            0xfe7d_8ad7_72ea_9bf2,
+        ];
+        let r = SimRng::new(0);
+        assert_eq!(r.s, expected_state);
+        // First output: rotl(s0 + s3, 23) + s0 over that state.
+        let mut r = SimRng::new(0);
+        let first = expected_state[0]
+            .wrapping_add(expected_state[3])
+            .rotate_left(23)
+            .wrapping_add(expected_state[0]);
+        assert_eq!(r.next_u64(), first);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SimRng::new(9);
+        for _ in 0..1_000 {
+            let v = r.gen_range_u64(10..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range_usize(1..2);
+            assert_eq!(w, 1);
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
     }
 }

@@ -106,7 +106,9 @@ impl LatencyStats {
             return None;
         }
         let total: u128 = self.samples.iter().map(|d| d.as_ns() as u128).sum();
-        Some(SimDuration::from_ns((total / self.samples.len() as u128) as u64))
+        Some(SimDuration::from_ns(
+            (total / self.samples.len() as u128) as u64,
+        ))
     }
 
     /// Minimum sample.

@@ -251,9 +251,15 @@ mod tests {
     #[test]
     fn wire_time_rounds_up() {
         // 1 byte @ 1 Gb/s = 8 ns exactly.
-        assert_eq!(SimDuration::for_bytes(1, 1_000_000_000), SimDuration::from_ns(8));
+        assert_eq!(
+            SimDuration::for_bytes(1, 1_000_000_000),
+            SimDuration::from_ns(8)
+        );
         // 1 byte @ 3 Gb/s = 2.66.. ns -> rounds up to 3.
-        assert_eq!(SimDuration::for_bytes(1, 3_000_000_000), SimDuration::from_ns(3));
+        assert_eq!(
+            SimDuration::for_bytes(1, 3_000_000_000),
+            SimDuration::from_ns(3)
+        );
         // Nothing is free.
         assert_eq!(SimDuration::for_bytes(0, 1_000_000_000), SimDuration::ZERO);
         // 1500 bytes @ 100 Mb/s = 120 us.

@@ -142,7 +142,10 @@ impl Trace {
 
     /// Spans for one packet.
     pub fn spans_for(&self, packet: u64) -> Vec<StageSpan> {
-        self.spans().into_iter().filter(|s| s.packet == packet).collect()
+        self.spans()
+            .into_iter()
+            .filter(|s| s.packet == packet)
+            .collect()
     }
 }
 

@@ -242,7 +242,11 @@ mod tests {
         }
     }
 
-    fn node(id: u32, link: Rc<RefCell<Link>>, end: LinkEnd) -> (Rc<RefCell<Kernel>>, Rc<RefCell<IpLayer>>) {
+    fn node(
+        id: u32,
+        link: Rc<RefCell<Link>>,
+        end: LinkEnd,
+    ) -> (Rc<RefCell<Kernel>>, Rc<RefCell<IpLayer>>) {
         let kernel = Kernel::new(id, OsCosts::era_2002());
         let mut cfg = NicConfig::gigabit_standard();
         cfg.coalesce_usecs = 0;
@@ -350,7 +354,8 @@ mod tests {
         // IP destination 3 behind node 2's MAC: the IP layer must drop it.
         {
             let mut l = la.borrow_mut();
-            l.neighbors.insert(IpAddr::for_node(3), MacAddr::for_node(2, 0));
+            l.neighbors
+                .insert(IpAddr::for_node(3), MacAddr::for_node(2, 0));
         }
         IpLayer::send(
             &la,

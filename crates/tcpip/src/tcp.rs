@@ -221,7 +221,10 @@ impl IpProtoHandler for TcpHook {
 
 impl TcpStack {
     /// Install TCP over an IP layer.
-    pub fn install(kernel: &Rc<RefCell<Kernel>>, ip: &Rc<RefCell<IpLayer>>) -> Rc<RefCell<TcpStack>> {
+    pub fn install(
+        kernel: &Rc<RefCell<Kernel>>,
+        ip: &Rc<RefCell<IpLayer>>,
+    ) -> Rc<RefCell<TcpStack>> {
         let (costs, mtu) = {
             let l = ip.borrow();
             (l.costs, l.mtu())
@@ -243,7 +246,8 @@ impl TcpStack {
             delack_threshold: 2,
             delack_delay: SimDuration::from_us(200),
         }));
-        ip.borrow_mut().register(IpProto::Tcp, Rc::new(TcpHook(stack.clone())));
+        ip.borrow_mut()
+            .register(IpProto::Tcp, Rc::new(TcpHook(stack.clone())));
         stack
     }
 
@@ -420,11 +424,7 @@ impl TcpStack {
     }
 
     /// Install a callback fired once when the peer closes its side.
-    pub fn on_peer_close(
-        &mut self,
-        conn: ConnId,
-        cb: impl FnOnce(&mut Sim, ConnId) + 'static,
-    ) {
+    pub fn on_peer_close(&mut self, conn: ConnId, cb: impl FnOnce(&mut Sim, ConnId) + 'static) {
         if let Some(c) = self.conns.get_mut(&conn) {
             assert!(c.on_peer_close.is_none(), "peer-close handler already set");
             c.on_peer_close = Some(Box::new(cb));
@@ -755,7 +755,10 @@ impl TcpStack {
             };
             c.peer_wnd = seg.window as usize;
             match c.state {
-                TcpState::SynSent if seg.flags & (tcpflags::SYN | tcpflags::ACK) == tcpflags::SYN | tcpflags::ACK => {
+                TcpState::SynSent
+                    if seg.flags & (tcpflags::SYN | tcpflags::ACK)
+                        == tcpflags::SYN | tcpflags::ACK =>
+                {
                     c.state = TcpState::Established;
                     c.rcv_nxt = seg.seq.wrapping_add(1);
                     c.snd_una = seg.ack;

@@ -56,7 +56,10 @@ impl IpProtoHandler for UdpHook {
 
 impl UdpStack {
     /// Install UDP over an IP layer.
-    pub fn install(kernel: &Rc<RefCell<Kernel>>, ip: &Rc<RefCell<IpLayer>>) -> Rc<RefCell<UdpStack>> {
+    pub fn install(
+        kernel: &Rc<RefCell<Kernel>>,
+        ip: &Rc<RefCell<IpLayer>>,
+    ) -> Rc<RefCell<UdpStack>> {
         let stack = Rc::new(RefCell::new(UdpStack {
             kernel: Rc::downgrade(kernel),
             ip: ip.clone(),
@@ -64,7 +67,8 @@ impl UdpStack {
             no_port: 0,
             rx_errors: 0,
         }));
-        ip.borrow_mut().register(IpProto::Udp, Rc::new(UdpHook(stack.clone())));
+        ip.borrow_mut()
+            .register(IpProto::Udp, Rc::new(UdpHook(stack.clone())));
         stack
     }
 

@@ -92,7 +92,11 @@ fn handshake_establishes_both_ends() {
     assert_eq!(a.tcp.borrow().stats().established, 1);
     assert_eq!(b.tcp.borrow().stats().established, 1);
     // Handshake is ~1.5 RTTs of small frames: well under a millisecond.
-    assert!(sim.now() < SimTime::from_us(500), "handshake took {}", sim.now());
+    assert!(
+        sim.now() < SimTime::from_us(500),
+        "handshake took {}",
+        sim.now()
+    );
 }
 
 #[test]
@@ -133,16 +137,23 @@ fn bidirectional_transfer() {
     let (client, server) = establish(&mut sim, &a, &b, 5000);
     let d1 = payload(30_000);
     let d2 = Bytes::from(vec![0xEEu8; 30_000]);
-    let (got1, got2): (Rc<RefCell<Option<Bytes>>>, Rc<RefCell<Option<Bytes>>>) =
-        Default::default();
+    let (got1, got2): (Rc<RefCell<Option<Bytes>>>, Rc<RefCell<Option<Bytes>>>) = Default::default();
     let g = got1.clone();
-    TcpStack::recv(&b.tcp, &mut sim, server.borrow().unwrap(), d1.len(), move |_s, x| {
-        *g.borrow_mut() = Some(x)
-    });
+    TcpStack::recv(
+        &b.tcp,
+        &mut sim,
+        server.borrow().unwrap(),
+        d1.len(),
+        move |_s, x| *g.borrow_mut() = Some(x),
+    );
     let g = got2.clone();
-    TcpStack::recv(&a.tcp, &mut sim, client.borrow().unwrap(), d2.len(), move |_s, x| {
-        *g.borrow_mut() = Some(x)
-    });
+    TcpStack::recv(
+        &a.tcp,
+        &mut sim,
+        client.borrow().unwrap(),
+        d2.len(),
+        move |_s, x| *g.borrow_mut() = Some(x),
+    );
     TcpStack::send(&a.tcp, &mut sim, client.borrow().unwrap(), d1.clone());
     TcpStack::send(&b.tcp, &mut sim, server.borrow().unwrap(), d2.clone());
     sim.run();
@@ -170,7 +181,11 @@ fn loss_recovered_by_rto() {
     TcpStack::send(&a.tcp, &mut sim, client.borrow().unwrap(), data.clone());
     sim.set_event_limit(30_000_000);
     sim.run();
-    assert_eq!(got.borrow().as_ref().unwrap(), &data, "integrity under loss");
+    assert_eq!(
+        got.borrow().as_ref().unwrap(),
+        &data,
+        "integrity under loss"
+    );
     let stats = a.tcp.borrow().stats();
     assert!(
         stats.retransmits + stats.fast_retransmits > 0,
@@ -187,9 +202,13 @@ fn reads_in_pieces() {
     let pieces: Rc<RefCell<Vec<Bytes>>> = Rc::new(RefCell::new(Vec::new()));
     for _ in 0..4 {
         let p = pieces.clone();
-        TcpStack::recv(&b.tcp, &mut sim, server.borrow().unwrap(), 2_500, move |_s, x| {
-            p.borrow_mut().push(x)
-        });
+        TcpStack::recv(
+            &b.tcp,
+            &mut sim,
+            server.borrow().unwrap(),
+            2_500,
+            move |_s, x| p.borrow_mut().push(x),
+        );
     }
     TcpStack::send(&a.tcp, &mut sim, client.borrow().unwrap(), data.clone());
     sim.run();
@@ -212,13 +231,21 @@ fn two_connections_do_not_interfere() {
     let d2 = Bytes::from(vec![2u8; 20_000]);
     let (g1, g2): (Rc<RefCell<Option<Bytes>>>, Rc<RefCell<Option<Bytes>>>) = Default::default();
     let g = g1.clone();
-    TcpStack::recv(&b.tcp, &mut sim, s1.borrow().unwrap(), d1.len(), move |_s, x| {
-        *g.borrow_mut() = Some(x)
-    });
+    TcpStack::recv(
+        &b.tcp,
+        &mut sim,
+        s1.borrow().unwrap(),
+        d1.len(),
+        move |_s, x| *g.borrow_mut() = Some(x),
+    );
     let g = g2.clone();
-    TcpStack::recv(&b.tcp, &mut sim, s2.borrow().unwrap(), d2.len(), move |_s, x| {
-        *g.borrow_mut() = Some(x)
-    });
+    TcpStack::recv(
+        &b.tcp,
+        &mut sim,
+        s2.borrow().unwrap(),
+        d2.len(),
+        move |_s, x| *g.borrow_mut() = Some(x),
+    );
     TcpStack::send(&a.tcp, &mut sim, c1.borrow().unwrap(), d1.clone());
     TcpStack::send(&a.tcp, &mut sim, c2.borrow().unwrap(), d2.clone());
     sim.run();
@@ -239,13 +266,21 @@ fn slow_start_ramps_throughput() {
     let quarter: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
     let done: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
     let q = quarter.clone();
-    TcpStack::recv(&b.tcp, &mut sim, server.borrow().unwrap(), 100_000, move |sim, _| {
-        *q.borrow_mut() = Some(sim.now())
-    });
+    TcpStack::recv(
+        &b.tcp,
+        &mut sim,
+        server.borrow().unwrap(),
+        100_000,
+        move |sim, _| *q.borrow_mut() = Some(sim.now()),
+    );
     let d = done.clone();
-    TcpStack::recv(&b.tcp, &mut sim, server.borrow().unwrap(), 300_000, move |sim, _| {
-        *d.borrow_mut() = Some(sim.now())
-    });
+    TcpStack::recv(
+        &b.tcp,
+        &mut sim,
+        server.borrow().unwrap(),
+        300_000,
+        move |sim, _| *d.borrow_mut() = Some(sim.now()),
+    );
     TcpStack::send(&a.tcp, &mut sim, client.borrow().unwrap(), data);
     sim.run();
     let t_quarter = quarter.borrow().unwrap() - start;
@@ -322,7 +357,10 @@ fn close_delivers_all_data_then_notifies_peer() {
     TcpStack::close(&a.tcp, &mut sim, client.borrow().unwrap());
     sim.run();
     assert_eq!(got.borrow().as_ref().unwrap(), &data, "data before FIN");
-    assert!(peer_closed.borrow().is_some(), "peer must learn of the close");
+    assert!(
+        peer_closed.borrow().is_some(),
+        "peer must learn of the close"
+    );
 }
 
 #[test]
@@ -351,7 +389,9 @@ fn close_with_lossy_fin_still_converges() {
     let c = closed.clone();
     b.tcp
         .borrow_mut()
-        .on_peer_close(server.borrow().unwrap(), move |_s, _| *c.borrow_mut() = true);
+        .on_peer_close(server.borrow().unwrap(), move |_s, _| {
+            *c.borrow_mut() = true
+        });
     TcpStack::close(&a.tcp, &mut sim, client.borrow().unwrap());
     sim.set_event_limit(10_000_000);
     sim.run();

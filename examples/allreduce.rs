@@ -22,7 +22,9 @@ fn main() {
 
     for backend in [StackKind::MpiClic, StackKind::MpiTcp] {
         let (total, elapsed) = run(backend, ranks, chunk);
-        let expect: u64 = (0..(ranks * chunk) as u64).map(|x| (x % 100) * (x % 100)).sum();
+        let expect: u64 = (0..(ranks * chunk) as u64)
+            .map(|x| (x % 100) * (x % 100))
+            .sum();
         assert_eq!(total, expect, "distributed sum must match serial sum");
         println!(
             "{:<9} {ranks} ranks x {chunk} elems: sum-of-squares = {total}, \

@@ -15,7 +15,10 @@ fn main() {
     let model = CostModel::era_2002();
 
     println!("one-way latency, {size}-byte messages, {iters} iterations:");
-    println!("{:<10} {:>12} {:>12} {:>12}", "stack", "min (us)", "mean (us)", "max (us)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "stack", "min (us)", "mean (us)", "max (us)"
+    );
 
     let stacks = [
         StackKind::Clic,

@@ -11,8 +11,8 @@
 //! ```
 
 use bytes::Bytes;
-use clic::cluster::builder::Topology;
 use clic::cluster::builder::ClusterConfig;
+use clic::cluster::builder::Topology;
 use clic::mpi::transport::{ClicTransport, TcpTransport, Transport};
 use clic::mpi::Mpi;
 use clic::prelude::*;

@@ -45,7 +45,12 @@ fn main() {
     // The controller multicasts once.
     let ctl_pid = cluster.nodes[0].kernel.borrow_mut().processes.spawn("ctl");
     let ctl = ClicPort::bind(&cluster.nodes[0].clic(), ctl_pid, 1);
-    ctl.send(&mut sim, group, CH, Bytes::from_static(b"config! v2 parameters"));
+    ctl.send(
+        &mut sim,
+        group,
+        CH,
+        Bytes::from_static(b"config! v2 parameters"),
+    );
     sim.run();
 
     let received = received.borrow();

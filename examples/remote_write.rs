@@ -42,7 +42,10 @@ fn main() {
 
     // Consumer: polls its region whenever it pleases — the data is already
     // in its memory.
-    let written = cluster.nodes[1].clic().borrow_mut().take_remote_writes(REGION);
+    let written = cluster.nodes[1]
+        .clic()
+        .borrow_mut()
+        .take_remote_writes(REGION);
     println!(
         "consumer found {} readings in its region at t = {} (no recv() was ever called):",
         written.len(),

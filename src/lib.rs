@@ -77,8 +77,7 @@ pub use clic_tcpip as tcpip;
 /// The most commonly used types, one `use` away.
 pub mod prelude {
     pub use clic_cluster::{
-        ping_pong, stream, Cluster, ClusterConfig, CostModel, Node, NodeConfig, StackKind,
-        Topology,
+        ping_pong, stream, Cluster, ClusterConfig, CostModel, Node, NodeConfig, StackKind, Topology,
     };
     pub use clic_core::{ClicConfig, ClicModule, ClicPort, RecvMsg};
     pub use clic_ethernet::{LossModel, MacAddr};

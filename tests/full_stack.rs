@@ -41,7 +41,8 @@ fn clic_and_tcp_coexist_on_one_node() {
     let b = cluster.nodes[1].tcp();
     let server: Rc<RefCell<Option<clic::tcpip::ConnId>>> = Rc::new(RefCell::new(None));
     let s2 = server.clone();
-    b.borrow_mut().listen(8000, move |_s, id| *s2.borrow_mut() = Some(id));
+    b.borrow_mut()
+        .listen(8000, move |_s, id| *s2.borrow_mut() = Some(id));
     let client: Rc<RefCell<Option<clic::tcpip::ConnId>>> = Rc::new(RefCell::new(None));
     let c2 = client.clone();
     TcpStack::connect(&a, &mut sim, cluster.nodes[1].ip, 8000, move |_s, id| {
@@ -51,10 +52,19 @@ fn clic_and_tcp_coexist_on_one_node() {
 
     let tcp_got: Rc<RefCell<Option<Bytes>>> = Rc::new(RefCell::new(None));
     let g = tcp_got.clone();
-    TcpStack::recv(&b, &mut sim, server.borrow().unwrap(), 2000, move |_s, d| {
-        *g.borrow_mut() = Some(d)
-    });
-    tx.send(&mut sim, cluster.nodes[1].mac, 5, Bytes::from(vec![0xC1u8; 3000]));
+    TcpStack::recv(
+        &b,
+        &mut sim,
+        server.borrow().unwrap(),
+        2000,
+        move |_s, d| *g.borrow_mut() = Some(d),
+    );
+    tx.send(
+        &mut sim,
+        cluster.nodes[1].mac,
+        5,
+        Bytes::from(vec![0xC1u8; 3000]),
+    );
     TcpStack::send(
         &a,
         &mut sim,
@@ -64,9 +74,19 @@ fn clic_and_tcp_coexist_on_one_node() {
     sim.run();
 
     assert_eq!(clic_got.borrow().as_ref().unwrap().len(), 3000);
-    assert!(clic_got.borrow().as_ref().unwrap().iter().all(|&b| b == 0xC1));
+    assert!(clic_got
+        .borrow()
+        .as_ref()
+        .unwrap()
+        .iter()
+        .all(|&b| b == 0xC1));
     assert_eq!(tcp_got.borrow().as_ref().unwrap().len(), 2000);
-    assert!(tcp_got.borrow().as_ref().unwrap().iter().all(|&b| b == 0x7C));
+    assert!(tcp_got
+        .borrow()
+        .as_ref()
+        .unwrap()
+        .iter()
+        .all(|&b| b == 0x7C));
 }
 
 /// Many-to-one incast over a switch: every worker sends to node 0; all
@@ -102,7 +122,12 @@ fn switched_incast_delivers_everything() {
         let pid = node.kernel.borrow_mut().processes.spawn("worker");
         let port = ClicPort::bind(&node.clic(), pid, 2);
         for k in 0..4 {
-            port.send(&mut sim, dst, 1, Bytes::from(vec![(i * 10 + k) as u8; 20_000]));
+            port.send(
+                &mut sim,
+                dst,
+                1,
+                Bytes::from(vec![(i * 10 + k) as u8; 20_000]),
+            );
         }
     }
     sim.set_event_limit(100_000_000);
@@ -156,7 +181,10 @@ fn fig5_ordering_holds() {
     }
     // Asymptotic ratio near the paper's "more than twofold".
     let ratio = clic9000.points[1].mbps / tcp9000.points[1].mbps;
-    assert!(ratio > 1.6, "CLIC/TCP asymptotic ratio {ratio:.2} too small");
+    assert!(
+        ratio > 1.6,
+        "CLIC/TCP asymptotic ratio {ratio:.2} too small"
+    );
 }
 
 /// Figure 7's stage structure: the receive interrupt path dominates, and
@@ -177,7 +205,13 @@ fn fig7_stage_structure() {
         (10.0..25.0).contains(&driver_rx),
         "driver_rx = {driver_rx} us"
     );
-    for stage in ["syscall", "clic_module_tx", "driver_tx", "bottom_half", "clic_module_rx"] {
+    for stage in [
+        "syscall",
+        "clic_module_tx",
+        "driver_tx",
+        "bottom_half",
+        "clic_module_rx",
+    ] {
         assert!(
             get(&a, stage) < driver_rx,
             "{stage} should be faster than driver_rx"
@@ -223,11 +257,22 @@ fn jumbo_beats_standard_at_large_sizes() {
     let run = |jumbo: bool| {
         let mut cfg = ClusterConfig::paper_pair();
         cfg.node = NodeConfig::clic_default(&model);
-        cfg.node.nic = if jumbo { model.nic_jumbo() } else { model.nic_standard() };
+        cfg.node.nic = if jumbo {
+            model.nic_jumbo()
+        } else {
+            model.nic_standard()
+        };
         let cluster = Cluster::build(&cfg);
         let mut sim = Sim::new(9);
         let size = 1 << 20;
-        stream(&cluster, &mut sim, StackKind::Clic, size, stream_count(size).min(8)).mbps()
+        stream(
+            &cluster,
+            &mut sim,
+            StackKind::Clic,
+            size,
+            stream_count(size).min(8),
+        )
+        .mbps()
     };
     let jumbo = run(true);
     let standard = run(false);
@@ -251,7 +296,11 @@ fn lossy_cluster_still_reliable() {
     let pid1 = cluster.nodes[1].kernel.borrow_mut().processes.spawn("r");
     let tx = ClicPort::bind(&cluster.nodes[0].clic(), pid0, 1);
     let rx = ClicPort::bind(&cluster.nodes[1].clic(), pid1, 1);
-    let data = Bytes::from((0..100_000usize).map(|i| (i % 251) as u8).collect::<Vec<_>>());
+    let data = Bytes::from(
+        (0..100_000usize)
+            .map(|i| (i % 251) as u8)
+            .collect::<Vec<_>>(),
+    );
     let got: Rc<RefCell<Option<Bytes>>> = Rc::new(RefCell::new(None));
     let g = got.clone();
     rx.recv(&mut sim, move |_s, m| *g.borrow_mut() = Some(m.data));
