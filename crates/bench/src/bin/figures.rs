@@ -1,9 +1,13 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [--json] [--jobs N] [--no-cache] [--cache-dir DIR] <what>...
+//! figures [--quick] [--json] [--jobs N] [--no-cache] [--cache-dir DIR]
+//!         [--metrics] <what>...
 //!   what: fig4 fig5 fig6 fig7 scalars gamma coalescing fragmentation
 //!         bonding syscall loss cpu load paths scaling claims all
+//! figures trace [scenario] [--size N] [--mtu M] [--seed S] [--out FILE]
+//!         [--metrics] [--quick]
+//!   scenario: fig7a (default) fig7b tcp
 //! ```
 //!
 //! * `--quick` uses a reduced size grid.
@@ -13,28 +17,84 @@
 //! * `--no-cache` / `--cache-dir DIR` control the content-addressed result
 //!   cache (default `target/figures-cache/`); cached jobs are reused when
 //!   the job configuration and cost-model constants are unchanged.
+//! * `--metrics` also prints each figure's metric totals (drops,
+//!   retransmits, peak switch queue depth).
+//! * `trace` runs one traced message through the pipeline, writes Chrome
+//!   trace-event JSON (load it at <https://ui.perfetto.dev>) and prints a
+//!   per-stage breakdown.
 //!
-//! Every run (except `claims`) also writes `BENCH_figures.json`: wall
-//! clock and cache statistics per figure plus the speedup over a serial
-//! run of the executed jobs.
+//! Every run (except `claims` and `trace`) also writes
+//! `BENCH_figures.json`: wall clock and cache statistics per figure, the
+//! speedup over a serial run of the executed jobs, and per-figure metric
+//! totals.
 
 use clic_bench::json::Json;
 use clic_bench::render::{series_ascii, series_csv};
 use clic_bench::runner::{run_jobs, RunReport, RunnerConfig};
-use clic_cluster::experiments::{self, FigureKind, FigureOutput, Series, StageRow};
+use clic_cluster::experiments::{self, FigureKind, FigureOutput, ResultMap, Series, StageRow};
+use clic_cluster::observe::{self, TraceScenario};
 
-const USAGE: &str =
-    "usage: figures [--quick] [--json] [--jobs N] [--no-cache] [--cache-dir DIR] <what>...
+const USAGE: &str = "usage: figures [--quick] [--json] [--jobs N] [--no-cache] \
+[--cache-dir DIR] [--metrics] <what>...
   what: fig4 fig5 fig6 fig7 scalars gamma coalescing fragmentation
-        bonding syscall loss cpu load paths scaling claims all";
+        bonding syscall loss cpu load paths scaling claims all
+   or: figures trace [fig7a|fig7b|tcp] [--size N] [--mtu M] [--seed S]
+        [--out FILE] [--metrics] [--quick]";
+
+/// Per-figure totals of the `m.`-prefixed measurement keys every job
+/// reports (schema v2).
+#[derive(Debug, Clone, Copy, Default)]
+struct MetricTotals {
+    drops: f64,
+    retransmits: f64,
+    peak_switch_queue_depth: f64,
+}
+
+impl MetricTotals {
+    fn from_results(results: &ResultMap) -> MetricTotals {
+        let mut t = MetricTotals::default();
+        for m in results.values() {
+            t.drops += m.get("m.drops").unwrap_or(0.0);
+            t.retransmits += m.get("m.retransmits").unwrap_or(0.0);
+            t.peak_switch_queue_depth = t
+                .peak_switch_queue_depth
+                .max(m.get("m.peak_switch_queue_depth").unwrap_or(0.0));
+        }
+        t
+    }
+
+    fn merge(&mut self, other: &MetricTotals) {
+        self.drops += other.drops;
+        self.retransmits += other.retransmits;
+        self.peak_switch_queue_depth = self
+            .peak_switch_queue_depth
+            .max(other.peak_switch_queue_depth);
+    }
+
+    fn json(&self) -> Json {
+        Json::obj([
+            ("drops", Json::Num(self.drops)),
+            ("retransmits", Json::Num(self.retransmits)),
+            (
+                "peak_switch_queue_depth",
+                Json::Num(self.peak_switch_queue_depth),
+            ),
+        ])
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        run_trace(&args[1..]);
+        return;
+    }
     let mut quick = false;
     let mut json = false;
     let mut jobs: Option<usize> = None;
     let mut cache = true;
     let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut metrics = false;
     let mut what: Vec<String> = Vec::new();
 
     let mut it = args.into_iter();
@@ -43,6 +103,7 @@ fn main() {
             "--quick" => quick = true,
             "--json" => json = true,
             "--no-cache" => cache = false,
+            "--metrics" => metrics = true,
             "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => jobs = Some(n),
                 _ => die("--jobs needs a positive integer"),
@@ -76,7 +137,7 @@ fn main() {
         cache_dir: cache.then(|| cache_dir.unwrap_or_else(RunnerConfig::default_cache_dir)),
     };
 
-    let mut timings: Vec<(String, RunReport)> = Vec::new();
+    let mut timings: Vec<(String, RunReport, MetricTotals)> = Vec::new();
     for item in &what {
         if item == "claims" {
             render_claims(json);
@@ -88,8 +149,19 @@ fn main() {
         };
         let specs = kind.jobs(&sizes);
         let (results, report) = run_jobs(&specs, &config);
+        let totals = MetricTotals::from_results(&results);
         render(json, kind, kind.assemble(&results, &sizes));
-        timings.push((kind.name().to_string(), report));
+        if metrics && !json {
+            println!(
+                "[{}] metrics: drops={} retransmits={} peak_switch_queue_depth={}",
+                kind.name(),
+                totals.drops,
+                totals.retransmits,
+                totals.peak_switch_queue_depth
+            );
+            println!();
+        }
+        timings.push((kind.name().to_string(), report, totals));
     }
 
     if !timings.is_empty() {
@@ -101,15 +173,91 @@ fn main() {
     }
 }
 
+/// The `figures trace` subcommand: one traced message, any size and MTU.
+fn run_trace(args: &[String]) {
+    let mut scenario = TraceScenario::Fig7a;
+    let mut size = 1400usize;
+    let mut mtu = 1500usize;
+    let mut seed = 0u64;
+    let mut out = std::path::PathBuf::from("trace.json");
+    let mut metrics = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            // The trace run is a single message, so there is no reduced
+            // grid; --quick is accepted for CLI symmetry with the figures.
+            "--quick" => {}
+            "--metrics" => metrics = true,
+            "--size" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => size = n,
+                _ => die("--size needs a positive byte count"),
+            },
+            "--mtu" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => mtu = n,
+                None => die("--mtu needs a byte count"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => die("--seed needs an integer"),
+            },
+            "--out" => match it.next() {
+                Some(path) => out = path.into(),
+                None => die("--out needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if other.starts_with("--") => die(&format!("unknown flag '{other}'")),
+            other => match TraceScenario::parse(other) {
+                Some(s) => scenario = s,
+                None => die(&format!(
+                    "unknown scenario '{other}' (expected fig7a, fig7b or tcp)"
+                )),
+            },
+        }
+    }
+
+    let t = observe::run_pipeline_trace(scenario, size, mtu, seed);
+    println!(
+        "== pipeline breakdown: {} {} B @ MTU {} ==",
+        t.scenario.name(),
+        t.size,
+        t.mtu
+    );
+    print!("{}", observe::breakdown_table(&t.breakdown));
+    println!();
+    if metrics {
+        print!("{}", t.metrics.dump());
+        println!();
+    }
+    match std::fs::write(&out, &t.chrome_json) {
+        Ok(()) => eprintln!(
+            "wrote {} ({} spans; open in https://ui.perfetto.dev or chrome://tracing)",
+            out.display(),
+            t.spans.len()
+        ),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
     std::process::exit(2);
 }
 
 /// The `BENCH_figures.json` document: per-figure and total wall clock,
-/// cache statistics and executed-work speedup over serial.
-fn bench_report(quick: bool, config: &RunnerConfig, timings: &[(String, RunReport)]) -> Json {
-    let figure_entry = |name: &str, r: &RunReport| {
+/// cache statistics, executed-work speedup over serial and metric totals.
+fn bench_report(
+    quick: bool,
+    config: &RunnerConfig,
+    timings: &[(String, RunReport, MetricTotals)],
+) -> Json {
+    let figure_entry = |name: &str, r: &RunReport, t: &MetricTotals| {
         Json::obj([
             ("name", Json::from(name)),
             ("jobs", Json::from(r.jobs.len())),
@@ -118,13 +266,20 @@ fn bench_report(quick: bool, config: &RunnerConfig, timings: &[(String, RunRepor
             ("wall_secs", Json::Num(r.wall_secs)),
             ("serial_equiv_secs", Json::Num(r.serial_equiv_secs())),
             ("speedup_vs_serial", Json::Num(r.speedup_vs_serial())),
+            ("metrics", t.json()),
         ])
     };
     let mut total = RunReport::default();
-    for (_, r) in timings {
+    let mut total_metrics = MetricTotals::default();
+    for (_, r, t) in timings {
         total.merge(r);
+        total_metrics.merge(t);
     }
     Json::obj([
+        (
+            "schema",
+            Json::from(clic_cluster::jobs::MEASUREMENT_SCHEMA_VERSION as usize),
+        ),
         ("grid", Json::from(if quick { "quick" } else { "paper" })),
         ("workers", Json::from(config.jobs)),
         // Recorded so speedup numbers can be interpreted: with more
@@ -140,11 +295,11 @@ fn bench_report(quick: bool, config: &RunnerConfig, timings: &[(String, RunRepor
             Json::Arr(
                 timings
                     .iter()
-                    .map(|(name, r)| figure_entry(name, r))
+                    .map(|(name, r, t)| figure_entry(name, r, t))
                     .collect(),
             ),
         ),
-        ("total", figure_entry("total", &total)),
+        ("total", figure_entry("total", &total, &total_metrics)),
     ])
 }
 

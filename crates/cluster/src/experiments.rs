@@ -297,6 +297,7 @@ pub fn fig7_from(results: &ResultMap, direct_call: bool) -> Vec<StageRow> {
     results[&id]
         .values
         .iter()
+        .filter(|(stage, _)| !stage.starts_with(crate::jobs::METRIC_KEY_PREFIX))
         .map(|(stage, us)| StageRow {
             stage: stage.clone(),
             us: *us,

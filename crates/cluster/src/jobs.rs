@@ -25,7 +25,11 @@ use clic_sim::{Sim, SimDuration};
 
 /// Bump when the measurement schema changes (new/renamed value keys), so
 /// stale cache entries from older binaries are never reused.
-pub const MEASUREMENT_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: every job also reports `m.`-prefixed per-run metric totals (drops,
+/// retransmits, peak switch queue depth) from the [`clic_sim::Metrics`]
+/// registry.
+pub const MEASUREMENT_SCHEMA_VERSION: u32 = 2;
 
 /// The flat result of one job: named scalar values, in a stable,
 /// job-defined order (stage breakdowns rely on the order).
@@ -206,6 +210,33 @@ impl JobKind {
     }
 }
 
+/// Prefix of the per-run metric totals every job appends (schema v2).
+/// Figure assemblies that iterate a [`Measurement`] positionally must skip
+/// keys carrying this prefix.
+pub const METRIC_KEY_PREFIX: &str = "m.";
+
+/// Append the per-run observability totals to `m`: dropped frames/packets
+/// across every layer, retransmissions across both stacks, and the peak
+/// switch output-queue depth. Zero-valued when the run had no such events
+/// (or, for the queue depth, no switch), so the schema is stable.
+fn push_metric_totals(m: &mut Measurement, sim: &Sim) {
+    let drops = sim.metrics.sum_counters("clic.drops.backlog")
+        + sim.metrics.sum_counters("clic.drops.duplicate")
+        + sim.metrics.sum_counters("clic.drops.ooo")
+        + sim.metrics.sum_counters("eth.switch.drops")
+        + sim.metrics.sum_counters("eth.link.frames_lost")
+        + sim.metrics.sum_counters("hw.nic.rx_no_buffer");
+    let retransmits = sim.metrics.sum_counters("clic.retransmits")
+        + sim.metrics.sum_counters("tcp.retransmits")
+        + sim.metrics.sum_counters("tcp.fast_retransmits");
+    m.push("m.drops", drops as f64);
+    m.push("m.retransmits", retransmits as f64);
+    m.push(
+        "m.peak_switch_queue_depth",
+        sim.metrics.max_gauge_peak("eth.switch.queue_depth") as f64,
+    );
+}
+
 fn run_stream(
     config: &ClusterConfig,
     stack: StackKind,
@@ -216,6 +247,7 @@ fn run_stream(
 ) -> Measurement {
     let cluster = Cluster::build(config);
     let mut sim = Sim::new(seed);
+    sim.metrics = clic_sim::Metrics::enabled();
     let res = if pipelined {
         stream_pipelined(&cluster, &mut sim, stack, size, count)
     } else {
@@ -234,6 +266,7 @@ fn run_stream(
         m.push("retransmits", stats.retransmits as f64);
         m.push("packets_sent", stats.packets_sent as f64);
     }
+    push_metric_totals(&mut m, &sim);
     m
 }
 
@@ -246,9 +279,11 @@ fn run_ping_pong(
 ) -> Measurement {
     let cluster = Cluster::build(config);
     let mut sim = Sim::new(seed);
+    sim.metrics = clic_sim::Metrics::enabled();
     let pp = ping_pong(&cluster, &mut sim, stack, size, rounds);
     let mut m = Measurement::default();
     m.push("one_way_us", pp.one_way().as_us_f64());
+    push_metric_totals(&mut m, &sim);
     m
 }
 
@@ -256,6 +291,7 @@ fn run_stage_trace(config: &ClusterConfig, seed: u64) -> Measurement {
     let cluster = Cluster::build(config);
     let mut sim = Sim::new(seed);
     sim.trace = clic_sim::Trace::enabled();
+    sim.metrics = clic_sim::Metrics::enabled();
 
     const CH: u16 = 100;
     let a = &cluster.nodes[0];
@@ -269,7 +305,10 @@ fn run_stage_trace(config: &ClusterConfig, seed: u64) -> Measurement {
     tx.send_traced(&mut sim, b.mac, CH, data, 42);
     sim.run();
 
-    let spans = sim.trace.spans_for(42);
+    let spans = sim
+        .trace
+        .spans_for(42)
+        .expect("stage trace left unmatched begin/end marks");
     let span = |name: &str| spans.iter().find(|s| s.stage == name);
     let mut m = Measurement::default();
     let mut push = |stage: &str, d: Option<SimDuration>| {
@@ -298,6 +337,7 @@ fn run_stage_trace(config: &ClusterConfig, seed: u64) -> Measurement {
         span("clic_module_rx").map(|s| s.duration()),
     );
     push("copy_to_user", span("copy_to_user").map(|s| s.duration()));
+    push_metric_totals(&mut m, &sim);
     m
 }
 
@@ -311,6 +351,7 @@ fn run_loaded_latency(is_clic: bool, loaded: bool) -> Measurement {
     };
     let cluster = Cluster::build(&cfg);
     let mut sim = Sim::new(10);
+    sim.metrics = clic_sim::Metrics::enabled();
     let post_bulk = move |sim: &mut Sim, cluster: &Cluster| {
         // Background bulk: node 0 -> node 1, separate channel/port.
         if is_clic {
@@ -385,15 +426,18 @@ fn run_loaded_latency(is_clic: bool, loaded: bool) -> Measurement {
     m.push("min_us", one_way(cycles.min()));
     m.push("mean_us", one_way(cycles.mean()));
     m.push("p99_us", one_way(cycles.percentile(0.99)));
+    push_metric_totals(&mut m, &sim);
     m
 }
 
 fn run_all_to_all(config: &ClusterConfig, size: usize, seed: u64) -> Measurement {
     let cluster = Cluster::build(config);
     let mut sim = Sim::new(seed);
+    sim.metrics = clic_sim::Metrics::enabled();
     let res = crate::workload::all_to_all_clic(&cluster, &mut sim, size);
     let mut m = Measurement::default();
     m.push("aggregate_mbps", res.aggregate_mbps());
+    push_metric_totals(&mut m, &sim);
     m
 }
 

@@ -21,6 +21,9 @@
 //!   ablations listed in DESIGN.md §4: per-figure job builders and
 //!   order-independent assemblers, returning structured rows the
 //!   `clic-bench` harness prints.
+//! * [`observe`] — traced pipeline runs for the observability tooling:
+//!   Chrome trace-event JSON, per-stage breakdowns for any message size
+//!   and MTU, and merged per-node metric registries.
 
 #![warn(missing_docs)]
 
@@ -29,9 +32,11 @@ pub mod calibration;
 pub mod experiments;
 pub mod jobs;
 pub mod node;
+pub mod observe;
 pub mod workload;
 
 pub use builder::{Cluster, ClusterConfig, Topology};
 pub use calibration::CostModel;
 pub use node::{Node, NodeConfig};
+pub use observe::{run_pipeline_trace, PipelineTrace, TraceScenario};
 pub use workload::{ping_pong, stream, PingPongResult, StackKind, StreamResult};

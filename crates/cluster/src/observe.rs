@@ -1,0 +1,377 @@
+//! Cross-layer observability: traced pipeline runs, breakdown reports
+//! and per-node metric collection.
+//!
+//! [`run_pipeline_trace`] drives one traced message of any size through a
+//! two-node cluster at any MTU and returns everything the `figures trace`
+//! subcommand needs: Chrome trace-event JSON (load it in Perfetto or
+//! `chrome://tracing`), a per-stage breakdown table, and the merged
+//! metrics registry. With the defaults (`fig7a`, 1400 bytes, MTU 1500)
+//! the span durations are exactly Figure 7a's stage timings.
+
+use crate::builder::{Cluster, ClusterConfig};
+use crate::calibration::CostModel;
+use crate::experiments::{clic_pair, tcp_pair};
+use bytes::Bytes;
+use clic_sim::{Metrics, Sim, StageSpan};
+use clic_tcpip::TcpStack;
+
+/// Trace id carried by the instrumented message (0 means untraced, so any
+/// non-zero constant works; 42 matches the Figure 7 experiment).
+pub const TRACE_ID: u64 = 42;
+
+/// Which pipeline the traced message crosses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceScenario {
+    /// CLIC with the portable interrupt + bottom-half receive path
+    /// (Figure 7a).
+    Fig7a,
+    /// CLIC with direct dispatch from the IRQ and host-memory rings
+    /// (the Figure 8b improvement; Figure 7b).
+    Fig7b,
+    /// The TCP/IP baseline on the same latency-tuned hardware.
+    Tcp,
+}
+
+impl TraceScenario {
+    /// Every scenario, in display order.
+    pub const ALL: [TraceScenario; 3] = [
+        TraceScenario::Fig7a,
+        TraceScenario::Fig7b,
+        TraceScenario::Tcp,
+    ];
+
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceScenario::Fig7a => "fig7a",
+            TraceScenario::Fig7b => "fig7b",
+            TraceScenario::Tcp => "tcp",
+        }
+    }
+
+    /// Parse a CLI spelling (`fig7a`/`7a`, `fig7b`/`7b`, `tcp`).
+    pub fn parse(s: &str) -> Option<TraceScenario> {
+        match s {
+            "fig7a" | "7a" | "clic" => Some(TraceScenario::Fig7a),
+            "fig7b" | "7b" | "direct" => Some(TraceScenario::Fig7b),
+            "tcp" => Some(TraceScenario::Tcp),
+            _ => None,
+        }
+    }
+}
+
+/// One row of the pipeline-breakdown report: a `(layer, stage)` pair
+/// aggregated over every span the traced message produced (fragmented
+/// messages cross a stage once per packet).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownRow {
+    /// Emitting layer's display name.
+    pub layer: &'static str,
+    /// Stage name.
+    pub stage: &'static str,
+    /// Spans aggregated into this row.
+    pub count: u64,
+    /// Summed span duration, µs.
+    pub total_us: f64,
+}
+
+impl BreakdownRow {
+    /// Mean span duration, µs.
+    pub fn mean_us(&self) -> f64 {
+        self.total_us / self.count as f64
+    }
+}
+
+/// Everything one traced pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct PipelineTrace {
+    /// The scenario that ran.
+    pub scenario: TraceScenario,
+    /// Message size, bytes.
+    pub size: usize,
+    /// Device MTU, bytes.
+    pub mtu: usize,
+    /// Chrome trace-event JSON of the whole run (all layers, all ids).
+    pub chrome_json: String,
+    /// The traced message's spans, in pipeline order (strict: the run
+    /// panics on unmatched begin/end marks).
+    pub spans: Vec<StageSpan>,
+    /// Per-stage aggregation of `spans`, in first-appearance order.
+    pub breakdown: Vec<BreakdownRow>,
+    /// Live metrics merged with per-node `n{id}.`-prefixed stat snapshots.
+    pub metrics: Metrics,
+}
+
+fn trace_config(scenario: TraceScenario, mtu: usize) -> ClusterConfig {
+    let model = CostModel::era_2002();
+    let jumbo = mtu > 1500;
+    let mut cfg = match scenario {
+        TraceScenario::Fig7a | TraceScenario::Fig7b => clic_pair(&model, jumbo, true),
+        TraceScenario::Tcp => tcp_pair(&model, jumbo),
+    };
+    cfg.node.nic = model.nic_low_latency(jumbo);
+    cfg.node.nic.mtu = mtu;
+    if scenario == TraceScenario::Fig7b {
+        cfg.node.direct_dispatch = true;
+        cfg.node.nic.host_rings = true;
+    }
+    cfg
+}
+
+fn send_clic(cluster: &Cluster, sim: &mut Sim, size: usize) {
+    const CH: u16 = 100;
+    let a = &cluster.nodes[0];
+    let b = &cluster.nodes[1];
+    let pid_a = a.kernel.borrow_mut().processes.spawn("tx");
+    let pid_b = b.kernel.borrow_mut().processes.spawn("rx");
+    let tx = clic_core::ClicPort::bind(&a.clic(), pid_a, CH);
+    let rx = clic_core::ClicPort::bind(&b.clic(), pid_b, CH);
+    rx.recv(sim, |_s, _m| {});
+    let data = Bytes::from(vec![0x55u8; size]);
+    tx.send_traced(sim, b.mac, CH, data, TRACE_ID);
+}
+
+fn send_tcp(cluster: &Cluster, sim: &mut Sim, size: usize) {
+    const PORT: u16 = 9000;
+    let a = cluster.nodes[0].tcp();
+    let b = cluster.nodes[1].tcp();
+    let b2 = b.clone();
+    b.borrow_mut().listen(PORT, move |sim, conn| {
+        TcpStack::recv(&b2, sim, conn, size, |_s, _m| {});
+    });
+    let dst = cluster.nodes[1].ip;
+    TcpStack::connect(&a.clone(), sim, dst, PORT, move |sim, conn| {
+        let data = Bytes::from(vec![0x55u8; size]);
+        TcpStack::send_traced(&a, sim, conn, data, TRACE_ID);
+    });
+}
+
+/// Run one traced `size`-byte message through `scenario`'s pipeline at
+/// device MTU `mtu`. The run is deterministic for a given `seed`: the
+/// returned JSON, breakdown and metrics dump are byte-stable.
+pub fn run_pipeline_trace(
+    scenario: TraceScenario,
+    size: usize,
+    mtu: usize,
+    seed: u64,
+) -> PipelineTrace {
+    assert!(size >= 1, "traced message must carry at least one byte");
+    assert!((128..=9_000).contains(&mtu), "MTU {mtu} outside 128..=9000");
+    let config = trace_config(scenario, mtu);
+    let cluster = Cluster::build(&config);
+    let mut sim = Sim::new(seed);
+    sim.trace = clic_sim::Trace::enabled();
+    sim.metrics = Metrics::enabled();
+    match scenario {
+        TraceScenario::Fig7a | TraceScenario::Fig7b => send_clic(&cluster, &mut sim, size),
+        TraceScenario::Tcp => send_tcp(&cluster, &mut sim, size),
+    }
+    sim.run();
+    let spans = sim
+        .trace
+        .spans_for(TRACE_ID)
+        .expect("traced run left unmatched begin/end marks");
+    let breakdown = breakdown_rows(&spans);
+    let metrics = collect_metrics(&cluster, &sim);
+    PipelineTrace {
+        scenario,
+        size,
+        mtu,
+        chrome_json: sim.trace.chrome_trace_json(),
+        spans,
+        breakdown,
+        metrics,
+    }
+}
+
+/// Aggregate spans into per-`(layer, stage)` rows, ordered by each
+/// stage's first appearance (spans arrive sorted by begin time).
+pub fn breakdown_rows(spans: &[StageSpan]) -> Vec<BreakdownRow> {
+    let mut rows: Vec<BreakdownRow> = Vec::new();
+    for s in spans {
+        let us = s.duration().as_us_f64();
+        match rows
+            .iter_mut()
+            .find(|r| r.stage == s.stage && r.layer == s.layer.name())
+        {
+            Some(r) => {
+                r.count += 1;
+                r.total_us += us;
+            }
+            None => rows.push(BreakdownRow {
+                layer: s.layer.name(),
+                stage: s.stage,
+                count: 1,
+                total_us: us,
+            }),
+        }
+    }
+    rows
+}
+
+/// Render breakdown rows as the fixed-width table `figures trace` prints.
+pub fn breakdown_table(rows: &[BreakdownRow]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<16} {:<6} {:>5} {:>10} {:>9}",
+        "stage", "layer", "count", "total us", "mean us"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "{:<16} {:<6} {:>5} {:>10.2} {:>9.2}",
+            r.stage,
+            r.layer,
+            r.count,
+            r.total_us,
+            r.mean_us()
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Merge the simulation's live metrics with per-node counter snapshots
+/// (kernel, NIC and CLIC stats under an `n{id}.` prefix, switch counters
+/// under `eth.switch.`), yielding one registry whose [`Metrics::dump`]
+/// is the `--metrics` report.
+pub fn collect_metrics(cluster: &Cluster, sim: &Sim) -> Metrics {
+    let mut reg = Metrics::enabled();
+    reg.merge(&sim.metrics);
+    for node in &cluster.nodes {
+        let p = |name: &str| format!("n{}.{name}", node.id);
+        let kernel = node.kernel.borrow();
+        let ks = kernel.stats();
+        reg.counter_add(&p("os.syscalls"), ks.syscalls);
+        reg.counter_add(&p("os.lightweight_calls"), ks.lightweight_calls);
+        reg.counter_add(&p("os.irqs"), ks.irqs);
+        reg.counter_add(&p("os.bottom_halves"), ks.bhs);
+        reg.counter_add(&p("os.context_switches"), ks.context_switches);
+        reg.counter_add(&p("os.frames_received"), ks.frames_received);
+        for dev in 0..kernel.device_count() {
+            let ns = kernel.device(dev).borrow().stats();
+            reg.counter_add(&p("hw.nic.tx_frames"), ns.tx_frames);
+            reg.counter_add(&p("hw.nic.rx_frames"), ns.rx_frames);
+            reg.counter_add(&p("hw.nic.tx_ring_full"), ns.tx_ring_full);
+            reg.counter_add(&p("hw.nic.rx_no_buffer"), ns.rx_no_buffer);
+            reg.counter_add(&p("hw.nic.irqs"), ns.irqs);
+        }
+        drop(kernel);
+        if let Some(clic) = &node.clic {
+            let cs = clic.borrow().stats();
+            reg.counter_add(&p("clic.msgs_sent"), cs.msgs_sent);
+            reg.counter_add(&p("clic.msgs_received"), cs.msgs_received);
+            reg.counter_add(&p("clic.packets_sent"), cs.packets_sent);
+            reg.counter_add(&p("clic.packets_received"), cs.packets_received);
+            reg.counter_add(&p("clic.retransmits"), cs.retransmits);
+            reg.counter_add(&p("clic.staged_copies"), cs.staged_copies);
+            reg.counter_add(&p("clic.drops.backlog"), cs.backlog_drops);
+            reg.counter_add(&p("clic.drops.duplicate"), cs.duplicates);
+            reg.counter_add(&p("clic.drops.ooo"), cs.ooo_drops);
+        }
+    }
+    if let Some(sw) = &cluster.switch {
+        let sw = sw.borrow();
+        reg.counter_add("eth.switch.frames_forwarded", sw.frames_forwarded());
+        reg.counter_add("eth.switch.frames_flooded", sw.frames_flooded());
+        reg.counter_add("eth.switch.frames_dropped", sw.frames_dropped());
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for s in TraceScenario::ALL {
+            assert_eq!(TraceScenario::parse(s.name()), Some(s));
+        }
+        assert_eq!(TraceScenario::parse("7b"), Some(TraceScenario::Fig7b));
+        assert_eq!(TraceScenario::parse("nope"), None);
+    }
+
+    #[test]
+    fn fig7a_trace_covers_the_pipeline() {
+        let t = run_pipeline_trace(TraceScenario::Fig7a, 1400, 1500, 0);
+        let stages: Vec<&str> = t.breakdown.iter().map(|r| r.stage).collect();
+        for want in [
+            "syscall",
+            "clic_module_tx",
+            "driver_tx",
+            "nic_tx_dma",
+            "wire",
+            "driver_rx",
+            "bottom_half",
+            "clic_module_rx",
+            "copy_to_user",
+        ] {
+            assert!(stages.contains(&want), "missing stage {want}: {stages:?}");
+        }
+        // One 1400-byte packet: every stage crossed exactly once.
+        assert!(
+            t.breakdown.iter().all(|r| r.count == 1),
+            "{:?}",
+            t.breakdown
+        );
+        assert!(t.chrome_json.contains("\"traceEvents\""));
+        assert!(t.metrics.counter("n0.os.syscalls") > 0);
+        assert!(t.metrics.counter("n1.clic.packets_received") > 0);
+    }
+
+    #[test]
+    fn fig7b_adds_the_bus_master_rx_dma_stage() {
+        // Host rings (the Figure 8b receive path) DMA the frame into host
+        // memory before the interrupt — a stage 7a doesn't have.
+        let t = run_pipeline_trace(TraceScenario::Fig7b, 1400, 1500, 0);
+        assert!(
+            t.breakdown.iter().any(|r| r.stage == "nic_rx_dma"),
+            "{:?}",
+            t.breakdown
+        );
+    }
+
+    #[test]
+    fn large_message_fragments_across_stages() {
+        let t = run_pipeline_trace(TraceScenario::Fig7a, 64 * 1024, 9_000, 0);
+        let dma = t
+            .breakdown
+            .iter()
+            .find(|r| r.stage == "nic_tx_dma")
+            .expect("nic_tx_dma row");
+        assert!(dma.count > 1, "64 KiB at MTU 9000 must fragment: {dma:?}");
+        assert!((dma.mean_us() - dma.total_us / dma.count as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tcp_scenario_traces_the_baseline_stack() {
+        let t = run_pipeline_trace(TraceScenario::Tcp, 1400, 1500, 0);
+        let stages: Vec<&str> = t.breakdown.iter().map(|r| r.stage).collect();
+        for want in ["tcp_tx", "ip_tx", "ip_rx", "wire"] {
+            assert!(stages.contains(&want), "missing stage {want}: {stages:?}");
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = run_pipeline_trace(TraceScenario::Fig7b, 5_000, 1500, 7);
+        let b = run_pipeline_trace(TraceScenario::Fig7b, 5_000, 1500, 7);
+        assert_eq!(a.chrome_json, b.chrome_json);
+        assert_eq!(a.metrics.dump(), b.metrics.dump());
+        assert_eq!(a.breakdown, b.breakdown);
+    }
+
+    #[test]
+    fn breakdown_table_renders_every_row() {
+        let t = run_pipeline_trace(TraceScenario::Fig7a, 1400, 1500, 0);
+        let table = breakdown_table(&t.breakdown);
+        for r in &t.breakdown {
+            assert!(table.contains(r.stage));
+        }
+        assert!(table.starts_with("stage"));
+    }
+}

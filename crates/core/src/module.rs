@@ -27,7 +27,7 @@ use bytes::{BufMut, Bytes, BytesMut};
 use clic_ethernet::{EtherType, Frame, MacAddr, RoundRobin};
 use clic_os::driver::hard_start_xmit;
 use clic_os::{Kernel, PacketHandler, Pid, SkBuff};
-use clic_sim::{Sim, SimDuration};
+use clic_sim::{Layer, Sim, SimDuration};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::{Rc, Weak};
@@ -343,13 +343,14 @@ impl ClicModule {
     /// standard system call.
     pub fn send(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, opts: SendOptions, data: Bytes) {
         let kernel = Self::kernel(module);
+        sim.metrics.observe("clic.msg_bytes", data.len() as u64);
         if opts.trace != 0 {
-            sim.trace.begin(sim.now(), "syscall", opts.trace);
+            sim.trace.begin(sim.now(), Layer::Os, "syscall", opts.trace);
         }
         let module = module.clone();
         Kernel::syscall(&kernel, sim, move |sim| {
             if opts.trace != 0 {
-                sim.trace.end(sim.now(), "syscall", opts.trace);
+                sim.trace.end(sim.now(), Layer::Os, "syscall", opts.trace);
             }
             Self::module_tx(&module, sim, opts, data);
         });
@@ -382,17 +383,19 @@ impl ClicModule {
             if !m.config.zero_copy {
                 // Legacy path: stage the whole message through kernel
                 // memory before the driver sees it.
-                cost += kernel.borrow().costs.copy.cost(data.len());
+                cost += kernel.borrow().costs.copy.cost_observed(sim, data.len());
             }
             (cost, (opts.dst, opts.channel))
         };
         if opts.trace != 0 {
-            sim.trace.begin(sim.now(), "clic_module_tx", opts.trace);
+            sim.trace
+                .begin(sim.now(), Layer::Clic, "clic_module_tx", opts.trace);
         }
         let module2 = module.clone();
         Kernel::cpu_task(&kernel, sim, cost, move |sim| {
             if opts.trace != 0 {
-                sim.trace.end(sim.now(), "clic_module_tx", opts.trace);
+                sim.trace
+                    .end(sim.now(), Layer::Clic, "clic_module_tx", opts.trace);
             }
             Self::enqueue_message(&module2, sim, key, opts, data);
         });
@@ -409,7 +412,8 @@ impl ClicModule {
             let mut m = module.borrow_mut();
             m.stats.msgs_sent += 1;
             m.stats.intra_node += 1;
-            m.config.costs.tx_per_message + kernel.borrow().costs.copy.cost(data.len())
+            m.config.costs.tx_per_message
+                + kernel.borrow().costs.copy.cost_observed(sim, data.len())
         };
         let module2 = module.clone();
         let src = module.borrow().macs[0];
@@ -627,9 +631,18 @@ impl ClicModule {
         let staging_cost = if !pkt.staged {
             let mut m = module.borrow_mut();
             m.stats.staged_copies += 1;
+            sim.metrics.counter_inc("clic.staged_copies");
+            sim.trace
+                .instant(sim.now(), Layer::Clic, "staged_copy", pkt.trace);
             pkt.staged = true;
             if m.config.zero_copy {
-                Some(kernel.borrow().costs.copy.cost(pkt.payload.len()))
+                Some(
+                    kernel
+                        .borrow()
+                        .costs
+                        .copy
+                        .cost_observed(sim, pkt.payload.len()),
+                )
             } else {
                 None // already staged by the 1-copy send path
             }
@@ -708,6 +721,11 @@ impl ClicModule {
             m.stats.retransmits += set.len() as u64;
             set
         };
+        if !resend.is_empty() {
+            sim.metrics
+                .counter_add("clic.retransmits", resend.len() as u64);
+            sim.trace.instant(sim.now(), Layer::Clic, "rto", 0);
+        }
         let kernel = Self::kernel(module);
         let zero_copy = module.borrow().config.zero_copy;
         for pkt in resend {
@@ -746,7 +764,8 @@ impl ClicModule {
             }
         };
         if frame.trace != 0 {
-            sim.trace.begin(sim.now(), "clic_module_rx", frame.trace);
+            sim.trace
+                .begin(sim.now(), Layer::Clic, "clic_module_rx", frame.trace);
         }
         let module2 = module.clone();
         let kernel2 = kernel.clone();
@@ -754,7 +773,8 @@ impl ClicModule {
         let trace = frame.trace;
         Kernel::cpu_task(kernel, sim, cost, move |sim| {
             if trace != 0 {
-                sim.trace.end(sim.now(), "clic_module_rx", trace);
+                sim.trace
+                    .end(sim.now(), Layer::Clic, "clic_module_rx", trace);
             }
             Self::process_packet(&module2, sim, &kernel2, src, header, chunk, trace);
         });
@@ -872,6 +892,9 @@ impl ClicModule {
                 .unwrap_or(false);
             if over_budget {
                 m.stats.backlog_drops += 1;
+                sim.metrics.counter_inc("clic.drops.backlog");
+                sim.trace
+                    .instant(sim.now(), Layer::Clic, "drop.backlog", trace);
                 return;
             }
             if !m.inflows.contains_key(&key) {
@@ -900,11 +923,16 @@ impl ClicModule {
                 }
                 RecvOutcome::Duplicate => {
                     m.stats.duplicates += 1;
+                    sim.metrics.counter_inc("clic.drops.duplicate");
+                    sim.trace
+                        .instant(sim.now(), Layer::Clic, "drop.duplicate", trace);
                     (Vec::new(), true) // re-ACK so the sender resyncs
                 }
                 RecvOutcome::Buffered => (Vec::new(), false),
                 RecvOutcome::Overflow => {
                     m.stats.ooo_drops += 1;
+                    sim.metrics.counter_inc("clic.drops.ooo");
+                    sim.trace.instant(sim.now(), Layer::Clic, "drop.ooo", trace);
                     (Vec::new(), false)
                 }
             }
@@ -1051,7 +1079,11 @@ impl ClicModule {
                 // Figure 8b: the data went straight to user memory.
                 SimDuration::ZERO
             } else {
-                kernel.borrow().costs.copy.cost(msg.data.len())
+                kernel
+                    .borrow()
+                    .costs
+                    .copy
+                    .cost_observed(sim, msg.data.len())
             };
             let port = m.ports.entry(msg.channel).or_default();
             if msg.ptype == PacketType::RemoteWrite && port.remote_writes.is_some() {
@@ -1072,11 +1104,12 @@ impl ClicModule {
                 // the user memory region, no receive call involved.
                 let module2 = module.clone();
                 if trace != 0 {
-                    sim.trace.begin(sim.now(), "copy_to_user", trace);
+                    sim.trace
+                        .begin(sim.now(), Layer::Clic, "copy_to_user", trace);
                 }
                 Kernel::cpu_task(&kernel, sim, cost, move |sim| {
                     if trace != 0 {
-                        sim.trace.end(sim.now(), "copy_to_user", trace);
+                        sim.trace.end(sim.now(), Layer::Clic, "copy_to_user", trace);
                     }
                     let mut m = module2.borrow_mut();
                     let port = m.ports.get_mut(&msg.channel).unwrap();
@@ -1086,11 +1119,12 @@ impl ClicModule {
             Action::Wake { pid, waiter, cost } => {
                 let kernel2 = kernel.clone();
                 if trace != 0 {
-                    sim.trace.begin(sim.now(), "copy_to_user", trace);
+                    sim.trace
+                        .begin(sim.now(), Layer::Clic, "copy_to_user", trace);
                 }
                 Kernel::cpu_task(&kernel, sim, cost, move |sim| {
                     if trace != 0 {
-                        sim.trace.end(sim.now(), "copy_to_user", trace);
+                        sim.trace.end(sim.now(), Layer::Clic, "copy_to_user", trace);
                     }
                     match pid {
                         Some(pid) => Kernel::wake(&kernel2, sim, pid, move |sim| waiter(sim, msg)),
@@ -1178,7 +1212,11 @@ impl ClicModule {
             match popped {
                 Some(msg) => {
                     // Copy from system memory to the caller's buffer.
-                    let cost = kernel.borrow().costs.copy.cost(msg.data.len());
+                    let cost = kernel
+                        .borrow()
+                        .costs
+                        .copy
+                        .cost_observed(sim, msg.data.len());
                     Kernel::cpu_task(&kernel, sim, cost, move |sim| cont(sim, msg));
                 }
                 None => {
@@ -1214,7 +1252,11 @@ impl ClicModule {
             };
             match got {
                 Some(msg) => {
-                    let cost = kernel.borrow().costs.copy.cost(msg.data.len());
+                    let cost = kernel
+                        .borrow()
+                        .costs
+                        .copy
+                        .cost_observed(sim, msg.data.len());
                     Kernel::cpu_task(&kernel, sim, cost, move |sim| cont(sim, Some(msg)));
                 }
                 None => cont(sim, None),

@@ -7,7 +7,7 @@
 
 use crate::frame::Frame;
 use crate::link::private::Direction;
-use clic_sim::{Sim, SimDuration};
+use clic_sim::{Layer, Sim, SimDuration};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -156,6 +156,11 @@ impl Link {
     /// serialized after any frames already queued in that direction, then
     /// propagates and is delivered to the far handler (unless lost).
     pub fn transmit(link: &Rc<RefCell<Link>>, sim: &mut Sim, from: LinkEnd, frame: Frame) {
+        sim.metrics
+            .observe("eth.link.frame_bytes", frame.frame_bytes() as u64);
+        if frame.trace != 0 {
+            sim.trace.begin(sim.now(), Layer::Eth, "wire", frame.trace);
+        }
         let (deliver_at, serialize_done, frame_seq) = {
             let mut l = link.borrow_mut();
             let wire = frame.wire_time(l.bits_per_sec);
@@ -183,6 +188,14 @@ impl Link {
                 d.in_flight -= 1;
                 if lost {
                     d.frames_lost += 1;
+                    sim.metrics.counter_inc("eth.link.frames_lost");
+                    if frame.trace != 0 {
+                        // Close the wire span at the loss point so the
+                        // trace stays balanced, then mark the drop.
+                        sim.trace.end(sim.now(), Layer::Eth, "wire", frame.trace);
+                        sim.trace
+                            .instant(sim.now(), Layer::Eth, "link_drop", frame.trace);
+                    }
                     return;
                 }
                 d.frames_delivered += 1;
@@ -193,9 +206,22 @@ impl Link {
                 };
                 (handler, frame)
             };
-            if let Some(h) = handler {
-                let prop = deliver_at - sim.now();
-                sim.schedule_in(prop, move |sim| h(sim, frame));
+            match handler {
+                Some(h) => {
+                    let prop = deliver_at - sim.now();
+                    sim.schedule_in(prop, move |sim| {
+                        if frame.trace != 0 {
+                            sim.trace.end(sim.now(), Layer::Eth, "wire", frame.trace);
+                        }
+                        h(sim, frame)
+                    });
+                }
+                None if frame.trace != 0 => {
+                    // No station attached: the frame vanishes, but the span
+                    // must still close.
+                    sim.trace.end(sim.now(), Layer::Eth, "wire", frame.trace);
+                }
+                None => {}
             }
         });
     }

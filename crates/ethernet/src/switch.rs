@@ -9,7 +9,7 @@
 use crate::frame::Frame;
 use crate::link::{Link, LinkEnd};
 use crate::mac::MacAddr;
-use clic_sim::{Sim, SimDuration};
+use clic_sim::{Layer, Sim, SimDuration};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -144,14 +144,22 @@ impl Switch {
     }
 
     fn egress(switch: &Rc<RefCell<Switch>>, sim: &mut Sim, port: usize, frame: Frame) {
-        let (link, end, full) = {
+        let (link, end, depth, full) = {
             let sw = switch.borrow();
             let p = &sw.ports[port];
-            let full = p.link.borrow().tx_backlog(p.end) >= sw.queue_limit;
-            (p.link.clone(), p.end, full)
+            let depth = p.link.borrow().tx_backlog(p.end);
+            (p.link.clone(), p.end, depth, depth >= sw.queue_limit)
         };
+        // Queue occupancy at the instant of the forwarding decision: the
+        // peak gauge is the congestion headline, the histogram its shape.
+        sim.metrics
+            .gauge_set("eth.switch.queue_depth", depth as i64);
+        sim.metrics.observe("eth.switch.queue_depth", depth as u64);
         if full {
             switch.borrow_mut().frames_dropped += 1;
+            sim.metrics.counter_inc("eth.switch.drops");
+            sim.trace
+                .instant(sim.now(), Layer::Eth, "switch_drop", frame.trace);
             return;
         }
         Link::transmit(&link, sim, end, frame);

@@ -8,7 +8,7 @@
 //! resources that applications need — so the cost lands on the CPU resource
 //! and shows up in utilisation figures.
 
-use clic_sim::SimDuration;
+use clic_sim::{Sim, SimDuration};
 
 /// Cost model for CPU memory copies.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +32,14 @@ impl CopyModel {
     /// CPU time to copy `bytes`.
     pub fn cost(&self, bytes: usize) -> SimDuration {
         self.per_copy + SimDuration::for_bytes(bytes as u64, self.bytes_per_sec * 8)
+    }
+
+    /// Like [`CopyModel::cost`], but also records the copy size in the
+    /// run's `hw.mem.copy_bytes` histogram so copy traffic shows up in the
+    /// metrics dump.
+    pub fn cost_observed(&self, sim: &mut Sim, bytes: usize) -> SimDuration {
+        sim.metrics.observe("hw.mem.copy_bytes", bytes as u64);
+        self.cost(bytes)
     }
 }
 

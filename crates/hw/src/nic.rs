@@ -23,7 +23,7 @@ use crate::frag::{self, Reassembler, FRAG_HEADER};
 use crate::pci::PciBus;
 use bytes::Bytes;
 use clic_ethernet::{EtherType, Frame, Link, LinkEnd, MacAddr, ETH_HEADER};
-use clic_sim::{Sim, SimDuration, SimTime};
+use clic_sim::{Layer, Sim, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::{HashSet, VecDeque};
 use std::rc::Rc;
@@ -292,7 +292,8 @@ impl Nic {
             frames
         };
         if desc.trace != 0 {
-            sim.trace.begin(sim.now(), "nic_tx_dma", desc.trace);
+            sim.trace
+                .begin(sim.now(), Layer::Hw, "nic_tx_dma", desc.trace);
         }
         let start = {
             let mut n = nic.borrow_mut();
@@ -339,7 +340,7 @@ impl Nic {
             (ended, frame)
         };
         for trace in ended_traces {
-            sim.trace.end(sim.now(), "nic_tx_dma", trace);
+            sim.trace.end(sim.now(), Layer::Hw, "nic_tx_dma", trace);
         }
         let Some(frame) = frame else {
             return;
@@ -401,6 +402,9 @@ impl Nic {
             }
             if n.host_queue.len() + n.reasm.pending() >= n.config.rx_ring {
                 n.stats.rx_no_buffer += 1;
+                sim.metrics.counter_inc("hw.nic.rx_no_buffer");
+                sim.trace
+                    .instant(sim.now(), Layer::Hw, "drop.rx_no_buffer", frame.trace);
                 return;
             }
         }
@@ -411,11 +415,13 @@ impl Nic {
             let bytes = ETH_HEADER + frame.payload.len();
             let nic2 = nic.clone();
             if frame.trace != 0 {
-                sim.trace.begin(sim.now(), "nic_rx_dma", frame.trace);
+                sim.trace
+                    .begin(sim.now(), Layer::Hw, "nic_rx_dma", frame.trace);
             }
             pci.dma(sim, bytes, move |sim| {
                 if frame.trace != 0 {
-                    sim.trace.end(sim.now(), "nic_rx_dma", frame.trace);
+                    sim.trace
+                        .end(sim.now(), Layer::Hw, "nic_rx_dma", frame.trace);
                 }
                 Nic::rx_store(&nic2, sim, frame);
             });

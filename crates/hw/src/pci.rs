@@ -64,6 +64,7 @@ impl PciBus {
         done: impl FnOnce(&mut Sim) + 'static,
     ) {
         *self.bytes_moved.borrow_mut() += bytes as u64;
+        sim.metrics.observe("hw.pci.dma_bytes", bytes as u64);
         let t = self.service_time(bytes);
         SerialResource::acquire(&self.bus, sim, t, done);
     }

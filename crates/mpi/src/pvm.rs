@@ -67,7 +67,12 @@ impl Pvm {
     /// `pvm_initsend` + `pvm_pk*`: stage `data` into the pack buffer,
     /// charging the pack copy; `done` runs when packing completes.
     pub fn pack(self: &Rc<Pvm>, sim: &mut Sim, data: Bytes, done: impl FnOnce(&mut Sim) + 'static) {
-        let cost = self.kernel.borrow().costs.copy.cost(data.len());
+        let cost = self
+            .kernel
+            .borrow()
+            .costs
+            .copy
+            .cost_observed(sim, data.len());
         let pvm = self.clone();
         Kernel::cpu_task(&self.kernel, sim, cost, move |sim| {
             pvm.inner.borrow_mut().pack_buf = Some(Bytes::copy_from_slice(&data));
@@ -130,7 +135,12 @@ impl Pvm {
         msg: PvmMsg,
         cont: Box<dyn FnOnce(&mut Sim, PvmMsg)>,
     ) {
-        let cost = pvm.kernel.borrow().costs.copy.cost(msg.data.len());
+        let cost = pvm
+            .kernel
+            .borrow()
+            .costs
+            .copy
+            .cost_observed(sim, msg.data.len());
         Kernel::cpu_task(&pvm.kernel, sim, cost, move |sim| cont(sim, msg));
     }
 

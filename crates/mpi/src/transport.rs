@@ -13,7 +13,7 @@ use clic_core::module::SendOptions;
 use clic_core::{ClicModule, PacketType};
 use clic_ethernet::MacAddr;
 use clic_os::Pid;
-use clic_sim::Sim;
+use clic_sim::{Layer, Sim};
 use clic_tcpip::tcp::TcpStack;
 use clic_tcpip::{ConnId, IpAddr};
 use std::cell::RefCell;
@@ -81,6 +81,9 @@ impl ClicTransport {
                 .iter()
                 .position(|&m| m == msg.src)
                 .expect("message from station outside the job");
+            sim.metrics.counter_inc("mpi.recvs");
+            sim.trace
+                .instant(sim.now(), Layer::Mpi, "mpi_recv", src as u64);
             if let Some(h) = t.handler.borrow().clone() {
                 h(sim, src, msg.data);
             }
@@ -99,6 +102,10 @@ impl Transport for ClicTransport {
     }
 
     fn send(&self, sim: &mut Sim, dst: usize, data: Bytes) {
+        sim.metrics.counter_inc("mpi.sends");
+        sim.metrics.observe("mpi.msg_bytes", data.len() as u64);
+        sim.trace
+            .instant(sim.now(), Layer::Mpi, "mpi_send", dst as u64);
         let opts = SendOptions {
             ptype: PacketType::Mpi,
             ..SendOptions::data(self.peers[dst], MPI_CHANNEL)
@@ -180,6 +187,9 @@ impl TcpTransport {
                 as usize;
             let t2 = t.clone();
             TcpStack::recv(&stack, sim, conn, len, move |sim, body| {
+                sim.metrics.counter_inc("mpi.recvs");
+                sim.trace
+                    .instant(sim.now(), Layer::Mpi, "mpi_recv", src as u64);
                 if let Some(h) = t2.handler.borrow().clone() {
                     h(sim, src, body);
                 }
@@ -199,6 +209,10 @@ impl Transport for TcpTransport {
     }
 
     fn send(&self, sim: &mut Sim, dst: usize, data: Bytes) {
+        sim.metrics.counter_inc("mpi.sends");
+        sim.metrics.observe("mpi.msg_bytes", data.len() as u64);
+        sim.trace
+            .instant(sim.now(), Layer::Mpi, "mpi_send", dst as u64);
         let conn = self.conns.borrow()[dst].expect("transport not ready");
         let mut framed = BytesMut::with_capacity(4 + data.len());
         framed.put_u32(data.len() as u32);

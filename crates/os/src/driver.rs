@@ -17,7 +17,7 @@ use crate::kernel::Kernel;
 use crate::skbuff::SkBuff;
 use clic_ethernet::{EtherType, MacAddr, ETH_HEADER};
 use clic_hw::{Nic, TxDescriptor};
-use clic_sim::Sim;
+use clic_sim::{Layer, Sim};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::{Rc, Weak};
@@ -40,12 +40,13 @@ pub fn hard_start_xmit(
         (k.device(dev), k.costs.driver_tx_per_frame)
     };
     if skb.trace != 0 {
-        sim.trace.begin(sim.now(), "driver_tx", skb.trace);
+        sim.trace
+            .begin(sim.now(), Layer::Os, "driver_tx", skb.trace);
     }
     let trace = skb.trace;
     Kernel::cpu_task(kernel, sim, cost, move |sim| {
         if trace != 0 {
-            sim.trace.end(sim.now(), "driver_tx", trace);
+            sim.trace.end(sim.now(), Layer::Os, "driver_tx", trace);
         }
         let ok = Nic::transmit(
             &nic,
@@ -84,6 +85,7 @@ fn irq_top_half(kernel: &Rc<RefCell<Kernel>>, sim: &mut Sim, dev: usize) {
         k.stats.irqs += 1;
         k.costs.irq_entry + k.costs.driver_irq_fixed
     };
+    sim.metrics.counter_inc("os.irqs");
     let kernel2 = kernel.clone();
     Kernel::cpu_irq(kernel, sim, cost, move |sim| {
         rx_round(&kernel2, sim, dev, RX_BUDGET);
@@ -139,12 +141,14 @@ fn process_frames(
         per_frame + pci.service_time(bytes)
     };
     if frame.trace != 0 {
-        sim.trace.begin(sim.now(), "driver_rx", frame.trace);
+        sim.trace
+            .begin(sim.now(), Layer::Os, "driver_rx", frame.trace);
     }
     let kernel2 = kernel.clone();
     Kernel::cpu_irq(kernel, sim, move_cost, move |sim| {
         if frame.trace != 0 {
-            sim.trace.end(sim.now(), "driver_rx", frame.trace);
+            sim.trace
+                .end(sim.now(), Layer::Os, "driver_rx", frame.trace);
         }
         kernel2.borrow_mut().stats.frames_received += 1;
         dispatch(&kernel2, sim, dev, frame);
@@ -169,11 +173,11 @@ fn dispatch(kernel: &Rc<RefCell<Kernel>>, sim: &mut Sim, dev: usize, frame: Fram
         let kernel2 = kernel.clone();
         let trace = frame.trace;
         if trace != 0 {
-            sim.trace.begin(sim.now(), "bottom_half", trace);
+            sim.trace.begin(sim.now(), Layer::Os, "bottom_half", trace);
         }
         Kernel::schedule_bh(kernel, sim, move |sim| {
             if trace != 0 {
-                sim.trace.end(sim.now(), "bottom_half", trace);
+                sim.trace.end(sim.now(), Layer::Os, "bottom_half", trace);
             }
             handler.handle(sim, &kernel2, dev, frame);
         });
@@ -352,7 +356,7 @@ mod tests {
             |_, ok| assert!(ok),
         );
         sim.run();
-        let spans = sim.trace.spans_for(42);
+        let spans = sim.trace.spans_for(42).expect("all marks matched");
         let driver_rx = spans.iter().find(|s| s.stage == "driver_rx").unwrap();
         let d = driver_rx.duration();
         assert!(

@@ -155,6 +155,7 @@ impl Kernel {
             k.stats.syscalls += 1;
             k.costs.syscall
         };
+        sim.metrics.counter_inc("os.syscalls");
         Self::cpu_task(kernel, sim, cost, body);
     }
 
@@ -170,6 +171,7 @@ impl Kernel {
             k.stats.lightweight_calls += 1;
             k.costs.lightweight_call
         };
+        sim.metrics.counter_inc("os.lightweight_calls");
         Self::cpu_task(kernel, sim, cost, body);
     }
 
@@ -185,6 +187,7 @@ impl Kernel {
             let mut k = kernel.borrow_mut();
             if k.processes.wake(pid) {
                 k.stats.context_switches += 1;
+                sim.metrics.counter_inc("os.context_switches");
                 Some(k.costs.context_switch)
             } else {
                 None
@@ -228,6 +231,7 @@ impl Kernel {
             match k.bh_queue.pop_front() {
                 Some(w) => {
                     k.stats.bhs += 1;
+                    sim.metrics.counter_inc("os.bottom_halves");
                     (w, k.costs.bh_dispatch)
                 }
                 None => {

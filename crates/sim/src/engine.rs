@@ -9,6 +9,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::metrics::Metrics;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
@@ -52,7 +53,8 @@ pub enum StopReason {
     EventLimit,
 }
 
-/// The simulation world: clock, event queue, RNG and trace sink.
+/// The simulation world: clock, event queue, RNG, trace sink and metrics
+/// registry.
 pub struct Sim {
     now: SimTime,
     queue: BinaryHeap<Entry>,
@@ -61,8 +63,12 @@ pub struct Sim {
     event_limit: u64,
     /// Deterministic randomness shared by all components of this run.
     pub rng: SimRng,
-    /// Pipeline-stage trace sink (disabled by default; see [`Trace`]).
+    /// Cross-layer span/event trace sink (disabled by default; see
+    /// [`Trace`]).
     pub trace: Trace,
+    /// Metrics registry (disabled by default; see [`Metrics`]). Recording
+    /// is passive, so enabling it never changes simulation results.
+    pub metrics: Metrics,
 }
 
 impl Sim {
@@ -76,6 +82,7 @@ impl Sim {
             event_limit: u64::MAX,
             rng: SimRng::new(seed),
             trace: Trace::disabled(),
+            metrics: Metrics::disabled(),
         }
     }
 

@@ -7,9 +7,12 @@
 //! * [`Cpu`] — a two-priority-class (IRQ > task) serial processor resource,
 //! * [`SerialResource`] — a FIFO bus resource (PCI, memory bus),
 //! * [`SimRng`] — a seeded, reproducible random source,
-//! * [`stats`] — counters, gauges, histograms and throughput meters,
-//! * [`trace`] — per-packet pipeline-stage tracing (used to regenerate the
-//!   paper's Figure 7 timing breakdown).
+//! * [`stats`] — sample-exact latency and throughput measurement,
+//! * [`metrics`] — the per-run registry of named counters, gauges and
+//!   log-bucketed histograms (plain-text dump exporter),
+//! * [`trace`] — cross-layer span/event tracing with a Chrome trace-event
+//!   JSON exporter (used to regenerate the paper's Figure 7 timing
+//!   breakdown, and to trace any packet through the full pipeline).
 //!
 //! A simulation is single-threaded; components are shared as
 //! `Rc<RefCell<T>>` and captured by the event closures. Parameter sweeps run
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod metrics;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -29,7 +33,8 @@ pub mod time;
 pub mod trace;
 
 pub use engine::Sim;
+pub use metrics::{LogHistogram, Metrics};
 pub use resource::{Cpu, CpuClass, SerialResource};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Layer, Mark, StageSpan, Trace, TraceError, TraceEvent};

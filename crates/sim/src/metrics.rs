@@ -1,0 +1,505 @@
+//! Per-run metrics registry: named counters, gauges and log-bucketed
+//! histograms.
+//!
+//! Components record into [`Metrics`] through stable dotted names
+//! (`"clic.retransmits"`, `"eth.switch.queue_depth"`); the experiment layer
+//! reads them back by name or dumps the whole registry as deterministic
+//! plain text. Recording is passive — it never schedules events or touches
+//! the RNG — so enabling metrics cannot change simulation results.
+//!
+//! The registry is off by default; every recording call returns after one
+//! branch when disabled.
+
+use std::collections::BTreeMap;
+
+/// Log-bucketed histogram of `u64` values (latencies in ns, sizes in
+/// bytes, queue depths).
+///
+/// Bucket 0 holds the value 0; bucket `i` (i ≥ 1) holds values in
+/// `[2^(i-1), 2^i)`. Quantiles are estimated by linear interpolation of
+/// the target rank inside its bucket, clamped to the exactly-tracked
+/// minimum and maximum, so `quantile(1.0)` is always the true max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// New empty histogram (65 buckets cover the full `u64` range).
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_for(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    fn bucket_lower(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Exclusive upper bound of bucket `i` (saturating at `u64::MAX`).
+    fn bucket_upper(i: usize) -> u64 {
+        match i {
+            0 => 1,
+            64 => u64::MAX,
+            _ => 1u64 << i,
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_for(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of recorded values, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Estimated q-quantile (`0.0..=1.0`), `None` when empty.
+    ///
+    /// Finds the bucket holding the nearest-rank sample, then linearly
+    /// interpolates the rank's position across the bucket's value range;
+    /// the estimate is clamped to the true `[min, max]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lower = Self::bucket_lower(i) as f64;
+                let width = (Self::bucket_upper(i) - Self::bucket_lower(i)) as f64;
+                // Position of the rank inside this bucket, mid-sample.
+                let frac = (rank - seen) as f64 - 0.5;
+                let est = lower + width * (frac / c as f64);
+                return Some(est.clamp(self.min as f64, self.max as f64));
+            }
+            seen += c;
+        }
+        Some(self.max as f64)
+    }
+
+    /// Median estimate (`quantile(0.5)`), 0.0 when empty.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5).unwrap_or(0.0)
+    }
+
+    /// 95th-percentile estimate, 0.0 when empty.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95).unwrap_or(0.0)
+    }
+
+    /// 99th-percentile estimate, 0.0 when empty.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99).unwrap_or(0.0)
+    }
+
+    /// Fold another histogram into this one (bucket-wise addition; min,
+    /// max, count and sum combine exactly).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(inclusive lower, exclusive upper, count)`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_lower(i), Self::bucket_upper(i), c))
+            .collect()
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Gauge {
+    current: i64,
+    peak: i64,
+}
+
+/// The per-run metrics registry.
+///
+/// One instance lives on every [`crate::Sim`] (`sim.metrics`); experiment
+/// layers may also build standalone registries (e.g. one per node) and
+/// [`Metrics::merge`] them. All maps are `BTreeMap`s, so iteration order —
+/// and therefore [`Metrics::dump`] output — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    enabled: bool,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl Metrics {
+    /// A registry that records nothing (the default on a fresh `Sim`).
+    pub fn disabled() -> Self {
+        Metrics::default()
+    }
+
+    /// A recording registry.
+    pub fn enabled() -> Self {
+        Metrics {
+            enabled: true,
+            ..Metrics::default()
+        }
+    }
+
+    /// Whether recording calls have any effect.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Add `by` to counter `name`, creating it at zero first.
+    pub fn counter_add(&mut self, name: &str, by: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Add one to counter `name`.
+    pub fn counter_inc(&mut self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Set gauge `name` to `v`, tracking its peak.
+    pub fn gauge_set(&mut self, name: &str, v: i64) {
+        if !self.enabled {
+            return;
+        }
+        let g = self.gauges.entry(name.to_string()).or_default();
+        g.current = v;
+        g.peak = g.peak.max(v);
+    }
+
+    /// Record `v` into histogram `name`.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).map(|g| g.current).unwrap_or(0)
+    }
+
+    /// Highest value a gauge ever held (0 when absent).
+    pub fn gauge_peak(&self, name: &str) -> i64 {
+        self.gauges.get(name).map(|g| g.peak).unwrap_or(0)
+    }
+
+    /// Histogram by name, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, &v)| (n.as_str(), v))
+    }
+
+    /// Sum of every counter whose name ends with `suffix` — totals across
+    /// per-node prefixes (`n0.clic.retransmits` + `n1.clic.retransmits`).
+    pub fn sum_counters(&self, suffix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.ends_with(suffix))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Largest peak over every gauge whose name ends with `suffix`.
+    pub fn max_gauge_peak(&self, suffix: &str) -> i64 {
+        self.gauges
+            .iter()
+            .filter(|(n, _)| n.ends_with(suffix))
+            .map(|(_, g)| g.peak)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fold `other` into this registry: counters add, gauge peaks combine
+    /// (current takes `other`'s value), histograms merge.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (n, &v) in &other.counters {
+            *self.counters.entry(n.clone()).or_insert(0) += v;
+        }
+        for (n, o) in &other.gauges {
+            let g = self.gauges.entry(n.clone()).or_default();
+            g.current = o.current;
+            g.peak = g.peak.max(o.peak);
+        }
+        for (n, o) in &other.histograms {
+            self.histograms.entry(n.clone()).or_default().merge(o);
+        }
+    }
+
+    /// Deterministic plain-text dump of the whole registry.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("# counters\n");
+            for (n, v) in &self.counters {
+                writeln!(out, "{n} {v}").unwrap();
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("# gauges (current peak)\n");
+            for (n, g) in &self.gauges {
+                writeln!(out, "{n} {} {}", g.current, g.peak).unwrap();
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("# histograms (count mean p50 p95 p99 max)\n");
+            for (n, h) in &self.histograms {
+                writeln!(
+                    out,
+                    "{n} {} {:.1} {:.1} {:.1} {:.1} {}",
+                    h.count(),
+                    h.mean(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
+                    h.max().unwrap_or(0),
+                )
+                .unwrap();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        let mut h = LogHistogram::new();
+        // 0 -> bucket 0; 1 -> [1,2); 2,3 -> [2,4); 4 -> [4,8);
+        // 1500 -> [1024,2048).
+        for v in [0u64, 1, 2, 3, 4, 1500] {
+            h.record(v);
+        }
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1, 1), (1, 2, 1), (2, 4, 2), (4, 8, 1), (1024, 2048, 1)]
+        );
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1500));
+        assert!((h.mean() - 1510.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_clamp() {
+        let mut h = LogHistogram::new();
+        for _ in 0..100 {
+            h.record(1000); // all in bucket [512, 1024)
+        }
+        // Every sample is 1000: quantile estimates interpolate inside the
+        // [512, 1024) bucket but clamp to the exact min/max of 1000.
+        assert_eq!(h.quantile(0.0), Some(1000.0));
+        assert_eq!(h.quantile(1.0), Some(1000.0));
+        assert_eq!(h.p50(), 1000.0);
+
+        // Spread across two buckets: the median must fall in the lower
+        // bucket's range and interpolation must be monotone in q.
+        let mut h = LogHistogram::new();
+        for _ in 0..50 {
+            h.record(10); // [8, 16)
+        }
+        for _ in 0..50 {
+            h.record(100); // [64, 128)
+        }
+        let p25 = h.quantile(0.25).unwrap();
+        let p50 = h.quantile(0.5).unwrap();
+        let p75 = h.quantile(0.75).unwrap();
+        assert!((10.0..16.0).contains(&p25), "p25={p25}");
+        assert!(p25 <= p50 && p50 <= p75, "{p25} {p50} {p75}");
+        assert!((64.0..=100.0).contains(&p75), "p75={p75}");
+        assert_eq!(h.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_exactly() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+        }
+        for v in [0u64, 700] {
+            b.record(v);
+        }
+        let mut all = LogHistogram::new();
+        for v in [1u64, 5, 9, 0, 700] {
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), Some(0));
+        assert_eq!(a.max(), Some(700));
+        assert_eq!(a.sum(), 715);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut m = Metrics::disabled();
+        m.counter_inc("x");
+        m.gauge_set("g", 5);
+        m.observe("h", 9);
+        assert!(!m.is_enabled());
+        assert_eq!(m.counter("x"), 0);
+        assert_eq!(m.gauge_peak("g"), 0);
+        assert!(m.histogram("h").is_none());
+        assert!(m.dump().is_empty());
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut m = Metrics::enabled();
+        m.counter_inc("clic.retransmits");
+        m.counter_add("clic.retransmits", 2);
+        m.gauge_set("q", 3);
+        m.gauge_set("q", 7);
+        m.gauge_set("q", 2);
+        m.observe("sz", 1400);
+        assert_eq!(m.counter("clic.retransmits"), 3);
+        assert_eq!(m.gauge("q"), 2);
+        assert_eq!(m.gauge_peak("q"), 7);
+        assert_eq!(m.histogram("sz").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn suffix_totals_across_node_prefixes() {
+        let mut m = Metrics::enabled();
+        m.counter_add("n0.clic.retransmits", 2);
+        m.counter_add("n1.clic.retransmits", 3);
+        m.gauge_set("n0.eth.switch.queue_depth", 9);
+        m.gauge_set("n1.eth.switch.queue_depth", 4);
+        assert_eq!(m.sum_counters("clic.retransmits"), 5);
+        assert_eq!(m.max_gauge_peak("eth.switch.queue_depth"), 9);
+    }
+
+    #[test]
+    fn merge_registries() {
+        let mut a = Metrics::enabled();
+        a.counter_add("c", 1);
+        a.gauge_set("g", 10);
+        a.observe("h", 4);
+        let mut b = Metrics::enabled();
+        b.counter_add("c", 2);
+        b.gauge_set("g", 3);
+        b.observe("h", 900);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge_peak("g"), 10);
+        assert_eq!(a.gauge("g"), 3);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn dump_is_deterministic_and_sorted() {
+        let mut m = Metrics::enabled();
+        m.counter_inc("b.second");
+        m.counter_inc("a.first");
+        m.gauge_set("depth", 4);
+        m.observe("lat", 100);
+        let d = m.dump();
+        assert_eq!(d, m.clone().dump());
+        let a = d.find("a.first").unwrap();
+        let b = d.find("b.second").unwrap();
+        assert!(a < b, "counters must be name-sorted:\n{d}");
+        assert!(d.contains("depth 4 4"));
+        assert!(d.contains("lat 1 100.0"));
+    }
+}

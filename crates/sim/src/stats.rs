@@ -1,34 +1,12 @@
-//! Measurement primitives used by all experiments.
+//! Sample-exact measurement primitives used by the experiment drivers.
+//!
+//! Event counting and bucketed distributions moved to the per-run
+//! [`crate::metrics::Metrics`] registry; what remains here are the
+//! sample-exact instruments workloads thread through their callbacks: the
+//! throughput meter behind every bandwidth figure and the latency
+//! collector behind the ping-pong/request-reply figures.
 
 use crate::time::{SimDuration, SimTime};
-
-/// A monotonically increasing event counter.
-#[derive(Debug, Default, Clone)]
-pub struct Counter {
-    n: u64,
-}
-
-impl Counter {
-    /// New zeroed counter.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Add one.
-    pub fn inc(&mut self) {
-        self.n += 1;
-    }
-
-    /// Add `by`.
-    pub fn add(&mut self, by: u64) {
-        self.n += by;
-    }
-
-    /// Current count.
-    pub fn get(&self) -> u64 {
-        self.n
-    }
-}
 
 /// Accumulates bytes over a time window and reports throughput.
 #[derive(Debug, Clone)]
@@ -134,85 +112,9 @@ impl LatencyStats {
     }
 }
 
-/// Power-of-two bucketed histogram of u64 values (sizes, queue depths).
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    /// buckets[i] counts values in [2^(i-1), 2^i), buckets[0] counts 0..1.
-    buckets: Vec<u64>,
-    count: u64,
-    sum: u64,
-}
-
-impl Histogram {
-    /// New empty histogram (65 buckets cover the full u64 range).
-    pub fn new() -> Self {
-        Histogram {
-            buckets: vec![0; 65],
-            count: 0,
-            sum: 0,
-        }
-    }
-
-    fn bucket_for(v: u64) -> usize {
-        if v == 0 {
-            0
-        } else {
-            64 - v.leading_zeros() as usize
-        }
-    }
-
-    /// Record a value.
-    pub fn record(&mut self, v: u64) {
-        self.buckets[Self::bucket_for(v)] += 1;
-        self.count += 1;
-        self.sum += v;
-    }
-
-    /// Number of recorded values.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean of recorded values (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Non-empty `(bucket_upper_bound, count)` pairs.
-    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| {
-                let upper = if i == 0 { 0 } else { 1u64 << i.min(63) };
-                (upper, c)
-            })
-            .collect()
-    }
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn counter_counts() {
-        let mut c = Counter::new();
-        c.inc();
-        c.add(4);
-        assert_eq!(c.get(), 5);
-    }
 
     #[test]
     fn throughput_mbps() {
@@ -228,6 +130,20 @@ mod tests {
         let m = ThroughputMeter::new(SimTime::from_us(5));
         assert_eq!(m.mbps(), 0.0);
         assert_eq!(m.mbps_over(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn throughput_bytes_in_zero_width_window_is_zero_not_nan() {
+        // Bytes recorded at exactly the start instant leave `[start, last]`
+        // empty: the naive bytes/window division would be inf (or NaN with
+        // zero bytes). Both reports must stay a finite 0.0.
+        let mut m = ThroughputMeter::new(SimTime::from_us(5));
+        m.record(SimTime::from_us(5), 10_000);
+        assert_eq!(m.bytes(), 10_000);
+        assert_eq!(m.mbps(), 0.0);
+        assert!(m.mbps().is_finite());
+        assert_eq!(m.mbps_over(SimDuration::ZERO), 0.0);
+        assert!(m.mbps_over(SimDuration::ZERO).is_finite());
     }
 
     #[test]
@@ -252,21 +168,5 @@ mod tests {
         assert_eq!(l.percentile(0.5), Some(SimDuration::from_us(20)));
         assert_eq!(l.percentile(1.0), Some(SimDuration::from_us(40)));
         assert_eq!(l.percentile(0.0), Some(SimDuration::from_us(10)));
-    }
-
-    #[test]
-    fn histogram_buckets() {
-        let mut h = Histogram::new();
-        h.record(0);
-        h.record(1);
-        h.record(2);
-        h.record(3);
-        h.record(1500);
-        assert_eq!(h.count(), 5);
-        assert!((h.mean() - (1 + 2 + 3 + 1500) as f64 / 5.0).abs() < 1e-9);
-        let buckets = h.nonzero_buckets();
-        // 0 -> bucket 0; 1 -> bucket 1 (upper 2); 2,3 -> bucket 2 (upper 4);
-        // 1500 -> bucket 11 (upper 2048).
-        assert_eq!(buckets, vec![(0, 1), (2, 1), (4, 2), (2048, 1)]);
     }
 }

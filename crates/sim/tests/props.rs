@@ -1,7 +1,7 @@
 //! Property-based tests of the DES engine's core invariants.
 
-use clic_sim::stats::{Histogram, LatencyStats};
-use clic_sim::{Sim, SimDuration, SimTime};
+use clic_sim::stats::LatencyStats;
+use clic_sim::{LogHistogram, Sim, SimDuration, SimTime};
 use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -70,18 +70,24 @@ proptest! {
         prop_assert!(stats.min().unwrap() <= mean && mean <= stats.max().unwrap());
     }
 
-    /// Histogram conserves count and mean.
+    /// Histogram conserves count and mean, and its quantiles stay within
+    /// the observed min/max.
     #[test]
     fn histogram_conserves(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
-        let mut h = Histogram::new();
+        let mut h = LogHistogram::new();
         for &v in &values {
             h.record(v);
         }
         prop_assert_eq!(h.count(), values.len() as u64);
-        let bucket_total: u64 = h.nonzero_buckets().iter().map(|(_, c)| c).sum();
+        let bucket_total: u64 = h.nonzero_buckets().iter().map(|&(_, _, c)| c).sum();
         prop_assert_eq!(bucket_total, values.len() as u64);
         let expect = values.iter().sum::<u64>() as f64 / values.len() as f64;
         prop_assert!((h.mean() - expect).abs() < 1e-6);
+        let (lo, hi) = (*values.iter().min().unwrap() as f64, *values.iter().max().unwrap() as f64);
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= lo && v <= hi, "q{} = {} outside [{}, {}]", q, v, lo, hi);
+        }
     }
 
     /// for_bytes never returns zero for nonzero payloads and scales

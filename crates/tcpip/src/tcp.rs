@@ -18,7 +18,7 @@ use crate::ip::{internet_checksum, IpAddr, IpProto, Ipv4Header};
 use crate::stack::{IpLayer, IpProtoHandler};
 use bytes::{BufMut, Bytes, BytesMut};
 use clic_os::{Kernel, Pid};
-use clic_sim::{Sim, SimDuration};
+use clic_sim::{Layer, Sim, SimDuration};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::{Rc, Weak};
@@ -373,7 +373,7 @@ impl TcpStack {
         let kernel = Self::kernel_of(stack);
         let stack2 = stack.clone();
         Kernel::syscall(&kernel.clone(), sim, move |sim| {
-            let copy_cost = kernel.borrow().costs.copy.cost(data.len());
+            let copy_cost = kernel.borrow().costs.copy.cost_observed(sim, data.len());
             let stack3 = stack2.clone();
             Kernel::cpu_task(&kernel, sim, copy_cost, move |sim| {
                 {
@@ -584,11 +584,11 @@ impl TcpStack {
         };
         let stack2 = stack.clone();
         if trace != 0 {
-            sim.trace.begin(sim.now(), "tcp_tx", trace);
+            sim.trace.begin(sim.now(), Layer::TcpIp, "tcp_tx", trace);
         }
         Kernel::cpu_task(&kernel, sim, cost, move |sim| {
             if trace != 0 {
-                sim.trace.end(sim.now(), "tcp_tx", trace);
+                sim.trace.end(sim.now(), Layer::TcpIp, "tcp_tx", trace);
             }
             Self::emit(&stack2, sim, peer, seg, payload, trace);
         });
@@ -673,6 +673,8 @@ impl TcpStack {
         let Some((peer, seg, payload)) = resend else {
             return;
         };
+        sim.metrics.counter_inc("tcp.retransmits");
+        sim.trace.instant(sim.now(), Layer::TcpIp, "rto", 0);
         Self::emit_data(stack, sim, peer, seg, payload, 0);
         Self::ensure_rto(stack, sim, conn);
     }
@@ -891,6 +893,9 @@ impl TcpStack {
             }
         };
         if let Some((peer, reply, payload)) = fast_resend {
+            sim.metrics.counter_inc("tcp.fast_retransmits");
+            sim.trace
+                .instant(sim.now(), Layer::TcpIp, "fast_retransmit", 0);
             Self::emit_data(stack, sim, peer, reply, payload, 0);
         }
         let progressed = {
@@ -1074,7 +1079,7 @@ impl TcpStack {
             let Some((data, cont, pid)) = ready else {
                 return;
             };
-            let copy_cost = kernel.borrow().costs.copy.cost(data.len());
+            let copy_cost = kernel.borrow().costs.copy.cost_observed(sim, data.len());
             let kernel2 = kernel.clone();
             Kernel::cpu_task(&kernel, sim, copy_cost, move |sim| match pid {
                 Some(pid) => Kernel::wake(&kernel2, sim, pid, move |sim| cont(sim, data)),
