@@ -4,13 +4,14 @@
 //! figures [--quick] [--json] [--jobs N] [--no-cache] [--cache-dir DIR]
 //!         [--metrics] <what>...
 //!   what: fig4 fig5 fig6 fig7 scalars gamma coalescing fragmentation
-//!         bonding syscall loss cpu load paths scaling claims all
+//!         bonding syscall loss cpu load paths scaling reliability
+//!         claims all
 //! figures trace [scenario] [--size N] [--mtu M] [--seed S] [--out FILE]
 //!         [--metrics] [--quick]
-//!   scenario: fig7a (default) fig7b tcp
+//!   scenario: fig7a (default) fig7b fig7a-lossy tcp
 //! ```
 //!
-//! * `--quick` uses a reduced size grid.
+//! * `--quick` (alias `--smoke`) uses a reduced size grid.
 //! * `--json` emits machine-readable output instead of CSV + ASCII charts.
 //! * `--jobs N` runs experiment jobs on N worker threads (default: all
 //!   cores). Results are bit-identical for every N.
@@ -34,12 +35,12 @@ use clic_bench::runner::{run_jobs, RunReport, RunnerConfig};
 use clic_cluster::experiments::{self, FigureKind, FigureOutput, ResultMap, Series, StageRow};
 use clic_cluster::observe::{self, TraceScenario};
 
-const USAGE: &str = "usage: figures [--quick] [--json] [--jobs N] [--no-cache] \
+const USAGE: &str = "usage: figures [--quick|--smoke] [--json] [--jobs N] [--no-cache] \
 [--cache-dir DIR] [--metrics] <what>...
   what: fig4 fig5 fig6 fig7 scalars gamma coalescing fragmentation
-        bonding syscall loss cpu load paths scaling claims all
-   or: figures trace [fig7a|fig7b|tcp] [--size N] [--mtu M] [--seed S]
-        [--out FILE] [--metrics] [--quick]";
+        bonding syscall loss cpu load paths scaling reliability claims all
+   or: figures trace [fig7a|fig7b|fig7a-lossy|tcp] [--size N] [--mtu M]
+        [--seed S] [--out FILE] [--metrics] [--quick]";
 
 /// Per-figure totals of the `m.`-prefixed measurement keys every job
 /// reports (schema v2).
@@ -100,7 +101,7 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--quick" => quick = true,
+            "--quick" | "--smoke" => quick = true,
             "--json" => json = true,
             "--no-cache" => cache = false,
             "--metrics" => metrics = true,
@@ -187,7 +188,7 @@ fn run_trace(args: &[String]) {
         match arg.as_str() {
             // The trace run is a single message, so there is no reduced
             // grid; --quick is accepted for CLI symmetry with the figures.
-            "--quick" => {}
+            "--quick" | "--smoke" => {}
             "--metrics" => metrics = true,
             "--size" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 1 => size = n,
@@ -213,7 +214,7 @@ fn run_trace(args: &[String]) {
             other => match TraceScenario::parse(other) {
                 Some(s) => scenario = s,
                 None => die(&format!(
-                    "unknown scenario '{other}' (expected fig7a, fig7b or tcp)"
+                    "unknown scenario '{other}' (expected fig7a, fig7b, fig7a-lossy or tcp)"
                 )),
             },
         }
@@ -555,6 +556,56 @@ fn render(json: bool, kind: FigureKind, output: FigureOutput) {
                     println!(
                         "{:>6} {:>16.1} {:>14.1}",
                         r.nodes, r.aggregate_mbps, r.per_node_mbps
+                    );
+                }
+                println!();
+            }
+        }
+        FigureOutput::Reliability(rows) => {
+            if json {
+                print_json(Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("stack", Json::from(r.stack.as_str())),
+                                ("mtu", Json::from(r.mtu)),
+                                ("loss_pct", Json::Num(r.loss_pct)),
+                                ("bursty", Json::from(r.bursty)),
+                                ("mbps", Json::Num(r.mbps)),
+                                ("mean_us", Json::Num(r.mean_us)),
+                                ("p99_us", Json::Num(r.p99_us)),
+                                ("retx", Json::Num(r.retx)),
+                                ("drops", Json::Num(r.drops)),
+                            ])
+                        })
+                        .collect(),
+                ));
+            } else {
+                println!("== {} ==", kind.title());
+                println!(
+                    "{:<6} {:>6} {:>7} {:>8} {:>10} {:>10} {:>10} {:>7} {:>7}",
+                    "stack",
+                    "mtu",
+                    "loss%",
+                    "model",
+                    "Mb/s",
+                    "mean(us)",
+                    "p99(us)",
+                    "retx",
+                    "drops"
+                );
+                for r in rows {
+                    println!(
+                        "{:<6} {:>6} {:>7} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>7.0} {:>7.0}",
+                        r.stack,
+                        r.mtu,
+                        r.loss_pct,
+                        if r.bursty { "burst" } else { "uniform" },
+                        r.mbps,
+                        r.mean_us,
+                        r.p99_us,
+                        r.retx,
+                        r.drops
                     );
                 }
                 println!();

@@ -10,6 +10,7 @@ use clic_cluster::experiments;
 use clic_cluster::observe::{run_pipeline_trace, TraceScenario};
 
 const GOLDEN: &str = include_str!("golden/fig7a_1400_trace.json");
+const GOLDEN_LOSSY: &str = include_str!("golden/fig7a_lossy_trace.json");
 
 fn fig7a_trace() -> clic_cluster::observe::PipelineTrace {
     run_pipeline_trace(TraceScenario::Fig7a, 1400, 1500, 0)
@@ -24,6 +25,23 @@ fn chrome_trace_matches_golden_file() {
          regenerate crates/bench/tests/golden/fig7a_1400_trace.json with \
          `figures trace fig7a --out <golden path>`"
     );
+}
+
+#[test]
+fn lossy_chrome_trace_matches_golden_file() {
+    // A 14000-byte message over the fault-injected link (every 4th forward
+    // frame lost, clean reverse path): the trace is byte-stable and shows
+    // both recovery mechanisms as instant events.
+    let t = run_pipeline_trace(TraceScenario::Fig7aLossy, 14_000, 1500, 0);
+    assert_eq!(
+        t.chrome_json, GOLDEN_LOSSY,
+        "Chrome trace for the lossy Figure 7a run changed; if intentional, \
+         regenerate crates/bench/tests/golden/fig7a_lossy_trace.json with \
+         `figures trace fig7a-lossy --size 14000 --out <golden path>`"
+    );
+    assert!(t.chrome_json.contains("\"fast_retransmit\""));
+    assert!(t.chrome_json.contains("\"rto\""));
+    assert!(t.chrome_json.contains("\"link_drop\""));
 }
 
 #[test]

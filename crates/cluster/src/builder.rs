@@ -2,7 +2,7 @@
 
 use crate::calibration::CostModel;
 use crate::node::{Node, NodeConfig};
-use clic_ethernet::{Link, LinkEnd, LossModel, MacAddr, Switch};
+use clic_ethernet::{FaultPlan, Link, LinkEnd, LossModel, MacAddr, Switch};
 use clic_tcpip::IpAddr;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -27,8 +27,18 @@ pub struct ClusterConfig {
     pub topology: Topology,
     /// Per-node stack configuration.
     pub node: NodeConfig,
-    /// Loss model applied to every link.
+    /// Loss model applied to every link (both directions). Kept as the
+    /// simple historical knob; ignored when `faults` installs its own
+    /// loss model.
     pub loss: LossModel,
+    /// Full fault plan applied to every link, both directions (loss,
+    /// corruption, duplication, reordering, outages). When its loss model
+    /// is `LossModel::None`, the legacy `loss` field fills it in.
+    pub faults: FaultPlan,
+    /// Optional distinct fault plan for the reverse direction (towards
+    /// the lower-numbered node: node1→node0 back-to-back, node→switch
+    /// uplinks when switched). `None` applies `faults` symmetrically.
+    pub faults_reverse: Option<FaultPlan>,
     /// Cost model (link speed, TCP costs...).
     pub model: CostModel,
 }
@@ -42,6 +52,8 @@ impl ClusterConfig {
             topology: Topology::BackToBack,
             node: NodeConfig::clic_default(&model),
             loss: LossModel::None,
+            faults: FaultPlan::default(),
+            faults_reverse: None,
             model,
         }
     }
@@ -66,7 +78,19 @@ impl Cluster {
         }
         let mk_link = || {
             let link = Link::new(config.model.link_bps, config.model.propagation);
-            link.borrow_mut().set_loss(config.loss);
+            // The forward plan covers LinkEnd::A (the lower-numbered node,
+            // or the node side of a switch uplink); the legacy `loss`
+            // field backfills a plan that doesn't set its own loss model.
+            let mut forward = config.faults.clone();
+            if forward.loss == LossModel::None {
+                forward.loss = config.loss;
+            }
+            let reverse = match &config.faults_reverse {
+                Some(plan) => plan.clone(),
+                None => forward.clone(),
+            };
+            link.borrow_mut().set_faults(LinkEnd::A, forward);
+            link.borrow_mut().set_faults(LinkEnd::B, reverse);
             link
         };
         match config.topology {
@@ -163,6 +187,21 @@ mod tests {
         let k = cluster.nodes[0].kernel.borrow();
         let macs: Vec<_> = (0..3).map(|d| k.device(d).borrow().mac()).collect();
         assert!(macs.iter().all(|&m| m == cluster.nodes[0].mac));
+    }
+
+    #[test]
+    fn fault_plans_reach_the_links() {
+        let mut cfg = ClusterConfig::paper_pair();
+        cfg.loss = LossModel::EveryNth(5);
+        cfg.faults.corrupt = 0.25;
+        cfg.faults_reverse = Some(FaultPlan::default());
+        let cluster = Cluster::build(&cfg);
+        let link = cluster.links[0].borrow();
+        // Forward (node0→node1): legacy loss backfilled + corruption.
+        assert_eq!(link.faults(LinkEnd::A).loss, LossModel::EveryNth(5));
+        assert_eq!(link.faults(LinkEnd::A).corrupt, 0.25);
+        // Reverse overridden to clean.
+        assert_eq!(*link.faults(LinkEnd::B), FaultPlan::default());
     }
 
     #[test]

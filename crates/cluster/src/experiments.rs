@@ -1023,6 +1023,144 @@ pub fn ablation_latency_under_load() -> Vec<LoadedLatencyRow> {
     load_from(&run_serial(&load_jobs()))
 }
 
+/// One cell of the reliability-under-loss family: a (stack, MTU, loss
+/// model) combination exercised with 64 KB request / 4-byte reply cycles
+/// over a faulty link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityRow {
+    /// Stack under test.
+    pub stack: String,
+    /// Device MTU, bytes.
+    pub mtu: usize,
+    /// Mean frame-loss probability, percent (applied in both directions).
+    pub loss_pct: f64,
+    /// Bursty (Gilbert–Elliott) rather than uniform (Bernoulli) loss.
+    pub bursty: bool,
+    /// Delivered goodput, Mb/s (request bytes per mean cycle).
+    pub mbps: f64,
+    /// Mean request/reply cycle time, µs.
+    pub mean_us: f64,
+    /// 99th-percentile cycle time, µs.
+    pub p99_us: f64,
+    /// Retransmitted packets, totalled across both stacks' counters.
+    pub retx: f64,
+    /// Dropped frames/packets, totalled across every layer.
+    pub drops: f64,
+}
+
+/// The loss model of one reliability cell. Bursty cells use a
+/// Gilbert–Elliott chain tuned to the same mean loss `p`: the burst state
+/// drops everything, lasts 4 frames on average (`p_exit = 0.25`), and is
+/// entered at the rate that makes the stationary loss equal `p`.
+fn reliability_loss(p: f64, bursty: bool) -> LossModel {
+    if p == 0.0 {
+        LossModel::None
+    } else if bursty {
+        LossModel::GilbertElliott {
+            p_enter_burst: 0.25 * p / (1.0 - p),
+            p_exit_burst: 0.25,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        }
+    } else {
+        LossModel::Bernoulli(p)
+    }
+}
+
+/// The reliability grid: `(id, stack, label, mtu, loss_pct, bursty)`.
+/// Quick runs keep MTU 1500 and the extreme loss cells only.
+fn reliability_cases(quick: bool) -> Vec<(String, StackKind, &'static str, usize, f64, bool)> {
+    let mtus: &[usize] = if quick { &[1500] } else { &[1500, 9000] };
+    let losses: &[(f64, bool)] = if quick {
+        &[(0.0, false), (2.0, false), (2.0, true)]
+    } else {
+        &[
+            (0.0, false),
+            (0.5, false),
+            (0.5, true),
+            (2.0, false),
+            (2.0, true),
+        ]
+    };
+    let mut cases = Vec::new();
+    for (stack, label) in [(StackKind::Clic, "CLIC"), (StackKind::Tcp, "TCP")] {
+        for &mtu in mtus {
+            for &(pct, bursty) in losses {
+                let kind = if bursty { "burst" } else { "uniform" };
+                cases.push((
+                    format!("reliability/{label}/mtu{mtu}/loss{pct}/{kind}"),
+                    stack,
+                    label,
+                    mtu,
+                    pct,
+                    bursty,
+                ));
+            }
+        }
+    }
+    cases
+}
+
+/// Reliability jobs: CLIC vs TCP × MTU × (loss rate, burstiness), one
+/// [`JobKind::Reliability`] each. `sizes` only selects quick vs full (as
+/// for the sweeps, a reduced size grid means a reduced reliability grid).
+pub fn reliability_jobs(sizes: &[usize]) -> Vec<JobSpec> {
+    let quick = sizes.len() <= quick_sizes().len();
+    let rounds = if quick { 32 } else { 128 };
+    let model = CostModel::era_2002();
+    reliability_cases(quick)
+        .into_iter()
+        .map(|(id, stack, _, mtu, pct, bursty)| {
+            let jumbo = mtu == 9000;
+            let mut cfg = match stack {
+                StackKind::Clic => clic_pair(&model, jumbo, true),
+                _ => tcp_pair(&model, jumbo),
+            };
+            cfg.faults.loss = reliability_loss(pct / 100.0, bursty);
+            JobSpec::new(
+                id,
+                JobKind::Reliability {
+                    cluster: cfg,
+                    stack,
+                    size: 65_536,
+                    rounds,
+                    seed: 21,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Assemble the reliability rows from job results.
+pub fn reliability_from(results: &ResultMap, sizes: &[usize]) -> Vec<ReliabilityRow> {
+    let quick = sizes.len() <= quick_sizes().len();
+    reliability_cases(quick)
+        .into_iter()
+        .map(|(id, _, label, mtu, pct, bursty)| {
+            let m = &results[&id];
+            ReliabilityRow {
+                stack: label.to_string(),
+                mtu,
+                loss_pct: pct,
+                bursty,
+                mbps: m.require("mbps"),
+                mean_us: m.require("mean_us"),
+                p99_us: m.require("p99_us"),
+                retx: m.require("m.retransmits"),
+                drops: m.require("m.drops"),
+            }
+        })
+        .collect()
+}
+
+/// The reliability-under-loss family: goodput, tail latency and
+/// retransmission cost of CLIC vs TCP as the link degrades — the §1
+/// "networks have finite buffering and lose frames" scenario the paper's
+/// clean testbed never exercises.
+pub fn reliability(sizes: &[usize]) -> Vec<ReliabilityRow> {
+    reliability_from(&run_serial(&reliability_jobs(sizes)), sizes)
+}
+
 /// Ablation I row: all-to-all exchange scaling on a switched cluster.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScalingRow {
@@ -1115,6 +1253,9 @@ pub enum FigureKind {
     Paths,
     /// Ablation I: all-to-all scaling.
     Scaling,
+    /// Reliability under loss: CLIC vs TCP across loss rate × burstiness
+    /// × MTU.
+    Reliability,
 }
 
 /// The result of one assembled figure, ready for rendering.
@@ -1149,11 +1290,13 @@ pub enum FigureOutput {
     Paths(Vec<PathRow>),
     /// Ablation I rows.
     Scaling(Vec<ScalingRow>),
+    /// Reliability-under-loss rows.
+    Reliability(Vec<ReliabilityRow>),
 }
 
 impl FigureKind {
     /// Every figure, in the order `figures all` runs them.
-    pub const ALL: [FigureKind; 15] = [
+    pub const ALL: [FigureKind; 16] = [
         FigureKind::Fig4,
         FigureKind::Fig5,
         FigureKind::Fig6,
@@ -1169,6 +1312,7 @@ impl FigureKind {
         FigureKind::Load,
         FigureKind::Paths,
         FigureKind::Scaling,
+        FigureKind::Reliability,
     ];
 
     /// The CLI name (`figures <name>`).
@@ -1189,6 +1333,7 @@ impl FigureKind {
             FigureKind::Load => "load",
             FigureKind::Paths => "paths",
             FigureKind::Scaling => "scaling",
+            FigureKind::Reliability => "reliability",
         }
     }
 
@@ -1216,6 +1361,7 @@ impl FigureKind {
             FigureKind::Load => load_jobs(),
             FigureKind::Paths => paths_jobs(),
             FigureKind::Scaling => scaling_jobs(),
+            FigureKind::Reliability => reliability_jobs(sizes),
         }
     }
 
@@ -1241,6 +1387,7 @@ impl FigureKind {
             FigureKind::Load => FigureOutput::Load(load_from(results)),
             FigureKind::Paths => FigureOutput::Paths(paths_from(results)),
             FigureKind::Scaling => FigureOutput::Scaling(scaling_from(results)),
+            FigureKind::Reliability => FigureOutput::Reliability(reliability_from(results, sizes)),
         }
     }
 
@@ -1264,6 +1411,9 @@ impl FigureKind {
             FigureKind::Load => "Ablation G: 64-byte latency under bulk load",
             FigureKind::Paths => "Ablation H: Figure 1 data paths",
             FigureKind::Scaling => "Ablation I: CLIC all-to-all scaling on a switch",
+            FigureKind::Reliability => {
+                "Reliability under loss: CLIC vs TCP, loss rate x burstiness x MTU"
+            }
         }
     }
 }

@@ -18,8 +18,8 @@
 use crate::builder::{Cluster, ClusterConfig};
 use crate::calibration::CostModel;
 use crate::workload::{
-    ping_pong, request_reply_cycles_with_background, stream, stream_count, stream_pipelined,
-    StackKind,
+    ping_pong, request_reply_cycles, request_reply_cycles_with_background, stream, stream_count,
+    stream_pipelined, StackKind,
 };
 use clic_sim::{Sim, SimDuration};
 
@@ -29,7 +29,11 @@ use clic_sim::{Sim, SimDuration};
 /// v2: every job also reports `m.`-prefixed per-run metric totals (drops,
 /// retransmits, peak switch queue depth) from the [`clic_sim::Metrics`]
 /// registry.
-pub const MEASUREMENT_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: the reliability figure family ([`JobKind::Reliability`]); the
+/// drop total also counts FCS-discarded frames and the retransmit total
+/// counts CLIC fast retransmits.
+pub const MEASUREMENT_SCHEMA_VERSION: u32 = 3;
 
 /// The flat result of one job: named scalar values, in a stable,
 /// job-defined order (stage breakdowns rely on the order).
@@ -104,6 +108,21 @@ pub enum JobKind {
         clic: bool,
         /// Whether the competing bulk transfer runs.
         loaded: bool,
+    },
+    /// Reliability under loss: request/reply cycles over a faulty link
+    /// (the cluster's [`ClusterConfig::faults`] plan); reports goodput,
+    /// mean and p99 cycle latency, and the per-run retransmit/drop totals.
+    Reliability {
+        /// Cluster under test (carries the fault plan).
+        cluster: ClusterConfig,
+        /// Stack under test.
+        stack: StackKind,
+        /// Request size in bytes (replies are 4 bytes).
+        size: usize,
+        /// Number of request/reply cycles measured.
+        rounds: usize,
+        /// Simulator seed.
+        seed: u64,
     },
     /// Ablation I: all-to-all exchange on a switched cluster; reports
     /// aggregate bandwidth.
@@ -201,6 +220,13 @@ impl JobKind {
             } => run_ping_pong(cluster, *stack, *size, *rounds, *seed),
             JobKind::StageTrace { cluster, seed } => run_stage_trace(cluster, *seed),
             JobKind::LoadedLatency { clic, loaded } => run_loaded_latency(*clic, *loaded),
+            JobKind::Reliability {
+                cluster,
+                stack,
+                size,
+                rounds,
+                seed,
+            } => run_reliability(cluster, *stack, *size, *rounds, *seed),
             JobKind::AllToAll {
                 cluster,
                 size,
@@ -225,7 +251,8 @@ fn push_metric_totals(m: &mut Measurement, sim: &Sim) {
         + sim.metrics.sum_counters("clic.drops.ooo")
         + sim.metrics.sum_counters("eth.switch.drops")
         + sim.metrics.sum_counters("eth.link.frames_lost")
-        + sim.metrics.sum_counters("hw.nic.rx_no_buffer");
+        + sim.metrics.sum_counters("hw.nic.rx_no_buffer")
+        + sim.metrics.sum_counters("hw.nic.rx_fcs_errors");
     let retransmits = sim.metrics.sum_counters("clic.retransmits")
         + sim.metrics.sum_counters("tcp.retransmits")
         + sim.metrics.sum_counters("tcp.fast_retransmits");
@@ -426,6 +453,33 @@ fn run_loaded_latency(is_clic: bool, loaded: bool) -> Measurement {
     m.push("min_us", one_way(cycles.min()));
     m.push("mean_us", one_way(cycles.mean()));
     m.push("p99_us", one_way(cycles.percentile(0.99)));
+    push_metric_totals(&mut m, &sim);
+    m
+}
+
+fn run_reliability(
+    config: &ClusterConfig,
+    stack: StackKind,
+    size: usize,
+    rounds: usize,
+    seed: u64,
+) -> Measurement {
+    let cluster = Cluster::build(config);
+    let mut sim = Sim::new(seed);
+    sim.metrics = clic_sim::Metrics::enabled();
+    let cycles = request_reply_cycles(&cluster, &mut sim, stack, size, 4, rounds);
+    let mut m = Measurement::default();
+    // Goodput: request bytes delivered per mean cycle. Derived from the
+    // cycle times rather than the final sim clock so trailing timer drain
+    // (stale RTOs, TCP TIME-WAIT) cannot skew it.
+    let mbps = cycles
+        .mean()
+        .map(|d| (size as f64 * 8.0 * 1_000.0) / d.as_ns() as f64)
+        .unwrap_or(0.0);
+    let us = |d: Option<SimDuration>| d.map(|d| d.as_us_f64()).unwrap_or(f64::NAN);
+    m.push("mbps", mbps);
+    m.push("mean_us", us(cycles.mean()));
+    m.push("p99_us", us(cycles.percentile(0.99)));
     push_metric_totals(&mut m, &sim);
     m
 }

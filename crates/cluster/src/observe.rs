@@ -28,15 +28,21 @@ pub enum TraceScenario {
     /// CLIC with direct dispatch from the IRQ and host-memory rings
     /// (the Figure 8b improvement; Figure 7b).
     Fig7b,
+    /// The Figure 7a pipeline over a lossy forward link (every 4th frame
+    /// dropped, clean reverse path, aggressive fast retransmit) — shows
+    /// the recovery machinery (`rto` / `fast_retransmit` instants) in the
+    /// trace.
+    Fig7aLossy,
     /// The TCP/IP baseline on the same latency-tuned hardware.
     Tcp,
 }
 
 impl TraceScenario {
     /// Every scenario, in display order.
-    pub const ALL: [TraceScenario; 3] = [
+    pub const ALL: [TraceScenario; 4] = [
         TraceScenario::Fig7a,
         TraceScenario::Fig7b,
+        TraceScenario::Fig7aLossy,
         TraceScenario::Tcp,
     ];
 
@@ -45,15 +51,18 @@ impl TraceScenario {
         match self {
             TraceScenario::Fig7a => "fig7a",
             TraceScenario::Fig7b => "fig7b",
+            TraceScenario::Fig7aLossy => "fig7a-lossy",
             TraceScenario::Tcp => "tcp",
         }
     }
 
-    /// Parse a CLI spelling (`fig7a`/`7a`, `fig7b`/`7b`, `tcp`).
+    /// Parse a CLI spelling (`fig7a`/`7a`, `fig7b`/`7b`, `fig7a-lossy`/
+    /// `lossy`, `tcp`).
     pub fn parse(s: &str) -> Option<TraceScenario> {
         match s {
             "fig7a" | "7a" | "clic" => Some(TraceScenario::Fig7a),
             "fig7b" | "7b" | "direct" => Some(TraceScenario::Fig7b),
+            "fig7a-lossy" | "lossy" => Some(TraceScenario::Fig7aLossy),
             "tcp" => Some(TraceScenario::Tcp),
             _ => None,
         }
@@ -106,7 +115,9 @@ fn trace_config(scenario: TraceScenario, mtu: usize) -> ClusterConfig {
     let model = CostModel::era_2002();
     let jumbo = mtu > 1500;
     let mut cfg = match scenario {
-        TraceScenario::Fig7a | TraceScenario::Fig7b => clic_pair(&model, jumbo, true),
+        TraceScenario::Fig7a | TraceScenario::Fig7b | TraceScenario::Fig7aLossy => {
+            clic_pair(&model, jumbo, true)
+        }
         TraceScenario::Tcp => tcp_pair(&model, jumbo),
     };
     cfg.node.nic = model.nic_low_latency(jumbo);
@@ -114,6 +125,16 @@ fn trace_config(scenario: TraceScenario, mtu: usize) -> ClusterConfig {
     if scenario == TraceScenario::Fig7b {
         cfg.node.direct_dispatch = true;
         cfg.node.nic.host_rings = true;
+    }
+    if scenario == TraceScenario::Fig7aLossy {
+        // Deterministic loss on the data direction only (ACKs come back
+        // clean), and a hair-trigger fast retransmit so a short trace
+        // shows both recovery paths.
+        cfg.faults.loss = clic_ethernet::LossModel::EveryNth(4);
+        cfg.faults_reverse = Some(clic_ethernet::FaultPlan::default());
+        if let Some(clic) = &mut cfg.node.clic {
+            clic.fast_retransmit_dupacks = 2;
+        }
     }
     cfg
 }
@@ -163,7 +184,9 @@ pub fn run_pipeline_trace(
     sim.trace = clic_sim::Trace::enabled();
     sim.metrics = Metrics::enabled();
     match scenario {
-        TraceScenario::Fig7a | TraceScenario::Fig7b => send_clic(&cluster, &mut sim, size),
+        TraceScenario::Fig7a | TraceScenario::Fig7b | TraceScenario::Fig7aLossy => {
+            send_clic(&cluster, &mut sim, size)
+        }
         TraceScenario::Tcp => send_tcp(&cluster, &mut sim, size),
     }
     sim.run();
@@ -257,6 +280,7 @@ pub fn collect_metrics(cluster: &Cluster, sim: &Sim) -> Metrics {
             reg.counter_add(&p("hw.nic.rx_frames"), ns.rx_frames);
             reg.counter_add(&p("hw.nic.tx_ring_full"), ns.tx_ring_full);
             reg.counter_add(&p("hw.nic.rx_no_buffer"), ns.rx_no_buffer);
+            reg.counter_add(&p("hw.nic.rx_fcs_errors"), ns.rx_fcs_errors);
             reg.counter_add(&p("hw.nic.irqs"), ns.irqs);
         }
         drop(kernel);
@@ -267,6 +291,8 @@ pub fn collect_metrics(cluster: &Cluster, sim: &Sim) -> Metrics {
             reg.counter_add(&p("clic.packets_sent"), cs.packets_sent);
             reg.counter_add(&p("clic.packets_received"), cs.packets_received);
             reg.counter_add(&p("clic.retransmits"), cs.retransmits);
+            reg.counter_add(&p("clic.fast_retransmits"), cs.fast_retransmits);
+            reg.counter_add(&p("clic.flow_failures"), cs.flow_failures);
             reg.counter_add(&p("clic.staged_copies"), cs.staged_copies);
             reg.counter_add(&p("clic.drops.backlog"), cs.backlog_drops);
             reg.counter_add(&p("clic.drops.duplicate"), cs.duplicates);
@@ -354,6 +380,18 @@ mod tests {
         for want in ["tcp_tx", "ip_tx", "ip_rx", "wire"] {
             assert!(stages.contains(&want), "missing stage {want}: {stages:?}");
         }
+    }
+
+    #[test]
+    fn lossy_trace_shows_the_recovery_machinery() {
+        let t = run_pipeline_trace(TraceScenario::Fig7aLossy, 14_000, 1500, 0);
+        assert!(
+            t.chrome_json.contains("fast_retransmit"),
+            "expected a fast_retransmit instant in the lossy trace"
+        );
+        assert!(t.metrics.counter("n0.clic.retransmits") > 0);
+        // The reverse path is clean, so every loss is a forward data loss.
+        assert!(t.metrics.counter("eth.link.frames_lost") > 0);
     }
 
     #[test]

@@ -49,10 +49,36 @@ pub struct ClicConfig {
     pub ack_every: u32,
     /// ...or when this delay expires after the first unacknowledged packet.
     pub ack_delay: SimDuration,
-    /// Retransmission timeout (doubles per retry).
+    /// Initial retransmission timeout (doubles per retry). Once RTT
+    /// samples arrive the RTO adapts: `SRTT + max(4·RTTVAR, 1 µs)`
+    /// per RFC 6298, clamped to `[rto_min, rto_max]`, with samples taken
+    /// only from never-retransmitted packets (Karn's rule).
+    ///
+    /// ```
+    /// use clic_core::ClicConfig;
+    /// use clic_sim::SimDuration;
+    ///
+    /// let mut cfg = ClicConfig::paper_default();
+    /// // A latency-sensitive deployment can floor the RTO lower:
+    /// cfg.rto_min = SimDuration::from_us(200);
+    /// assert!(cfg.rto_min < cfg.rto && cfg.rto < cfg.rto_max);
+    /// ```
     pub rto: SimDuration,
+    /// Lower bound on the adaptive RTO (guards against spurious
+    /// retransmission when the measured RTT is tiny).
+    pub rto_min: SimDuration,
     /// Upper bound on RTO growth.
     pub rto_max: SimDuration,
+    /// Fast retransmit: resend the window base after this many duplicate
+    /// cumulative ACKs naming it (out-of-order arrivals at the receiver
+    /// NACK immediately). Large enough that channel-bonding's benign
+    /// round-robin reordering does not trigger it.
+    pub fast_retransmit_dupacks: u32,
+    /// Give up on a flow once any packet has been retransmitted this many
+    /// times: the flow is torn down and the error handler (see
+    /// `ClicModule::set_error_handler`) receives
+    /// `ClicError::MaxRetriesExceeded`.
+    pub max_retries: u32,
     /// Retry cadence when the NIC TX ring refuses a packet.
     pub tx_retry: SimDuration,
     /// Out-of-order buffer per flow, packets (absorbs channel-bonding
@@ -85,7 +111,16 @@ impl ClicConfig {
             // too-aggressive RTO spuriously retransmits whole windows while
             // the receiver's interrupt work delays its ACK bottom halves.
             rto: SimDuration::from_ms(10),
+            // The same 10 ms floors the adaptive RTO: on a sub-ms-RTT LAN
+            // the estimator would otherwise arm timers aggressively enough
+            // that stale-timer processing perturbs clean-path timing. Loss
+            // recovery leans on the NACK-driven fast retransmit instead;
+            // latency-sensitive deployments can lower the floor (see the
+            // `rto` example).
+            rto_min: SimDuration::from_ms(10),
             rto_max: SimDuration::from_ms(200),
+            fast_retransmit_dupacks: 3,
+            max_retries: 16,
             tx_retry: SimDuration::from_us(30),
             ooo_limit: 256,
             mtu_override: None,
@@ -120,6 +155,9 @@ mod tests {
         assert!(c.window > 0);
         assert!(c.ack_every >= 1);
         assert!(c.rto < c.rto_max);
+        assert!(c.rto_min <= c.rto);
+        assert!(c.fast_retransmit_dupacks >= 1);
+        assert!(c.max_retries >= 1);
         assert!(!ClicConfig::one_copy().zero_copy);
     }
 }

@@ -47,8 +47,13 @@ pub struct ClicStats {
     pub acks_sent: u64,
     /// ACKs processed.
     pub acks_received: u64,
-    /// Packets retransmitted after timeout.
+    /// Packets retransmitted (timeout + fast retransmit).
     pub retransmits: u64,
+    /// Fast retransmits triggered by duplicate cumulative ACKs (also
+    /// counted in `retransmits`).
+    pub fast_retransmits: u64,
+    /// Flows abandoned after `max_retries` retransmissions of one packet.
+    pub flow_failures: u64,
     /// Packets staged to system memory because the NIC ring was full.
     pub staged_copies: u64,
     /// Duplicate packets discarded (and re-ACKed).
@@ -70,6 +75,43 @@ pub struct ClicStats {
     pub backlog_drops: u64,
 }
 
+/// Terminal protocol errors CLIC surfaces to the embedding application
+/// instead of retrying forever (§1: the network has "limited
+/// fault-handling" — at some point the peer is simply gone).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClicError {
+    /// A flow was torn down because one of its packets was retransmitted
+    /// more than [`crate::ClicConfig::max_retries`] times without being
+    /// acknowledged. Unacknowledged and queued data of the flow is
+    /// discarded; pending confirm callbacks never fire.
+    MaxRetriesExceeded {
+        /// The unresponsive peer station.
+        peer: MacAddr,
+        /// Destination channel of the failed flow.
+        channel: u16,
+        /// Sequence number of the packet that exhausted its retries.
+        seq: u32,
+        /// How many times it was retransmitted.
+        retries: u32,
+    },
+}
+
+impl std::fmt::Display for ClicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClicError::MaxRetriesExceeded {
+                peer,
+                channel,
+                seq,
+                retries,
+            } => write!(
+                f,
+                "flow to {peer:?} channel {channel} failed: seq {seq} unacknowledged after {retries} retransmissions"
+            ),
+        }
+    }
+}
+
 type FlowKey = (MacAddr, u16);
 
 struct QueuedPacket {
@@ -88,6 +130,13 @@ struct OutFlow {
     rto_running: bool,
     rto_current: SimDuration,
     kick_armed: bool,
+    /// Smoothed RTT (ns), RFC 6298 fixed-point; `None` until the first
+    /// sample.
+    srtt_ns: Option<u64>,
+    /// RTT variance (ns).
+    rttvar_ns: u64,
+    /// Consecutive duplicate cumulative ACKs naming the window base.
+    dup_acks: u32,
 }
 
 impl OutFlow {
@@ -101,7 +150,30 @@ impl OutFlow {
             rto_running: false,
             rto_current: config.rto,
             kick_armed: false,
+            srtt_ns: None,
+            rttvar_ns: 0,
+            dup_acks: 0,
         }
+    }
+
+    /// RFC 6298 with integer-ns arithmetic: fold in one RTT sample and
+    /// return the resulting RTO, clamped to the configured bounds.
+    fn rtt_sample(&mut self, sample_ns: u64, config: &ClicConfig) -> SimDuration {
+        match self.srtt_ns {
+            None => {
+                self.srtt_ns = Some(sample_ns);
+                self.rttvar_ns = sample_ns / 2;
+            }
+            Some(srtt) => {
+                self.rttvar_ns = (3 * self.rttvar_ns + srtt.abs_diff(sample_ns)) / 4;
+                self.srtt_ns = Some((7 * srtt + sample_ns) / 8);
+            }
+        }
+        let srtt = self.srtt_ns.unwrap();
+        // The 1 µs floor plays the role of RFC 6298's clock-granularity G.
+        let rto_ns = (srtt + (4 * self.rttvar_ns).max(1_000))
+            .clamp(config.rto_min.as_ns(), config.rto_max.as_ns());
+        SimDuration::from_ns(rto_ns)
     }
 }
 
@@ -184,6 +256,7 @@ pub struct ClicModule {
     kernel_functions: HashMap<u16, KernelFn>,
     next_msg_id: u32,
     stats: ClicStats,
+    error_handler: Option<Rc<dyn Fn(&mut Sim, ClicError)>>,
 }
 
 /// An in-kernel service invocable from remote nodes (the "kernel function
@@ -238,6 +311,7 @@ impl ClicModule {
             kernel_functions: HashMap::new(),
             next_msg_id: 1,
             stats: ClicStats::default(),
+            error_handler: None,
         }));
         kernel
             .borrow_mut()
@@ -261,6 +335,14 @@ impl ClicModule {
     /// Statistics snapshot.
     pub fn stats(&self) -> ClicStats {
         self.stats.clone()
+    }
+
+    /// Install the callback invoked when a flow fails terminally (e.g.
+    /// [`ClicError::MaxRetriesExceeded`] after the peer stops answering).
+    /// Without a handler failures are still counted in
+    /// [`ClicStats::flow_failures`] but otherwise silent.
+    pub fn set_error_handler(&mut self, handler: Rc<dyn Fn(&mut Sim, ClicError)>) {
+        self.error_handler = Some(handler);
     }
 
     /// Largest message that fits a single best-effort (multicast) packet.
@@ -603,11 +685,14 @@ impl ClicModule {
             move |sim, ok| {
                 if ok {
                     {
+                        let now = sim.now();
                         let mut m = module2.borrow_mut();
                         m.stats.packets_sent += 1;
-                        let flow = m.out.get_mut(&key).unwrap();
+                        let Some(flow) = m.out.get_mut(&key) else {
+                            return; // flow torn down while the post ran
+                        };
                         flow.posting -= 1;
-                        flow.window.on_sent(pkt.header, pkt.payload);
+                        flow.window.on_sent(pkt.header, pkt.payload, now);
                     }
                     Self::ensure_rto(&module2, sim, key);
                     Self::pump(&module2, sim, key);
@@ -703,9 +788,10 @@ impl ClicModule {
     }
 
     fn on_rto(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, key: FlowKey, generation: u64) {
-        let resend = {
+        let action = {
             let mut m = module.borrow_mut();
             let rto_max = m.config.rto_max;
+            let max_retries = m.config.max_retries;
             let Some(flow) = m.out.get_mut(&key) else {
                 return;
             };
@@ -717,9 +803,36 @@ impl ClicModule {
                 return;
             }
             let set = flow.window.take_retransmit_set();
-            flow.rto_current = (flow.rto_current * 2).min(rto_max);
-            m.stats.retransmits += set.len() as u64;
-            set
+            if flow.window.max_retries() > max_retries {
+                // The peer is not answering: tear the flow down and
+                // surface a typed error instead of retrying forever.
+                let seq = flow.window.base();
+                let retries = flow.window.max_retries();
+                m.out.remove(&key);
+                m.stats.flow_failures += 1;
+                Err(ClicError::MaxRetriesExceeded {
+                    peer: key.0,
+                    channel: key.1,
+                    seq,
+                    retries,
+                })
+            } else {
+                flow.rto_current = (flow.rto_current * 2).min(rto_max);
+                m.stats.retransmits += set.len() as u64;
+                Ok(set)
+            }
+        };
+        let resend = match action {
+            Ok(set) => set,
+            Err(err) => {
+                sim.metrics.counter_inc("clic.flow_failures");
+                sim.trace.instant(sim.now(), Layer::Clic, "flow_fail", 0);
+                let handler = module.borrow().error_handler.clone();
+                if let Some(h) = handler {
+                    h(sim, err);
+                }
+                return;
+            }
         };
         if !resend.is_empty() {
             sim.metrics
@@ -806,36 +919,78 @@ impl ClicModule {
         header: ClicHeader,
     ) {
         let key = (src, header.channel);
-        let (fired, pump_needed) = {
+        let now = sim.now();
+        let (fired, pump_needed, fast_rtx) = {
             let mut m = module.borrow_mut();
             m.stats.acks_received += 1;
-            let base_rto = m.config.rto;
+            let config = m.config.clone();
             let Some(flow) = m.out.get_mut(&key) else {
                 return;
             };
-            let acked = flow.window.ack(header.seq);
-            if acked == 0 {
-                return;
-            }
-            // Fresh progress: reset the RTO.
-            flow.rto_current = base_rto;
-            flow.rto_gen += 1;
-            flow.rto_running = false;
-            let base = flow.window.base();
-            let mut fired = Vec::new();
-            let mut remaining = Vec::new();
-            for (seq, cont) in flow.confirms.drain(..) {
-                if seq < base {
-                    fired.push(cont);
-                } else {
-                    remaining.push((seq, cont));
+            let summary = flow.window.ack(header.seq);
+            if summary.acked == 0 {
+                // A cumulative ACK that moves nothing is the receiver
+                // NACKing out-of-order arrival: it re-advertises the
+                // window base. Enough of them in a row and the base is
+                // presumed lost — resend it without waiting for the RTO.
+                let mut fast = None;
+                if header.seq == flow.window.base() && flow.window.inflight_len() > 0 {
+                    flow.dup_acks += 1;
+                    if flow.dup_acks >= config.fast_retransmit_dupacks {
+                        flow.dup_acks = 0;
+                        fast = flow.window.retransmit_base();
+                    }
                 }
+                (Vec::new(), false, fast)
+            } else {
+                flow.dup_acks = 0;
+                // Fresh progress: fold in the RTT sample (Karn's rule —
+                // only from never-retransmitted packets) and re-arm the
+                // RTO from the adapted estimate.
+                if let Some(sent_at) = summary.clean_sent_at {
+                    let sample_ns = now.saturating_since(sent_at).as_ns();
+                    flow.rto_current = flow.rtt_sample(sample_ns, &config);
+                    sim.metrics.observe("clic.rttvar", flow.rttvar_ns);
+                }
+                flow.rto_gen += 1;
+                flow.rto_running = false;
+                let base = flow.window.base();
+                let mut fired = Vec::new();
+                let mut remaining = Vec::new();
+                for (seq, cont) in flow.confirms.drain(..) {
+                    if seq < base {
+                        fired.push(cont);
+                    } else {
+                        remaining.push((seq, cont));
+                    }
+                }
+                flow.confirms = remaining;
+                (fired, true, None)
             }
-            flow.confirms = remaining;
-            (fired, true)
         };
         for cont in fired {
             cont(sim);
+        }
+        if let Some(pkt) = fast_rtx {
+            {
+                let mut m = module.borrow_mut();
+                m.stats.fast_retransmits += 1;
+                m.stats.retransmits += 1;
+            }
+            sim.metrics.counter_inc("clic.fast_retransmits");
+            sim.metrics.counter_inc("clic.retransmits");
+            sim.trace
+                .instant(sim.now(), Layer::Clic, "fast_retransmit", 0);
+            let kernel = Self::kernel(module);
+            let (dev, zero_copy) = {
+                let mut m = module.borrow_mut();
+                let slot = m.bond.next_index();
+                (m.devices[slot], m.config.zero_copy)
+            };
+            let mut hdr = pkt.header;
+            hdr.flags |= flags::RETRANSMIT;
+            let skb = Self::build_skb(hdr, &pkt.payload, zero_copy, 0);
+            hard_start_xmit(&kernel, sim, dev, key.0, EtherType::CLIC, skb, |_, _| {});
         }
         if pump_needed {
             Self::ensure_rto(module, sim, key);
@@ -928,7 +1083,10 @@ impl ClicModule {
                         .instant(sim.now(), Layer::Clic, "drop.duplicate", trace);
                     (Vec::new(), true) // re-ACK so the sender resyncs
                 }
-                RecvOutcome::Buffered => (Vec::new(), false),
+                // Out of order: NACK at once by re-advertising the
+                // cumulative ACK value. The sender counts these duplicate
+                // ACKs and fast-retransmits the gap.
+                RecvOutcome::Buffered => (Vec::new(), true),
                 RecvOutcome::Overflow => {
                     m.stats.ooo_drops += 1;
                     sim.metrics.counter_inc("clic.drops.ooo");

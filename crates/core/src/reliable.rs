@@ -15,6 +15,7 @@
 
 use crate::header::ClicHeader;
 use bytes::Bytes;
+use clic_sim::SimTime;
 use std::collections::BTreeMap;
 
 /// A packet the sender must be able to retransmit.
@@ -26,6 +27,21 @@ pub struct InflightPacket {
     pub payload: Bytes,
     /// How many times this packet has been retransmitted.
     pub retries: u32,
+    /// When the packet first entered the network — the RTT sample base.
+    /// Karn's rule: only packets with `retries == 0` yield RTT samples,
+    /// since a retransmitted packet's ACK is ambiguous.
+    pub sent_at: SimTime,
+}
+
+/// What a cumulative ACK did to the send window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckSummary {
+    /// Packets newly acknowledged (0 for stale/duplicate ACKs).
+    pub acked: usize,
+    /// Send time of the newest acknowledged packet that was never
+    /// retransmitted — the RTT sample per Karn's rule — or `None` when
+    /// every newly acked packet had been retransmitted.
+    pub clean_sent_at: Option<SimTime>,
 }
 
 /// Sender side of a flow.
@@ -61,29 +77,46 @@ impl SendWindow {
         s
     }
 
-    /// Record a packet as in flight. Panics on duplicate sequence.
-    pub fn on_sent(&mut self, header: ClicHeader, payload: Bytes) {
+    /// Record a packet as in flight at time `now`. Panics on duplicate
+    /// sequence.
+    pub fn on_sent(&mut self, header: ClicHeader, payload: Bytes, now: SimTime) {
         let prev = self.inflight.insert(
             header.seq,
             InflightPacket {
                 header,
                 payload,
                 retries: 0,
+                sent_at: now,
             },
         );
         assert!(prev.is_none(), "sequence {} sent twice", header.seq);
     }
 
     /// Apply a cumulative ACK (`upto` = receiver's next expected). Returns
-    /// the number of packets newly acknowledged.
-    pub fn ack(&mut self, upto: u32) -> usize {
+    /// how many packets were newly acknowledged plus the RTT-sample basis
+    /// (Karn's rule: the newest acked packet never retransmitted).
+    pub fn ack(&mut self, upto: u32) -> AckSummary {
         if upto <= self.base {
-            return 0;
+            return AckSummary {
+                acked: 0,
+                clean_sent_at: None,
+            };
         }
-        let before = self.inflight.len();
-        self.inflight.retain(|&seq, _| seq >= upto);
+        let mut acked = 0;
+        let mut clean_sent_at = None;
+        let retired: Vec<u32> = self.inflight.range(..upto).map(|(&s, _)| s).collect();
+        for seq in retired {
+            let p = self.inflight.remove(&seq).unwrap();
+            acked += 1;
+            if p.retries == 0 {
+                clean_sent_at = Some(p.sent_at);
+            }
+        }
         self.base = upto;
-        before - self.inflight.len()
+        AckSummary {
+            acked,
+            clean_sent_at,
+        }
     }
 
     /// Oldest unacknowledged sequence (the window base).
@@ -121,6 +154,15 @@ impl SendWindow {
     /// Largest retry count among inflight packets (0 when none).
     pub fn max_retries(&self) -> u32 {
         self.inflight.values().map(|p| p.retries).max().unwrap_or(0)
+    }
+
+    /// Take just the window base for fast retransmit (triggered by
+    /// duplicate ACKs naming it). Bumps its retry counter; `None` when
+    /// nothing is in flight.
+    pub fn retransmit_base(&mut self) -> Option<InflightPacket> {
+        let p = self.inflight.values_mut().next()?;
+        p.retries += 1;
+        Some(p.clone())
     }
 }
 
@@ -196,6 +238,7 @@ impl RecvWindow {
 mod tests {
     use super::*;
     use crate::header::PacketType;
+    use clic_sim::SimDuration;
 
     fn hdr(seq: u32) -> ClicHeader {
         ClicHeader {
@@ -217,12 +260,12 @@ mod tests {
         for _ in 0..2 {
             assert!(w.can_send());
             let s = w.alloc_seq();
-            w.on_sent(hdr(s), payload(0));
+            w.on_sent(hdr(s), payload(0), SimTime::ZERO);
         }
         assert!(!w.can_send());
         assert_eq!(w.inflight_len(), 2);
         // Cumulative ack for the first frees one slot.
-        assert_eq!(w.ack(1), 1);
+        assert_eq!(w.ack(1).acked, 1);
         assert!(w.can_send());
         assert_eq!(w.base(), 1);
     }
@@ -232,12 +275,12 @@ mod tests {
         let mut w = SendWindow::new(10);
         for _ in 0..5 {
             let s = w.alloc_seq();
-            w.on_sent(hdr(s), payload(0));
+            w.on_sent(hdr(s), payload(0), SimTime::ZERO);
         }
-        assert_eq!(w.ack(4), 4);
+        assert_eq!(w.ack(4).acked, 4);
         assert_eq!(w.inflight_len(), 1);
-        assert_eq!(w.ack(4), 0, "stale ack is a no-op");
-        assert_eq!(w.ack(5), 1);
+        assert_eq!(w.ack(4).acked, 0, "stale ack is a no-op");
+        assert_eq!(w.ack(5).acked, 1);
         assert!(w.all_acked());
     }
 
@@ -246,7 +289,7 @@ mod tests {
         let mut w = SendWindow::new(10);
         for _ in 0..3 {
             let s = w.alloc_seq();
-            w.on_sent(hdr(s), payload(0));
+            w.on_sent(hdr(s), payload(0), SimTime::ZERO);
         }
         w.ack(3);
         assert_eq!(w.base(), 3);
@@ -259,7 +302,7 @@ mod tests {
         let mut w = SendWindow::new(10);
         for _ in 0..3 {
             let s = w.alloc_seq();
-            w.on_sent(hdr(s), payload(s as u8));
+            w.on_sent(hdr(s), payload(s as u8), SimTime::ZERO);
         }
         w.ack(1);
         let set = w.take_retransmit_set();
@@ -273,11 +316,49 @@ mod tests {
     }
 
     #[test]
+    fn karn_rule_skips_retransmitted_samples() {
+        let mut w = SendWindow::new(10);
+        for i in 0..3u64 {
+            let s = w.alloc_seq();
+            w.on_sent(hdr(s), payload(0), SimTime::ZERO + SimDuration::from_us(i));
+        }
+        // Seq 0 and 1 time out and are retransmitted; seq 2 stays clean.
+        w.take_retransmit_set();
+        let fresh = w.alloc_seq();
+        w.on_sent(hdr(fresh), payload(0), SimTime::from_us(50));
+        // Cumulative ACK covering 0..=2: only seq 2… but it was
+        // retransmitted too (take_retransmit_set bumps every inflight).
+        let s = w.ack(3);
+        assert_eq!(s.acked, 3);
+        assert_eq!(s.clean_sent_at, None, "all covered packets retransmitted");
+        // The fresh packet yields a sample.
+        let s = w.ack(4);
+        assert_eq!(s.acked, 1);
+        assert_eq!(s.clean_sent_at, Some(SimTime::from_us(50)));
+    }
+
+    #[test]
+    fn fast_retransmit_takes_only_the_base() {
+        let mut w = SendWindow::new(10);
+        for _ in 0..3 {
+            let s = w.alloc_seq();
+            w.on_sent(hdr(s), payload(0), SimTime::ZERO);
+        }
+        let p = w.retransmit_base().expect("packets in flight");
+        assert_eq!(p.header.seq, 0);
+        assert_eq!(p.retries, 1);
+        assert_eq!(w.max_retries(), 1);
+        assert_eq!(w.inflight_len(), 3, "fast retransmit clones, not removes");
+        w.ack(3);
+        assert!(w.retransmit_base().is_none());
+    }
+
+    #[test]
     #[should_panic(expected = "sent twice")]
     fn duplicate_send_panics() {
         let mut w = SendWindow::new(4);
-        w.on_sent(hdr(0), payload(0));
-        w.on_sent(hdr(0), payload(0));
+        w.on_sent(hdr(0), payload(0), SimTime::ZERO);
+        w.on_sent(hdr(0), payload(0), SimTime::ZERO);
     }
 
     #[test]

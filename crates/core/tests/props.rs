@@ -4,6 +4,7 @@ use bytes::Bytes;
 use clic_core::header::{decode_msg_prefix, encode_msg_prefix};
 use clic_core::reliable::{RecvOutcome, RecvWindow, SendWindow};
 use clic_core::{ClicHeader, PacketType};
+use clic_sim::SimTime;
 use proptest::prelude::*;
 
 fn arb_ptype() -> impl Strategy<Value = PacketType> {
@@ -115,12 +116,13 @@ proptest! {
                         len: 0,
                     },
                     Bytes::new(),
+                    SimTime::ZERO,
                 );
                 sent += 1;
             }
             prop_assert_eq!(w.inflight_len(), capacity);
             let base_before = w.base();
-            let acked = w.ack(ack.min(sent));
+            let acked = w.ack(ack.min(sent)).acked;
             freed += acked;
             prop_assert!(w.base() >= base_before, "base regressed");
             prop_assert_eq!(w.inflight_len(), sent as usize - freed);
@@ -144,6 +146,7 @@ proptest! {
                     len: 0,
                 },
                 Bytes::new(),
+                SimTime::ZERO,
             );
         }
         let upto = ack_to.min(n as u32);

@@ -36,6 +36,11 @@ pub struct Frame {
     /// part of the wire image; carried across the simulated wire so the
     /// receive side can attribute its stages to the same packet (Figure 7).
     pub trace: u64,
+    /// Out-of-band fault-injection marker: the link flipped bits in this
+    /// frame, so its FCS no longer matches. The receiving NIC discards it
+    /// on FCS verification (the wire time was still paid). Not part of
+    /// the wire image — real corruption would change the CRC itself.
+    pub fcs_corrupt: bool,
 }
 
 impl Frame {
@@ -49,6 +54,7 @@ impl Frame {
             ethertype,
             payload,
             trace: 0,
+            fcs_corrupt: false,
         }
     }
 
@@ -108,6 +114,7 @@ impl Frame {
             ethertype,
             payload,
             trace: 0,
+            fcs_corrupt: false,
         })
     }
 }

@@ -6,8 +6,9 @@
 //!   minimum-frame padding, preamble + inter-frame gap wire overheads, jumbo
 //!   frame support (MTU 9000),
 //! * [`link`] — full-duplex point-to-point 1 Gb/s links with serialization
-//!   and propagation delay plus an optional loss model (to exercise the
-//!   reliability machinery of CLIC and TCP),
+//!   and propagation delay plus per-direction fault injection (bursty
+//!   Gilbert–Elliott loss, corruption, reordering, duplication, outages)
+//!   to exercise the reliability machinery of CLIC and TCP,
 //! * [`switch`] — a store-and-forward switch with MAC learning, flooding for
 //!   broadcast/multicast/unknown destinations, and finite tail-drop output
 //!   queues,
@@ -27,6 +28,6 @@ pub mod switch;
 
 pub use bonding::RoundRobin;
 pub use frame::{Frame, ETH_CRC, ETH_HEADER, ETH_IFG, ETH_MIN_PAYLOAD, ETH_PREAMBLE};
-pub use link::{Link, LinkEnd, LossModel};
+pub use link::{FaultPlan, Link, LinkEnd, LossModel};
 pub use mac::{EtherType, MacAddr};
 pub use switch::Switch;

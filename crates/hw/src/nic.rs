@@ -129,6 +129,9 @@ pub struct NicStats {
     pub rx_filtered: u64,
     /// Frames dropped for lack of an RX buffer.
     pub rx_no_buffer: u64,
+    /// Frames discarded on FCS verification (injected corruption). The
+    /// wire and serialization time were already paid.
+    pub rx_fcs_errors: u64,
     /// Frames dropped because they exceed the RX buffer size (jumbo
     /// interoperability failures land here).
     pub rx_oversize: u64,
@@ -391,6 +394,17 @@ impl Nic {
     fn on_wire_frame(nic: &Rc<RefCell<Nic>>, sim: &mut Sim, frame: Frame) {
         {
             let mut n = nic.borrow_mut();
+            // FCS check comes first: the MAC verifies the CRC as the frame
+            // arrives, before any filtering or buffering decision.
+            if frame.fcs_corrupt {
+                n.stats.rx_fcs_errors += 1;
+                sim.metrics.counter_inc("hw.nic.rx_fcs_errors");
+                if frame.trace != 0 {
+                    sim.trace
+                        .instant(sim.now(), Layer::Hw, "drop.fcs", frame.trace);
+                }
+                return;
+            }
             if !n.accepts(frame.dst) {
                 n.stats.rx_filtered += 1;
                 return;
@@ -921,6 +935,59 @@ mod tests {
         let stats = pair.b.borrow().stats();
         assert_eq!(stats.rx_frames, 0);
         assert!(stats.rx_frag_unsupported > 0);
+    }
+
+    #[test]
+    fn corrupt_frame_discarded_on_fcs() {
+        use clic_ethernet::FaultPlan;
+        let mut sim = Sim::new(0);
+        let link = Link::new(1_000_000_000, SimDuration::ZERO);
+        link.borrow_mut().set_faults(
+            LinkEnd::A,
+            FaultPlan {
+                corrupt: 1.0,
+                ..FaultPlan::default()
+            },
+        );
+        let cfg = no_coalesce(NicConfig::gigabit_standard());
+        let a = Nic::new(
+            MacAddr::for_node(1, 0),
+            cfg.clone(),
+            PciBus::pci_33mhz_32bit(),
+            link.clone(),
+            LinkEnd::A,
+        );
+        let b = Nic::new(
+            MacAddr::for_node(2, 0),
+            cfg,
+            PciBus::pci_33mhz_32bit(),
+            link.clone(),
+            LinkEnd::B,
+        );
+        Nic::attach_to_link(&a);
+        Nic::attach_to_link(&b);
+        let irqs = Rc::new(RefCell::new(0u32));
+        let c = irqs.clone();
+        b.borrow_mut()
+            .set_irq_handler(Rc::new(move |_sim| *c.borrow_mut() += 1));
+        Nic::transmit(
+            &a,
+            &mut sim,
+            TxDescriptor {
+                dst: MacAddr::for_node(2, 0),
+                ethertype: EtherType::CLIC,
+                payload: Bytes::from(vec![9u8; 700]),
+                trace: 0,
+            },
+        );
+        sim.run();
+        // The link delivered the frame (wire time was paid), the MAC
+        // threw it away on the bad FCS, and the host never heard of it.
+        assert_eq!(link.borrow().delivered(LinkEnd::A), 1);
+        let stats = b.borrow().stats();
+        assert_eq!(stats.rx_fcs_errors, 1);
+        assert_eq!(stats.rx_frames, 0);
+        assert_eq!(*irqs.borrow(), 0);
     }
 
     #[test]
