@@ -1,0 +1,164 @@
+//! Parsing of `// lint:allow(<rule>, reason="...")` annotations.
+//!
+//! An allow annotation suppresses one rule on the line it sits on, or —
+//! when written as a standalone comment — on the line directly below it.
+//! The `reason` is mandatory and must be non-empty: every exception to a
+//! workspace invariant carries its audit trail in the source. Annotations
+//! that are malformed, name an unknown rule, or suppress nothing are
+//! themselves violations (`malformed-allow` / `unused-allow`), so stale
+//! annotations cannot accumulate.
+
+use crate::lexer::LineComment;
+
+/// A successfully parsed allow annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the annotation sits on.
+    pub line: u32,
+    /// Rule it suppresses.
+    pub rule: String,
+    /// The audit reason.
+    pub reason: String,
+}
+
+/// A syntactically invalid annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedAllow {
+    /// 1-based line the annotation sits on.
+    pub line: u32,
+    /// What is wrong with it.
+    pub error: String,
+}
+
+/// Result of scanning a file's comments for annotations.
+#[derive(Debug, Default)]
+pub struct Allows {
+    /// Well-formed annotations.
+    pub ok: Vec<Allow>,
+    /// Broken annotations (reported as `malformed-allow`).
+    pub malformed: Vec<MalformedAllow>,
+}
+
+/// Extract every `lint:allow` annotation from a file's line comments.
+pub fn parse(comments: &[LineComment]) -> Allows {
+    let mut out = Allows::default();
+    for c in comments {
+        let Some(pos) = c.text.find("lint:allow") else {
+            continue;
+        };
+        match parse_one(&c.text[pos + "lint:allow".len()..]) {
+            Ok((rule, reason)) => out.ok.push(Allow {
+                line: c.line,
+                rule,
+                reason,
+            }),
+            Err(error) => out.malformed.push(MalformedAllow {
+                line: c.line,
+                error,
+            }),
+        }
+    }
+    out
+}
+
+/// Parse `(<rule>, reason="...")` from the text following `lint:allow`.
+fn parse_one(rest: &str) -> Result<(String, String), String> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after `lint:allow`".to_string());
+    };
+    let rule: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+        .collect();
+    if rule.is_empty() {
+        return Err("missing rule name".to_string());
+    }
+    let rest = rest[rule.len()..].trim_start();
+    let Some(rest) = rest.strip_prefix(',') else {
+        return Err(format!(
+            "missing `, reason=\"...\"` after rule `{rule}` (a reason is mandatory)"
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("reason") else {
+        return Err("expected `reason=\"...\"`".to_string());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('=') else {
+        return Err("expected `=` after `reason`".to_string());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('"') else {
+        return Err("reason must be a quoted string".to_string());
+    };
+    let Some(end) = rest.find('"') else {
+        return Err("unterminated reason string".to_string());
+    };
+    let reason = rest[..end].to_string();
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    let rest = rest[end + 1..].trim_start();
+    if !rest.starts_with(')') {
+        return Err("expected `)` closing the annotation".to_string());
+    }
+    Ok((rule, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(line: u32, text: &str) -> LineComment {
+        LineComment {
+            line,
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn well_formed_annotation() {
+        let a = parse(&[comment(
+            4,
+            r#" lint:allow(no-unwrap, reason="fmt::Write to String is infallible")"#,
+        )]);
+        assert!(a.malformed.is_empty());
+        assert_eq!(a.ok.len(), 1);
+        assert_eq!(a.ok[0].rule, "no-unwrap");
+        assert_eq!(a.ok[0].reason, "fmt::Write to String is infallible");
+        assert_eq!(a.ok[0].line, 4);
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let a = parse(&[comment(1, "lint:allow(no-unwrap)")]);
+        assert!(a.ok.is_empty());
+        assert_eq!(a.malformed.len(), 1);
+        assert!(a.malformed[0].error.contains("mandatory"));
+    }
+
+    #[test]
+    fn empty_reason_rejected() {
+        let a = parse(&[comment(1, r#"lint:allow(no-unwrap, reason="  ")"#)]);
+        assert_eq!(a.malformed.len(), 1);
+        assert!(a.malformed[0].error.contains("empty"));
+    }
+
+    #[test]
+    fn reason_may_contain_parens() {
+        let a = parse(&[comment(
+            1,
+            r#"lint:allow(unordered-collection, reason="keyed lookups only (never iterated)")"#,
+        )]);
+        assert_eq!(a.ok.len(), 1);
+        assert_eq!(a.ok[0].reason, "keyed lookups only (never iterated)");
+    }
+
+    #[test]
+    fn unrelated_comments_ignored() {
+        let a = parse(&[comment(1, "just a comment about lint policy")]);
+        assert!(a.ok.is_empty());
+        assert!(a.malformed.is_empty());
+    }
+}

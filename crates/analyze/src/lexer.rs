@@ -1,0 +1,452 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! Produces just enough token structure for the lint rules: identifiers,
+//! string literals (with their decoded-enough value), punctuation, and the
+//! line each token starts on. Comments are not discarded — line comments
+//! are collected separately so `// lint:allow(...)` annotations can be
+//! parsed — and doc comments, block comments, char literals and raw/byte
+//! strings are all handled so that a `HashMap` mentioned in prose or a
+//! `"thread_rng"` inside a string can never trigger a lint.
+//!
+//! The lexer is intentionally permissive: on malformed input it produces
+//! best-effort tokens rather than erroring, since rustc itself is the
+//! authority on syntax (the workspace must already compile before the
+//! analyzer runs in CI).
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// String literal (regular, raw or byte); the payload is the raw
+    /// source text between the quotes, escapes untouched.
+    Str(String),
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// A single punctuation character.
+    Punct(char),
+    /// A lifetime (`'a`).
+    Lifetime,
+}
+
+/// One token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind and payload.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A `//` comment (including `///` and `//!` doc comments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// Comment text after the leading slashes.
+    pub text: String,
+}
+
+/// Lexer output: the token stream and every line comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Line comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+impl Lexed {
+    /// Kind of the token at `i`, if in range.
+    pub fn kind(&self, i: usize) -> Option<&TokKind> {
+        self.toks.get(i).map(|t| &t.kind)
+    }
+
+    /// True when the token at `i` is the identifier `name`.
+    pub fn is_ident(&self, i: usize, name: &str) -> bool {
+        matches!(self.kind(i), Some(TokKind::Ident(s)) if s == name)
+    }
+
+    /// True when the token at `i` is the punctuation `c`.
+    pub fn is_punct(&self, i: usize, c: char) -> bool {
+        matches!(self.kind(i), Some(TokKind::Punct(p)) if *p == c)
+    }
+
+    /// True when tokens at `i`, `i + 1` form a `::` path separator.
+    pub fn is_path_sep(&self, i: usize) -> bool {
+        self.is_punct(i, ':') && self.is_punct(i + 1, ':')
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Never fails; unknown bytes become punctuation tokens.
+// One linear pass; each match arm is one token class. Splitting it would
+// scatter the scanner state.
+#[allow(clippy::too_many_lines)]
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if next == Some('/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                // Doc comments (`///`, `//!`) are documentation, not
+                // annotation carriers — only plain `//` comments are
+                // scanned for allow annotations.
+                let is_doc = matches!(chars.get(start), Some('/' | '!'));
+                if !is_doc {
+                    out.comments.push(LineComment {
+                        line,
+                        text: chars[start..j].iter().collect(),
+                    });
+                }
+                i = j;
+            }
+            '/' if next == Some('*') => {
+                // Nested block comment.
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                while j < chars.len() && depth > 0 {
+                    match (chars[j], chars.get(j + 1).copied()) {
+                        ('/', Some('*')) => {
+                            depth += 1;
+                            j += 2;
+                        }
+                        ('*', Some('/')) => {
+                            depth -= 1;
+                            j += 2;
+                        }
+                        ('\n', _) => {
+                            line += 1;
+                            j += 1;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let (value, end, newlines) = scan_quoted(&chars, i + 1);
+                out.toks.push(Tok {
+                    kind: TokKind::Str(value),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            'r' | 'b' if starts_string_prefix(&chars, i) => {
+                let (tok, end, newlines) = scan_prefixed_string(&chars, i, line);
+                out.toks.push(tok);
+                line += newlines;
+                i = end;
+            }
+            '\'' => {
+                // Char literal vs lifetime.
+                let is_char = matches!(
+                    (chars.get(i + 1), chars.get(i + 2)),
+                    (Some('\\'), _) | (Some(_), Some('\''))
+                );
+                if is_char {
+                    let mut j = i + 1;
+                    if chars.get(j) == Some(&'\\') {
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                    while j < chars.len() && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        line,
+                    });
+                    i = j + 1;
+                } else {
+                    let mut j = i + 1;
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident(chars[i..j].iter().collect()),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < chars.len() {
+                    let d = chars[j];
+                    if is_ident_continue(d)
+                        || (d == '.' && chars.get(j + 1).is_some_and(char::is_ascii_digit))
+                    {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    line,
+                });
+                i = j;
+            }
+            c => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scan a regular quoted string starting after the opening quote. Returns
+/// `(value, index past closing quote, newline count)`.
+fn scan_quoted(chars: &[char], start: usize) -> (String, usize, u32) {
+    let mut j = start;
+    let mut newlines = 0u32;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => break,
+            '\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    let value = chars[start..j.min(chars.len())].iter().collect();
+    (value, (j + 1).min(chars.len() + 1), newlines)
+}
+
+/// Whether the `r` / `b` at `i` starts a raw/byte string or byte char
+/// (`r"`, `r#"`, `b"`, `br"`, `br#"`, `b'`).
+fn starts_string_prefix(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'\'') {
+            return true;
+        }
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Scan a raw/byte string (or byte char) whose prefix starts at `i`.
+fn scan_prefixed_string(chars: &[char], i: usize, line: u32) -> (Tok, usize, u32) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'\'') {
+            // Byte char literal b'x' / b'\n'.
+            let mut k = j + 1;
+            if chars.get(k) == Some(&'\\') {
+                k += 2;
+            } else {
+                k += 1;
+            }
+            while k < chars.len() && chars[k] != '\'' {
+                k += 1;
+            }
+            return (
+                Tok {
+                    kind: TokKind::Char,
+                    line,
+                },
+                k + 1,
+                0,
+            );
+        }
+    }
+    let raw = chars.get(j) == Some(&'r');
+    let mut hashes = 0usize;
+    if raw {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    // chars[j] is the opening quote.
+    let start = j + 1;
+    let mut k = start;
+    let mut newlines = 0u32;
+    while k < chars.len() {
+        match chars[k] {
+            '\\' if !raw => k += 2,
+            '\n' => {
+                newlines += 1;
+                k += 1;
+            }
+            '"' => {
+                if !raw
+                    || chars[k + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&c| c == '#')
+                        .count()
+                        == hashes
+                {
+                    break;
+                }
+                k += 1;
+            }
+            _ => k += 1,
+        }
+    }
+    let value: String = chars[start..k.min(chars.len())].iter().collect();
+    (
+        Tok {
+            kind: TokKind::Str(value),
+            line,
+        },
+        (k + 1 + hashes).min(chars.len() + 1),
+        newlines,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_hide_identifiers() {
+        let src = "// HashMap here\n/* thread_rng\n * Instant */\n/// HashMap doc\nfn ok() {}";
+        assert_eq!(idents(src), vec!["fn", "ok"]);
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let src = r##"let x = "HashMap"; let y = r#"thread_rng"#; let z = b"Instant";"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+    }
+
+    #[test]
+    fn string_values_are_captured() {
+        let lexed = lex(r#"m.counter_inc("clic.retransmits");"#);
+        let strs: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["clic.retransmits"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_across_constructs() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e";
+        let lexed = lex(src);
+        let by_name: Vec<(String, u32)> = lexed
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some((s.clone(), t.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            by_name,
+            vec![
+                ("a".to_string(), 1),
+                ("b".to_string(), 4),
+                ("e".to_string(), 5)
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "let c = 'x'; let n = '\\n'; fn f<'a>(v: &'a str) {}";
+        let lexed = lex(src);
+        let chars = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        let lifetimes = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(chars, 2);
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn line_comments_are_collected() {
+        let src = "fn a() {} // lint:allow(no-unwrap, reason=\"x\")\n// plain";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.contains("lint:allow"));
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let src = "let x = 1.0; y.unwrap(); let h = 0x1f; let e = 1e-5;";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_string()));
+    }
+}

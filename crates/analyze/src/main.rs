@@ -1,0 +1,142 @@
+//! Command-line entry point for `clic-analyze`.
+//!
+//! ```text
+//! clic-analyze [--root <dir>] [--json] [--list-rules] [--catalog]
+//! ```
+//!
+//! Exit status: 0 when the workspace is clean, 1 when violations are
+//! found, 2 on usage or I/O errors.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use clic_analyze::catalog;
+use clic_analyze::diag::{render_human, render_json};
+use clic_analyze::rules::{analyze, RULES};
+use clic_analyze::workspace::find_root;
+
+/// Write to stdout, swallowing broken-pipe errors so `clic-analyze
+/// --list-rules | head` exits quietly instead of panicking.
+fn emit(text: &str) {
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+const USAGE: &str = "usage: clic-analyze [--root <dir>] [--json] [--list-rules] [--catalog]
+
+  --root <dir>   workspace to analyze (default: walk up from cwd)
+  --json         machine-readable output
+  --list-rules   print the rule set and exit
+  --catalog      print the parsed observability catalog and exit
+";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list_rules = false;
+    let mut show_catalog = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--catalog" => show_catalog = true,
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("clic-analyze: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                emit(USAGE);
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("clic-analyze: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for (name, what) in RULES {
+            emit(&format!("{name:<22} {what}\n"));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = if let Some(r) = root {
+        r
+    } else {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let Some(r) = find_root(&cwd) else {
+            eprintln!("clic-analyze: no [workspace] Cargo.toml above the current dir");
+            return ExitCode::from(2);
+        };
+        r
+    };
+
+    if show_catalog {
+        return print_catalog(&root);
+    }
+
+    match analyze(&root) {
+        Ok(report) => {
+            let out = if json {
+                render_json(&report.diags, report.files_scanned)
+            } else {
+                render_human(&report.diags, report.files_scanned)
+            };
+            emit(&out);
+            if report.diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("clic-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_catalog(root: &std::path::Path) -> ExitCode {
+    let path = root.join("crates/sim/src/catalog.rs");
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("clic-analyze: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match catalog::parse(&src) {
+        Ok(c) => {
+            let mut out = format!("# metrics ({})\n", c.metrics.len());
+            for e in &c.metrics {
+                let _ = writeln!(
+                    out,
+                    "{:<40} {}",
+                    e.name,
+                    e.kind.map_or("?", catalog::Kind::name)
+                );
+            }
+            let _ = writeln!(out, "# stages ({})", c.stages.len());
+            for e in &c.stages {
+                let _ = writeln!(out, "{}", e.name);
+            }
+            emit(&out);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("clic-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,855 @@
+//! The lint rules and the analysis driver.
+//!
+//! Three rule families plus the dependency lint, scoped by a per-crate
+//! policy table (see [`policy`]):
+//!
+//! * **determinism** — `wall-clock`, `ad-hoc-rng`, `unordered-collection`:
+//!   simulation crates must be pure functions of configuration and seed,
+//!   so wall-clock time, OS-seeded randomness and iteration-order-unstable
+//!   collections are denied there;
+//! * **observability names** — `metric-name`, `stage-name`, `dead-name`,
+//!   `catalog-dup`, `catalog-order`, `catalog-parse`: every name literal
+//!   recorded into the metrics registry or trace sink must be registered
+//!   in `crates/sim/src/catalog.rs`, and every catalog entry must be
+//!   recorded somewhere;
+//! * **API hygiene** — `no-unwrap`, `crate-header`: no
+//!   `unwrap()`/`expect()`/`panic!` in non-test library code of the
+//!   protocol crates, and every library crate carries
+//!   `#![deny(missing_docs)]` + `#![forbid(unsafe_code)]`;
+//! * **dependency policy** — `paths-only-deps`: every dependency in every
+//!   workspace manifest must be a path or workspace dependency, locking in
+//!   the offline-build guarantee.
+//!
+//! Audited exceptions are written `// lint:allow(<rule>, reason="...")`
+//! on (or directly above) the offending line; see [`crate::allow`].
+
+use crate::allow;
+use crate::catalog::{parse as parse_catalog, strip_node_prefix, Catalog, Kind};
+use crate::diag::Diag;
+use crate::lexer::{lex, Lexed, TokKind};
+use crate::workspace::{discover, Manifest, SourceFile, Workspace};
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+
+/// Every rule: `(name, what it enforces)`.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "wall-clock",
+        "no std::time::Instant / SystemTime in simulation crates",
+    ),
+    (
+        "ad-hoc-rng",
+        "no thread_rng / rand::random / OS-entropy RNGs in simulation crates",
+    ),
+    (
+        "unordered-collection",
+        "no HashMap / HashSet in simulation crates",
+    ),
+    (
+        "metric-name",
+        "metric name literals must be registered in crates/sim/src/catalog.rs",
+    ),
+    (
+        "stage-name",
+        "trace stage literals must be registered in crates/sim/src/catalog.rs",
+    ),
+    (
+        "dead-name",
+        "catalog entries must be recorded somewhere in library code",
+    ),
+    ("catalog-dup", "catalog entries must be unique"),
+    ("catalog-order", "catalog tables must be sorted by name"),
+    ("catalog-parse", "the catalog must exist and parse"),
+    (
+        "no-unwrap",
+        "no unwrap()/expect()/panic! in non-test core/ethernet/sim library code",
+    ),
+    (
+        "crate-header",
+        "library crates must carry #![deny(missing_docs)] and #![forbid(unsafe_code)]",
+    ),
+    (
+        "paths-only-deps",
+        "all dependencies must be path/workspace deps (offline build)",
+    ),
+    (
+        "unused-allow",
+        "lint:allow annotations must suppress something",
+    ),
+    (
+        "malformed-allow",
+        "lint:allow annotations must be well-formed with a reason",
+    ),
+];
+
+/// Crates whose behaviour feeds simulated results: all determinism rules
+/// apply, with no wall-clock or unordered-collection escape hatch short of
+/// an audited annotation.
+pub const SIM_CRATES: &[&str] = &[
+    "sim", "core", "os", "hw", "ethernet", "tcpip", "mpi", "gamma", "cluster",
+];
+
+/// Crates under the `no-unwrap` hygiene rule.
+pub const NO_UNWRAP_CRATES: &[&str] = &["core", "ethernet", "sim"];
+
+/// Crates exempt from the observability-name rules: dependency stand-ins
+/// (their string literals model foreign APIs) and the analyzer itself
+/// (its literals are rule data).
+pub const NAME_EXEMPT_CRATES: &[&str] =
+    &["shim-bytes", "shim-criterion", "shim-proptest", "analyze"];
+
+/// Files that define the observability machinery: name literals inside
+/// them are API docs/tests, not recordings.
+pub const OBS_INFRA_FILES: &[&str] = &[
+    "crates/sim/src/metrics.rs",
+    "crates/sim/src/trace.rs",
+    "crates/sim/src/catalog.rs",
+];
+
+/// Per-crate rule applicability. `bench` and the shims legitimately read
+/// the host clock (they measure real elapsed time); only simulation
+/// crates must stay virtual-time-pure.
+#[derive(Debug, Clone, Copy)]
+pub struct Policy {
+    /// `wall-clock` + `ad-hoc-rng` + `unordered-collection` apply.
+    pub determinism: bool,
+    /// `metric-name` / `stage-name` extraction applies.
+    pub names: bool,
+    /// `no-unwrap` applies.
+    pub no_unwrap: bool,
+}
+
+/// Look up the policy for a workspace crate directory name.
+pub fn policy(crate_name: &str) -> Policy {
+    Policy {
+        determinism: SIM_CRATES.contains(&crate_name),
+        names: !NAME_EXEMPT_CRATES.contains(&crate_name),
+        no_unwrap: NO_UNWRAP_CRATES.contains(&crate_name),
+    }
+}
+
+/// Analysis result.
+#[derive(Debug)]
+pub struct Report {
+    /// All violations, sorted by `(file, line, rule)`.
+    pub diags: Vec<Diag>,
+    /// Number of files scanned (sources + manifests).
+    pub files_scanned: usize,
+}
+
+/// Observability-name usage accumulated across files, for the dead-name
+/// check.
+#[derive(Debug, Default)]
+pub struct Usage {
+    /// `(name, kind)` pairs recorded or read anywhere in library code.
+    pub metrics: BTreeSet<(String, Kind)>,
+    /// Stage names emitted anywhere in library code.
+    pub stages: BTreeSet<String>,
+}
+
+/// Run the full analysis over the workspace at `root`.
+pub fn analyze(root: &Path) -> io::Result<Report> {
+    let ws = discover(root)?;
+    Ok(analyze_workspace(&ws))
+}
+
+/// Run the full analysis over an already-discovered workspace.
+pub fn analyze_workspace(ws: &Workspace) -> Report {
+    let mut diags = Vec::new();
+    let mut usage = Usage::default();
+
+    // The catalog.
+    let found = ws
+        .files
+        .iter()
+        .find(|f| f.rel == "crates/sim/src/catalog.rs");
+    let catalog = if let Some(f) = found {
+        match parse_catalog(&f.text) {
+            Ok(c) => {
+                diags.extend(check_catalog(&c));
+                c
+            }
+            Err(e) => {
+                diags.push(Diag {
+                    rule: "catalog-parse",
+                    file: f.rel.clone(),
+                    line: 0,
+                    message: e,
+                    suggestion: "keep METRICS/STAGES as arrays of struct literals whose first \
+                                 string literal is the name"
+                        .to_string(),
+                });
+                Catalog::default()
+            }
+        }
+    } else {
+        diags.push(Diag {
+            rule: "catalog-parse",
+            file: "crates/sim/src/catalog.rs".to_string(),
+            line: 0,
+            message: "observability catalog not found".to_string(),
+            suggestion: "create crates/sim/src/catalog.rs with METRICS and STAGES tables"
+                .to_string(),
+        });
+        Catalog::default()
+    };
+
+    // Per-file rules.
+    for f in &ws.files {
+        diags.extend(check_file(f, &catalog, &mut usage));
+    }
+
+    // Dead catalog entries.
+    if !catalog.metrics.is_empty() {
+        diags.extend(check_dead_names(&catalog, &usage));
+    }
+
+    // Manifests.
+    for m in &ws.manifests {
+        diags.extend(check_manifest(m));
+    }
+
+    diags.sort_by_key(Diag::key);
+    Report {
+        files_scanned: ws.files.len() + ws.manifests.len(),
+        diags,
+    }
+}
+
+/// Catalog self-checks: duplicates and ordering.
+pub fn check_catalog(c: &Catalog) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    let file = "crates/sim/src/catalog.rs".to_string();
+    let mut seen: BTreeSet<(String, Option<Kind>)> = BTreeSet::new();
+    for e in &c.metrics {
+        if !seen.insert((e.name.clone(), e.kind)) {
+            diags.push(Diag {
+                rule: "catalog-dup",
+                file: file.clone(),
+                line: e.line,
+                message: format!(
+                    "metric `{}` ({}) registered more than once",
+                    e.name,
+                    e.kind.map_or("?", Kind::name)
+                ),
+                suggestion: "remove the duplicate entry".to_string(),
+            });
+        }
+    }
+    let mut seen_stages: BTreeSet<String> = BTreeSet::new();
+    for e in &c.stages {
+        if !seen_stages.insert(e.name.clone()) {
+            diags.push(Diag {
+                rule: "catalog-dup",
+                file: file.clone(),
+                line: e.line,
+                message: format!("stage `{}` registered more than once", e.name),
+                suggestion: "remove the duplicate entry".to_string(),
+            });
+        }
+    }
+    for w in c.metrics.windows(2) {
+        if (&w[0].name, w[0].kind) > (&w[1].name, w[1].kind) {
+            diags.push(Diag {
+                rule: "catalog-order",
+                file: file.clone(),
+                line: w[1].line,
+                message: format!("METRICS not sorted: `{}` after `{}`", w[1].name, w[0].name),
+                suggestion: "keep the table sorted by (name, kind) so diffs stay one-line"
+                    .to_string(),
+            });
+        }
+    }
+    for w in c.stages.windows(2) {
+        if w[0].name > w[1].name {
+            diags.push(Diag {
+                rule: "catalog-order",
+                file: file.clone(),
+                line: w[1].line,
+                message: format!("STAGES not sorted: `{}` after `{}`", w[1].name, w[0].name),
+                suggestion: "keep the table sorted by name so diffs stay one-line".to_string(),
+            });
+        }
+    }
+    diags
+}
+
+/// Catalog entries never recorded anywhere in library code.
+pub fn check_dead_names(catalog: &Catalog, usage: &Usage) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    let file = "crates/sim/src/catalog.rs".to_string();
+    for e in &catalog.metrics {
+        let Some(kind) = e.kind else { continue };
+        if !usage.metrics.contains(&(e.name.clone(), kind)) {
+            diags.push(Diag {
+                rule: "dead-name",
+                file: file.clone(),
+                line: e.line,
+                message: format!(
+                    "metric `{}` ({}) is registered but never recorded or read",
+                    e.name,
+                    kind.name()
+                ),
+                suggestion: "record it somewhere or remove the catalog entry".to_string(),
+            });
+        }
+    }
+    for e in &catalog.stages {
+        if !usage.stages.contains(&e.name) {
+            diags.push(Diag {
+                rule: "dead-name",
+                file: file.clone(),
+                line: e.line,
+                message: format!("stage `{}` is registered but never emitted", e.name),
+                suggestion: "emit it somewhere or remove the catalog entry".to_string(),
+            });
+        }
+    }
+    diags
+}
+
+/// A candidate violation before allow-annotation filtering.
+struct Candidate {
+    rule: &'static str,
+    line: u32,
+    message: String,
+    suggestion: String,
+}
+
+/// Run every per-file rule on one source file.
+pub fn check_file(f: &SourceFile, catalog: &Catalog, usage: &mut Usage) -> Vec<Diag> {
+    let pol = policy(&f.crate_name);
+    let lexed = lex(&f.text);
+    let tests = test_regions(&lexed);
+    let in_test = |line: u32| tests.iter().any(|&(a, b)| line >= a && line <= b);
+    let allows = allow::parse(&lexed.comments);
+
+    let mut cands: Vec<Candidate> = Vec::new();
+
+    if pol.determinism {
+        wall_clock(&lexed, &mut cands);
+        ad_hoc_rng(&lexed, &mut cands);
+        unordered_collections(&lexed, &mut cands);
+    }
+    if pol.names && !OBS_INFRA_FILES.contains(&f.rel.as_str()) {
+        observability_names(&lexed, catalog, usage, &in_test, &mut cands);
+    }
+    if pol.no_unwrap {
+        no_unwrap(&lexed, &mut cands);
+    }
+    if f.is_lib_root {
+        crate_header(&lexed, &mut cands);
+    }
+
+    // Allow filtering: an annotation on the candidate's line or the line
+    // directly above suppresses it.
+    let mut used = vec![false; allows.ok.len()];
+    let mut diags = Vec::new();
+    for c in cands {
+        if in_test(c.line) && c.rule != "crate-header" {
+            continue;
+        }
+        let suppressed = allows.ok.iter().enumerate().any(|(i, a)| {
+            let hit = a.rule == c.rule && (a.line == c.line || a.line + 1 == c.line);
+            if hit {
+                used[i] = true;
+            }
+            hit
+        });
+        if !suppressed {
+            diags.push(Diag {
+                rule: c.rule,
+                file: f.rel.clone(),
+                line: c.line,
+                message: c.message,
+                suggestion: c.suggestion,
+            });
+        }
+    }
+
+    for m in &allows.malformed {
+        diags.push(Diag {
+            rule: "malformed-allow",
+            file: f.rel.clone(),
+            line: m.line,
+            message: format!("malformed lint:allow annotation: {}", m.error),
+            suggestion: "write `// lint:allow(<rule>, reason=\"...\")`".to_string(),
+        });
+    }
+    for (i, a) in allows.ok.iter().enumerate() {
+        if !RULES.iter().any(|(r, _)| *r == a.rule) {
+            diags.push(Diag {
+                rule: "malformed-allow",
+                file: f.rel.clone(),
+                line: a.line,
+                message: format!("lint:allow names unknown rule `{}`", a.rule),
+                suggestion: "run `clic-analyze --list-rules` for the rule set".to_string(),
+            });
+        } else if !used[i] {
+            diags.push(Diag {
+                rule: "unused-allow",
+                file: f.rel.clone(),
+                line: a.line,
+                message: format!("lint:allow({}) suppresses nothing", a.rule),
+                suggestion: "remove the stale annotation".to_string(),
+            });
+        }
+    }
+    diags
+}
+
+/// `#[cfg(test)]` / `#[test]` item extents as inclusive line ranges.
+fn test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let toks = &lexed.toks;
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(lexed.is_punct(i, '#') && lexed.is_punct(i + 1, '[')) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching(lexed, i + 1, '[', ']') else {
+            break;
+        };
+        let (mut has_cfg, mut has_test, mut has_not) = (false, false, false);
+        for t in &toks[i + 2..close] {
+            if let TokKind::Ident(s) = &t.kind {
+                match s.as_str() {
+                    "cfg" => has_cfg = true,
+                    "test" => has_test = true,
+                    "not" => has_not = true,
+                    _ => {}
+                }
+            }
+        }
+        let bare_test = close == i + 3 && lexed.is_ident(i + 2, "test");
+        if !(bare_test || (has_cfg && has_test && !has_not)) {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes, then span the annotated item.
+        let mut k = close + 1;
+        while lexed.is_punct(k, '#') && lexed.is_punct(k + 1, '[') {
+            match matching(lexed, k + 1, '[', ']') {
+                Some(end) => k = end + 1,
+                None => break,
+            }
+        }
+        let mut l = k;
+        while l < toks.len() && !lexed.is_punct(l, '{') && !lexed.is_punct(l, ';') {
+            l += 1;
+        }
+        let end = if l >= toks.len() {
+            toks.last().map_or(0, |t| t.line)
+        } else if lexed.is_punct(l, ';') {
+            toks[l].line
+        } else {
+            match matching(lexed, l, '{', '}') {
+                Some(m) => toks[m].line,
+                None => toks.last().map_or(0, |t| t.line),
+            }
+        };
+        regions.push((toks[i].line, end));
+        // Resume after the region (line-based skip keeps it simple).
+        while i < toks.len() && toks[i].line <= end {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// Index of the token closing the `open` at index `at`.
+fn matching(lexed: &Lexed, at: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for j in at..lexed.toks.len() {
+        if lexed.is_punct(j, open) {
+            depth += 1;
+        } else if lexed.is_punct(j, close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// `wall-clock`: `Instant::now`, `SystemTime`, or a `use` of `std::time`'s
+/// clock types.
+fn wall_clock(lexed: &Lexed, cands: &mut Vec<Candidate>) {
+    for (i, t) in lexed.toks.iter().enumerate() {
+        let TokKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        if name != "Instant" && name != "SystemTime" {
+            continue;
+        }
+        let called_now = lexed.is_path_sep(i + 1) && lexed.is_ident(i + 3, "now");
+        let time_path = i >= 3 && lexed.is_ident(i - 3, "time") && lexed.is_path_sep(i - 2);
+        let in_use_time = in_use_of(lexed, i, "time");
+        if called_now || time_path || in_use_time {
+            cands.push(Candidate {
+                rule: "wall-clock",
+                line: t.line,
+                message: format!("`{name}` (wall-clock time) in a simulation crate"),
+                suggestion: "simulated components must use SimTime; wall-clock measurement \
+                             belongs in clic-bench"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `ad-hoc-rng`: OS-seeded or implicit-state randomness.
+fn ad_hoc_rng(lexed: &Lexed, cands: &mut Vec<Candidate>) {
+    for (i, t) in lexed.toks.iter().enumerate() {
+        let TokKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        let flagged = match name.as_str() {
+            "thread_rng" | "from_entropy" | "getrandom" | "RandomState" => true,
+            "random" => i >= 3 && lexed.is_ident(i - 3, "rand") && lexed.is_path_sep(i - 2),
+            _ => false,
+        };
+        if flagged {
+            cands.push(Candidate {
+                rule: "ad-hoc-rng",
+                line: t.line,
+                message: format!("`{name}` (non-seeded randomness) in a simulation crate"),
+                suggestion: "all randomness must flow through the seeded SimRng on the Sim"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `unordered-collection`: HashMap/HashSet, one finding per line.
+fn unordered_collections(lexed: &Lexed, cands: &mut Vec<Candidate>) {
+    let mut last_line = 0u32;
+    for t in &lexed.toks {
+        let TokKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        if (name == "HashMap" || name == "HashSet") && t.line != last_line {
+            last_line = t.line;
+            cands.push(Candidate {
+                rule: "unordered-collection",
+                line: t.line,
+                message: format!("`{name}` (iteration order unstable) in a simulation crate"),
+                suggestion: "use BTreeMap/BTreeSet (or sort at the emission point) so iteration \
+                             order can never reach simulated behaviour or output"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Whether token `i` sits inside a `use` item whose path mentions
+/// `segment`.
+fn in_use_of(lexed: &Lexed, i: usize, segment: &str) -> bool {
+    // Walk back to the start of the statement.
+    let mut j = i;
+    while j > 0 {
+        match &lexed.toks[j - 1].kind {
+            TokKind::Punct(';' | '}') => break,
+            _ => j -= 1,
+        }
+    }
+    if !lexed.is_ident(j, "use") {
+        return false;
+    }
+    lexed.toks[j..i]
+        .iter()
+        .any(|t| matches!(&t.kind, TokKind::Ident(s) if s == segment))
+}
+
+/// Metric-recording and trace-emitting method calls: `(method, kind)`.
+const METRIC_CALLS: &[(&str, Kind)] = &[
+    ("counter", Kind::Counter),
+    ("counter_add", Kind::Counter),
+    ("counter_inc", Kind::Counter),
+    ("sum_counters", Kind::Counter),
+    ("gauge", Kind::Gauge),
+    ("gauge_peak", Kind::Gauge),
+    ("gauge_set", Kind::Gauge),
+    ("max_gauge_peak", Kind::Gauge),
+    ("histogram", Kind::Histogram),
+    ("observe", Kind::Histogram),
+];
+
+/// Trace-emission methods whose first string literal is a stage name.
+const STAGE_CALLS: &[&str] = &["begin", "end", "instant"];
+
+/// `metric-name` / `stage-name`: extract every name literal passed to a
+/// recording call and check it against the catalog. Usage is accumulated
+/// for the dead-name pass (test code counts toward neither rule).
+fn observability_names(
+    lexed: &Lexed,
+    catalog: &Catalog,
+    usage: &mut Usage,
+    in_test: &dyn Fn(u32) -> bool,
+    cands: &mut Vec<Candidate>,
+) {
+    for (i, t) in lexed.toks.iter().enumerate() {
+        let TokKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        // Method-call shape: `.name(`.
+        if !(i >= 1 && lexed.is_punct(i - 1, '.') && lexed.is_punct(i + 1, '(')) {
+            continue;
+        }
+        let metric_kind = METRIC_CALLS
+            .iter()
+            .find(|(m, _)| m == name)
+            .map(|&(_, k)| k);
+        let is_stage = STAGE_CALLS.contains(&name.as_str());
+        if metric_kind.is_none() && !is_stage {
+            continue;
+        }
+        let Some(close) = matching(lexed, i + 1, '(', ')') else {
+            continue;
+        };
+        let Some(lit) = lexed.toks[i + 2..close].iter().find_map(|t| match &t.kind {
+            TokKind::Str(s) => Some(s.clone()),
+            _ => None,
+        }) else {
+            continue;
+        };
+        if in_test(t.line) {
+            continue;
+        }
+        if let Some(kind) = metric_kind {
+            let stripped = strip_node_prefix(&lit).to_string();
+            usage.metrics.insert((stripped.clone(), kind));
+            if !catalog.has_metric(&stripped, kind) {
+                cands.push(Candidate {
+                    rule: "metric-name",
+                    line: t.line,
+                    message: format!(
+                        "metric name `{lit}` ({}) is not registered in the catalog",
+                        kind.name()
+                    ),
+                    suggestion: "add it to METRICS in crates/sim/src/catalog.rs (sorted) with a \
+                                 help string"
+                        .to_string(),
+                });
+            }
+        } else {
+            usage.stages.insert(lit.clone());
+            if !catalog.has_stage(&lit) {
+                cands.push(Candidate {
+                    rule: "stage-name",
+                    line: t.line,
+                    message: format!("trace stage `{lit}` is not registered in the catalog"),
+                    suggestion: "add it to STAGES in crates/sim/src/catalog.rs (sorted) with its \
+                                 emitting layer"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// `no-unwrap`: `.unwrap()`, `.expect(...)`, `panic!` in library code.
+fn no_unwrap(lexed: &Lexed, cands: &mut Vec<Candidate>) {
+    for (i, t) in lexed.toks.iter().enumerate() {
+        let TokKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        let hit = match name.as_str() {
+            "unwrap" | "expect" => {
+                i >= 1 && lexed.is_punct(i - 1, '.') && lexed.is_punct(i + 1, '(')
+            }
+            "panic" => lexed.is_punct(i + 1, '!'),
+            _ => false,
+        };
+        if hit {
+            let shown = if name == "panic" {
+                "panic!".to_string()
+            } else {
+                format!(".{name}()")
+            };
+            cands.push(Candidate {
+                rule: "no-unwrap",
+                line: t.line,
+                message: format!("`{shown}` in non-test library code"),
+                suggestion: "return a typed error (ClicError/TraceError) or, for a proven \
+                             invariant, annotate with lint:allow(no-unwrap, reason=\"...\")"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `crate-header`: required inner attributes on a crate root.
+fn crate_header(lexed: &Lexed, cands: &mut Vec<Candidate>) {
+    let (mut docs_ok, mut unsafe_ok) = (false, false);
+    let toks = &lexed.toks;
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if lexed.is_punct(i, '#') && lexed.is_punct(i + 1, '!') && lexed.is_punct(i + 2, '[') {
+            if let Some(close) = matching(lexed, i + 2, '[', ']') {
+                let idents: Vec<&str> = toks[i + 3..close]
+                    .iter()
+                    .filter_map(|t| match &t.kind {
+                        TokKind::Ident(s) => Some(s.as_str()),
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(first) = idents.first() {
+                    if (*first == "deny" || *first == "forbid") && idents.contains(&"missing_docs")
+                    {
+                        docs_ok = true;
+                    }
+                    if *first == "forbid" && idents.contains(&"unsafe_code") {
+                        unsafe_ok = true;
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    let line = toks.first().map_or(1, |t| t.line);
+    if !docs_ok {
+        cands.push(Candidate {
+            rule: "crate-header",
+            line,
+            message: "crate root lacks `#![deny(missing_docs)]`".to_string(),
+            suggestion: "every public item in this workspace is documented; deny keeps it that way"
+                .to_string(),
+        });
+    }
+    if !unsafe_ok {
+        cands.push(Candidate {
+            rule: "crate-header",
+            line,
+            message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+            suggestion: "the workspace is a simulation; nothing here needs unsafe".to_string(),
+        });
+    }
+}
+
+/// `paths-only-deps`: every dependency in every manifest must be a
+/// path/workspace dependency.
+pub fn check_manifest(m: &Manifest) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    let mut section = String::new();
+    // `[dependencies.foo]` sub-table support: (dep name, header line, ok).
+    let mut pending: Option<(String, u32, bool)> = None;
+
+    let flush = |pending: &mut Option<(String, u32, bool)>, diags: &mut Vec<Diag>| {
+        if let Some((dep, line, ok)) = pending.take() {
+            if !ok {
+                diags.push(non_path_diag(&m.rel, line, &dep));
+            }
+        }
+    };
+
+    for (idx, raw) in m.text.lines().enumerate() {
+        let line_no = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        let line = strip_toml_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush(&mut pending, &mut diags);
+            section = line.trim_matches(['[', ']']).trim().to_string();
+            if let Some(dep) = dep_subtable(&section) {
+                pending = Some((dep.to_string(), line_no, false));
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        if let Some(p) = pending.as_mut() {
+            if key == "path" || (key == "workspace" && value.starts_with("true")) {
+                p.2 = true;
+            }
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        let ok = key.ends_with(".workspace")
+            || has_toml_key(value, "path")
+            || (has_toml_key(value, "workspace") && value.contains("true"));
+        if !ok {
+            diags.push(non_path_diag(&m.rel, line_no, key));
+        }
+    }
+    flush(&mut pending, &mut diags);
+    diags
+}
+
+fn non_path_diag(file: &str, line: u32, dep: &str) -> Diag {
+    Diag {
+        rule: "paths-only-deps",
+        file: file.to_string(),
+        line,
+        message: format!("dependency `{dep}` is not a path/workspace dependency"),
+        suggestion: "the workspace builds offline: route external deps through a crates/shim-* \
+                     stand-in and [workspace.dependencies]"
+            .to_string(),
+    }
+}
+
+fn is_dep_section(section: &str) -> bool {
+    section == "dependencies"
+        || section == "dev-dependencies"
+        || section == "build-dependencies"
+        || section == "workspace.dependencies"
+        || section.ends_with(".dependencies")
+}
+
+/// `dependencies.foo` / `dev-dependencies.foo` / `target.X.dependencies.foo`
+/// sub-table headers: returns the dep name.
+fn dep_subtable(section: &str) -> Option<&str> {
+    for marker in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+        if let Some(pos) = section.find(marker) {
+            let rest = &section[pos + marker.len()..];
+            if !rest.is_empty() && !rest.contains('.') && !rest.contains("dependencies") {
+                // Exclude `workspace.dependencies` (not a sub-table).
+                if pos == 0 || section[..pos].ends_with('.') {
+                    let prefix = &section[..pos];
+                    if prefix != "workspace." {
+                        return Some(rest);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `key = ...` present in a TOML inline table string.
+fn has_toml_key(value: &str, key: &str) -> bool {
+    let mut rest = value;
+    while let Some(pos) = rest.find(key) {
+        let before_ok = pos == 0 || matches!(rest.as_bytes()[pos - 1], b'{' | b',' | b' ' | b'\t');
+        let after = rest[pos + key.len()..].trim_start();
+        if before_ok && after.starts_with('=') {
+            return true;
+        }
+        rest = &rest[pos + key.len()..];
+    }
+    false
+}
+
+/// Drop a `#` comment that is not inside a quoted string.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}

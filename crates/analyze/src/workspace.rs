@@ -1,0 +1,199 @@
+//! Workspace discovery: find the root, enumerate source files and
+//! manifests, and classify each file for rule scoping.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One Rust source file under a crate's `src/` tree.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// Workspace crate directory name (`sim`, `core`, ... , or `clic` for
+    /// the root facade crate).
+    pub crate_name: String,
+    /// Whether this file is the crate's `src/lib.rs`.
+    pub is_lib_root: bool,
+    /// File contents.
+    pub text: String,
+}
+
+/// One `Cargo.toml`.
+#[derive(Debug)]
+pub struct Manifest {
+    /// Path relative to the workspace root.
+    pub rel: String,
+    /// File contents.
+    pub text: String,
+}
+
+/// Everything the analyzer scans.
+#[derive(Debug)]
+pub struct Workspace {
+    /// The workspace root directory.
+    pub root: PathBuf,
+    /// Library source files, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// Workspace manifests, sorted by path.
+    pub manifests: Vec<Manifest>,
+}
+
+/// Walk upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Enumerate the workspace's library sources (`src/` trees only — tests,
+/// benches, examples and fixtures are out of scope by construction) and
+/// every `Cargo.toml`.
+pub fn discover(root: &Path) -> io::Result<Workspace> {
+    let mut files = Vec::new();
+    let mut manifests = Vec::new();
+
+    push_manifest(root, "Cargo.toml", &mut manifests)?;
+    collect_src(root, Path::new("src"), "clic", &mut files)?;
+
+    // Tolerate a workspace without a `crates/` tree (the root package is
+    // still scanned) so the analyzer runs on any layout.
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = match fs::read_dir(&crates_dir) {
+        Ok(iter) => iter
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let rel_manifest = format!("crates/{name}/Cargo.toml");
+        push_manifest(root, &rel_manifest, &mut manifests)?;
+        collect_src(
+            root,
+            &Path::new("crates").join(&name).join("src"),
+            &name,
+            &mut files,
+        )?;
+    }
+
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    manifests.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        files,
+        manifests,
+    })
+}
+
+fn push_manifest(root: &Path, rel: &str, out: &mut Vec<Manifest>) -> io::Result<()> {
+    let path = root.join(rel);
+    if path.is_file() {
+        out.push(Manifest {
+            rel: rel.to_string(),
+            text: fs::read_to_string(path)?,
+        });
+    }
+    Ok(())
+}
+
+/// Recursively collect `.rs` files under `root/dir` (a `src/` tree).
+fn collect_src(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let abs = root.join(dir);
+    if !abs.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(&abs)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if path.is_dir() {
+            collect_src(root, &dir.join(name), crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = dir
+                .join(name)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                is_lib_root: rel.ends_with("src/lib.rs"),
+                rel,
+                crate_name: crate_name.to_string(),
+                text: fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        // crates/analyze -> workspace root.
+        find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+    }
+
+    #[test]
+    fn discovers_this_workspace() {
+        let ws = discover(&repo_root()).unwrap();
+        assert!(ws.files.iter().any(|f| f.rel == "crates/sim/src/engine.rs"));
+        assert!(ws
+            .files
+            .iter()
+            .any(|f| f.rel == "src/lib.rs" && f.crate_name == "clic"));
+        assert!(ws
+            .manifests
+            .iter()
+            .any(|m| m.rel == "crates/analyze/Cargo.toml"));
+        // Out of scope: tests, benches, examples.
+        assert!(!ws.files.iter().any(|f| f.rel.contains("/tests/")));
+        assert!(!ws.files.iter().any(|f| f.rel.starts_with("examples/")));
+    }
+
+    #[test]
+    fn lib_roots_are_marked() {
+        let ws = discover(&repo_root()).unwrap();
+        let lib = ws
+            .files
+            .iter()
+            .find(|f| f.rel == "crates/sim/src/lib.rs")
+            .unwrap();
+        assert!(lib.is_lib_root);
+        let not_lib = ws
+            .files
+            .iter()
+            .find(|f| f.rel == "crates/sim/src/engine.rs")
+            .unwrap();
+        assert!(!not_lib.is_lib_root);
+    }
+}

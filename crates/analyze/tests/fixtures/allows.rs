@@ -1,0 +1,14 @@
+//! Fixture: annotation handling — one audited suppression, one stale
+//! annotation, one malformed annotation.
+use std::collections::HashMap; // lint:allow(unordered-collection, reason="keyed lookups only, never iterated")
+
+// lint:allow(wall-clock, reason="stale: nothing below uses the clock")
+pub fn nothing() {}
+
+// lint:allow(no-unwrap)
+pub fn broken_annotation() {}
+
+// lint:allow(unordered-collection, reason="keyed lookups only, never iterated")
+pub fn lookups(m: &HashMap<u32, u32>) -> Option<u32> {
+    m.get(&1).copied()
+}

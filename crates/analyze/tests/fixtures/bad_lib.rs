@@ -1,0 +1,4 @@
+//! Fixture: a crate root missing both required headers.
+#![warn(missing_docs)]
+
+pub fn noop() {}

@@ -1,0 +1,20 @@
+//! Fixture: every determinism rule should fire on this file.
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+pub fn bad_clock() -> u64 {
+    let start = Instant::now();
+    let _ = SystemTime::now();
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn bad_rng() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen::<u32>() ^ rand::random::<u32>()
+}
+
+pub fn bad_maps() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    m.len() + s.len()
+}

@@ -1,0 +1,18 @@
+//! Fixture: unwrap family in library code fires; test code is exempt.
+pub fn bad(v: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = v.unwrap();
+    let b = r.expect("boom");
+    if a + b == 0 {
+        panic!("zero");
+    }
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: one registered and one unregistered name per family.
+pub fn record(metrics: &mut Metrics, trace: &mut Trace, now: SimTime) {
+    metrics.counter_inc("clic.msgs_sent"); // registered: no finding
+    metrics.counter_inc("not.registered"); // metric-name finding
+    metrics.observe("also.not.registered", 3); // metric-name finding
+    trace.begin(now, Layer::Clic, "driver_tx", 7); // registered: no finding
+    trace.instant(now, Layer::Clic, "bogus_stage", 7); // stage-name finding
+}

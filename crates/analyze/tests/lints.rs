@@ -1,0 +1,180 @@
+//! Fixture-driven rule tests plus the workspace self-check.
+//!
+//! Each fixture under `tests/fixtures/` is fed through
+//! [`clic_analyze::rules::check_file`] with a synthetic in-scope path, and
+//! the test asserts exactly which rules fire. The final test runs the full
+//! analyzer over this workspace and requires it to be clean, so `cargo
+//! test -q` fails the moment a violation lands on the main branch.
+
+use clic_analyze::catalog::{parse as parse_catalog, Catalog};
+use clic_analyze::rules::{analyze, check_file, check_manifest, RULES};
+use clic_analyze::workspace::{find_root, Manifest, SourceFile};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// A miniature catalog: one registered counter, one registered stage.
+const CATALOG_SRC: &str = r#"
+pub const METRICS: &[MetricDef] = &[
+    MetricDef { name: "clic.msgs_sent", kind: C, help: "sent" },
+];
+pub const STAGES: &[StageDef] = &[
+    StageDef { name: "driver_tx", layers: &[Layer::Clic], help: "tx" },
+];
+"#;
+
+fn catalog() -> Catalog {
+    parse_catalog(CATALOG_SRC).expect("fixture catalog parses")
+}
+
+/// Run `check_file` on a fixture as if it lived inside the `sim` crate.
+fn run(rel_name: &str, text: &str, is_lib_root: bool) -> Vec<clic_analyze::Diag> {
+    let f = SourceFile {
+        rel: format!("crates/sim/src/{rel_name}"),
+        crate_name: "sim".to_string(),
+        is_lib_root,
+        text: text.to_string(),
+    };
+    let mut usage = clic_analyze::rules::Usage::default();
+    check_file(&f, &catalog(), &mut usage)
+}
+
+fn rules_fired(diags: &[clic_analyze::Diag]) -> BTreeSet<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn determinism_fixture_fires_all_three_rules() {
+    let diags = run(
+        "determinism.rs",
+        include_str!("fixtures/determinism.rs"),
+        false,
+    );
+    let fired = rules_fired(&diags);
+    assert!(fired.contains("wall-clock"), "{diags:?}");
+    assert!(fired.contains("ad-hoc-rng"), "{diags:?}");
+    assert!(fired.contains("unordered-collection"), "{diags:?}");
+    // Both clock types, both RNG forms, both collections.
+    assert!(diags.iter().filter(|d| d.rule == "wall-clock").count() >= 2);
+    assert!(diags.iter().filter(|d| d.rule == "ad-hoc-rng").count() >= 2);
+    assert!(
+        diags
+            .iter()
+            .filter(|d| d.rule == "unordered-collection")
+            .count()
+            >= 2
+    );
+}
+
+#[test]
+fn name_fixture_flags_only_unregistered_names() {
+    let diags = run("names.rs", include_str!("fixtures/names.rs"), false);
+    let metric: Vec<_> = diags.iter().filter(|d| d.rule == "metric-name").collect();
+    let stage: Vec<_> = diags.iter().filter(|d| d.rule == "stage-name").collect();
+    assert_eq!(metric.len(), 2, "{diags:?}");
+    assert!(metric.iter().any(|d| d.message.contains("not.registered")));
+    assert_eq!(stage.len(), 1, "{diags:?}");
+    assert!(stage[0].message.contains("bogus_stage"));
+    // Registered names pass.
+    assert!(!diags.iter().any(|d| d.message.contains("clic.msgs_sent")));
+    assert!(!diags.iter().any(|d| d.message.contains("driver_tx")));
+}
+
+#[test]
+fn hygiene_fixture_flags_library_code_not_tests() {
+    let diags = run("hygiene.rs", include_str!("fixtures/hygiene.rs"), false);
+    let unwraps: Vec<_> = diags.iter().filter(|d| d.rule == "no-unwrap").collect();
+    // unwrap + expect + panic! in `bad`; the unwrap inside #[cfg(test)]
+    // is exempt.
+    assert_eq!(unwraps.len(), 3, "{diags:?}");
+    assert!(unwraps.iter().all(|d| d.line < 11), "{unwraps:?}");
+}
+
+#[test]
+fn allow_fixture_suppresses_audits_and_flags_stale_ones() {
+    let diags = run("allows.rs", include_str!("fixtures/allows.rs"), false);
+    let fired = rules_fired(&diags);
+    // Both HashMap sites carry audited annotations.
+    assert!(!fired.contains("unordered-collection"), "{diags:?}");
+    // The wall-clock annotation suppresses nothing.
+    assert!(fired.contains("unused-allow"), "{diags:?}");
+    // The reason-less annotation is malformed.
+    assert!(fired.contains("malformed-allow"), "{diags:?}");
+}
+
+#[test]
+fn missing_headers_fire_on_lib_roots_only() {
+    let text = include_str!("fixtures/bad_lib.rs");
+    let as_root = run("lib.rs", text, true);
+    assert_eq!(
+        as_root.iter().filter(|d| d.rule == "crate-header").count(),
+        2,
+        "{as_root:?}"
+    );
+    let as_module = run("bad_lib.rs", text, false);
+    assert!(!rules_fired(&as_module).contains("crate-header"));
+}
+
+#[test]
+fn registry_dependencies_are_rejected() {
+    let m = Manifest {
+        rel: "crates/x/Cargo.toml".to_string(),
+        text: "[package]\nname = \"x\"\n\n[dependencies]\n\
+               good = { path = \"../good\" }\n\
+               ws.workspace = true\n\
+               bad = \"1.0\"\n\
+               also-bad = { version = \"0.3\", features = [\"std\"] }\n\n\
+               [dependencies.sub]\nversion = \"2\"\n"
+            .to_string(),
+    };
+    let diags = check_manifest(&m);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "paths-only-deps"));
+    assert!(diags.iter().any(|d| d.message.contains("`bad`")));
+    assert!(diags.iter().any(|d| d.message.contains("`also-bad`")));
+    assert!(diags.iter().any(|d| d.message.contains("`sub`")));
+}
+
+#[test]
+fn fixture_suite_exercises_at_least_six_rules() {
+    let mut fired: BTreeSet<&'static str> = BTreeSet::new();
+    for (name, text) in [
+        ("determinism.rs", include_str!("fixtures/determinism.rs")),
+        ("names.rs", include_str!("fixtures/names.rs")),
+        ("hygiene.rs", include_str!("fixtures/hygiene.rs")),
+        ("allows.rs", include_str!("fixtures/allows.rs")),
+    ] {
+        fired.extend(rules_fired(&run(name, text, false)));
+    }
+    fired.extend(rules_fired(&run(
+        "lib.rs",
+        include_str!("fixtures/bad_lib.rs"),
+        true,
+    )));
+    let m = Manifest {
+        rel: "crates/x/Cargo.toml".to_string(),
+        text: "[dependencies]\nbad = \"1.0\"\n".to_string(),
+    };
+    fired.extend(check_manifest(&m).iter().map(|d| d.rule));
+    assert!(
+        fired.len() >= 6,
+        "expected >= 6 distinct rules across fixtures, got {fired:?}"
+    );
+    for rule in &fired {
+        assert!(
+            RULES.iter().any(|(r, _)| r == rule),
+            "fixture fired unknown rule {rule}"
+        );
+    }
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root not found");
+    let report = analyze(&root).expect("analysis runs");
+    assert!(
+        report.diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        clic_analyze::diag::render_human(&report.diags, report.files_scanned)
+    );
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+}

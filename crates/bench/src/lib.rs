@@ -15,7 +15,8 @@
 //! * `benches/engine.rs` — microbenchmarks of the DES engine itself
 //!   (events/second, resource contention overhead).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod json;
 pub mod render;

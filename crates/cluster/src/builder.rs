@@ -5,7 +5,7 @@ use crate::node::{Node, NodeConfig};
 use clic_ethernet::{FaultPlan, Link, LinkEnd, LossModel, MacAddr, Switch};
 use clic_tcpip::IpAddr;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Physical layout.
@@ -72,7 +72,7 @@ pub struct Cluster {
 impl Cluster {
     /// Build a cluster per `config`.
     pub fn build(config: &ClusterConfig) -> Cluster {
-        let mut neighbors: HashMap<IpAddr, MacAddr> = HashMap::new();
+        let mut neighbors: BTreeMap<IpAddr, MacAddr> = BTreeMap::new();
         for id in 0..config.nodes as u32 {
             neighbors.insert(IpAddr::for_node(id), MacAddr::for_node(id, 0));
         }

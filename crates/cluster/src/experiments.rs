@@ -1638,7 +1638,7 @@ mod tests {
     #[test]
     fn job_ids_are_unique_across_all_figures() {
         let sizes = quick_sizes();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for kind in FigureKind::ALL {
             for spec in kind.jobs(&sizes) {
                 assert!(seen.insert(spec.id.clone()), "duplicate job id {}", spec.id);

@@ -25,7 +25,8 @@
 //!   Chrome trace-event JSON, per-stage breakdowns for any message size
 //!   and MTU, and merged per-node metric registries.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod builder;
 pub mod calibration;

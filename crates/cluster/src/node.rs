@@ -8,7 +8,7 @@ use clic_hw::{Nic, NicConfig, PciBus};
 use clic_os::{Kernel, OsCosts};
 use clic_tcpip::{IpAddr, IpLayer, TcpStack, UdpStack};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Which protocol stacks to install on a node.
@@ -101,7 +101,7 @@ impl Node {
         id: u32,
         config: &NodeConfig,
         links: Vec<(Rc<RefCell<Link>>, LinkEnd)>,
-        neighbors: &HashMap<IpAddr, MacAddr>,
+        neighbors: &BTreeMap<IpAddr, MacAddr>,
         tcpip_costs: clic_tcpip::TcpIpCosts,
     ) -> Node {
         assert_eq!(links.len(), config.nics, "one link per NIC");

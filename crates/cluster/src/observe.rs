@@ -194,6 +194,11 @@ pub fn run_pipeline_trace(
         .trace
         .spans_for(TRACE_ID)
         .expect("traced run left unmatched begin/end marks");
+    debug_assert!(
+        sim.trace.uncataloged_stages().is_empty(),
+        "stages missing from crates/sim/src/catalog.rs: {:?}",
+        sim.trace.uncataloged_stages()
+    );
     let breakdown = breakdown_rows(&spans);
     let metrics = collect_metrics(&cluster, &sim);
     PipelineTrace {
@@ -305,6 +310,11 @@ pub fn collect_metrics(cluster: &Cluster, sim: &Sim) -> Metrics {
         reg.counter_add("eth.switch.frames_flooded", sw.frames_flooded());
         reg.counter_add("eth.switch.frames_dropped", sw.frames_dropped());
     }
+    debug_assert!(
+        reg.uncataloged().is_empty(),
+        "metrics missing from crates/sim/src/catalog.rs: {:?}",
+        reg.uncataloged()
+    );
     reg
 }
 

@@ -27,7 +27,8 @@
 //!   receive, plain and confirmed sends, remote writes.
 
 #![allow(clippy::type_complexity)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod api;
 pub mod config;

@@ -29,7 +29,7 @@ use clic_os::driver::hard_start_xmit;
 use clic_os::{Kernel, PacketHandler, Pid, SkBuff};
 use clic_sim::{Layer, Sim, SimDuration};
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::{Rc, Weak};
 
 /// Activity counters.
@@ -159,17 +159,17 @@ impl OutFlow {
     /// RFC 6298 with integer-ns arithmetic: fold in one RTT sample and
     /// return the resulting RTO, clamped to the configured bounds.
     fn rtt_sample(&mut self, sample_ns: u64, config: &ClicConfig) -> SimDuration {
-        match self.srtt_ns {
+        let srtt = match self.srtt_ns {
             None => {
-                self.srtt_ns = Some(sample_ns);
                 self.rttvar_ns = sample_ns / 2;
+                sample_ns
             }
-            Some(srtt) => {
-                self.rttvar_ns = (3 * self.rttvar_ns + srtt.abs_diff(sample_ns)) / 4;
-                self.srtt_ns = Some((7 * srtt + sample_ns) / 8);
+            Some(prev) => {
+                self.rttvar_ns = (3 * self.rttvar_ns + prev.abs_diff(sample_ns)) / 4;
+                (7 * prev + sample_ns) / 8
             }
-        }
-        let srtt = self.srtt_ns.unwrap();
+        };
+        self.srtt_ns = Some(srtt);
         // The 1 µs floor plays the role of RFC 6298's clock-granularity G.
         let rto_ns = (srtt + (4 * self.rttvar_ns).max(1_000))
             .clamp(config.rto_min.as_ns(), config.rto_max.as_ns());
@@ -250,10 +250,10 @@ pub struct ClicModule {
     bond: RoundRobin,
     max_chunk: usize,
     config: ClicConfig,
-    out: HashMap<FlowKey, OutFlow>,
-    inflows: HashMap<FlowKey, InFlow>,
-    ports: HashMap<u16, PortState>,
-    kernel_functions: HashMap<u16, KernelFn>,
+    out: BTreeMap<FlowKey, OutFlow>,
+    inflows: BTreeMap<FlowKey, InFlow>,
+    ports: BTreeMap<u16, PortState>,
+    kernel_functions: BTreeMap<u16, KernelFn>,
     next_msg_id: u32,
     stats: ClicStats,
     error_handler: Option<Rc<dyn Fn(&mut Sim, ClicError)>>,
@@ -292,6 +292,7 @@ impl ClicModule {
                 .iter()
                 .map(|&d| k.device(d).borrow().mtu())
                 .min()
+                // lint:allow(no-unwrap, reason="devices asserted non-empty above")
                 .unwrap();
             (macs, mtu)
         };
@@ -305,10 +306,10 @@ impl ClicModule {
             bond: RoundRobin::new(width),
             max_chunk: mtu - CLIC_HEADER,
             config,
-            out: HashMap::new(),
-            inflows: HashMap::new(),
-            ports: HashMap::new(),
-            kernel_functions: HashMap::new(),
+            out: BTreeMap::new(),
+            inflows: BTreeMap::new(),
+            ports: BTreeMap::new(),
+            kernel_functions: BTreeMap::new(),
             next_msg_id: 1,
             stats: ClicStats::default(),
             error_handler: None,
@@ -324,6 +325,7 @@ impl ClicModule {
             .borrow()
             .kernel
             .upgrade()
+            // lint:allow(no-unwrap, reason="the kernel owns every device a module binds to; a live module implies a live kernel")
             .expect("kernel dropped while CLIC module alive")
     }
 
@@ -591,11 +593,8 @@ impl ClicModule {
             let msg_id = m.next_msg_id;
             m.next_msg_id += 1;
             let max_chunk = m.max_chunk;
-            if !m.out.contains_key(&key) {
-                let f = OutFlow::new(&m.config);
-                m.out.insert(key, f);
-            }
-            let flow = m.out.get_mut(&key).unwrap();
+            let fresh = OutFlow::new(&m.config);
+            let flow = m.out.entry(key).or_insert(fresh);
             // First fragment carries the message prefix.
             let mut first = BytesMut::with_capacity(MSG_PREFIX + data.len().min(max_chunk));
             first.put_slice(&encode_msg_prefix(msg_id, data.len() as u32));
@@ -650,11 +649,15 @@ impl ClicModule {
                 {
                     None
                 } else {
-                    let pkt = flow.queue.pop_front().unwrap();
-                    flow.posting += 1;
-                    let dev_slot = m.bond.next_index();
-                    let dev = m.devices[dev_slot];
-                    Some((pkt, dev))
+                    match flow.queue.pop_front() {
+                        None => None,
+                        Some(pkt) => {
+                            flow.posting += 1;
+                            let dev_slot = m.bond.next_index();
+                            let dev = m.devices[dev_slot];
+                            Some((pkt, dev))
+                        }
+                    }
                 }
             };
             match post {
@@ -739,14 +742,18 @@ impl ClicModule {
             let retry = {
                 let mut m = module2.borrow_mut();
                 let retry = m.config.tx_retry;
-                let flow = m.out.get_mut(&key).unwrap();
-                flow.posting -= 1;
-                flow.queue.push_front(pkt);
-                if flow.kick_armed {
-                    None
-                } else {
-                    flow.kick_armed = true;
-                    Some(retry)
+                match m.out.get_mut(&key) {
+                    None => None, // flow torn down; nothing left to pump
+                    Some(flow) => {
+                        flow.posting -= 1;
+                        flow.queue.push_front(pkt);
+                        if flow.kick_armed {
+                            None
+                        } else {
+                            flow.kick_armed = true;
+                            Some(retry)
+                        }
+                    }
                 }
             };
             if let Some(delay) = retry {
@@ -1052,12 +1059,9 @@ impl ClicModule {
                     .instant(sim.now(), Layer::Clic, "drop.backlog", trace);
                 return;
             }
-            if !m.inflows.contains_key(&key) {
-                let f = InFlow::new(&m.config);
-                m.inflows.insert(key, f);
-            }
             let ack_every = m.config.ack_every;
-            let flow = m.inflows.get_mut(&key).unwrap();
+            let fresh = InFlow::new(&m.config);
+            let flow = m.inflows.entry(key).or_insert(fresh);
             match flow.window.offer(header, chunk) {
                 RecvOutcome::Deliver(packets) => {
                     flow.unacked += packets.len() as u32;
@@ -1115,34 +1119,34 @@ impl ClicModule {
         header: ClicHeader,
         chunk: Bytes,
     ) -> Option<RecvMsg> {
-        match &mut flow.assembling {
+        let assembly = match flow.assembling.take() {
             None => {
                 let (_msg_id, total) =
+                    // lint:allow(no-unwrap, reason="the send path always stamps the message prefix on the first fragment; in-order delivery is guaranteed by the recv window")
                     decode_msg_prefix(&chunk).expect("first fragment lacks message prefix");
                 let mut buf = BytesMut::with_capacity(total as usize);
                 buf.put_slice(&chunk[MSG_PREFIX..]);
-                flow.assembling = Some(Assembly {
+                Assembly {
                     total: total as usize,
                     buf,
                     ptype: header.ptype,
-                });
+                }
             }
-            Some(a) => a.buf.put_slice(&chunk),
-        }
-        let done = {
-            let a = flow.assembling.as_ref().unwrap();
-            debug_assert!(a.buf.len() <= a.total, "assembly overrun");
-            a.buf.len() >= a.total
+            Some(mut a) => {
+                a.buf.put_slice(&chunk);
+                a
+            }
         };
-        if done {
-            let a = flow.assembling.take().unwrap();
+        debug_assert!(assembly.buf.len() <= assembly.total, "assembly overrun");
+        if assembly.buf.len() >= assembly.total {
             Some(RecvMsg {
                 src,
                 channel: header.channel,
-                ptype: a.ptype,
-                data: a.buf.freeze(),
+                ptype: assembly.ptype,
+                data: assembly.buf.freeze(),
             })
         } else {
+            flow.assembling = Some(assembly);
             None
         }
     }
@@ -1270,8 +1274,16 @@ impl ClicModule {
                         sim.trace.end(sim.now(), Layer::Clic, "copy_to_user", trace);
                     }
                     let mut m = module2.borrow_mut();
-                    let port = m.ports.get_mut(&msg.channel).unwrap();
-                    port.remote_writes.as_mut().unwrap().push(msg);
+                    // The port may have been torn down during the copy
+                    // delay; the write is then dropped, as real hardware
+                    // would drop a DMA into an unmapped region.
+                    if let Some(region) = m
+                        .ports
+                        .get_mut(&msg.channel)
+                        .and_then(|p| p.remote_writes.as_mut())
+                    {
+                        region.push(msg);
+                    }
                 });
             }
             Action::Wake { pid, waiter, cost } => {
@@ -1293,9 +1305,10 @@ impl ClicModule {
             Action::Park => {
                 // Stays in system memory until a receive call arrives.
                 let mut m = module.borrow_mut();
-                let port = m.ports.get_mut(&msg.channel).unwrap();
-                port.pending_bytes += msg.data.len();
-                port.pending.push_back(msg);
+                if let Some(port) = m.ports.get_mut(&msg.channel) {
+                    port.pending_bytes += msg.data.len();
+                    port.pending.push_back(msg);
+                }
             }
         }
     }

@@ -104,9 +104,11 @@ impl SendWindow {
         }
         let mut acked = 0;
         let mut clean_sent_at = None;
-        let retired: Vec<u32> = self.inflight.range(..upto).map(|(&s, _)| s).collect();
-        for seq in retired {
-            let p = self.inflight.remove(&seq).unwrap();
+        // Everything below `upto` retires in one split: keep the >= upto
+        // tail, consume the acked prefix in ascending order.
+        let kept = self.inflight.split_off(&upto);
+        let retired = std::mem::replace(&mut self.inflight, kept);
+        for (_seq, p) in retired {
             acked += 1;
             if p.retries == 0 {
                 clean_sent_at = Some(p.sent_at);

@@ -18,7 +18,8 @@
 //!   stripe traffic over several NICs (§5 of the paper).
 
 #![allow(clippy::type_complexity)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod bonding;
 pub mod frame;

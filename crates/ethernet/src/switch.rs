@@ -11,7 +11,7 @@ use crate::link::{Link, LinkEnd};
 use crate::mac::MacAddr;
 use clic_sim::{Layer, Sim, SimDuration};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 struct Port {
@@ -22,7 +22,7 @@ struct Port {
 /// A learning, flooding, tail-dropping switch.
 pub struct Switch {
     ports: Vec<Port>,
-    table: HashMap<MacAddr, usize>,
+    table: BTreeMap<MacAddr, usize>,
     forwarding_delay: SimDuration,
     queue_limit: usize,
     frames_forwarded: u64,
@@ -37,7 +37,7 @@ impl Switch {
         assert!(queue_limit > 0);
         Rc::new(RefCell::new(Switch {
             ports: Vec::new(),
-            table: HashMap::new(),
+            table: BTreeMap::new(),
             forwarding_delay,
             queue_limit,
             frames_forwarded: 0,

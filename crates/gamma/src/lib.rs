@@ -16,7 +16,8 @@
 //! port of GAMMA (DESIGN.md §5); it exists to regenerate the §5 comparison
 //! table with the same methodology as the CLIC and TCP numbers.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 use bytes::{BufMut, Bytes, BytesMut};
 use clic_ethernet::{EtherType, Frame, MacAddr};
@@ -24,7 +25,7 @@ use clic_os::driver::hard_start_xmit;
 use clic_os::{Kernel, PacketHandler, SkBuff};
 use clic_sim::{Sim, SimDuration};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::{Rc, Weak};
 
 /// GAMMA-like header: port(2) + total message length(4) + fragment
@@ -92,8 +93,8 @@ pub struct GammaModule {
     mac: MacAddr,
     max_chunk: usize,
     costs: GammaCosts,
-    ports: HashMap<u16, PortHandler>,
-    assembling: HashMap<MacAddr, Assembly>,
+    ports: BTreeMap<u16, PortHandler>,
+    assembling: BTreeMap<MacAddr, Assembly>,
     stats: GammaStats,
 }
 
@@ -148,8 +149,8 @@ impl GammaModule {
             mac,
             max_chunk: mtu - GAMMA_HEADER,
             costs: GammaCosts::era_2002(),
-            ports: HashMap::new(),
-            assembling: HashMap::new(),
+            ports: BTreeMap::new(),
+            assembling: BTreeMap::new(),
             stats: GammaStats::default(),
         }));
         kernel

@@ -22,7 +22,7 @@
 //! can hand the reassembled packet to the right protocol.
 
 use bytes::{BufMut, Bytes, BytesMut};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Size of the shim header, bytes.
 pub const FRAG_HEADER: usize = 8;
@@ -99,7 +99,7 @@ pub fn fragment(packet_id: u32, ethertype: u16, payload: &Bytes, mtu: usize) -> 
 /// interleaved senders do not collide.
 #[derive(Debug, Default)]
 pub struct Reassembler {
-    partial: HashMap<(u64, u32), Vec<Option<Bytes>>>,
+    partial: BTreeMap<(u64, u32), Vec<Option<Bytes>>>,
 }
 
 impl Reassembler {

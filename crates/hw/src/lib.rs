@@ -18,7 +18,8 @@
 //! * [`frag`] — the on-wire shim header used by the fragmentation offload.
 
 #![allow(clippy::type_complexity)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod frag;
 pub mod membus;

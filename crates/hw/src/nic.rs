@@ -25,7 +25,7 @@ use bytes::Bytes;
 use clic_ethernet::{EtherType, Frame, Link, LinkEnd, MacAddr, ETH_HEADER};
 use clic_sim::{Layer, Sim, SimDuration, SimTime};
 use std::cell::RefCell;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::rc::Rc;
 
 /// Static NIC configuration.
@@ -150,7 +150,7 @@ pub struct Nic {
     pci: Rc<PciBus>,
     link: Rc<RefCell<Link>>,
     link_end: LinkEnd,
-    multicast: HashSet<MacAddr>,
+    multicast: BTreeSet<MacAddr>,
     tx_in_flight: usize,
     tx_queue: VecDeque<(u64, VecDeque<Frame>)>,
     tx_active: bool,
@@ -182,7 +182,7 @@ impl Nic {
             pci,
             link,
             link_end,
-            multicast: HashSet::new(),
+            multicast: BTreeSet::new(),
             tx_in_flight: 0,
             tx_queue: VecDeque::new(),
             tx_active: false,

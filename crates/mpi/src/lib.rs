@@ -16,7 +16,8 @@
 //!   Ethernet multicast on the CLIC backend where possible).
 
 #![allow(clippy::type_complexity)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod collectives;
 pub mod p2p;

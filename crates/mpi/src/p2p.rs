@@ -21,7 +21,7 @@ use bytes::{BufMut, Bytes, BytesMut};
 use clic_os::Kernel;
 use clic_sim::{Sim, SimDuration};
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 /// Wildcard source for [`Mpi::recv`].
@@ -155,10 +155,10 @@ struct MpiInner {
     pending_rts: Vec<RtsEntry>,
     next_arrival: u64,
     /// Receiver side: rendezvous transfers we have CTS'd, token → cont.
-    awaiting_data: HashMap<u32, RecvCont>,
+    awaiting_data: BTreeMap<u32, RecvCont>,
     /// Sender side: payloads waiting for CTS, token → (dst, tag, data,
     /// request to complete on hand-off).
-    rndv_out: HashMap<u32, (usize, i32, Bytes, Request)>,
+    rndv_out: BTreeMap<u32, (usize, i32, Bytes, Request)>,
     next_token: u32,
     sends: u64,
     recvs: u64,
@@ -200,8 +200,8 @@ impl Mpi {
                 unexpected: VecDeque::new(),
                 pending_rts: Vec::new(),
                 next_arrival: 0,
-                awaiting_data: HashMap::new(),
-                rndv_out: HashMap::new(),
+                awaiting_data: BTreeMap::new(),
+                rndv_out: BTreeMap::new(),
                 next_token: 1,
                 sends: 0,
                 recvs: 0,

@@ -14,7 +14,7 @@ use clic_os::{Kernel, OsCosts};
 use clic_sim::{Sim, SimTime};
 use clic_tcpip::{IpAddr, IpLayer, TcpIpCosts, TcpStack};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 struct Node {
@@ -41,7 +41,7 @@ fn mk_cluster(sim: &mut Sim, n: usize) -> Vec<Node> {
         Nic::attach_to_link(&nic);
         let dev = Kernel::add_device(&kernel, nic);
         let clic = ClicModule::install(&kernel, vec![dev], ClicConfig::paper_default());
-        let mut neighbors = HashMap::new();
+        let mut neighbors = BTreeMap::new();
         for peer in 0..n as u32 {
             neighbors.insert(IpAddr::for_node(peer), MacAddr::for_node(peer, 0));
         }

@@ -15,7 +15,7 @@ use clic_ethernet::Frame;
 use clic_hw::Nic;
 use clic_sim::{Cpu, CpuClass, Sim, SimDuration};
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 /// A protocol entry point, keyed by EtherType.
@@ -57,7 +57,7 @@ pub struct Kernel {
     /// Figure 8b: driver calls the protocol module directly from the IRQ.
     pub direct_dispatch: bool,
     pub(crate) devices: Vec<Rc<RefCell<Nic>>>,
-    handlers: HashMap<u16, Rc<dyn PacketHandler>>,
+    handlers: BTreeMap<u16, Rc<dyn PacketHandler>>,
     bh_queue: VecDeque<Box<dyn FnOnce(&mut Sim)>>,
     bh_running: bool,
     pub(crate) stats: KernelStats,
@@ -73,7 +73,7 @@ impl Kernel {
             processes: ProcessTable::new(),
             direct_dispatch: false,
             devices: Vec::new(),
-            handlers: HashMap::new(),
+            handlers: BTreeMap::new(),
             bh_queue: VecDeque::new(),
             bh_running: false,
             stats: KernelStats::default(),

@@ -19,7 +19,8 @@
 //!   Figure 7a) and hands them to protocols via bottom halves.
 
 #![allow(clippy::type_complexity)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod costs;
 pub mod driver;

@@ -5,7 +5,7 @@
 //! run state so wakeups can charge scheduler/context-switch time and tests
 //! can assert on multiprogramming behaviour.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Process identifier, unique within a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,7 +31,7 @@ struct Proc {
 #[derive(Debug, Default)]
 pub struct ProcessTable {
     next: u32,
-    procs: HashMap<Pid, Proc>,
+    procs: BTreeMap<Pid, Proc>,
 }
 
 impl ProcessTable {

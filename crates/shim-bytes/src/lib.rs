@@ -8,7 +8,8 @@
 //! buffer; [`BytesMut`] is an append-only builder that freezes into a
 //! [`Bytes`]; [`BufMut`] carries the big-endian `put_*` writers.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;

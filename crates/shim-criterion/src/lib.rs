@@ -9,7 +9,8 @@
 //! and prints the median, min and max wall-clock time per iteration —
 //! but there is no warm-up modelling, outlier analysis, or HTML report.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::time::{Duration, Instant};
 

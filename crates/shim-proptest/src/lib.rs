@@ -16,7 +16,8 @@
 //!   small tuples, `Just`, `prop_oneof!`, `prop_map`, and
 //!   `collection::vec`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod strategy;
 pub mod test_runner;

@@ -1,0 +1,500 @@
+//! Central catalog of every observability name in the workspace.
+//!
+//! Every metric name recorded into [`crate::metrics::Metrics`] and every
+//! trace stage/instant name emitted into [`crate::trace::Trace`] must be
+//! registered here. The catalog is consumed twice:
+//!
+//! * **at runtime** — [`Metrics::uncataloged`](crate::metrics::Metrics::uncataloged)
+//!   and [`Trace::uncataloged_stages`](crate::trace::Trace::uncataloged_stages)
+//!   check recorded names against it, and the experiment layer
+//!   (`clic-cluster`) debug-asserts traced runs are clean, so an
+//!   unregistered name cannot ship silently;
+//! * **statically** — `clic-analyze` (`crates/analyze`) extracts every
+//!   name literal passed to a recording call in the workspace source and
+//!   fails CI on names that are unregistered here, registered twice, or
+//!   registered but never recorded anywhere (dead entries).
+//!
+//! Per-node registries prefix names with `n<idx>.` (for example
+//! `n0.clic.retransmits`); the catalog stores the unprefixed name and
+//! [`strip_node_prefix`] normalises before lookup.
+//!
+//! Keep both tables sorted by name — `clic-analyze` enforces sortedness
+//! so diffs stay one-line and duplicates are obvious.
+
+use crate::trace::Layer;
+
+/// What kind of instrument a metric name refers to.
+///
+/// A name may legitimately be registered once per kind (the switch records
+/// `eth.switch.queue_depth` both as a live gauge and as a depth
+/// histogram); registering the same `(name, kind)` pair twice is an error
+/// `clic-analyze` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetricKind {
+    /// Monotonic event count ([`crate::metrics::Metrics::counter_add`]).
+    Counter,
+    /// Instantaneous level with peak tracking
+    /// ([`crate::metrics::Metrics::gauge_set`]).
+    Gauge,
+    /// Log-bucketed value distribution
+    /// ([`crate::metrics::Metrics::observe`]).
+    Histogram,
+}
+
+/// One registered metric name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricDef {
+    /// Dotted metric name, without any `n<idx>.` node prefix.
+    pub name: &'static str,
+    /// Instrument kind the name is registered for.
+    pub kind: MetricKind,
+    /// What the metric measures.
+    pub help: &'static str,
+}
+
+/// One registered trace stage / instant-event name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageDef {
+    /// Stable stage name as passed to [`crate::trace::Trace::begin`] /
+    /// [`crate::trace::Trace::instant`].
+    pub name: &'static str,
+    /// Layers that emit this stage.
+    pub layers: &'static [Layer],
+    /// What the span/event marks.
+    pub help: &'static str,
+}
+
+const C: MetricKind = MetricKind::Counter;
+const G: MetricKind = MetricKind::Gauge;
+const H: MetricKind = MetricKind::Histogram;
+
+/// Every metric name the workspace may record, sorted by `(name, kind)`.
+pub const METRICS: &[MetricDef] = &[
+    MetricDef {
+        name: "clic.drops.backlog",
+        kind: C,
+        help: "packets dropped because the receive backlog was full",
+    },
+    MetricDef {
+        name: "clic.drops.duplicate",
+        kind: C,
+        help: "already-delivered packets dropped (sender missed an ACK)",
+    },
+    MetricDef {
+        name: "clic.drops.ooo",
+        kind: C,
+        help: "packets dropped because the out-of-order buffer was full",
+    },
+    MetricDef {
+        name: "clic.fast_retransmits",
+        kind: C,
+        help: "retransmissions triggered by duplicate ACKs",
+    },
+    MetricDef {
+        name: "clic.flow_failures",
+        kind: C,
+        help: "flows torn down after exhausting retransmission retries",
+    },
+    MetricDef {
+        name: "clic.msg_bytes",
+        kind: H,
+        help: "per-message payload size offered to clic_send",
+    },
+    MetricDef {
+        name: "clic.msgs_received",
+        kind: C,
+        help: "messages delivered to receiving ports",
+    },
+    MetricDef {
+        name: "clic.msgs_sent",
+        kind: C,
+        help: "messages accepted from sending processes",
+    },
+    MetricDef {
+        name: "clic.packets_received",
+        kind: C,
+        help: "CLIC data packets received",
+    },
+    MetricDef {
+        name: "clic.packets_sent",
+        kind: C,
+        help: "CLIC data packets sent (including retransmissions)",
+    },
+    MetricDef {
+        name: "clic.retransmits",
+        kind: C,
+        help: "packets retransmitted (timeout or duplicate-ACK driven)",
+    },
+    MetricDef {
+        name: "clic.rttvar",
+        kind: H,
+        help: "smoothed RTT variance samples feeding the adaptive RTO, ns",
+    },
+    MetricDef {
+        name: "clic.staged_copies",
+        kind: C,
+        help: "1-copy sends staged through a kernel bounce buffer",
+    },
+    MetricDef {
+        name: "eth.corrupt",
+        kind: C,
+        help: "frames corrupted in flight by fault injection",
+    },
+    MetricDef {
+        name: "eth.duplicates",
+        kind: C,
+        help: "frames duplicated in flight by fault injection",
+    },
+    MetricDef {
+        name: "eth.link.frame_bytes",
+        kind: H,
+        help: "on-wire frame sizes, bytes",
+    },
+    MetricDef {
+        name: "eth.link.frames_lost",
+        kind: C,
+        help: "frames lost in flight (fault injection or outage)",
+    },
+    MetricDef {
+        name: "eth.reorders",
+        kind: C,
+        help: "frames reordered in flight by fault injection",
+    },
+    MetricDef {
+        name: "eth.switch.drops",
+        kind: C,
+        help: "frames tail-dropped at a full switch output queue",
+    },
+    MetricDef {
+        name: "eth.switch.frames_dropped",
+        kind: C,
+        help: "switch lifetime tail-drop total (per-run export)",
+    },
+    MetricDef {
+        name: "eth.switch.frames_flooded",
+        kind: C,
+        help: "frames flooded to all ports (broadcast/multicast/unknown)",
+    },
+    MetricDef {
+        name: "eth.switch.frames_forwarded",
+        kind: C,
+        help: "frames forwarded to a learned port",
+    },
+    MetricDef {
+        name: "eth.switch.queue_depth",
+        kind: G,
+        help: "live output-queue depth, frames",
+    },
+    MetricDef {
+        name: "eth.switch.queue_depth",
+        kind: H,
+        help: "output-queue depth observed at each enqueue, frames",
+    },
+    MetricDef {
+        name: "hw.mem.copy_bytes",
+        kind: H,
+        help: "per-copy sizes through the memory bus, bytes",
+    },
+    MetricDef {
+        name: "hw.nic.irqs",
+        kind: C,
+        help: "interrupts raised by the NIC (after coalescing)",
+    },
+    MetricDef {
+        name: "hw.nic.rx_fcs_errors",
+        kind: C,
+        help: "received frames discarded by the FCS check",
+    },
+    MetricDef {
+        name: "hw.nic.rx_frames",
+        kind: C,
+        help: "frames accepted into the RX ring",
+    },
+    MetricDef {
+        name: "hw.nic.rx_no_buffer",
+        kind: C,
+        help: "frames dropped because the RX ring was full",
+    },
+    MetricDef {
+        name: "hw.nic.tx_frames",
+        kind: C,
+        help: "frames transmitted from the TX ring",
+    },
+    MetricDef {
+        name: "hw.nic.tx_ring_full",
+        kind: C,
+        help: "TX descriptor posts rejected by a full ring",
+    },
+    MetricDef {
+        name: "hw.pci.dma_bytes",
+        kind: H,
+        help: "per-transaction DMA sizes over the PCI bus, bytes",
+    },
+    MetricDef {
+        name: "mpi.msg_bytes",
+        kind: H,
+        help: "MPI message payload sizes, bytes",
+    },
+    MetricDef {
+        name: "mpi.recvs",
+        kind: C,
+        help: "MPI receives completed",
+    },
+    MetricDef {
+        name: "mpi.sends",
+        kind: C,
+        help: "MPI sends initiated",
+    },
+    MetricDef {
+        name: "os.bottom_halves",
+        kind: C,
+        help: "bottom-half executions",
+    },
+    MetricDef {
+        name: "os.context_switches",
+        kind: C,
+        help: "process context switches",
+    },
+    MetricDef {
+        name: "os.frames_received",
+        kind: C,
+        help: "frames handed from the driver to protocol handlers",
+    },
+    MetricDef {
+        name: "os.irqs",
+        kind: C,
+        help: "interrupt entries into the kernel",
+    },
+    MetricDef {
+        name: "os.lightweight_calls",
+        kind: C,
+        help: "GAMMA-style lightweight system calls",
+    },
+    MetricDef {
+        name: "os.syscalls",
+        kind: C,
+        help: "full system calls (0.65 us each, paper section 3.1)",
+    },
+    MetricDef {
+        name: "tcp.fast_retransmits",
+        kind: C,
+        help: "TCP retransmissions triggered by triple duplicate ACKs",
+    },
+    MetricDef {
+        name: "tcp.retransmits",
+        kind: C,
+        help: "TCP segments retransmitted on RTO",
+    },
+];
+
+/// Every trace stage/instant name the workspace may emit, sorted by name.
+pub const STAGES: &[StageDef] = &[
+    StageDef {
+        name: "bottom_half",
+        layers: &[Layer::Os],
+        help: "bottom-half run delivering frames to a protocol module",
+    },
+    StageDef {
+        name: "clic_module_rx",
+        layers: &[Layer::Clic],
+        help: "CLIC_MODULE receive processing",
+    },
+    StageDef {
+        name: "clic_module_tx",
+        layers: &[Layer::Clic],
+        help: "CLIC_MODULE send path: header composition + SK_BUFF build",
+    },
+    StageDef {
+        name: "copy_to_user",
+        layers: &[Layer::Clic],
+        help: "final copy from kernel staging into user memory",
+    },
+    StageDef {
+        name: "driver_rx",
+        layers: &[Layer::Os],
+        help: "driver IRQ routine moving frames NIC -> system memory",
+    },
+    StageDef {
+        name: "driver_tx",
+        layers: &[Layer::Os],
+        help: "hard_start_xmit handing an SK_BUFF to the NIC",
+    },
+    StageDef {
+        name: "drop.backlog",
+        layers: &[Layer::Clic],
+        help: "packet dropped: receive backlog full",
+    },
+    StageDef {
+        name: "drop.duplicate",
+        layers: &[Layer::Clic],
+        help: "packet dropped: already delivered",
+    },
+    StageDef {
+        name: "drop.fcs",
+        layers: &[Layer::Hw],
+        help: "frame dropped: FCS check failed at the NIC",
+    },
+    StageDef {
+        name: "drop.ooo",
+        layers: &[Layer::Clic],
+        help: "packet dropped: out-of-order buffer full",
+    },
+    StageDef {
+        name: "drop.rx_no_buffer",
+        layers: &[Layer::Hw],
+        help: "frame dropped: NIC RX ring full",
+    },
+    StageDef {
+        name: "fast_retransmit",
+        layers: &[Layer::Clic, Layer::TcpIp],
+        help: "duplicate-ACK-triggered retransmission",
+    },
+    StageDef {
+        name: "flow_fail",
+        layers: &[Layer::Clic],
+        help: "flow torn down: retransmission retries exhausted",
+    },
+    StageDef {
+        name: "ip_rx",
+        layers: &[Layer::TcpIp],
+        help: "IPv4 receive: checksum, reassembly, demux",
+    },
+    StageDef {
+        name: "ip_tx",
+        layers: &[Layer::TcpIp],
+        help: "IPv4 send: header build + fragmentation",
+    },
+    StageDef {
+        name: "link_drop",
+        layers: &[Layer::Eth],
+        help: "frame lost on the wire (fault injection/outage)",
+    },
+    StageDef {
+        name: "mpi_recv",
+        layers: &[Layer::Mpi],
+        help: "MPI receive: matching + completion",
+    },
+    StageDef {
+        name: "mpi_send",
+        layers: &[Layer::Mpi],
+        help: "MPI send: eager or rendezvous initiation",
+    },
+    StageDef {
+        name: "nic_rx_dma",
+        layers: &[Layer::Hw],
+        help: "NIC bus-master DMA of a received frame over PCI",
+    },
+    StageDef {
+        name: "nic_tx_dma",
+        layers: &[Layer::Hw],
+        help: "NIC bus-master DMA gather of a frame for transmit",
+    },
+    StageDef {
+        name: "rto",
+        layers: &[Layer::Clic, Layer::TcpIp],
+        help: "retransmission timeout fired",
+    },
+    StageDef {
+        name: "staged_copy",
+        layers: &[Layer::Clic],
+        help: "1-copy send staging into a kernel bounce buffer",
+    },
+    StageDef {
+        name: "switch_drop",
+        layers: &[Layer::Eth],
+        help: "frame tail-dropped at a switch output queue",
+    },
+    StageDef {
+        name: "syscall",
+        layers: &[Layer::Os],
+        help: "system-call entry/exit around a send or receive",
+    },
+    StageDef {
+        name: "tcp_tx",
+        layers: &[Layer::TcpIp],
+        help: "TCP send: segmentation, checksum, window bookkeeping",
+    },
+    StageDef {
+        name: "wire",
+        layers: &[Layer::Eth],
+        help: "frame serialization + propagation on a link",
+    },
+];
+
+/// Strip an `n<idx>.` per-node prefix, if present: `n0.clic.retransmits`
+/// normalises to `clic.retransmits`. Names without the prefix pass through
+/// unchanged.
+pub fn strip_node_prefix(name: &str) -> &str {
+    let Some(rest) = name.strip_prefix('n') else {
+        return name;
+    };
+    let Some(dot) = rest.find('.') else {
+        return name;
+    };
+    if dot > 0 && rest[..dot].bytes().all(|b| b.is_ascii_digit()) {
+        &rest[dot + 1..]
+    } else {
+        name
+    }
+}
+
+/// Whether `name` (possibly `n<idx>.`-prefixed) is registered for `kind`.
+pub fn is_metric(name: &str, kind: MetricKind) -> bool {
+    let name = strip_node_prefix(name);
+    METRICS.iter().any(|m| m.name == name && m.kind == kind)
+}
+
+/// Whether `stage` is a registered trace stage/instant name.
+pub fn is_stage(stage: &str) -> bool {
+    STAGES.iter().any(|s| s.name == stage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_sorted_and_unique() {
+        for w in METRICS.windows(2) {
+            assert!(
+                (w[0].name, w[0].kind) < (w[1].name, w[1].kind),
+                "METRICS out of order or duplicated at {:?}",
+                w[1].name
+            );
+        }
+        for w in STAGES.windows(2) {
+            assert!(
+                w[0].name < w[1].name,
+                "STAGES out of order or duplicated at {:?}",
+                w[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn node_prefix_stripping() {
+        assert_eq!(strip_node_prefix("n0.clic.retransmits"), "clic.retransmits");
+        assert_eq!(strip_node_prefix("n12.os.syscalls"), "os.syscalls");
+        assert_eq!(strip_node_prefix("clic.retransmits"), "clic.retransmits");
+        assert_eq!(strip_node_prefix("nic.rx"), "nic.rx");
+        assert_eq!(strip_node_prefix("n.x"), "n.x");
+        assert_eq!(strip_node_prefix("n0"), "n0");
+    }
+
+    #[test]
+    fn lookup_respects_kind() {
+        assert!(is_metric("clic.retransmits", MetricKind::Counter));
+        assert!(!is_metric("clic.retransmits", MetricKind::Gauge));
+        assert!(is_metric("eth.switch.queue_depth", MetricKind::Gauge));
+        assert!(is_metric("eth.switch.queue_depth", MetricKind::Histogram));
+        assert!(is_metric("n1.clic.retransmits", MetricKind::Counter));
+        assert!(!is_metric("made.up", MetricKind::Counter));
+    }
+
+    #[test]
+    fn stage_lookup() {
+        assert!(is_stage("driver_rx"));
+        assert!(is_stage("drop.fcs"));
+        assert!(!is_stage("made_up"));
+    }
+}

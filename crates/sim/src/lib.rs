@@ -12,7 +12,10 @@
 //!   log-bucketed histograms (plain-text dump exporter),
 //! * [`trace`] — cross-layer span/event tracing with a Chrome trace-event
 //!   JSON exporter (used to regenerate the paper's Figure 7 timing
-//!   breakdown, and to trace any packet through the full pipeline).
+//!   breakdown, and to trace any packet through the full pipeline),
+//! * [`catalog`] — the central registry of every metric and trace-stage
+//!   name; consumed at runtime by [`Metrics::uncataloged`] /
+//!   [`Trace::uncataloged_stages`] and statically by `clic-analyze`.
 //!
 //! A simulation is single-threaded; components are shared as
 //! `Rc<RefCell<T>>` and captured by the event closures. Parameter sweeps run
@@ -22,8 +25,10 @@
 //! order, and all randomness flows through [`SimRng`], so a run is a pure
 //! function of its configuration and seed.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
+pub mod catalog;
 pub mod engine;
 pub mod metrics;
 pub mod resource;
@@ -32,6 +37,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use catalog::MetricKind;
 pub use engine::Sim;
 pub use metrics::{LogHistogram, Metrics};
 pub use resource::{Cpu, CpuClass, SerialResource};

@@ -294,6 +294,33 @@ impl Metrics {
             .unwrap_or(0)
     }
 
+    /// Names recorded in this registry that are missing from the central
+    /// [`crate::catalog`] (per-node `n<idx>.` prefixes are stripped before
+    /// lookup). Returns the offending names in `(name, kind)` order —
+    /// empty on a catalog-clean registry. The experiment layer
+    /// debug-asserts this so an unregistered name cannot ship silently;
+    /// `clic-analyze` enforces the same property statically.
+    pub fn uncataloged(&self) -> Vec<String> {
+        use crate::catalog::{is_metric, MetricKind};
+        let mut bad = Vec::new();
+        for n in self.counters.keys() {
+            if !is_metric(n, MetricKind::Counter) {
+                bad.push(format!("{n} (counter)"));
+            }
+        }
+        for n in self.gauges.keys() {
+            if !is_metric(n, MetricKind::Gauge) {
+                bad.push(format!("{n} (gauge)"));
+            }
+        }
+        for n in self.histograms.keys() {
+            if !is_metric(n, MetricKind::Histogram) {
+                bad.push(format!("{n} (histogram)"));
+            }
+        }
+        bad
+    }
+
     /// Fold `other` into this registry: counters add, gauge peaks combine
     /// (current takes `other`'s value), histograms merge.
     pub fn merge(&mut self, other: &Metrics) {
@@ -312,34 +339,31 @@ impl Metrics {
 
     /// Deterministic plain-text dump of the whole registry.
     pub fn dump(&self) -> String {
-        use std::fmt::Write;
         let mut out = String::new();
         if !self.counters.is_empty() {
             out.push_str("# counters\n");
             for (n, v) in &self.counters {
-                writeln!(out, "{n} {v}").unwrap();
+                out.push_str(&format!("{n} {v}\n"));
             }
         }
         if !self.gauges.is_empty() {
             out.push_str("# gauges (current peak)\n");
             for (n, g) in &self.gauges {
-                writeln!(out, "{n} {} {}", g.current, g.peak).unwrap();
+                out.push_str(&format!("{n} {} {}\n", g.current, g.peak));
             }
         }
         if !self.histograms.is_empty() {
             out.push_str("# histograms (count mean p50 p95 p99 max)\n");
             for (n, h) in &self.histograms {
-                writeln!(
-                    out,
-                    "{n} {} {:.1} {:.1} {:.1} {:.1} {}",
+                out.push_str(&format!(
+                    "{n} {} {:.1} {:.1} {:.1} {:.1} {}\n",
                     h.count(),
                     h.mean(),
                     h.p50(),
                     h.p95(),
                     h.p99(),
                     h.max().unwrap_or(0),
-                )
-                .unwrap();
+                ));
             }
         }
         out
@@ -485,6 +509,22 @@ mod tests {
         assert_eq!(a.gauge_peak("g"), 10);
         assert_eq!(a.gauge("g"), 3);
         assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn uncataloged_names_are_reported() {
+        let mut m = Metrics::enabled();
+        m.counter_inc("clic.retransmits");
+        m.counter_inc("n0.os.syscalls");
+        m.gauge_set("eth.switch.queue_depth", 1);
+        m.observe("clic.msg_bytes", 10);
+        assert!(m.uncataloged().is_empty());
+        m.counter_inc("made.up");
+        m.observe("eth.switch.drops", 1); // counter name recorded as histogram
+        assert_eq!(
+            m.uncataloged(),
+            vec!["made.up (counter)", "eth.switch.drops (histogram)"]
+        );
     }
 
     #[test]

@@ -126,6 +126,7 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
+        // lint:allow(no-unwrap, reason="wall of ~584 years of simulated ns; overflow is a driver bug worth halting on")
         SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
     }
 }
@@ -139,6 +140,7 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
+        // lint:allow(no-unwrap, reason="subtracting below t=0 is a scheduling bug worth halting on")
         SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
     }
 }
@@ -146,6 +148,7 @@ impl Sub<SimDuration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
+        // lint:allow(no-unwrap, reason="a negative duration is a causality bug worth halting on")
         SimDuration(self.0.checked_sub(rhs.0).expect("negative SimDuration"))
     }
 }
@@ -153,6 +156,7 @@ impl Sub<SimTime> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
+        // lint:allow(no-unwrap, reason="overflow past ~584 years of ns is a driver bug worth halting on")
         SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
     }
 }
@@ -166,6 +170,7 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
+        // lint:allow(no-unwrap, reason="a negative duration is a causality bug worth halting on")
         SimDuration(self.0.checked_sub(rhs.0).expect("negative SimDuration"))
     }
 }
@@ -179,6 +184,7 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
+        // lint:allow(no-unwrap, reason="overflow past ~584 years of ns is a driver bug worth halting on")
         SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
     }
 }

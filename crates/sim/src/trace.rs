@@ -14,7 +14,7 @@
 //! Tracing is off by default — records cost one branch when disabled.
 
 use crate::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// The protocol layer a trace record was emitted from. Determines the
@@ -64,7 +64,15 @@ impl Layer {
 
     /// Chrome-trace track id of this layer.
     fn tid(self) -> usize {
-        Layer::ALL.iter().position(|&l| l == self).unwrap()
+        match self {
+            Layer::App => 0,
+            Layer::Clic => 1,
+            Layer::Os => 2,
+            Layer::Hw => 3,
+            Layer::Eth => 4,
+            Layer::TcpIp => 5,
+            Layer::Mpi => 6,
+        }
     }
 }
 
@@ -221,6 +229,23 @@ impl Trace {
         &self.events
     }
 
+    /// Stage names recorded in this trace that are missing from the
+    /// central [`crate::catalog`], deduplicated and sorted — empty on a
+    /// catalog-clean trace. Mirrors
+    /// [`Metrics::uncataloged`](crate::metrics::Metrics::uncataloged);
+    /// `clic-analyze` enforces the same property statically.
+    pub fn uncataloged_stages(&self) -> Vec<&'static str> {
+        let mut bad: Vec<&'static str> = self
+            .events
+            .iter()
+            .map(|e| e.stage)
+            .filter(|s| !crate::catalog::is_stage(s))
+            .collect();
+        bad.sort_unstable();
+        bad.dedup();
+        bad
+    }
+
     /// Instant events, in emission order.
     pub fn instants(&self) -> impl Iterator<Item = &TraceEvent> {
         self.events.iter().filter(|e| e.mark == Mark::Instant)
@@ -236,7 +261,7 @@ impl Trace {
         I: Iterator<Item = &'a TraceEvent>,
     {
         type Key = (u64, Layer, &'static str);
-        let mut open: HashMap<Key, Vec<SimTime>> = HashMap::new();
+        let mut open: BTreeMap<Key, Vec<SimTime>> = BTreeMap::new();
         let mut spans = Vec::new();
         let mut strays = Vec::new();
         for ev in events {
@@ -542,6 +567,17 @@ mod tests {
         // Only layers with events get a track label.
         assert!(json.contains("\"name\": \"os\""));
         assert!(!json.contains("\"name\": \"mpi\""));
+    }
+
+    #[test]
+    fn uncataloged_stages_are_reported() {
+        let mut t = Trace::enabled();
+        t.begin(SimTime::ZERO, Layer::Os, "driver_rx", 1);
+        t.end(SimTime::from_us(1), Layer::Os, "driver_rx", 1);
+        assert!(t.uncataloged_stages().is_empty());
+        t.instant(SimTime::from_us(2), Layer::Clic, "bogus", 1);
+        t.instant(SimTime::from_us(3), Layer::Clic, "bogus", 2);
+        assert_eq!(t.uncataloged_stages(), vec!["bogus"]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! IPv4: headers, checksums, fragmentation, reassembly.
 
 use bytes::{BufMut, Bytes, BytesMut};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Size of the (option-less) IPv4 header.
 pub const IPV4_HEADER: usize = 20;
@@ -179,7 +179,7 @@ pub fn fragment(
 /// IP reassembly buffer keyed by (src, ident, proto).
 #[derive(Debug, Default)]
 pub struct IpReassembler {
-    partial: HashMap<(IpAddr, u16, u8), Partial>,
+    partial: BTreeMap<(IpAddr, u16, u8), Partial>,
 }
 
 #[derive(Debug)]

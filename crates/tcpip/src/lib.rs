@@ -21,7 +21,8 @@
 //! ARP adds nothing to the evaluated curves (documented in DESIGN.md).
 
 #![allow(clippy::type_complexity)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod costs;
 pub mod ip;

@@ -9,7 +9,7 @@ use clic_os::driver::hard_start_xmit;
 use clic_os::{Kernel, PacketHandler, SkBuff};
 use clic_sim::{Layer, Sim};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::{Rc, Weak};
 
 /// Upper-layer protocol hook (TCP, UDP).
@@ -29,12 +29,12 @@ pub struct IpLayer {
     kernel: Weak<RefCell<Kernel>>,
     dev: usize,
     ip: IpAddr,
-    neighbors: HashMap<IpAddr, MacAddr>,
+    neighbors: BTreeMap<IpAddr, MacAddr>,
     /// Cost model shared with the transports above.
     pub costs: TcpIpCosts,
     mtu: usize,
     reasm: IpReassembler,
-    handlers: HashMap<u8, Rc<dyn IpProtoHandler>>,
+    handlers: BTreeMap<u8, Rc<dyn IpProtoHandler>>,
     next_ident: u16,
     /// Datagrams dropped for an unknown destination.
     pub no_route: u64,
@@ -57,7 +57,7 @@ impl IpLayer {
         kernel: &Rc<RefCell<Kernel>>,
         dev: usize,
         ip: IpAddr,
-        neighbors: HashMap<IpAddr, MacAddr>,
+        neighbors: BTreeMap<IpAddr, MacAddr>,
         costs: TcpIpCosts,
     ) -> Rc<RefCell<IpLayer>> {
         let mtu = kernel.borrow().device(dev).borrow().mtu();
@@ -69,7 +69,7 @@ impl IpLayer {
             costs,
             mtu,
             reasm: IpReassembler::new(),
-            handlers: HashMap::new(),
+            handlers: BTreeMap::new(),
             next_ident: 1,
             no_route: 0,
             rx_errors: 0,
@@ -261,7 +261,7 @@ mod tests {
         );
         Nic::attach_to_link(&nic);
         let dev = Kernel::add_device(&kernel, nic);
-        let mut neighbors = HashMap::new();
+        let mut neighbors = BTreeMap::new();
         for peer in 1..=4u32 {
             neighbors.insert(IpAddr::for_node(peer), MacAddr::for_node(peer, 0));
         }

@@ -20,14 +20,14 @@ use bytes::{BufMut, Bytes, BytesMut};
 use clic_os::{Kernel, Pid};
 use clic_sim::{Layer, Sim, SimDuration};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::{Rc, Weak};
 
 /// TCP header size (no options).
 pub const TCP_HEADER: usize = 20;
 
 /// Connection identifier local to one stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConnId(pub u32);
 
 mod tcpflags {
@@ -190,9 +190,9 @@ pub struct TcpStack {
     ip: Rc<RefCell<IpLayer>>,
     costs: TcpIpCosts,
     mss: usize,
-    conns: HashMap<ConnId, Conn>,
-    by_tuple: HashMap<(IpAddr, u16, u16), ConnId>,
-    listeners: HashMap<u16, Rc<dyn Fn(&mut Sim, ConnId)>>,
+    conns: BTreeMap<ConnId, Conn>,
+    by_tuple: BTreeMap<(IpAddr, u16, u16), ConnId>,
+    listeners: BTreeMap<u16, Rc<dyn Fn(&mut Sim, ConnId)>>,
     next_conn: u32,
     next_ephemeral: u16,
     stats: TcpStats,
@@ -234,9 +234,9 @@ impl TcpStack {
             ip: ip.clone(),
             costs,
             mss: mtu - crate::ip::IPV4_HEADER - TCP_HEADER,
-            conns: HashMap::new(),
-            by_tuple: HashMap::new(),
-            listeners: HashMap::new(),
+            conns: BTreeMap::new(),
+            by_tuple: BTreeMap::new(),
+            listeners: BTreeMap::new(),
             next_conn: 1,
             next_ephemeral: 32_000,
             stats: TcpStats::default(),

@@ -10,7 +10,7 @@ use bytes::{BufMut, Bytes, BytesMut};
 use clic_os::Kernel;
 use clic_sim::Sim;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::{Rc, Weak};
 
 /// UDP header size.
@@ -33,7 +33,7 @@ type UdpSink = Rc<dyn Fn(&mut Sim, Datagram)>;
 pub struct UdpStack {
     kernel: Weak<RefCell<Kernel>>,
     ip: Rc<RefCell<IpLayer>>,
-    ports: HashMap<u16, UdpSink>,
+    ports: BTreeMap<u16, UdpSink>,
     /// Datagrams dropped: no socket bound.
     pub no_port: u64,
     /// Datagrams dropped: bad checksum/too short.
@@ -63,7 +63,7 @@ impl UdpStack {
         let stack = Rc::new(RefCell::new(UdpStack {
             kernel: Rc::downgrade(kernel),
             ip: ip.clone(),
-            ports: HashMap::new(),
+            ports: BTreeMap::new(),
             no_port: 0,
             rx_errors: 0,
         }));
@@ -204,7 +204,7 @@ mod tests {
         );
         Nic::attach_to_link(&nic);
         let dev = Kernel::add_device(&kernel, nic);
-        let mut neighbors = HashMap::new();
+        let mut neighbors = BTreeMap::new();
         for peer in 1..=2u32 {
             neighbors.insert(IpAddr::for_node(peer), MacAddr::for_node(peer, 0));
         }

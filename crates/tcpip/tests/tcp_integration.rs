@@ -9,7 +9,7 @@ use clic_os::{Kernel, OsCosts};
 use clic_sim::{Sim, SimTime};
 use clic_tcpip::{ConnId, IpAddr, IpLayer, TcpIpCosts, TcpStack};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 struct Node {
@@ -31,7 +31,7 @@ fn mk_node(id: u32, nic_cfg: NicConfig, link: Rc<RefCell<Link>>, end: LinkEnd) -
     );
     Nic::attach_to_link(&nic);
     let dev = Kernel::add_device(&kernel, nic);
-    let mut neighbors = HashMap::new();
+    let mut neighbors = BTreeMap::new();
     for peer in 1..=4u32 {
         neighbors.insert(IpAddr::for_node(peer), MacAddr::for_node(peer, 0));
     }

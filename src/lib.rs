@@ -62,7 +62,8 @@
 //! | [`mpi`] | `clic-mpi` | MPI-like and PVM-like layers |
 //! | [`cluster`] | `clic-cluster` | node/cluster builders, workloads, experiments |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use clic_cluster as cluster;
 pub use clic_core as core_proto;
