@@ -38,7 +38,8 @@ use clic_cluster::observe::{self, TraceScenario};
 const USAGE: &str = "usage: figures [--quick|--smoke] [--json] [--jobs N] [--no-cache] \
 [--cache-dir DIR] [--metrics] <what>...
   what: fig4 fig5 fig6 fig7 scalars gamma coalescing fragmentation
-        bonding syscall loss cpu load paths scaling reliability claims all
+        bonding syscall loss cpu load paths scaling reliability chaos
+        claims all (chaos is opt-in: not part of all)
    or: figures trace [fig7a|fig7b|fig7a-lossy|tcp] [--size N] [--mtu M]
         [--seed S] [--out FILE] [--metrics] [--quick]";
 
@@ -606,6 +607,112 @@ fn render(json: bool, kind: FigureKind, output: FigureOutput) {
                         r.p99_us,
                         r.retx,
                         r.drops
+                    );
+                }
+                println!();
+            }
+        }
+        FigureOutput::Chaos { soak, incast } => {
+            if json {
+                let soak_rows = Json::Arr(
+                    soak.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("seed", Json::Num(r.seed as f64)),
+                                ("loss_pct", Json::Num(r.loss_pct)),
+                                ("crashes", Json::from(r.crashes)),
+                                ("flaps", Json::from(r.flaps)),
+                                ("posted", Json::Num(r.posted)),
+                                ("confirmed", Json::Num(r.confirmed)),
+                                ("failed", Json::Num(r.failed)),
+                                ("delivered", Json::Num(r.delivered)),
+                                ("err_peer_dead", Json::Num(r.err_peer_dead)),
+                                ("err_stale_epoch", Json::Num(r.err_stale_epoch)),
+                                ("err_max_retries", Json::Num(r.err_max_retries)),
+                                ("eras", Json::Num(r.eras)),
+                                ("stale_epoch_drops", Json::Num(r.stale_epoch_drops)),
+                                ("retx", Json::Num(r.retx)),
+                            ])
+                        })
+                        .collect(),
+                );
+                let incast_rows = Json::Arr(
+                    incast
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                (
+                                    "budget_bytes",
+                                    r.budget.map_or(Json::Null, Json::from),
+                                ),
+                                ("senders", Json::from(r.senders)),
+                                ("delivered", Json::Num(r.delivered)),
+                                ("mean_us", Json::Num(r.mean_us)),
+                                ("p99_us", Json::Num(r.p99_us)),
+                                ("peak_buffered_bytes", Json::Num(r.peak_buffered_bytes)),
+                                ("elapsed_us", Json::Num(r.elapsed_us)),
+                            ])
+                        })
+                        .collect(),
+                );
+                print_json(Json::obj([("soak", soak_rows), ("incast", incast_rows)]));
+            } else {
+                println!("== {} ==", kind.title());
+                println!(
+                    "{:>4} {:>6} {:>7} {:>5} {:>7} {:>9} {:>7} {:>9} {:>5} {:>5} {:>5} {:>5} {:>10} {:>6}",
+                    "seed",
+                    "loss%",
+                    "crashes",
+                    "flaps",
+                    "posted",
+                    "confirmed",
+                    "failed",
+                    "delivered",
+                    "pdead",
+                    "stale",
+                    "maxr",
+                    "eras",
+                    "staledrops",
+                    "retx"
+                );
+                for r in soak {
+                    println!(
+                        "{:>4} {:>6} {:>7} {:>5} {:>7.0} {:>9.0} {:>7.0} {:>9.0} {:>5.0} {:>5.0} {:>5.0} {:>5.0} {:>10.0} {:>6.0}",
+                        r.seed,
+                        r.loss_pct,
+                        r.crashes,
+                        r.flaps,
+                        r.posted,
+                        r.confirmed,
+                        r.failed,
+                        r.delivered,
+                        r.err_peer_dead,
+                        r.err_stale_epoch,
+                        r.err_max_retries,
+                        r.eras,
+                        r.stale_epoch_drops,
+                        r.retx
+                    );
+                }
+                println!();
+                println!("-- 4-to-1 incast into a slow consumer --");
+                println!(
+                    "{:<10} {:>9} {:>10} {:>10} {:>12} {:>12}",
+                    "budget", "delivered", "mean(us)", "p99(us)", "peak buf(B)", "elapsed(us)"
+                );
+                for r in incast {
+                    let budget = r
+                        .budget
+                        .map(|b| format!("{}K", b / 1024))
+                        .unwrap_or_else(|| "none".into());
+                    println!(
+                        "{:<10} {:>9.0} {:>10.1} {:>10.1} {:>12.0} {:>12.1}",
+                        budget,
+                        r.delivered,
+                        r.mean_us,
+                        r.p99_us,
+                        r.peak_buffered_bytes,
+                        r.elapsed_us
                     );
                 }
                 println!();

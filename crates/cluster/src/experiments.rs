@@ -9,13 +9,14 @@
 //! `fig4(..)`-style functions are convenience wrappers that run their own
 //! jobs serially in-process.
 
-use crate::builder::ClusterConfig;
+use crate::builder::{ClusterConfig, Topology};
 use crate::calibration::CostModel;
 use crate::jobs::{sweep_point, JobKind, JobSpec, Measurement};
 use crate::node::NodeConfig;
 use crate::workload::StackKind;
 use clic_core::ClicConfig;
 use clic_ethernet::LossModel;
+use clic_sim::SimDuration;
 use std::collections::BTreeMap;
 
 /// Job results keyed by job id. Deterministically ordered, so iteration
@@ -1217,6 +1218,219 @@ pub fn ablation_scaling() -> Vec<ScalingRow> {
 }
 
 // ---------------------------------------------------------------------
+// Chaos soak + incast backpressure (the robustness family)
+// ---------------------------------------------------------------------
+
+/// One chaos-soak cell: a seeded crash/restart/flap/loss schedule driven
+/// through [`crate::workload::chaos_clic`], which asserts the robustness
+/// invariants; the row reports the accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRow {
+    /// Schedule seed.
+    pub seed: u64,
+    /// Mean frame-loss probability, percent.
+    pub loss_pct: f64,
+    /// Receiver crash/restart cycles.
+    pub crashes: usize,
+    /// Link flaps.
+    pub flaps: usize,
+    /// Messages posted by the application.
+    pub posted: f64,
+    /// Messages confirmed delivered by the protocol.
+    pub confirmed: f64,
+    /// Messages written off by a typed flow failure.
+    pub failed: f64,
+    /// Messages the receiving application drained.
+    pub delivered: f64,
+    /// Teardowns: keepalive declared the peer dead.
+    pub err_peer_dead: f64,
+    /// Teardowns: the peer restarted into a new epoch.
+    pub err_stale_epoch: f64,
+    /// Teardowns: retransmission retries exhausted.
+    pub err_max_retries: f64,
+    /// Flow generations used (1 + teardowns).
+    pub eras: f64,
+    /// Stale-epoch packets the restarted receiver rejected.
+    pub stale_epoch_drops: f64,
+    /// Packets retransmitted.
+    pub retx: f64,
+}
+
+/// One incast cell: N→1 into a slow consumer, with or without the
+/// advertised-window receive budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncastRow {
+    /// Receive budget in bytes (`None` = unthrottled).
+    pub budget: Option<usize>,
+    /// Concurrent senders.
+    pub senders: usize,
+    /// Messages delivered.
+    pub delivered: f64,
+    /// Mean post-to-delivery completion, µs.
+    pub mean_us: f64,
+    /// 99th-percentile completion, µs.
+    pub p99_us: f64,
+    /// Peak receive-side buffered bytes.
+    pub peak_buffered_bytes: f64,
+    /// First post to last delivery, µs.
+    pub elapsed_us: f64,
+}
+
+/// The soak grid: `(id, seed, loss_pct, crashes, flaps)`. Quick runs keep
+/// one clean-link and one lossy schedule; full runs sweep three seeds.
+fn chaos_soak_cases(quick: bool) -> Vec<(String, u64, f64, usize, usize)> {
+    let cells: &[(u64, f64, usize, usize)] = if quick {
+        &[(1, 0.0, 1, 1), (2, 0.5, 2, 2)]
+    } else {
+        &[
+            (1, 0.0, 1, 1),
+            (1, 0.5, 1, 2),
+            (1, 1.0, 2, 2),
+            (2, 0.0, 1, 1),
+            (2, 0.5, 1, 2),
+            (2, 1.0, 2, 2),
+            (3, 0.5, 2, 1),
+            (3, 1.0, 2, 2),
+        ]
+    };
+    cells
+        .iter()
+        .map(|&(seed, pct, crashes, flaps)| {
+            (
+                format!("chaos/soak/s{seed}/loss{pct}/c{crashes}f{flaps}"),
+                seed,
+                pct,
+                crashes,
+                flaps,
+            )
+        })
+        .collect()
+}
+
+/// The incast grid: `(id, budget_bytes)`.
+fn chaos_incast_cases() -> Vec<(String, Option<usize>)> {
+    vec![
+        ("chaos/incast/unbounded".to_string(), None),
+        ("chaos/incast/budget64k".to_string(), Some(64 * 1024)),
+    ]
+}
+
+/// A two-node CLIC pair with the robustness machinery enabled: keepalive
+/// liveness, epoch guarding, and `loss_pct` percent uniform frame loss.
+fn chaos_pair(model: &CostModel, loss_pct: f64) -> ClusterConfig {
+    let mut cfg = clic_pair(model, false, true);
+    let clic = cfg.node.clic.as_mut().expect("clic_pair configures CLIC");
+    clic.keepalive_interval = Some(SimDuration::from_us(500));
+    clic.peer_dead_timeout = SimDuration::from_ms(5);
+    clic.epoch_guard = true;
+    // Uniform loss only: duplication/reorder models would legitimately
+    // break the workload's strict-order invariant across flow eras.
+    cfg.faults.loss = reliability_loss(loss_pct / 100.0, false);
+    cfg
+}
+
+/// The incast cluster: `nodes`-node star, node 0 the receiver, with a
+/// modest send window (so the pre-first-ACK burst does not dwarf the
+/// budget) and the given receive budget.
+fn incast_cluster(model: &CostModel, nodes: usize, budget: Option<usize>) -> ClusterConfig {
+    let mut cfg = clic_pair(model, false, true);
+    cfg.nodes = nodes;
+    cfg.topology = Topology::Switched;
+    let clic = cfg.node.clic.as_mut().expect("clic_pair configures CLIC");
+    clic.window = 16;
+    clic.recv_budget_bytes = budget;
+    cfg
+}
+
+/// Chaos jobs: the soak grid plus the incast pair. `sizes` only selects
+/// quick vs full, as for the other families.
+pub fn chaos_jobs(sizes: &[usize]) -> Vec<JobSpec> {
+    let quick = sizes.len() <= quick_sizes().len();
+    let nmsgs = if quick { 40 } else { 120 };
+    let per_sender = if quick { 8 } else { 32 };
+    let model = CostModel::era_2002();
+    let mut jobs: Vec<JobSpec> = chaos_soak_cases(quick)
+        .into_iter()
+        .map(|(id, seed, pct, crashes, flaps)| {
+            JobSpec::new(
+                id,
+                JobKind::Chaos {
+                    cluster: chaos_pair(&model, pct),
+                    size: 2_048,
+                    nmsgs,
+                    crashes,
+                    flaps,
+                    seed,
+                },
+            )
+        })
+        .collect();
+    jobs.extend(chaos_incast_cases().into_iter().map(|(id, budget)| {
+        JobSpec::new(
+            id,
+            JobKind::Incast {
+                cluster: incast_cluster(&model, 5, budget),
+                size: 8_192,
+                per_sender,
+                consume_delay_us: 150,
+                seed: 9,
+            },
+        )
+    }));
+    jobs
+}
+
+/// Assemble the chaos rows from job results.
+pub fn chaos_from(results: &ResultMap, sizes: &[usize]) -> (Vec<ChaosRow>, Vec<IncastRow>) {
+    let quick = sizes.len() <= quick_sizes().len();
+    let soak = chaos_soak_cases(quick)
+        .into_iter()
+        .map(|(id, seed, pct, crashes, flaps)| {
+            let m = &results[&id];
+            ChaosRow {
+                seed,
+                loss_pct: pct,
+                crashes,
+                flaps,
+                posted: m.require("posted"),
+                confirmed: m.require("confirmed"),
+                failed: m.require("failed"),
+                delivered: m.require("delivered"),
+                err_peer_dead: m.require("err_peer_dead"),
+                err_stale_epoch: m.require("err_stale_epoch"),
+                err_max_retries: m.require("err_max_retries"),
+                eras: m.require("eras"),
+                stale_epoch_drops: m.require("stale_epoch_drops"),
+                retx: m.require("m.retransmits"),
+            }
+        })
+        .collect();
+    let incast = chaos_incast_cases()
+        .into_iter()
+        .map(|(id, budget)| {
+            let m = &results[&id];
+            IncastRow {
+                budget,
+                senders: 4,
+                delivered: m.require("delivered"),
+                mean_us: m.require("mean_us"),
+                p99_us: m.require("p99_us"),
+                peak_buffered_bytes: m.require("peak_buffered_bytes"),
+                elapsed_us: m.require("elapsed_us"),
+            }
+        })
+        .collect();
+    (soak, incast)
+}
+
+/// The chaos-soak + incast robustness family: crash-recovery accounting
+/// under seeded fault schedules, and receive-buffer behaviour under 4→1
+/// incast with and without backpressure.
+pub fn chaos(sizes: &[usize]) -> (Vec<ChaosRow>, Vec<IncastRow>) {
+    chaos_from(&run_serial(&chaos_jobs(sizes)), sizes)
+}
+
+// ---------------------------------------------------------------------
 // Figure registry
 // ---------------------------------------------------------------------
 
@@ -1256,6 +1470,11 @@ pub enum FigureKind {
     /// Reliability under loss: CLIC vs TCP across loss rate × burstiness
     /// × MTU.
     Reliability,
+    /// Chaos soak (crash/restart/flap/loss schedules) plus incast
+    /// backpressure. Not part of [`FigureKind::ALL`]: its fault schedules
+    /// target the robustness machinery rather than a paper figure, so it
+    /// runs only when named explicitly (`figures chaos`).
+    Chaos,
 }
 
 /// The result of one assembled figure, ready for rendering.
@@ -1292,6 +1511,13 @@ pub enum FigureOutput {
     Scaling(Vec<ScalingRow>),
     /// Reliability-under-loss rows.
     Reliability(Vec<ReliabilityRow>),
+    /// Chaos-soak and incast rows.
+    Chaos {
+        /// The soak grid.
+        soak: Vec<ChaosRow>,
+        /// The incast pair.
+        incast: Vec<IncastRow>,
+    },
 }
 
 impl FigureKind {
@@ -1334,11 +1560,16 @@ impl FigureKind {
             FigureKind::Paths => "paths",
             FigureKind::Scaling => "scaling",
             FigureKind::Reliability => "reliability",
+            FigureKind::Chaos => "chaos",
         }
     }
 
-    /// Parse a CLI name.
+    /// Parse a CLI name. Accepts the opt-in [`FigureKind::Chaos`] family
+    /// too, even though `ALL` (and thus `figures all`) excludes it.
     pub fn from_name(name: &str) -> Option<FigureKind> {
+        if name == FigureKind::Chaos.name() {
+            return Some(FigureKind::Chaos);
+        }
         FigureKind::ALL.into_iter().find(|f| f.name() == name)
     }
 
@@ -1362,6 +1593,7 @@ impl FigureKind {
             FigureKind::Paths => paths_jobs(),
             FigureKind::Scaling => scaling_jobs(),
             FigureKind::Reliability => reliability_jobs(sizes),
+            FigureKind::Chaos => chaos_jobs(sizes),
         }
     }
 
@@ -1388,6 +1620,10 @@ impl FigureKind {
             FigureKind::Paths => FigureOutput::Paths(paths_from(results)),
             FigureKind::Scaling => FigureOutput::Scaling(scaling_from(results)),
             FigureKind::Reliability => FigureOutput::Reliability(reliability_from(results, sizes)),
+            FigureKind::Chaos => {
+                let (soak, incast) = chaos_from(results, sizes);
+                FigureOutput::Chaos { soak, incast }
+            }
         }
     }
 
@@ -1413,6 +1649,9 @@ impl FigureKind {
             FigureKind::Scaling => "Ablation I: CLIC all-to-all scaling on a switch",
             FigureKind::Reliability => {
                 "Reliability under loss: CLIC vs TCP, loss rate x burstiness x MTU"
+            }
+            FigureKind::Chaos => {
+                "Chaos soak: crash/restart/flap/loss schedules + incast backpressure"
             }
         }
     }
@@ -1632,6 +1871,9 @@ mod tests {
         for kind in FigureKind::ALL {
             assert_eq!(FigureKind::from_name(kind.name()), Some(kind));
         }
+        // The opt-in chaos family parses by name but stays out of ALL.
+        assert_eq!(FigureKind::from_name("chaos"), Some(FigureKind::Chaos));
+        assert!(!FigureKind::ALL.contains(&FigureKind::Chaos));
         assert_eq!(FigureKind::from_name("nope"), None);
     }
 
@@ -1639,7 +1881,7 @@ mod tests {
     fn job_ids_are_unique_across_all_figures() {
         let sizes = quick_sizes();
         let mut seen = std::collections::BTreeSet::new();
-        for kind in FigureKind::ALL {
+        for kind in FigureKind::ALL.into_iter().chain([FigureKind::Chaos]) {
             for spec in kind.jobs(&sizes) {
                 assert!(seen.insert(spec.id.clone()), "duplicate job id {}", spec.id);
             }

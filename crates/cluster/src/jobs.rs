@@ -33,7 +33,10 @@ use clic_sim::{Sim, SimDuration};
 /// v3: the reliability figure family ([`JobKind::Reliability`]); the
 /// drop total also counts FCS-discarded frames and the retransmit total
 /// counts CLIC fast retransmits.
-pub const MEASUREMENT_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: the chaos/incast robustness family ([`JobKind::Chaos`],
+/// [`JobKind::Incast`]).
+pub const MEASUREMENT_SCHEMA_VERSION: u32 = 4;
 
 /// The flat result of one job: named scalar values, in a stable,
 /// job-defined order (stage breakdowns rely on the order).
@@ -131,6 +134,41 @@ pub enum JobKind {
         cluster: ClusterConfig,
         /// Per-pair message size in bytes.
         size: usize,
+        /// Simulator seed.
+        seed: u64,
+    },
+    /// Chaos soak: stream tagged messages through crash/restart windows,
+    /// link flaps and loss ([`crate::workload::chaos_clic`]); the workload
+    /// asserts the robustness invariants and this job reports the
+    /// accounting (confirmed/failed split, teardown causes, eras).
+    Chaos {
+        /// Cluster under test (two nodes, robustness knobs enabled,
+        /// optionally lossy). Duplication/reorder fault models are not
+        /// composed here — they would break the strict-order invariant.
+        cluster: ClusterConfig,
+        /// Message size in bytes (≥ 8; carries the order tag).
+        size: usize,
+        /// Messages streamed.
+        nmsgs: usize,
+        /// Crash/restart cycles of the receiver node.
+        crashes: usize,
+        /// Link flaps.
+        flaps: usize,
+        /// Simulator seed; the fault schedule derives from it too.
+        seed: u64,
+    },
+    /// N→1 incast into a slow consumer ([`crate::workload::incast_clic`]);
+    /// reports completion latency and the receive-buffer peak, with or
+    /// without an advertised-window budget.
+    Incast {
+        /// Cluster under test (switched, ≥ 3 nodes; node 0 receives).
+        cluster: ClusterConfig,
+        /// Message size in bytes.
+        size: usize,
+        /// Messages each sender posts.
+        per_sender: usize,
+        /// Consumer think time per message, µs.
+        consume_delay_us: u64,
         /// Simulator seed.
         seed: u64,
     },
@@ -232,6 +270,21 @@ impl JobKind {
                 size,
                 seed,
             } => run_all_to_all(cluster, *size, *seed),
+            JobKind::Chaos {
+                cluster,
+                size,
+                nmsgs,
+                crashes,
+                flaps,
+                seed,
+            } => run_chaos(cluster, *size, *nmsgs, *crashes, *flaps, *seed),
+            JobKind::Incast {
+                cluster,
+                size,
+                per_sender,
+                consume_delay_us,
+                seed,
+            } => run_incast(cluster, *size, *per_sender, *consume_delay_us, *seed),
         }
     }
 }
@@ -480,6 +533,73 @@ fn run_reliability(
     m.push("mbps", mbps);
     m.push("mean_us", us(cycles.mean()));
     m.push("p99_us", us(cycles.percentile(0.99)));
+    push_metric_totals(&mut m, &sim);
+    m
+}
+
+fn run_chaos(
+    config: &ClusterConfig,
+    size: usize,
+    nmsgs: usize,
+    crashes: usize,
+    flaps: usize,
+    seed: u64,
+) -> Measurement {
+    let cluster = Cluster::build(config);
+    let mut sim = Sim::new(seed);
+    sim.metrics = clic_sim::Metrics::enabled();
+    let plan = crate::workload::ChaosPlan::draw(seed, crashes, flaps);
+    let out = crate::workload::chaos_clic(&cluster, &mut sim, size, nmsgs, &plan);
+    let mut m = Measurement::default();
+    m.push("posted", out.posted as f64);
+    m.push("confirmed", out.confirmed as f64);
+    m.push("failed", out.failed as f64);
+    m.push("delivered", out.delivered as f64);
+    m.push("err_max_retries", out.errors_max_retries as f64);
+    m.push("err_peer_dead", out.errors_peer_dead as f64);
+    m.push("err_stale_epoch", out.errors_stale_epoch as f64);
+    m.push("eras", out.eras as f64);
+    m.push("last_delivery_us", out.last_delivery.as_us_f64());
+    m.push(
+        "stale_epoch_drops",
+        sim.metrics.sum_counters("clic.drops.stale_epoch") as f64,
+    );
+    m.push(
+        "expired_drops",
+        sim.metrics.sum_counters("clic.drops.expired") as f64,
+    );
+    push_metric_totals(&mut m, &sim);
+    m
+}
+
+fn run_incast(
+    config: &ClusterConfig,
+    size: usize,
+    per_sender: usize,
+    consume_delay_us: u64,
+    seed: u64,
+) -> Measurement {
+    let cluster = Cluster::build(config);
+    let mut sim = Sim::new(seed);
+    sim.metrics = clic_sim::Metrics::enabled();
+    let out = crate::workload::incast_clic(
+        &cluster,
+        &mut sim,
+        size,
+        per_sender,
+        SimDuration::from_us(consume_delay_us),
+    );
+    let us = |d: Option<SimDuration>| d.map(|d| d.as_us_f64()).unwrap_or(f64::NAN);
+    let mut m = Measurement::default();
+    m.push("delivered", out.delivered as f64);
+    m.push("mean_us", us(out.completion.mean()));
+    m.push("p99_us", us(out.completion.percentile(0.99)));
+    // The peak is the larger of the workload's per-delivery samples and
+    // the gauge the module updates at every ACK.
+    let peak =
+        (out.peak_buffered_bytes as i64).max(sim.metrics.max_gauge_peak("clic.recv_buffer_bytes"));
+    m.push("peak_buffered_bytes", peak as f64);
+    m.push("elapsed_us", out.elapsed.as_us_f64());
     push_metric_totals(&mut m, &sim);
     m
 }

@@ -9,9 +9,12 @@
 //!   TCP-IP / GAMMA stacks.
 //! * [`builder`] — two-node back-to-back or N-node switched clusters,
 //!   optional channel bonding and loss injection.
+//! * [`lifecycle`] — schedulable node crash-stop / crash-restart and link
+//!   flap: the fault actuators behind the chaos-soak harness.
 //! * [`workload`] — ping-pong latency and unidirectional streaming
 //!   bandwidth drivers for every stack (raw CLIC, TCP, MPI-CLIC, MPI-TCP,
-//!   PVM-TCP, GAMMA).
+//!   PVM-TCP, GAMMA), plus the chaos-soak and incast robustness
+//!   workloads.
 //! * [`jobs`] — the unit of experiment execution: every figure point is a
 //!   self-contained, named [`jobs::JobSpec`] that builds its own cluster,
 //!   runs one measurement and returns a flat [`jobs::Measurement`]. Jobs
@@ -32,6 +35,7 @@ pub mod builder;
 pub mod calibration;
 pub mod experiments;
 pub mod jobs;
+pub mod lifecycle;
 pub mod node;
 pub mod observe;
 pub mod workload;

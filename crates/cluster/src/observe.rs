@@ -302,6 +302,21 @@ pub fn collect_metrics(cluster: &Cluster, sim: &Sim) -> Metrics {
             reg.counter_add(&p("clic.drops.backlog"), cs.backlog_drops);
             reg.counter_add(&p("clic.drops.duplicate"), cs.duplicates);
             reg.counter_add(&p("clic.drops.ooo"), cs.ooo_drops);
+            reg.counter_add(&p("clic.drops.stale_epoch"), cs.stale_epoch_drops);
+            reg.counter_add(&p("clic.drops.expired"), cs.expired_drops);
+            reg.counter_add(
+                &p("clic.flow_failures.max_retries"),
+                cs.flow_failures_max_retries,
+            );
+            reg.counter_add(
+                &p("clic.flow_failures.peer_dead"),
+                cs.flow_failures_peer_dead,
+            );
+            reg.counter_add(
+                &p("clic.flow_failures.stale_epoch"),
+                cs.flow_failures_stale_epoch,
+            );
+            reg.counter_add(&p("clic.keepalive_probes"), cs.keepalive_probes);
         }
     }
     if let Some(sw) = &cluster.switch {

@@ -1,14 +1,16 @@
 //! Workload drivers: ping-pong latency and streaming bandwidth for every
-//! stack the paper evaluates.
+//! stack the paper evaluates, plus the robustness workloads (chaos soak,
+//! incast backpressure) behind `figures chaos`.
 
 use crate::builder::Cluster;
 use bytes::Bytes;
-use clic_core::ClicPort;
+use clic_core::{ClicError, ClicModule, ClicPort, SendOptions};
+use clic_ethernet::MacAddr;
 use clic_gamma::GammaModule;
 use clic_mpi::transport::{ClicTransport, TcpTransport, Transport};
 use clic_mpi::{Mpi, Pvm};
 use clic_sim::stats::LatencyStats;
-use clic_sim::{Sim, SimDuration, SimTime};
+use clic_sim::{Sim, SimDuration, SimRng, SimTime};
 use clic_tcpip::TcpStack;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -890,5 +892,575 @@ pub fn all_to_all_clic(cluster: &Cluster, sim: &mut Sim, size: usize) -> AllToAl
         nodes: n,
         bytes_per_pair: size,
         elapsed: last.saturating_since(start),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chaos soak (crash / restart / flap / loss) and incast backpressure
+// ---------------------------------------------------------------------
+
+/// Randomized-but-seeded fault schedule for one chaos-soak run. Drawn up
+/// front from its own deterministic generator (never the simulator's
+/// event-driven one), so a schedule depends only on its seed — not on
+/// event interleaving — and the whole run stays byte-reproducible.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// Receiver crash windows `(crash_at, restart_at)`, ascending and
+    /// non-overlapping: the node crash-stops at the first time and
+    /// restarts under a fresh epoch at the second.
+    pub crashes: Vec<(SimTime, SimTime)>,
+    /// Link-flap windows `(start, end)`, ascending and non-overlapping
+    /// (they may overlap crash windows).
+    pub flaps: Vec<(SimTime, SimTime)>,
+}
+
+impl ChaosPlan {
+    /// Draw a schedule with `crashes` crash/restart cycles and `flaps`
+    /// link flaps from `seed`.
+    pub fn draw(seed: u64, crashes: usize, flaps: usize) -> ChaosPlan {
+        // Domain-separated from the simulator seed so a chaos job's link
+        // faults and its schedule are independent draws.
+        let mut rng = SimRng::new(seed ^ 0x0C4A_05EE_D0DD_BA11);
+        let mut windows = Vec::new();
+        let mut t = 300u64; // µs
+        for _ in 0..crashes {
+            let at = t + rng.gen_range_u64(200..2_500);
+            let back = at + rng.gen_range_u64(150..1_500);
+            windows.push((SimTime::from_us(at), SimTime::from_us(back)));
+            t = back + rng.gen_range_u64(2_000..6_000);
+        }
+        let mut flap_windows = Vec::new();
+        let mut ft = 150u64;
+        for _ in 0..flaps {
+            let start = ft + rng.gen_range_u64(100..3_000);
+            let end = start + rng.gen_range_u64(50..400);
+            flap_windows.push((SimTime::from_us(start), SimTime::from_us(end)));
+            ft = end + rng.gen_range_u64(1_000..4_000);
+        }
+        ChaosPlan {
+            crashes: windows,
+            flaps: flap_windows,
+        }
+    }
+}
+
+/// Outcome of one chaos-soak run. The hard invariants (exactly-once
+/// in-order delivery or a typed error, no stranded buffers, quiescent
+/// timers, full accounting) are asserted inside [`chaos_clic`]; this
+/// carries the numbers worth reporting.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// Messages the application posted.
+    pub posted: usize,
+    /// Messages whose delivery the protocol confirmed (ACKed).
+    pub confirmed: usize,
+    /// Messages covered by a typed flow failure (never re-posted).
+    pub failed: usize,
+    /// Messages the receiving application actually drained. May exceed
+    /// `confirmed` (ACK lost before teardown) or fall short of it (the
+    /// receiver crashed after ACKing but before the application read —
+    /// the end-to-end argument in action).
+    pub delivered: usize,
+    /// Flow teardowns by cause.
+    pub errors_max_retries: usize,
+    /// Keepalive declared the (crashed or flapped-away) peer dead.
+    pub errors_peer_dead: usize,
+    /// The peer restarted into a new session epoch mid-flow.
+    pub errors_stale_epoch: usize,
+    /// Flow generations used (1 + number of typed teardowns).
+    pub eras: usize,
+    /// Time of the last application-level delivery.
+    pub last_delivery: SimDuration,
+    /// The run ended because the event queue drained, not the limit.
+    pub quiesced: bool,
+}
+
+/// Per-message sender bookkeeping of one chaos run.
+struct ChaosTxState {
+    next_tag: usize,
+    outstanding: std::collections::BTreeSet<usize>,
+    confirmed: usize,
+    failed: usize,
+    era: usize,
+    err_mr: usize,
+    err_pd: usize,
+    err_se: usize,
+}
+
+/// Receiver-side delivery log of one chaos run.
+struct ChaosLog {
+    seen: std::collections::BTreeSet<usize>,
+    duplicates: usize,
+    order_violations: usize,
+    corrupt: usize,
+    last_tag: Option<usize>,
+    last_at: SimTime,
+}
+
+struct ChaosCtx {
+    sender: Rc<RefCell<clic_core::ClicModule>>,
+    receiver: Rc<RefCell<clic_core::ClicModule>>,
+    dst: MacAddr,
+    size: usize,
+    total: usize,
+    state: RefCell<ChaosTxState>,
+    log: RefCell<ChaosLog>,
+    /// Channels with a live receive chain (cleared on receiver crash).
+    installed: RefCell<std::collections::BTreeSet<u16>>,
+}
+
+const CHAOS_CH_BASE: u16 = 400;
+/// Application-level messages kept in flight by the chaos sender.
+const CHAOS_WINDOW: usize = 4;
+
+fn chaos_payload(tag: usize, size: usize) -> Bytes {
+    let mut v = Vec::with_capacity(size);
+    v.extend_from_slice(&(tag as u64).to_be_bytes());
+    v.extend((8..size).map(|i| (i % 251) as u8));
+    Bytes::from(v)
+}
+
+/// Post messages until the application window is full or all are posted.
+fn chaos_pump(ctx: &Rc<ChaosCtx>, sim: &mut Sim) {
+    loop {
+        let (tag, channel) = {
+            let mut s = ctx.state.borrow_mut();
+            if s.next_tag >= ctx.total || s.outstanding.len() >= CHAOS_WINDOW {
+                return;
+            }
+            let tag = s.next_tag;
+            s.next_tag += 1;
+            s.outstanding.insert(tag);
+            (tag, CHAOS_CH_BASE + s.era as u16)
+        };
+        let mut opts = SendOptions::data(ctx.dst, channel);
+        let ctx2 = ctx.clone();
+        opts.confirm = Some(Box::new(move |sim| {
+            {
+                let mut s = ctx2.state.borrow_mut();
+                if s.outstanding.remove(&tag) {
+                    s.confirmed += 1;
+                }
+            }
+            chaos_pump(&ctx2, sim);
+        }));
+        ClicModule::send(&ctx.sender, sim, opts, chaos_payload(tag, ctx.size));
+    }
+}
+
+/// Install (idempotently) an endless receive chain on `channel` of the
+/// chaos receiver, logging every delivered message.
+fn chaos_drain(ctx: &Rc<ChaosCtx>, sim: &mut Sim, channel: u16) {
+    if !ctx.installed.borrow_mut().insert(channel) {
+        return;
+    }
+    fn chain(ctx: Rc<ChaosCtx>, sim: &mut Sim, channel: u16) {
+        let module = ctx.receiver.clone();
+        ClicModule::recv(&module, sim, channel, move |sim, msg| {
+            {
+                let mut log = ctx.log.borrow_mut();
+                let tag = u64::from_be_bytes(msg.data[..8].try_into().unwrap()) as usize;
+                if !ctx.log_delivery_ok(&msg.data) {
+                    log.corrupt += 1;
+                }
+                if !log.seen.insert(tag) {
+                    log.duplicates += 1;
+                }
+                if log.last_tag.is_some_and(|last| tag <= last) {
+                    log.order_violations += 1;
+                }
+                log.last_tag = Some(tag);
+                log.last_at = sim.now();
+            }
+            chain(ctx, sim, channel);
+        });
+    }
+    chain(ctx.clone(), sim, channel);
+}
+
+impl ChaosCtx {
+    /// Byte-exact check of the filler pattern behind the tag prefix.
+    fn log_delivery_ok(&self, data: &Bytes) -> bool {
+        data.len() == self.size
+            && data[8..]
+                .iter()
+                .enumerate()
+                .all(|(i, &b)| b == ((i + 8) % 251) as u8)
+    }
+}
+
+/// The chaos-soak workload: stream `nmsgs` tagged messages of `size`
+/// bytes from node 0 to node 1 of a two-node CLIC `cluster` while the
+/// receiver crash-restarts and the link flaps per `plan` (compose link
+/// loss via the cluster's fault plan — but not duplication or
+/// reordering, which would legitimately break the strict-order check).
+///
+/// The sender keeps [`CHAOS_WINDOW`] messages in flight, confirms each
+/// via protocol ACK, and on a typed flow failure writes off everything
+/// outstanding and continues on a fresh channel (a new application-level
+/// flow) — it never re-posts, so every tag is unique for the whole run.
+///
+/// Asserts the robustness invariants the `figures chaos` harness is
+/// about: the run quiesces (all timers die), every posted message is
+/// either confirmed or written off by a typed error, delivery is
+/// duplicate-free and strictly in posting order, payloads arrive intact,
+/// and no receive-side buffer is left holding bytes at quiescence.
+///
+/// The cluster's CLIC config must enable the robustness machinery
+/// (`keepalive_interval`, `epoch_guard`) — without it a crashed peer
+/// strands the flow forever and the quiescence assert fires.
+pub fn chaos_clic(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    size: usize,
+    nmsgs: usize,
+    plan: &ChaosPlan,
+) -> ChaosOutcome {
+    assert_eq!(cluster.nodes.len(), 2, "chaos soak runs on a pair");
+    assert!(size >= 8, "chaos payloads carry an 8-byte tag");
+    let ctx = Rc::new(ChaosCtx {
+        sender: cluster.nodes[0].clic(),
+        receiver: cluster.nodes[1].clic(),
+        dst: cluster.nodes[1].mac,
+        size,
+        total: nmsgs,
+        state: RefCell::new(ChaosTxState {
+            next_tag: 0,
+            outstanding: Default::default(),
+            confirmed: 0,
+            failed: 0,
+            era: 0,
+            err_mr: 0,
+            err_pd: 0,
+            err_se: 0,
+        }),
+        log: RefCell::new(ChaosLog {
+            seen: Default::default(),
+            duplicates: 0,
+            order_violations: 0,
+            corrupt: 0,
+            last_tag: None,
+            last_at: SimTime::ZERO,
+        }),
+        installed: RefCell::new(Default::default()),
+    });
+
+    // Typed teardown: write off everything outstanding, advance to a
+    // fresh channel (flow keys must not be reused — the failed flow's
+    // receive window may survive a sender-side-only teardown) and keep
+    // going.
+    {
+        let ctx2 = ctx.clone();
+        ctx.sender
+            .borrow_mut()
+            .set_error_handler(Rc::new(move |sim, e| {
+                {
+                    let mut s = ctx2.state.borrow_mut();
+                    match &e {
+                        ClicError::MaxRetriesExceeded { .. } => s.err_mr += 1,
+                        ClicError::PeerDead { .. } => s.err_pd += 1,
+                        ClicError::StaleEpoch { .. } => s.err_se += 1,
+                        other => panic!("unexpected chaos error: {other:?}"),
+                    }
+                    let written_off = s.outstanding.len();
+                    s.failed += written_off;
+                    s.outstanding.clear();
+                    s.era += 1;
+                }
+                let ctx3 = ctx2.clone();
+                // Continue outside the teardown path.
+                sim.schedule_now(move |sim| {
+                    let ch = CHAOS_CH_BASE + ctx3.state.borrow().era as u16;
+                    chaos_drain(&ctx3, sim, ch);
+                    chaos_pump(&ctx3, sim);
+                });
+            }));
+    }
+
+    // Fault actuators.
+    for &(at, back) in &plan.crashes {
+        crate::lifecycle::schedule_crash(cluster, sim, 1, at);
+        crate::lifecycle::schedule_restart(cluster, sim, 1, back);
+        // A crash kills the receive chains (port state is kernel memory);
+        // forget them, then re-install for the current era on restart.
+        let ctx2 = ctx.clone();
+        sim.schedule_at(at + SimDuration::from_ns(1), move |_sim| {
+            ctx2.installed.borrow_mut().clear();
+        });
+        let ctx2 = ctx.clone();
+        sim.schedule_at(back + SimDuration::from_ns(1), move |sim| {
+            let ch = CHAOS_CH_BASE + ctx2.state.borrow().era as u16;
+            chaos_drain(&ctx2, sim, ch);
+        });
+    }
+    for &(start, end) in &plan.flaps {
+        crate::lifecycle::flap_link(cluster, 0, start, end);
+    }
+
+    chaos_drain(&ctx, sim, CHAOS_CH_BASE);
+    chaos_pump(&ctx, sim);
+    let limit = sim.events_executed() + 400_000_000;
+    sim.set_event_limit(limit);
+    sim.run();
+    let quiesced = sim.events_executed() < limit;
+
+    let state = ctx.state.borrow();
+    let log = ctx.log.borrow();
+    // The invariants. Quiescence first: every later check assumes the
+    // run actually finished.
+    assert!(quiesced, "chaos run never quiesced (leaked timers?)");
+    assert_eq!(state.next_tag, nmsgs, "every message must be posted");
+    assert!(
+        state.outstanding.is_empty() && state.confirmed + state.failed == nmsgs,
+        "every message must be confirmed or written off by a typed error \
+         (confirmed {} + failed {} != posted {})",
+        state.confirmed,
+        state.failed,
+        nmsgs
+    );
+    assert_eq!(log.duplicates, 0, "a message reached the application twice");
+    assert_eq!(log.order_violations, 0, "deliveries left posting order");
+    assert_eq!(
+        log.corrupt, 0,
+        "a corrupted payload reached the application"
+    );
+    assert!(log.seen.len() <= nmsgs);
+    for module in [&ctx.sender, &ctx.receiver] {
+        assert_eq!(
+            module.borrow().buffered_bytes(),
+            0,
+            "receive-side buffers stranded after quiescence"
+        );
+    }
+    ChaosOutcome {
+        posted: nmsgs,
+        confirmed: state.confirmed,
+        failed: state.failed,
+        delivered: log.seen.len(),
+        errors_max_retries: state.err_mr,
+        errors_peer_dead: state.err_pd,
+        errors_stale_epoch: state.err_se,
+        eras: state.era + 1,
+        last_delivery: log.last_at.saturating_since(SimTime::ZERO),
+        quiesced,
+    }
+}
+
+/// Outcome of an incast run ([`incast_clic`]).
+#[derive(Debug)]
+pub struct IncastOutcome {
+    /// Concurrent senders.
+    pub senders: usize,
+    /// Messages delivered (always equals the message count posted — the
+    /// workload asserts nothing is lost).
+    pub delivered: usize,
+    /// Per-message completion time (post → application delivery).
+    pub completion: LatencyStats,
+    /// Peak receive-side buffered bytes observed at the receiver module,
+    /// sampled at every delivery.
+    pub peak_buffered_bytes: usize,
+    /// First post to last delivery.
+    pub elapsed: SimDuration,
+}
+
+/// The N→1 incast workload: every node but node 0 posts `per_sender`
+/// messages of `size` bytes to node 0 at the same instant, and the
+/// receiving application is deliberately slow (`consume_delay` per
+/// message), so arrivals pile up in the receiver's CLIC buffers. With a
+/// `recv_budget_bytes` configured, the advertised window on ACKs pushes
+/// back on the senders and the pile-up stays bounded; without it, the
+/// backlog is limited only by `max_pending_bytes` drops and retransmits.
+pub fn incast_clic(
+    cluster: &Cluster,
+    sim: &mut Sim,
+    size: usize,
+    per_sender: usize,
+    consume_delay: SimDuration,
+) -> IncastOutcome {
+    const CH: u16 = 500;
+    let n = cluster.nodes.len();
+    assert!(n >= 3, "incast needs at least two senders");
+    let expected = (n - 1) * per_sender;
+    let receiver = &cluster.nodes[0];
+    let pid = receiver.kernel.borrow_mut().processes.spawn("incast-rx");
+    let port = Rc::new(ClicPort::bind(&receiver.clic(), pid, CH));
+    // (delivered, last delivery time, completion stats, peak buffer).
+    struct RxState {
+        delivered: usize,
+        last: SimTime,
+        completion: LatencyStats,
+        peak: usize,
+    }
+    let rx: Rc<RefCell<RxState>> = Rc::new(RefCell::new(RxState {
+        delivered: 0,
+        last: SimTime::ZERO,
+        completion: LatencyStats::new(),
+        peak: 0,
+    }));
+    let start = sim.now();
+    fn sink(
+        port: Rc<ClicPort>,
+        module: Rc<RefCell<clic_core::ClicModule>>,
+        sim: &mut Sim,
+        rx: Rc<RefCell<RxState>>,
+        start: SimTime,
+        delay: SimDuration,
+        left: usize,
+    ) {
+        if left == 0 {
+            return;
+        }
+        let p = port.clone();
+        port.recv(sim, move |sim, _msg| {
+            {
+                let mut r = rx.borrow_mut();
+                r.delivered += 1;
+                r.last = sim.now();
+                r.completion.record(sim.now().saturating_since(start));
+                r.peak = r.peak.max(module.borrow().buffered_bytes());
+            }
+            // The slow consumer: digest before asking for the next one.
+            sim.schedule_in(delay, move |sim| {
+                sink(p, module, sim, rx, start, delay, left - 1)
+            });
+        });
+    }
+    sink(
+        port,
+        receiver.clic(),
+        sim,
+        rx.clone(),
+        start,
+        consume_delay,
+        expected,
+    );
+    let data = payload(size);
+    let dst = receiver.mac;
+    for node in &cluster.nodes[1..] {
+        let pid = node.kernel.borrow_mut().processes.spawn("incast-tx");
+        let tx = ClicPort::bind(&node.clic(), pid, CH + 1);
+        for _ in 0..per_sender {
+            tx.send(sim, dst, CH, data.clone());
+        }
+    }
+    let limit = sim.events_executed() + 400_000_000;
+    sim.set_event_limit(limit);
+    sim.run();
+    assert!(sim.events_executed() < limit, "incast run never quiesced");
+    let rx = rx.borrow();
+    assert_eq!(rx.delivered, expected, "incast must deliver everything");
+    IncastOutcome {
+        senders: n - 1,
+        delivered: rx.delivered,
+        completion: rx.completion.clone(),
+        peak_buffered_bytes: rx.peak,
+        elapsed: rx.last.saturating_since(start),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ClusterConfig, Topology};
+    use clic_ethernet::LossModel;
+
+    fn chaos_pair(loss: f64) -> ClusterConfig {
+        let mut cfg = ClusterConfig::paper_pair();
+        cfg.loss = if loss > 0.0 {
+            LossModel::Bernoulli(loss)
+        } else {
+            LossModel::None
+        };
+        let clic = cfg.node.clic.as_mut().unwrap();
+        clic.keepalive_interval = Some(SimDuration::from_us(500));
+        clic.peer_dead_timeout = SimDuration::from_ms(5);
+        clic.epoch_guard = true;
+        cfg
+    }
+
+    #[test]
+    fn chaos_soak_exactly_once_or_typed_error() {
+        let cfg = chaos_pair(0.005);
+        let cluster = Cluster::build(&cfg);
+        let mut sim = Sim::new(11);
+        let plan = ChaosPlan::draw(11, 2, 2);
+        let out = chaos_clic(&cluster, &mut sim, 2048, 60, &plan);
+        // The hard invariants are asserted inside chaos_clic; check the
+        // schedule actually exercised the machinery.
+        assert_eq!(out.posted, 60);
+        assert_eq!(out.confirmed + out.failed, 60);
+        assert!(out.quiesced);
+        assert!(
+            out.eras > 1,
+            "two crash windows should force at least one typed teardown: {out:?}"
+        );
+        assert!(out.errors_peer_dead + out.errors_stale_epoch > 0);
+    }
+
+    #[test]
+    fn chaos_soak_is_deterministic() {
+        let run = || {
+            let cluster = Cluster::build(&chaos_pair(0.01));
+            let mut sim = Sim::new(7);
+            let plan = ChaosPlan::draw(7, 1, 1);
+            format!("{:?}", chaos_clic(&cluster, &mut sim, 1024, 40, &plan))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn chaos_clean_run_confirms_everything() {
+        // No faults at all: every message confirms, one era, no errors.
+        let cluster = Cluster::build(&chaos_pair(0.0));
+        let mut sim = Sim::new(5);
+        let plan = ChaosPlan {
+            crashes: vec![],
+            flaps: vec![],
+        };
+        let out = chaos_clic(&cluster, &mut sim, 4096, 30, &plan);
+        assert_eq!(out.confirmed, 30);
+        assert_eq!(out.failed, 0);
+        assert_eq!(out.delivered, 30);
+        assert_eq!(out.eras, 1);
+    }
+
+    fn incast_config(nodes: usize, budget: Option<usize>) -> ClusterConfig {
+        let mut cfg = ClusterConfig::paper_pair();
+        cfg.nodes = nodes;
+        cfg.topology = Topology::Switched;
+        let clic = cfg.node.clic.as_mut().unwrap();
+        // A modest send window so the initial (pre-first-ACK) burst does
+        // not dwarf the budget under test.
+        clic.window = 16;
+        clic.recv_budget_bytes = budget;
+        cfg
+    }
+
+    #[test]
+    fn incast_budget_bounds_receiver_buffer() {
+        const BUDGET: usize = 64 * 1024;
+        // 4 senders × 256 KiB into one deliberately slow consumer.
+        let run = |budget| {
+            let cluster = Cluster::build(&incast_config(5, budget));
+            let mut sim = Sim::new(9);
+            incast_clic(&cluster, &mut sim, 8 * 1024, 32, SimDuration::from_us(150))
+        };
+        let unbounded = run(None);
+        let bounded = run(Some(BUDGET));
+        assert_eq!(unbounded.delivered, 128);
+        assert_eq!(bounded.delivered, 128);
+        assert!(
+            2 * bounded.peak_buffered_bytes < unbounded.peak_buffered_bytes,
+            "budget must push back: bounded {} vs unbounded {}",
+            bounded.peak_buffered_bytes,
+            unbounded.peak_buffered_bytes
+        );
+        // The budget is a soft bound: packets already in flight when the
+        // buffer crosses it still land, so allow a window per sender.
+        assert!(
+            bounded.peak_buffered_bytes <= BUDGET + 4 * 16 * 1500,
+            "peak {} exceeds budget + in-flight slack",
+            bounded.peak_buffered_bytes
+        );
     }
 }

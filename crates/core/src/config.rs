@@ -94,6 +94,30 @@ pub struct ClicConfig {
     /// *unacknowledged*; the sender's retransmission throttles it until
     /// the application drains the port.
     pub max_pending_bytes: usize,
+    /// Keepalive probe cadence for busy flows. `None` (the paper default)
+    /// disables liveness probing and peer-dead detection entirely; the
+    /// fault-free goldens run with it off. Probes are `Internal` control
+    /// packets answered by pongs — they never enter the send window, so
+    /// RTT estimation stays Karn-safe.
+    pub keepalive_interval: Option<SimDuration>,
+    /// Declare a peer dead — tearing its flows down with
+    /// `ClicError::PeerDead` — after this long without hearing anything
+    /// (ACK or pong) from it while data is outstanding. Only active when
+    /// `keepalive_interval` is set; must be at least the interval.
+    pub peer_dead_timeout: SimDuration,
+    /// Carry a session epoch (incarnation number) in the CLIC header so a
+    /// restarted peer rejects stale pre-crash sequence space. Senders
+    /// handshake the peer's epoch via probe/pong before posting data, and
+    /// a stale epoch tears the flow down with `ClicError::StaleEpoch`.
+    /// Requires `keepalive_interval` (the handshake retries ride on it).
+    pub epoch_guard: bool,
+    /// Module-wide receive-buffer budget in bytes (out-of-order buffers,
+    /// partial reassemblies and parked port backlogs all count). When set,
+    /// every ACK advertises how many more packets fit — piggybacked in the
+    /// otherwise-unused `len` field — and senders cap their effective
+    /// window to it, so incast overload degrades gracefully instead of
+    /// buffering without bound. `None` (paper default) advertises nothing.
+    pub recv_budget_bytes: Option<usize>,
     /// CPU cost model.
     pub costs: ClicCosts,
 }
@@ -125,6 +149,10 @@ impl ClicConfig {
             ooo_limit: 256,
             mtu_override: None,
             max_pending_bytes: 8 << 20,
+            keepalive_interval: None,
+            peer_dead_timeout: SimDuration::from_ms(250),
+            epoch_guard: false,
+            recv_budget_bytes: None,
             costs: ClicCosts::era_2002(),
         }
     }
@@ -135,6 +163,44 @@ impl ClicConfig {
             zero_copy: false,
             ..Self::paper_default()
         }
+    }
+
+    /// Check the knobs for nonsense combinations. `ClicModule::try_install`
+    /// runs this; a failure surfaces as `ClicError::Config` instead of a
+    /// panic deep inside the protocol machinery.
+    pub fn validate(&self) -> Result<(), crate::ClicError> {
+        let reject = |what| Err(crate::ClicError::Config { what });
+        if self.window == 0 {
+            return reject("window must allow at least one unacknowledged packet");
+        }
+        if self.rto_min > self.rto_max {
+            return reject("rto_min exceeds rto_max (inverted RTO bounds)");
+        }
+        if self.rto < self.rto_min || self.rto > self.rto_max {
+            return reject("initial rto outside [rto_min, rto_max]");
+        }
+        if self.ack_every == 0 {
+            return reject("ack_every must be at least 1");
+        }
+        if self.recv_budget_bytes == Some(0) {
+            return reject("recv_budget_bytes of zero cannot admit any packet");
+        }
+        match self.keepalive_interval {
+            Some(interval) => {
+                if interval.as_ns() == 0 {
+                    return reject("keepalive_interval must be non-zero");
+                }
+                if self.peer_dead_timeout < interval {
+                    return reject("peer_dead_timeout shorter than keepalive_interval");
+                }
+            }
+            None => {
+                if self.epoch_guard {
+                    return reject("epoch_guard requires keepalive_interval (handshake retries)");
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -159,5 +225,58 @@ mod tests {
         assert!(c.fast_retransmit_dupacks >= 1);
         assert!(c.max_retries >= 1);
         assert!(!ClicConfig::one_copy().zero_copy);
+        assert!(c.validate().is_ok());
+        assert!(ClicConfig::one_copy().validate().is_ok());
+    }
+
+    fn what(c: &ClicConfig) -> &'static str {
+        match c.validate() {
+            Err(crate::ClicError::Config { what }) => what,
+            other => panic!("expected ClicError::Config, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_window() {
+        let mut c = ClicConfig::paper_default();
+        c.window = 0;
+        assert!(what(&c).contains("window"));
+    }
+
+    #[test]
+    fn validate_rejects_inverted_rto_bounds() {
+        let mut c = ClicConfig::paper_default();
+        c.rto_min = SimDuration::from_ms(300);
+        c.rto_max = SimDuration::from_ms(100);
+        assert!(what(&c).contains("rto_min exceeds rto_max"));
+
+        let mut c = ClicConfig::paper_default();
+        c.rto = SimDuration::from_ms(500);
+        assert!(what(&c).contains("initial rto"));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_robustness_knobs() {
+        let mut c = ClicConfig::paper_default();
+        c.ack_every = 0;
+        assert!(what(&c).contains("ack_every"));
+
+        let mut c = ClicConfig::paper_default();
+        c.recv_budget_bytes = Some(0);
+        assert!(what(&c).contains("recv_budget_bytes"));
+
+        let mut c = ClicConfig::paper_default();
+        c.epoch_guard = true;
+        assert!(what(&c).contains("epoch_guard"));
+
+        let mut c = ClicConfig::paper_default();
+        c.keepalive_interval = Some(SimDuration::from_ms(10));
+        c.peer_dead_timeout = SimDuration::from_ms(5);
+        assert!(what(&c).contains("peer_dead_timeout"));
+
+        c.peer_dead_timeout = SimDuration::from_ms(50);
+        assert!(c.validate().is_ok());
+        c.epoch_guard = true;
+        assert!(c.validate().is_ok());
     }
 }

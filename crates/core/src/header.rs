@@ -88,6 +88,12 @@ impl PacketType {
 }
 
 /// Header flag bits.
+///
+/// Bits 0–2 are boolean flags; bits 3–7 carry the 5-bit session epoch
+/// (see [`epoch_bits`]): `0` means "epoch unknown / guard off", values
+/// `1..=31` are the sender's view of the session incarnation, wrapping
+/// modulo 31. Restart frequencies are bounded by the peer-dead timeout, so
+/// a 31-value space cannot alias within one flow's lifetime.
 pub mod flags {
     /// Sender requests delivery confirmation for the message this packet
     /// completes.
@@ -97,6 +103,39 @@ pub mod flags {
     pub const BEST_EFFORT: u8 = 0b0000_0010;
     /// This packet is a retransmission.
     pub const RETRANSMIT: u8 = 0b0000_0100;
+
+    /// Bit offset of the epoch field.
+    pub const EPOCH_SHIFT: u32 = 3;
+    /// Mask of the epoch field (bits 3–7).
+    pub const EPOCH_MASK: u8 = 0b1111_1000;
+
+    /// Extract the wire epoch (0 = unknown, 1..=31 otherwise).
+    pub fn epoch_bits(flags: u8) -> u8 {
+        (flags & EPOCH_MASK) >> EPOCH_SHIFT
+    }
+
+    /// Stamp a wire epoch into the flag byte, preserving the boolean bits.
+    pub fn with_epoch(flags: u8, epoch: u8) -> u8 {
+        debug_assert!(epoch <= 31, "wire epoch is a 5-bit field");
+        (flags & !EPOCH_MASK) | (epoch << EPOCH_SHIFT)
+    }
+}
+
+/// Payload tags of `PacketType::Internal` control packets. Control packets
+/// carry exactly one payload byte selecting the sub-kind; they never enter
+/// the reliable window (`seq` is unused) and are safe to lose.
+pub mod control {
+    /// Liveness probe: "are you there, and which epoch are you?". Answered
+    /// by [`PONG`].
+    pub const PROBE: u8 = 1;
+    /// Session reset: the receiver saw data from a stale epoch (pre-crash
+    /// sequence space) and has no state for it. The sender tears the flow
+    /// down with `ClicError::StaleEpoch`.
+    pub const RESET: u8 = 2;
+    /// Probe response, epoch-stamped. Refreshes the prober's liveness clock
+    /// and teaches it the responder's epoch; never touches RTT estimation
+    /// (Karn-safe by construction).
+    pub const PONG: u8 = 3;
 }
 
 /// A parsed CLIC header.
@@ -129,6 +168,11 @@ impl ClicHeader {
 
     /// Parse a header and the `len` bytes of payload that follow it,
     /// tolerating Ethernet minimum-frame padding after the payload.
+    ///
+    /// ACKs are the exception: they carry no payload, and their `len`
+    /// field is repurposed as the receiver's advertised window in packets
+    /// (0 when no budget is configured) — so for `PacketType::Ack` the
+    /// payload is always empty and `len` is not a byte count.
     pub fn decode(buf: &[u8]) -> Option<(ClicHeader, Bytes)> {
         if buf.len() < CLIC_HEADER {
             return None;
@@ -141,6 +185,9 @@ impl ClicHeader {
             seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
             len: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
         };
+        if header.ptype == PacketType::Ack {
+            return Some((header, Bytes::new()));
+        }
         let end = CLIC_HEADER.checked_add(header.len as usize)?;
         if buf.len() < end {
             return None;
@@ -206,7 +253,45 @@ mod tests {
             wire.extend_from_slice(&[9, 8, 7, 6]);
             let (parsed, payload) = ClicHeader::decode(&wire).unwrap();
             assert_eq!(parsed, h);
-            assert_eq!(&payload[..], &[9, 8, 7, 6]);
+            if ptype == PacketType::Ack {
+                // ACK `len` is the advertised window, not a payload length.
+                assert!(payload.is_empty());
+            } else {
+                assert_eq!(&payload[..], &[9, 8, 7, 6]);
+            }
+        }
+    }
+
+    #[test]
+    fn ack_len_is_window_not_payload() {
+        // A minimum-size Ethernet frame carrying an ACK that advertises a
+        // 64-packet window: decode must not demand 64 payload bytes.
+        let h = ClicHeader {
+            ptype: PacketType::Ack,
+            flags: 0,
+            channel: 3,
+            seq: 17,
+            len: 64,
+        };
+        let mut wire = h.encode().to_vec();
+        wire.resize(46, 0); // Ethernet min-payload padding only
+        let (parsed, payload) = ClicHeader::decode(&wire).unwrap();
+        assert_eq!(parsed.len, 64);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn epoch_rides_in_the_flag_high_bits() {
+        let base = flags::CONFIRM | flags::RETRANSMIT;
+        for epoch in [0u8, 1, 17, 31] {
+            let f = flags::with_epoch(base, epoch);
+            assert_eq!(flags::epoch_bits(f), epoch);
+            // The boolean bits survive the stamp...
+            assert_eq!(f & flags::CONFIRM, flags::CONFIRM);
+            assert_eq!(f & flags::RETRANSMIT, flags::RETRANSMIT);
+            assert_eq!(f & flags::BEST_EFFORT, 0);
+            // ...and restamping replaces rather than accumulates.
+            assert_eq!(flags::epoch_bits(flags::with_epoch(f, 2)), 2);
         }
     }
 

@@ -39,4 +39,4 @@ pub mod reliable;
 pub use api::{ClicPort, RecvMsg};
 pub use config::{ClicConfig, ClicCosts};
 pub use header::{ClicHeader, PacketType, CLIC_HEADER, MSG_PREFIX};
-pub use module::{ClicError, ClicModule, ClicStats};
+pub use module::{ClicError, ClicModule, ClicStats, SendOptions};

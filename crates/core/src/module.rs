@@ -20,14 +20,15 @@
 use crate::api::RecvMsg;
 use crate::config::ClicConfig;
 use crate::header::{
-    decode_msg_prefix, encode_msg_prefix, flags, ClicHeader, PacketType, CLIC_HEADER, MSG_PREFIX,
+    control, decode_msg_prefix, encode_msg_prefix, flags, ClicHeader, PacketType, CLIC_HEADER,
+    MSG_PREFIX,
 };
 use crate::reliable::{RecvOutcome, RecvWindow, SendWindow};
 use bytes::{BufMut, Bytes, BytesMut};
 use clic_ethernet::{EtherType, Frame, MacAddr, RoundRobin};
 use clic_os::driver::hard_start_xmit;
 use clic_os::{Kernel, PacketHandler, Pid, SkBuff};
-use clic_sim::{Layer, Sim, SimDuration};
+use clic_sim::{Layer, Sim, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::{Rc, Weak};
@@ -52,8 +53,17 @@ pub struct ClicStats {
     /// Fast retransmits triggered by duplicate cumulative ACKs (also
     /// counted in `retransmits`).
     pub fast_retransmits: u64,
-    /// Flows abandoned after `max_retries` retransmissions of one packet.
+    /// Flows torn down with a typed error, any cause (the sum of the three
+    /// cause-split counters below).
     pub flow_failures: u64,
+    /// Flows abandoned after `max_retries` retransmissions of one packet.
+    pub flow_failures_max_retries: u64,
+    /// Flows torn down because the peer went silent past the peer-dead
+    /// timeout (keepalive probes unanswered).
+    pub flow_failures_peer_dead: u64,
+    /// Flows torn down because the peer restarted into a new session epoch
+    /// (its pre-crash receive state is gone).
+    pub flow_failures_stale_epoch: u64,
     /// Packets staged to system memory because the NIC ring was full.
     pub staged_copies: u64,
     /// Duplicate packets discarded (and re-ACKed).
@@ -73,6 +83,15 @@ pub struct ClicStats {
     /// Data packets refused (unacknowledged) because the destination
     /// port's parked backlog hit its buffering limit.
     pub backlog_drops: u64,
+    /// Data packets rejected by the epoch guard: they were stamped with a
+    /// session epoch other than this incarnation's (stale pre-crash
+    /// sequence space). Each rejection answers with a session reset.
+    pub stale_epoch_drops: u64,
+    /// Receive-side flow states garbage-collected because the sender went
+    /// silent while a reassembly or out-of-order buffer was open.
+    pub expired_drops: u64,
+    /// Keepalive/handshake probes sent.
+    pub keepalive_probes: u64,
 }
 
 /// Terminal protocol errors CLIC surfaces to the embedding application
@@ -94,6 +113,30 @@ pub enum ClicError {
         /// How many times it was retransmitted.
         retries: u32,
     },
+    /// A flow was torn down because nothing (no ACK, no pong) was heard
+    /// from the peer for [`crate::ClicConfig::peer_dead_timeout`] while
+    /// data was outstanding, despite keepalive probes.
+    PeerDead {
+        /// The silent peer station.
+        peer: MacAddr,
+        /// Destination channel of the failed flow.
+        channel: u16,
+    },
+    /// A flow was torn down because the peer restarted into a new session
+    /// epoch: its pre-crash receive state — including everything this flow
+    /// had in flight — no longer exists.
+    StaleEpoch {
+        /// The restarted peer station.
+        peer: MacAddr,
+        /// Destination channel of the failed flow.
+        channel: u16,
+    },
+    /// The configuration failed validation (see
+    /// [`crate::ClicConfig::validate`]); nothing was installed.
+    Config {
+        /// Which knob (combination) was rejected.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for ClicError {
@@ -108,6 +151,15 @@ impl std::fmt::Display for ClicError {
                 f,
                 "flow to {peer:?} channel {channel} failed: seq {seq} unacknowledged after {retries} retransmissions"
             ),
+            ClicError::PeerDead { peer, channel } => write!(
+                f,
+                "flow to {peer:?} channel {channel} failed: peer declared dead (keepalive timeout)"
+            ),
+            ClicError::StaleEpoch { peer, channel } => write!(
+                f,
+                "flow to {peer:?} channel {channel} failed: peer restarted into a new session epoch"
+            ),
+            ClicError::Config { what } => write!(f, "invalid CLIC configuration: {what}"),
         }
     }
 }
@@ -137,10 +189,20 @@ struct OutFlow {
     rttvar_ns: u64,
     /// Consecutive duplicate cumulative ACKs naming the window base.
     dup_acks: u32,
+    /// When anything (ACK or pong) was last heard from the peer; the
+    /// peer-dead timeout measures from here. Initialized to flow creation.
+    last_heard: SimTime,
+    /// Keepalive timer bookkeeping (same generation-counter pattern as the
+    /// RTO timer: a stale firing compares generations and dies).
+    ka_armed: bool,
+    ka_gen: u64,
+    /// Most recent window the peer advertised on an ACK (packets); caps
+    /// the effective send window. `None` until the peer advertises one.
+    peer_window: Option<usize>,
 }
 
 impl OutFlow {
-    fn new(config: &ClicConfig) -> OutFlow {
+    fn new(config: &ClicConfig, now: SimTime) -> OutFlow {
         OutFlow {
             window: SendWindow::new(config.window),
             queue: VecDeque::new(),
@@ -153,7 +215,17 @@ impl OutFlow {
             srtt_ns: None,
             rttvar_ns: 0,
             dup_acks: 0,
+            last_heard: now,
+            ka_armed: false,
+            ka_gen: 0,
+            peer_window: None,
         }
+    }
+
+    /// A flow with nothing queued, posting or unacknowledged needs no
+    /// liveness monitoring — its keepalive timer is allowed to die.
+    fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.posting == 0 && self.window.all_acked()
     }
 
     /// RFC 6298 with integer-ns arithmetic: fold in one RTT sample and
@@ -189,17 +261,32 @@ struct InFlow {
     unacked: u32,
     ack_timer_armed: bool,
     ack_gen: u64,
+    /// When a data packet or probe from the peer last arrived; expiry GC
+    /// measures from here.
+    last_heard: SimTime,
+    /// Expiry-GC timer bookkeeping (generation-guarded like every timer).
+    exp_armed: bool,
+    exp_gen: u64,
 }
 
 impl InFlow {
-    fn new(config: &ClicConfig) -> InFlow {
+    fn new(config: &ClicConfig, now: SimTime) -> InFlow {
         InFlow {
             window: RecvWindow::new(config.ooo_limit),
             assembling: None,
             unacked: 0,
             ack_timer_armed: false,
             ack_gen: 0,
+            last_heard: now,
+            exp_armed: false,
+            exp_gen: 0,
         }
+    }
+
+    /// Buffered state that must not be stranded if the sender dies:
+    /// partial reassemblies plus out-of-order packets.
+    fn holds_state(&self) -> bool {
+        self.assembling.is_some() || self.window.buffered() > 0
     }
 }
 
@@ -257,6 +344,21 @@ pub struct ClicModule {
     next_msg_id: u32,
     stats: ClicStats,
     error_handler: Option<Rc<dyn Fn(&mut Sim, ClicError)>>,
+    /// This node's session incarnation, bumped on every restart. Monotonic
+    /// internally; folded onto the 5-bit wire space when stamped.
+    epoch: u32,
+    /// Crash-stopped: frames are dropped, sends are swallowed. All flow,
+    /// port and peer-epoch state was wiped at crash time.
+    crashed: bool,
+    /// Last wire epoch observed from each peer (via ACK, pong or reset);
+    /// the epoch guard refuses to post data until the peer's is known.
+    peer_epochs: BTreeMap<MacAddr, u8>,
+}
+
+/// Fold the monotonic incarnation counter onto the 5-bit wire space
+/// (`1..=31`; `0` is reserved for "unknown / guard off").
+fn wire_epoch(epoch: u32) -> u8 {
+    ((epoch - 1) % 31 + 1) as u8
 }
 
 /// An in-kernel service invocable from remote nodes (the "kernel function
@@ -276,12 +378,33 @@ impl PacketHandler for Handler {
 impl ClicModule {
     /// Insert CLIC_MODULE into `kernel`, attached to `devices` (more than
     /// one enables channel bonding). Registers the CLIC EtherType handler.
+    /// Panics on an invalid configuration; [`ClicModule::try_install`]
+    /// surfaces the same condition as [`ClicError::Config`].
     pub fn install(
         kernel: &Rc<RefCell<Kernel>>,
         devices: Vec<usize>,
         config: ClicConfig,
     ) -> Rc<RefCell<ClicModule>> {
-        assert!(!devices.is_empty(), "CLIC needs at least one device");
+        match Self::try_install(kernel, devices, config) {
+            Ok(module) => module,
+            // lint:allow(no-unwrap, reason="install is the panicking convenience wrapper; try_install is the fallible API")
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`ClicModule::install`]: validates `config` first and
+    /// returns [`ClicError::Config`] instead of panicking on nonsense.
+    pub fn try_install(
+        kernel: &Rc<RefCell<Kernel>>,
+        devices: Vec<usize>,
+        config: ClicConfig,
+    ) -> Result<Rc<RefCell<ClicModule>>, ClicError> {
+        config.validate()?;
+        if devices.is_empty() {
+            return Err(ClicError::Config {
+                what: "CLIC needs at least one device",
+            });
+        }
         let (macs, device_mtu) = {
             let k = kernel.borrow();
             let macs: Vec<MacAddr> = devices
@@ -297,7 +420,11 @@ impl ClicModule {
             (macs, mtu)
         };
         let mtu = config.mtu_override.unwrap_or(device_mtu);
-        assert!(mtu > CLIC_HEADER + MSG_PREFIX, "MTU too small for CLIC");
+        if mtu <= CLIC_HEADER + MSG_PREFIX {
+            return Err(ClicError::Config {
+                what: "MTU too small for CLIC headers",
+            });
+        }
         let width = devices.len();
         let module = Rc::new(RefCell::new(ClicModule {
             kernel: Rc::downgrade(kernel),
@@ -313,11 +440,14 @@ impl ClicModule {
             next_msg_id: 1,
             stats: ClicStats::default(),
             error_handler: None,
+            epoch: 1,
+            crashed: false,
+            peer_epochs: BTreeMap::new(),
         }));
         kernel
             .borrow_mut()
             .register_handler(EtherType::CLIC.0, Rc::new(Handler(module.clone())));
-        module
+        Ok(module)
     }
 
     fn kernel(module: &Rc<RefCell<ClicModule>>) -> Rc<RefCell<Kernel>> {
@@ -337,6 +467,52 @@ impl ClicModule {
     /// Statistics snapshot.
     pub fn stats(&self) -> ClicStats {
         self.stats.clone()
+    }
+
+    /// Crash-stop this node's CLIC state: every outbound flow (with its
+    /// queued data and unfired confirms), every receive-side flow (with
+    /// its reassemblies and out-of-order buffers), every port binding and
+    /// all learned peer epochs are lost, exactly as a kernel panic would
+    /// lose them. Frames arriving while crashed are dropped. Statistics
+    /// survive — they model an external observer, not kernel memory.
+    pub fn crash(&mut self) {
+        self.crashed = true;
+        self.out.clear();
+        self.inflows.clear();
+        self.ports.clear();
+        self.peer_epochs.clear();
+    }
+
+    /// Restart after [`ClicModule::crash`]: the module comes back empty
+    /// under a new session epoch, so peers still holding pre-crash
+    /// sequence space get session resets instead of silent acceptance.
+    pub fn restart(&mut self) {
+        self.crashed = false;
+        self.epoch += 1;
+    }
+
+    /// Whether the module is currently crash-stopped.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Current session incarnation (starts at 1, bumped per restart).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Bytes currently held in receive-side buffers: parked port backlogs,
+    /// out-of-order windows and partial reassemblies. This is what the
+    /// receive budget charges against `recv_budget_bytes`, and what the
+    /// chaos harness asserts drains to zero at quiescence.
+    pub fn buffered_bytes(&self) -> usize {
+        let parked: usize = self.ports.values().map(|p| p.pending_bytes).sum();
+        let flows: usize = self
+            .inflows
+            .values()
+            .map(|f| f.window.buffered_bytes() + f.assembling.as_ref().map_or(0, |a| a.buf.len()))
+            .sum();
+        parked + flows
     }
 
     /// Install the callback invoked when a flow fails terminally (e.g.
@@ -445,6 +621,9 @@ impl ClicModule {
             opts.ptype.is_data_bearing(),
             "send accepts data-bearing packet types only"
         );
+        if module.borrow().crashed {
+            return; // a crashed kernel swallows the call; nothing confirms
+        }
         let kernel = Self::kernel(module);
 
         // Intra-node fast path: one copy user-to-user, no NIC involved.
@@ -588,12 +767,13 @@ impl ClicModule {
         opts: SendOptions,
         data: Bytes,
     ) {
+        let now = sim.now();
         {
             let mut m = module.borrow_mut();
             let msg_id = m.next_msg_id;
             m.next_msg_id += 1;
             let max_chunk = m.max_chunk;
-            let fresh = OutFlow::new(&m.config);
+            let fresh = OutFlow::new(&m.config, now);
             let flow = m.out.entry(key).or_insert(fresh);
             // First fragment carries the message prefix.
             let mut first = BytesMut::with_capacity(MSG_PREFIX + data.len().min(max_chunk));
@@ -634,24 +814,56 @@ impl ClicModule {
             }
         }
         Self::pump(module, sim, key);
+        // Liveness monitoring rides along while the flow is busy; if the
+        // peer's epoch is still unknown (guard on), the first probe doubles
+        // as the session handshake and the keepalive timer retries it.
+        if Self::ensure_keepalive(module, sim, key) {
+            let handshaking = {
+                let m = module.borrow();
+                m.config.epoch_guard && !m.peer_epochs.contains_key(&key.0)
+            };
+            if handshaking {
+                Self::send_probe(module, sim, key);
+            }
+        }
     }
 
-    /// Move queued packets into the network while the window allows.
+    /// Move queued packets into the network while the window allows. With
+    /// the epoch guard on, nothing posts until the peer's epoch is known
+    /// (the probe/pong handshake teaches it) — every data packet is
+    /// stamped with the peer's epoch so a restarted receiver can tell
+    /// stale sequence space from fresh.
     fn pump(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, key: FlowKey) {
         loop {
             let post = {
                 let mut m = module.borrow_mut();
                 let window_cap = m.config.window;
+                let stamp = if m.config.epoch_guard {
+                    match m.peer_epochs.get(&key.0).copied() {
+                        Some(e) => Some(e),
+                        None => return, // handshake pending; pong resumes us
+                    }
+                } else {
+                    None
+                };
                 let Some(flow) = m.out.get_mut(&key) else {
                     return;
                 };
-                if flow.queue.is_empty() || flow.window.inflight_len() + flow.posting >= window_cap
-                {
+                // The receiver's advertised window (backpressure) caps the
+                // configured one; its floor of 1 guarantees progress.
+                let cap = flow
+                    .peer_window
+                    .map_or(window_cap, |w| w.min(window_cap))
+                    .max(1);
+                if flow.queue.is_empty() || flow.window.inflight_len() + flow.posting >= cap {
                     None
                 } else {
                     match flow.queue.pop_front() {
                         None => None,
-                        Some(pkt) => {
+                        Some(mut pkt) => {
+                            if let Some(epoch) = stamp {
+                                pkt.header.flags = flags::with_epoch(pkt.header.flags, epoch);
+                            }
                             flow.posting += 1;
                             let dev_slot = m.bond.next_index();
                             let dev = m.devices[dev_slot];
@@ -813,15 +1025,11 @@ impl ClicModule {
             if flow.window.max_retries() > max_retries {
                 // The peer is not answering: tear the flow down and
                 // surface a typed error instead of retrying forever.
-                let seq = flow.window.base();
-                let retries = flow.window.max_retries();
-                m.out.remove(&key);
-                m.stats.flow_failures += 1;
                 Err(ClicError::MaxRetriesExceeded {
                     peer: key.0,
                     channel: key.1,
-                    seq,
-                    retries,
+                    seq: flow.window.base(),
+                    retries: flow.window.max_retries(),
                 })
             } else {
                 flow.rto_current = (flow.rto_current * 2).min(rto_max);
@@ -832,12 +1040,7 @@ impl ClicModule {
         let resend = match action {
             Ok(set) => set,
             Err(err) => {
-                sim.metrics.counter_inc("clic.flow_failures");
-                sim.trace.instant(sim.now(), Layer::Clic, "flow_fail", 0);
-                let handler = module.borrow().error_handler.clone();
-                if let Some(h) = handler {
-                    h(sim, err);
-                }
+                Self::fail_flow(module, sim, key, err);
                 return;
             }
         };
@@ -863,6 +1066,335 @@ impl ClicModule {
     }
 
     // ------------------------------------------------------------------
+    // Liveness, session epochs and teardown
+    // ------------------------------------------------------------------
+
+    /// Tear an outbound flow down with a typed terminal error: its
+    /// unacknowledged and queued data is discarded, pending confirms never
+    /// fire, the failure is counted by cause, and the error handler (if
+    /// any) runs. A no-op if the flow is already gone.
+    fn fail_flow(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, key: FlowKey, err: ClicError) {
+        let cause = {
+            let mut m = module.borrow_mut();
+            if m.out.remove(&key).is_none() {
+                return; // already torn down by a racing cause
+            }
+            m.stats.flow_failures += 1;
+            match &err {
+                ClicError::MaxRetriesExceeded { .. } => {
+                    m.stats.flow_failures_max_retries += 1;
+                    Some("clic.flow_failures.max_retries")
+                }
+                ClicError::PeerDead { .. } => {
+                    m.stats.flow_failures_peer_dead += 1;
+                    Some("clic.flow_failures.peer_dead")
+                }
+                ClicError::StaleEpoch { .. } => {
+                    m.stats.flow_failures_stale_epoch += 1;
+                    Some("clic.flow_failures.stale_epoch")
+                }
+                // Config errors come from validation, never from a flow.
+                ClicError::Config { .. } => None,
+            }
+        };
+        sim.metrics.counter_inc("clic.flow_failures");
+        if let Some(name) = cause {
+            sim.metrics.counter_inc(name);
+        }
+        sim.trace.instant(sim.now(), Layer::Clic, "flow_fail", 0);
+        let handler = module.borrow().error_handler.clone();
+        if let Some(h) = handler {
+            h(sim, err);
+        }
+    }
+
+    /// Arm the keepalive timer for a flow if liveness monitoring is on and
+    /// it is not armed already. Returns whether this call armed it (the
+    /// caller uses that to fire the one handshake probe per busy period).
+    fn ensure_keepalive(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, key: FlowKey) -> bool {
+        let arm = {
+            let mut m = module.borrow_mut();
+            let Some(interval) = m.config.keepalive_interval else {
+                return false;
+            };
+            let Some(flow) = m.out.get_mut(&key) else {
+                return false;
+            };
+            if flow.ka_armed {
+                None
+            } else {
+                flow.ka_armed = true;
+                flow.ka_gen += 1;
+                Some((flow.ka_gen, interval))
+            }
+        };
+        match arm {
+            None => false,
+            Some((generation, delay)) => {
+                let module2 = module.clone();
+                sim.schedule_in(delay, move |sim| {
+                    Self::on_keepalive(&module2, sim, key, generation);
+                });
+                true
+            }
+        }
+    }
+
+    fn on_keepalive(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        key: FlowKey,
+        generation: u64,
+    ) {
+        enum Verdict {
+            Idle,
+            Dead,
+            Probe,
+        }
+        let verdict = {
+            let now = sim.now();
+            let mut m = module.borrow_mut();
+            let timeout = m.config.peer_dead_timeout;
+            let Some(flow) = m.out.get_mut(&key) else {
+                return; // flow finished or was torn down; timer dies
+            };
+            if flow.ka_gen != generation {
+                return; // superseded
+            }
+            flow.ka_armed = false;
+            if flow.is_idle() {
+                // Nothing outstanding: let the timer die so the event loop
+                // can quiesce. The next enqueue re-arms it.
+                Verdict::Idle
+            } else if now.saturating_since(flow.last_heard) >= timeout {
+                Verdict::Dead
+            } else {
+                Verdict::Probe
+            }
+        };
+        match verdict {
+            Verdict::Idle => {}
+            Verdict::Dead => {
+                Self::fail_flow(
+                    module,
+                    sim,
+                    key,
+                    ClicError::PeerDead {
+                        peer: key.0,
+                        channel: key.1,
+                    },
+                );
+            }
+            Verdict::Probe => {
+                Self::send_probe(module, sim, key);
+                Self::ensure_keepalive(module, sim, key);
+            }
+        }
+    }
+
+    /// Send one keepalive/handshake probe towards `key`'s peer. Probes are
+    /// answered by pongs, not ACKs — a probe must never feed the duplicate
+    /// ACK counter or the RTT estimator (Karn-safe by construction).
+    fn send_probe(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, key: FlowKey) {
+        module.borrow_mut().stats.keepalive_probes += 1;
+        sim.metrics.counter_inc("clic.keepalive_probes");
+        sim.trace.instant(sim.now(), Layer::Clic, "keepalive", 0);
+        Self::send_control(module, sim, key, control::PROBE);
+    }
+
+    /// Transmit a one-byte `Internal` control packet (probe, pong or
+    /// reset) to `key.0`, stamped with this node's epoch when the guard is
+    /// on. Control packets bypass the reliable window; losing one is
+    /// harmless — probes repeat and resets are re-triggered by the next
+    /// stale packet.
+    fn send_control(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, key: FlowKey, tag: u8) {
+        let kernel = Self::kernel(module);
+        let (header, dev) = {
+            let mut m = module.borrow_mut();
+            if m.crashed {
+                return;
+            }
+            let epoch = if m.config.epoch_guard {
+                wire_epoch(m.epoch)
+            } else {
+                0
+            };
+            let slot = m.bond.next_index();
+            (
+                ClicHeader {
+                    ptype: PacketType::Internal,
+                    flags: flags::with_epoch(0, epoch),
+                    channel: key.1,
+                    seq: 0,
+                    len: 1,
+                },
+                m.devices[slot],
+            )
+        };
+        let skb = SkBuff::zero_copy(
+            Bytes::copy_from_slice(&header.encode()),
+            Bytes::copy_from_slice(&[tag]),
+        );
+        hard_start_xmit(&kernel, sim, dev, key.0, EtherType::CLIC, skb, |_, _| {});
+    }
+
+    fn process_control(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        src: MacAddr,
+        header: ClicHeader,
+        chunk: Bytes,
+    ) {
+        let Some(&tag) = chunk.first() else {
+            module.borrow_mut().stats.malformed += 1;
+            return;
+        };
+        match tag {
+            control::PROBE => {
+                // The prober is alive: refresh receive-side state for it,
+                // then answer with an epoch-stamped pong.
+                let now = sim.now();
+                {
+                    let mut m = module.borrow_mut();
+                    for (_, flow) in m.inflows.range_mut((src, 0)..=(src, u16::MAX)) {
+                        flow.last_heard = now;
+                    }
+                }
+                Self::send_control(module, sim, (src, header.channel), control::PONG);
+            }
+            control::PONG => {
+                let now = sim.now();
+                {
+                    let mut m = module.borrow_mut();
+                    for (_, flow) in m.out.range_mut((src, 0)..=(src, u16::MAX)) {
+                        flow.last_heard = now;
+                    }
+                }
+                Self::note_peer_epoch(module, sim, src, flags::epoch_bits(header.flags));
+                // A pong may complete the epoch handshake: resume every
+                // flow towards the peer that was gated on it.
+                let keys: Vec<FlowKey> = module
+                    .borrow()
+                    .out
+                    .keys()
+                    .filter(|k| k.0 == src)
+                    .copied()
+                    .collect();
+                for key in keys {
+                    Self::pump(module, sim, key);
+                }
+            }
+            control::RESET => {
+                // The peer has no state for our session (it restarted and
+                // saw our stale data). Its stamp is a fresh epoch, so the
+                // epoch bookkeeping below tears down every flow to it.
+                Self::note_peer_epoch(module, sim, src, flags::epoch_bits(header.flags));
+            }
+            _ => {
+                module.borrow_mut().stats.malformed += 1;
+            }
+        }
+    }
+
+    /// Record the peer's epoch as observed on an ACK, pong or reset. With
+    /// the guard on, a *change* from a previously recorded value means the
+    /// peer restarted: everything in flight towards it addresses a dead
+    /// incarnation, so every flow to it tears down with `StaleEpoch`.
+    fn note_peer_epoch(
+        module: &Rc<RefCell<ClicModule>>,
+        sim: &mut Sim,
+        src: MacAddr,
+        observed: u8,
+    ) {
+        if observed == 0 {
+            return; // peer runs without the guard; nothing to track
+        }
+        let stale: Vec<FlowKey> = {
+            let mut m = module.borrow_mut();
+            let guard = m.config.epoch_guard;
+            match m.peer_epochs.insert(src, observed) {
+                Some(prev) if guard && prev != observed => {
+                    m.out.keys().filter(|k| k.0 == src).copied().collect()
+                }
+                _ => Vec::new(),
+            }
+        };
+        for key in stale {
+            Self::fail_flow(
+                module,
+                sim,
+                key,
+                ClicError::StaleEpoch {
+                    peer: key.0,
+                    channel: key.1,
+                },
+            );
+        }
+    }
+
+    /// Arm the receive-side expiry timer for a flow holding buffered state
+    /// (reassembly or out-of-order packets), so a dead sender cannot
+    /// strand buffers forever. Active only when keepalive is configured.
+    fn ensure_expiry(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, key: FlowKey) {
+        let arm = {
+            let mut m = module.borrow_mut();
+            let Some(interval) = m.config.keepalive_interval else {
+                return;
+            };
+            let delay = m.config.peer_dead_timeout.max(interval);
+            let Some(flow) = m.inflows.get_mut(&key) else {
+                return;
+            };
+            if flow.exp_armed || !flow.holds_state() {
+                None
+            } else {
+                flow.exp_armed = true;
+                flow.exp_gen += 1;
+                Some((flow.exp_gen, delay))
+            }
+        };
+        if let Some((generation, delay)) = arm {
+            let module2 = module.clone();
+            sim.schedule_in(delay, move |sim| {
+                Self::on_expiry(&module2, sim, key, generation);
+            });
+        }
+    }
+
+    fn on_expiry(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, key: FlowKey, generation: u64) {
+        let expired = {
+            let now = sim.now();
+            let mut m = module.borrow_mut();
+            let timeout = m.config.peer_dead_timeout;
+            let Some(flow) = m.inflows.get_mut(&key) else {
+                return;
+            };
+            if flow.exp_gen != generation {
+                return;
+            }
+            flow.exp_armed = false;
+            if !flow.holds_state() {
+                return; // drained in the meantime; timer dies
+            }
+            if now.saturating_since(flow.last_heard) >= timeout {
+                m.inflows.remove(&key);
+                m.stats.expired_drops += 1;
+                true
+            } else {
+                false
+            }
+        };
+        if expired {
+            sim.metrics.counter_inc("clic.drops.expired");
+            sim.trace.instant(sim.now(), Layer::Clic, "drop.expired", 0);
+        } else {
+            // Still buffering and the sender was heard recently: re-check
+            // one timeout from now.
+            Self::ensure_expiry(module, sim, key);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Receive path
     // ------------------------------------------------------------------
 
@@ -872,6 +1404,9 @@ impl ClicModule {
         kernel: &Rc<RefCell<Kernel>>,
         frame: Frame,
     ) {
+        if module.borrow().crashed {
+            return; // dead kernels process no frames
+        }
         let Some((header, chunk)) = ClicHeader::decode(&frame.payload) else {
             module.borrow_mut().stats.malformed += 1;
             return;
@@ -909,9 +1444,12 @@ impl ClicModule {
         chunk: Bytes,
         trace: u64,
     ) {
+        if module.borrow().crashed {
+            return; // crashed between interrupt and bottom half
+        }
         match header.ptype {
             PacketType::Ack => Self::process_ack(module, sim, src, header),
-            PacketType::Internal => {} // reserved
+            PacketType::Internal => Self::process_control(module, sim, src, header, chunk),
             _ if header.flags & flags::BEST_EFFORT != 0 => {
                 Self::process_best_effort(module, sim, src, header, chunk, trace);
             }
@@ -927,6 +1465,10 @@ impl ClicModule {
     ) {
         let key = (src, header.channel);
         let now = sim.now();
+        // An epoch change on the ACK stamp means the peer restarted — this
+        // tears down every flow to it (including `key`) before the window
+        // machinery can misread ACKs from the new incarnation.
+        Self::note_peer_epoch(module, sim, src, flags::epoch_bits(header.flags));
         let (fired, pump_needed, fast_rtx) = {
             let mut m = module.borrow_mut();
             m.stats.acks_received += 1;
@@ -934,6 +1476,12 @@ impl ClicModule {
             let Some(flow) = m.out.get_mut(&key) else {
                 return;
             };
+            flow.last_heard = now;
+            if header.len > 0 {
+                // The receiver advertised its remaining buffer budget in
+                // the (otherwise unused) ACK length field.
+                flow.peer_window = Some(header.len as usize);
+            }
             let summary = flow.window.ack(header.seq);
             if summary.acked == 0 {
                 // A cumulative ACK that moves nothing is the receiver
@@ -1041,6 +1589,27 @@ impl ClicModule {
         trace: u64,
     ) {
         let key = (src, header.channel);
+        let now = sim.now();
+        // Epoch guard: data stamped for another incarnation is stale
+        // pre-crash sequence space. Accepting it would splice old bytes
+        // into new flows; instead drop it and tell the sender to reset.
+        let stale = {
+            let mut m = module.borrow_mut();
+            if m.config.epoch_guard && flags::epoch_bits(header.flags) != wire_epoch(m.epoch) {
+                m.stats.packets_received += 1;
+                m.stats.stale_epoch_drops += 1;
+                true
+            } else {
+                false
+            }
+        };
+        if stale {
+            sim.metrics.counter_inc("clic.drops.stale_epoch");
+            sim.trace
+                .instant(sim.now(), Layer::Clic, "drop.stale_epoch", trace);
+            Self::send_control(module, sim, key, control::RESET);
+            return;
+        }
         let (completed, ack_now) = {
             let mut m = module.borrow_mut();
             m.stats.packets_received += 1;
@@ -1060,8 +1629,9 @@ impl ClicModule {
                 return;
             }
             let ack_every = m.config.ack_every;
-            let fresh = InFlow::new(&m.config);
+            let fresh = InFlow::new(&m.config, now);
             let flow = m.inflows.entry(key).or_insert(fresh);
+            flow.last_heard = now;
             match flow.window.offer(header, chunk) {
                 RecvOutcome::Deliver(packets) => {
                     flow.unacked += packets.len() as u32;
@@ -1108,6 +1678,10 @@ impl ClicModule {
         } else {
             Self::maybe_arm_ack_timer(module, sim, key);
         }
+        // If this flow now holds buffered state (a reassembly in progress
+        // or out-of-order packets), make sure a dead sender cannot strand
+        // it: the expiry timer garbage-collects silent flows.
+        Self::ensure_expiry(module, sim, key);
         for msg in completed {
             Self::deliver_message(module, sim, msg, trace);
         }
@@ -1196,14 +1770,31 @@ impl ClicModule {
                 None => return,
             };
             m.stats.acks_sent += 1;
+            // Backpressure: advertise how many more packets fit in the
+            // receive budget (floor 1 so a full buffer throttles senders
+            // to a trickle instead of deadlocking them).
+            let advertised = match m.config.recv_budget_bytes {
+                None => 0,
+                Some(budget) => {
+                    let used = m.buffered_bytes();
+                    sim.metrics.gauge_set("clic.recv_buffer_bytes", used as i64);
+                    let free = budget.saturating_sub(used);
+                    ((free / m.max_chunk).max(1)).min(m.config.window) as u32
+                }
+            };
+            let epoch = if m.config.epoch_guard {
+                wire_epoch(m.epoch)
+            } else {
+                0
+            };
             let slot = m.bond.next_index();
             (
                 ClicHeader {
                     ptype: PacketType::Ack,
-                    flags: 0,
+                    flags: flags::with_epoch(0, epoch),
                     channel: key.1,
                     seq: ack_value,
-                    len: 0,
+                    len: advertised,
                 },
                 m.devices[slot],
             )

@@ -210,6 +210,12 @@ impl RecvWindow {
         self.ooo.len()
     }
 
+    /// Payload bytes currently held in the out-of-order buffer — the
+    /// receive-buffer budget charges these against `recv_budget_bytes`.
+    pub fn buffered_bytes(&self) -> usize {
+        self.ooo.values().map(|(_, payload)| payload.len()).sum()
+    }
+
     /// Offer an arriving data packet.
     pub fn offer(&mut self, header: ClicHeader, payload: Bytes) -> RecvOutcome {
         if header.seq < self.expected {
@@ -411,6 +417,46 @@ mod tests {
         assert_eq!(w.offer(hdr(2), payload(2)), RecvOutcome::Buffered);
         assert_eq!(w.offer(hdr(3), payload(3)), RecvOutcome::Overflow);
         assert_eq!(w.buffered(), 2);
+    }
+
+    #[test]
+    fn recv_boundary_at_exactly_ooo_limit() {
+        // Pin the off-by-one down: the ooo_limit-th out-of-order packet is
+        // the last one that buffers; packet limit+1 overflows; duplicates
+        // of buffered packets at the boundary stay Duplicate (not
+        // Overflow); and filling the gap drains the entire buffer.
+        const LIMIT: usize = 3;
+        let mut w = RecvWindow::new(LIMIT);
+        for seq in 1..=LIMIT as u32 {
+            assert_eq!(
+                w.offer(hdr(seq), payload(seq as u8)),
+                RecvOutcome::Buffered,
+                "packet #{seq} of {LIMIT} must still fit"
+            );
+        }
+        assert_eq!(w.buffered(), LIMIT, "buffer holds exactly ooo_limit");
+        assert_eq!(w.buffered_bytes(), LIMIT, "one payload byte per packet");
+        assert_eq!(
+            w.offer(hdr(LIMIT as u32 + 1), payload(0)),
+            RecvOutcome::Overflow,
+            "packet limit+1 must overflow"
+        );
+        assert_eq!(w.buffered(), LIMIT, "overflow does not evict");
+        assert_eq!(
+            w.offer(hdr(2), payload(2)),
+            RecvOutcome::Duplicate,
+            "redelivery at a full buffer is a duplicate, not an overflow"
+        );
+        match w.offer(hdr(0), payload(0)) {
+            RecvOutcome::Deliver(v) => {
+                let seqs: Vec<u32> = v.iter().map(|(h, _)| h.seq).collect();
+                assert_eq!(seqs, vec![0, 1, 2, 3], "gap fill drains the buffer");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(w.ack_value(), LIMIT as u32 + 1);
+        assert_eq!(w.buffered(), 0);
+        assert_eq!(w.buffered_bytes(), 0);
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! End-to-end property test for the fault-injection subsystem: under an
 //! arbitrary fault plan (loss — uniform or bursty —, corruption,
-//! duplication, reordering, a link outage), CLIC either delivers every
-//! message exactly once, in order and byte-for-byte, or tears the flow
-//! down with a typed [`ClicError::MaxRetriesExceeded`] — never a silent
-//! drop, duplicate or corruption.
+//! duplication, reordering, a link outage, a receiver crash/restart),
+//! CLIC either delivers every message exactly once, in order and
+//! byte-for-byte, or tears the flow down with a typed error
+//! ([`ClicError::MaxRetriesExceeded`], [`ClicError::PeerDead`] or
+//! [`ClicError::StaleEpoch`]) — never a silent drop, duplicate or
+//! corruption.
 //!
 //! Each case runs a full two-node simulation, so the case count is kept
 //! small; the deterministic paths are covered by the unit tests in
@@ -59,6 +61,9 @@ proptest! {
         reorder_permille in 0u32..20,
         outage in any::<bool>(),
         nmsgs in 1usize..4,
+        crash in any::<bool>(),
+        crash_at_us in 200u64..4_000,
+        restart_after_us in 100u64..3_000,
     ) {
         let mut sim = Sim::new(seed);
         let link = Link::gigabit();
@@ -91,8 +96,17 @@ proptest! {
         link.borrow_mut().set_faults(LinkEnd::A, plan.clone());
         link.borrow_mut().set_faults(LinkEnd::B, plan);
 
-        let a = mk_node(1, link.clone(), LinkEnd::A, ClicConfig::paper_default());
-        let b = mk_node(2, link, LinkEnd::B, ClicConfig::paper_default());
+        // With a crash in the schedule, run the full robustness stack:
+        // epoch guard (so the restarted receiver rejects stale sequence
+        // space) and keepalive (so a dead peer surfaces as PeerDead).
+        let mut cfg = ClicConfig::paper_default();
+        if crash {
+            cfg.keepalive_interval = Some(SimDuration::from_us(500));
+            cfg.peer_dead_timeout = SimDuration::from_ms(8);
+            cfg.epoch_guard = true;
+        }
+        let a = mk_node(1, link.clone(), LinkEnd::A, cfg.clone());
+        let b = mk_node(2, link, LinkEnd::B, cfg);
         let errors: Rc<RefCell<Vec<ClicError>>> = Rc::new(RefCell::new(Vec::new()));
         {
             let errors = errors.clone();
@@ -127,19 +141,47 @@ proptest! {
         for k in 0..nmsgs {
             tx.send(&mut sim, b.mac, 1, mk_payload(k));
         }
+        if crash {
+            // Crash-stop the receiver mid-run, losing all in-flight CLIC
+            // state, then restart it under a fresh epoch.
+            let module = b.module.clone();
+            sim.schedule_at(SimTime::from_us(crash_at_us), move |_s| {
+                module.borrow_mut().crash();
+            });
+            let module = b.module.clone();
+            sim.schedule_at(SimTime::from_us(crash_at_us + restart_after_us), move |_s| {
+                module.borrow_mut().restart();
+            });
+        }
         sim.set_event_limit(30_000_000);
         sim.run();
+        // Timers must quiesce: the run ends because the event queue
+        // drains, not because it hit the limit.
+        prop_assert!(sim.events_executed() < 30_000_000, "simulation never quiesced");
 
         let got = got.borrow();
         let errors = errors.borrow();
-        if errors.is_empty() {
-            prop_assert_eq!(got.len(), nmsgs, "no error, so every message must arrive");
-        } else {
-            for e in errors.iter() {
+        for e in errors.iter() {
+            prop_assert!(
+                matches!(
+                    e,
+                    ClicError::MaxRetriesExceeded { .. }
+                        | ClicError::PeerDead { .. }
+                        | ClicError::StaleEpoch { .. }
+                ),
+                "unexpected error kind: {e:?}"
+            );
+            if !crash {
                 prop_assert!(matches!(e, ClicError::MaxRetriesExceeded { .. }));
             }
-            prop_assert!(got.len() <= nmsgs, "failure must never create messages");
         }
+        if errors.is_empty() && !crash {
+            prop_assert_eq!(got.len(), nmsgs, "no error, so every message must arrive");
+        }
+        // A receiver crash may discard a message the module already
+        // acknowledged but the application had not yet drained (the
+        // end-to-end argument in action) — but it can never *create* one.
+        prop_assert!(got.len() <= nmsgs, "failure must never create messages");
         // Whatever arrived is the exact in-order prefix: no duplicates,
         // no reordering, no corruption reaches the application.
         for (k, data) in got.iter().enumerate() {
@@ -201,6 +243,7 @@ fn permanent_outage_surfaces_max_retries_error() {
             assert_eq!(*channel, 7);
             assert!(*retries > 3, "teardown only past the budget: {retries}");
         }
+        other => panic!("expected MaxRetriesExceeded, got {other:?}"),
     }
     assert_eq!(*delivered.borrow(), 0);
     assert_eq!(a.module.borrow().stats().flow_failures, 1);

@@ -36,11 +36,20 @@ proptest! {
             len: payload.len() as u32,
         };
         let mut wire = h.encode().to_vec();
-        wire.extend_from_slice(&payload);
+        // ACKs carry no payload on the wire: their `len` field is the
+        // advertised receive window, not a byte count.
+        let is_ack = ptype == PacketType::Ack;
+        if !is_ack {
+            wire.extend_from_slice(&payload);
+        }
         wire.resize(wire.len().max(46), 0); // Ethernet padding
         let (parsed, body) = ClicHeader::decode(&wire).unwrap();
         prop_assert_eq!(parsed, h);
-        prop_assert_eq!(&body[..], &payload[..]);
+        if is_ack {
+            prop_assert!(body.is_empty(), "ACK decode must not surface padding");
+        } else {
+            prop_assert_eq!(&body[..], &payload[..]);
+        }
     }
 
     /// Message prefix roundtrip.

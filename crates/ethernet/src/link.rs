@@ -252,6 +252,22 @@ impl Link {
         self.faults_b_to_a = plan;
     }
 
+    /// Schedule an additional `[start, end)` outage window for one
+    /// direction (`from` names the transmitting end), preserving whatever
+    /// fault plan is already installed.
+    pub fn add_outage(&mut self, from: LinkEnd, start: SimTime, end: SimTime) {
+        assert!(start < end, "outage window must be non-empty");
+        self.plan_mut(from).outages.push((start, end));
+    }
+
+    /// Flap the link: every frame in *both* directions is dropped during
+    /// `[start, end)` — a cable pull or switch-port down/up cycle. Layered
+    /// on top of the existing fault plans.
+    pub fn flap(&mut self, start: SimTime, end: SimTime) {
+        self.add_outage(LinkEnd::A, start, end);
+        self.add_outage(LinkEnd::B, start, end);
+    }
+
     /// The fault plan currently applied to frames transmitted by `from`.
     pub fn faults(&self, from: LinkEnd) -> &FaultPlan {
         match from {
@@ -750,6 +766,37 @@ mod tests {
         assert_eq!(log.borrow().len(), 1);
         assert_eq!(link.borrow().lost(LinkEnd::A), 1);
         assert_eq!(link.borrow().delivered(LinkEnd::A), 1);
+    }
+
+    #[test]
+    fn flap_drops_both_directions_then_recovers() {
+        let mut sim = Sim::new(0);
+        let link = Link::new(1_000_000_000, SimDuration::ZERO);
+        // Layered on top of an existing plan: the flap must not clobber it.
+        link.borrow_mut()
+            .set_loss_dir(LinkEnd::A, LossModel::EveryNth(1000));
+        link.borrow_mut()
+            .flap(SimTime::ZERO, SimTime::from_ns(2_000));
+        let log_b = attach_logger(&link, LinkEnd::B);
+        let log_a = attach_logger(&link, LinkEnd::A);
+        // First frame per direction finishes serializing at 1104 ns
+        // (inside the flap), the second at 2208 ns (after it ends).
+        for _ in 0..2 {
+            Link::transmit(&link, &mut sim, LinkEnd::A, mk_frame(100));
+            Link::transmit(&link, &mut sim, LinkEnd::B, mk_frame(100));
+        }
+        sim.run();
+        assert_eq!(log_b.borrow().len(), 1);
+        assert_eq!(log_a.borrow().len(), 1);
+        assert_eq!(link.borrow().lost(LinkEnd::A), 1);
+        assert_eq!(link.borrow().lost(LinkEnd::B), 1);
+        assert!(
+            matches!(
+                link.borrow().faults(LinkEnd::A).loss,
+                LossModel::EveryNth(1000)
+            ),
+            "flap must preserve the installed plan"
+        );
     }
 
     #[test]

@@ -80,6 +80,15 @@ pub(crate) fn install_irq(kernel: &Rc<RefCell<Kernel>>, dev: usize) {
 /// IRQ entry: charge prologue + per-interrupt driver fixed cost, then start
 /// moving frames.
 fn irq_top_half(kernel: &Rc<RefCell<Kernel>>, sim: &mut Sim, dev: usize) {
+    if kernel.borrow().is_halted() {
+        // Crash-stopped node: nobody services the interrupt. Discard the
+        // NIC's pending frames (the ring is overwritten on a dead host) and
+        // acknowledge so the device re-arms cleanly for a later restart.
+        let nic = kernel.borrow().device(dev);
+        nic.borrow_mut().drain_rx_up_to(usize::MAX);
+        Nic::ack_irq(&nic, sim);
+        return;
+    }
     let cost = {
         let mut k = kernel.borrow_mut();
         k.stats.irqs += 1;
@@ -160,6 +169,9 @@ fn process_frames(
 fn dispatch(kernel: &Rc<RefCell<Kernel>>, sim: &mut Sim, dev: usize, frame: Frame) {
     let (handler, direct) = {
         let k = kernel.borrow();
+        if k.halted {
+            return; // crashed between the interrupt and protocol dispatch
+        }
         (k.handler_for(frame.ethertype.0), k.direct_dispatch)
     };
     let Some(handler) = handler else {
@@ -363,6 +375,34 @@ mod tests {
             (SimDuration::from_us(10)..SimDuration::from_us(20)).contains(&d),
             "driver_rx stage = {d}"
         );
+    }
+
+    #[test]
+    fn halted_node_drops_frames_and_resumes_cleanly() {
+        let mut sim = Sim::new(0);
+        let nodes = mk_nodes(no_coalesce());
+        let rx = install_recorder(&nodes.b);
+        nodes.b.borrow_mut().halt();
+        assert!(nodes.b.borrow().is_halted());
+        xmit(&nodes, &mut sim, Bytes::from(vec![1u8; 100]));
+        sim.run();
+        assert_eq!(
+            rx.frames.borrow().len(),
+            0,
+            "a crash-stopped node must not dispatch frames"
+        );
+        assert_eq!(
+            nodes.b.borrow().stats().irqs,
+            0,
+            "dead CPU services nothing"
+        );
+
+        nodes.b.borrow_mut().resume();
+        xmit(&nodes, &mut sim, Bytes::from(vec![2u8; 100]));
+        sim.run();
+        let frames = rx.frames.borrow();
+        assert_eq!(frames.len(), 1, "a resumed node receives again");
+        assert!(frames[0].1.payload[12..].iter().all(|&b| b == 2));
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub struct Kernel {
     handlers: BTreeMap<u16, Rc<dyn PacketHandler>>,
     bh_queue: VecDeque<Box<dyn FnOnce(&mut Sim)>>,
     bh_running: bool,
+    pub(crate) halted: bool,
     pub(crate) stats: KernelStats,
 }
 
@@ -76,6 +77,7 @@ impl Kernel {
             handlers: BTreeMap::new(),
             bh_queue: VecDeque::new(),
             bh_running: false,
+            halted: false,
             stats: KernelStats::default(),
         }))
     }
@@ -115,6 +117,30 @@ impl Kernel {
     /// Activity counters.
     pub fn stats(&self) -> KernelStats {
         self.stats.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Node lifecycle (crash-stop / crash-restart)
+    // ------------------------------------------------------------------
+
+    /// Crash-stop the node: deferred bottom halves are discarded and every
+    /// frame that reaches a device from now on is dropped at the driver —
+    /// the machine is off. Protocol modules carry their own crash state
+    /// (e.g. `ClicModule::crash`); halting the kernel models the OS side.
+    pub fn halt(&mut self) {
+        self.halted = true;
+        self.bh_queue.clear();
+    }
+
+    /// Bring a halted node back. Protocol state does not survive the
+    /// crash — modules must be restarted separately.
+    pub fn resume(&mut self) {
+        self.halted = false;
+    }
+
+    /// Whether the node is currently crash-stopped.
+    pub fn is_halted(&self) -> bool {
+        self.halted
     }
 
     // ------------------------------------------------------------------

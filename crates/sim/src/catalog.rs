@@ -81,9 +81,19 @@ pub const METRICS: &[MetricDef] = &[
         help: "already-delivered packets dropped (sender missed an ACK)",
     },
     MetricDef {
+        name: "clic.drops.expired",
+        kind: C,
+        help: "buffered receive state discarded after peer-silence expiry",
+    },
+    MetricDef {
         name: "clic.drops.ooo",
         kind: C,
         help: "packets dropped because the out-of-order buffer was full",
+    },
+    MetricDef {
+        name: "clic.drops.stale_epoch",
+        kind: C,
+        help: "packets dropped for carrying a previous session epoch",
     },
     MetricDef {
         name: "clic.fast_retransmits",
@@ -93,7 +103,27 @@ pub const METRICS: &[MetricDef] = &[
     MetricDef {
         name: "clic.flow_failures",
         kind: C,
+        help: "flows torn down by any error (sum of the per-cause splits)",
+    },
+    MetricDef {
+        name: "clic.flow_failures.max_retries",
+        kind: C,
         help: "flows torn down after exhausting retransmission retries",
+    },
+    MetricDef {
+        name: "clic.flow_failures.peer_dead",
+        kind: C,
+        help: "flows torn down after keepalive declared the peer dead",
+    },
+    MetricDef {
+        name: "clic.flow_failures.stale_epoch",
+        kind: C,
+        help: "flows torn down because the peer restarted into a new epoch",
+    },
+    MetricDef {
+        name: "clic.keepalive_probes",
+        kind: C,
+        help: "keepalive probe packets sent on silent flows",
     },
     MetricDef {
         name: "clic.msg_bytes",
@@ -119,6 +149,11 @@ pub const METRICS: &[MetricDef] = &[
         name: "clic.packets_sent",
         kind: C,
         help: "CLIC data packets sent (including retransmissions)",
+    },
+    MetricDef {
+        name: "clic.recv_buffer_bytes",
+        kind: G,
+        help: "receive-side buffered bytes charged against the budget",
     },
     MetricDef {
         name: "clic.retransmits",
@@ -330,6 +365,11 @@ pub const STAGES: &[StageDef] = &[
         help: "packet dropped: already delivered",
     },
     StageDef {
+        name: "drop.expired",
+        layers: &[Layer::Clic],
+        help: "buffered receive state expired after prolonged peer silence",
+    },
+    StageDef {
         name: "drop.fcs",
         layers: &[Layer::Hw],
         help: "frame dropped: FCS check failed at the NIC",
@@ -345,6 +385,11 @@ pub const STAGES: &[StageDef] = &[
         help: "frame dropped: NIC RX ring full",
     },
     StageDef {
+        name: "drop.stale_epoch",
+        layers: &[Layer::Clic],
+        help: "packet dropped: stamped with a previous session epoch",
+    },
+    StageDef {
         name: "fast_retransmit",
         layers: &[Layer::Clic, Layer::TcpIp],
         help: "duplicate-ACK-triggered retransmission",
@@ -352,7 +397,7 @@ pub const STAGES: &[StageDef] = &[
     StageDef {
         name: "flow_fail",
         layers: &[Layer::Clic],
-        help: "flow torn down: retransmission retries exhausted",
+        help: "flow torn down: retries exhausted, peer dead or stale epoch",
     },
     StageDef {
         name: "ip_rx",
@@ -363,6 +408,11 @@ pub const STAGES: &[StageDef] = &[
         name: "ip_tx",
         layers: &[Layer::TcpIp],
         help: "IPv4 send: header build + fragmentation",
+    },
+    StageDef {
+        name: "keepalive",
+        layers: &[Layer::Clic],
+        help: "keepalive probe sent on a silent flow",
     },
     StageDef {
         name: "link_drop",
