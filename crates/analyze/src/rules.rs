@@ -581,6 +581,20 @@ const METRIC_CALLS: &[(&str, Kind)] = &[
 /// Trace-emission methods whose first string literal is a stage name.
 const STAGE_CALLS: &[&str] = &["begin", "end", "instant"];
 
+/// Compile-time interning resolvers from `clic_sim::catalog`: free
+/// functions (called as `counter_id("...")` or `catalog::counter_id(...)`)
+/// whose string literal names a catalog entry of the given kind. A call
+/// counts as a recording for the dead-name pass — the returned id is what
+/// the hot path feeds to the `_id` metric APIs.
+const METRIC_ID_CALLS: &[(&str, Kind)] = &[
+    ("counter_id", Kind::Counter),
+    ("gauge_id", Kind::Gauge),
+    ("histogram_id", Kind::Histogram),
+];
+
+/// Stage-id resolver from `clic_sim::catalog` (see [`METRIC_ID_CALLS`]).
+const STAGE_ID_CALL: &str = "stage_id";
+
 /// `metric-name` / `stage-name`: extract every name literal passed to a
 /// recording call and check it against the catalog. Usage is accumulated
 /// for the dead-name pass (test code counts toward neither rule).
@@ -595,15 +609,31 @@ fn observability_names(
         let TokKind::Ident(name) = &t.kind else {
             continue;
         };
-        // Method-call shape: `.name(`.
-        if !(i >= 1 && lexed.is_punct(i - 1, '.') && lexed.is_punct(i + 1, '(')) {
+        if !lexed.is_punct(i + 1, '(') {
             continue;
         }
-        let metric_kind = METRIC_CALLS
-            .iter()
-            .find(|(m, _)| m == name)
-            .map(|&(_, k)| k);
-        let is_stage = STAGE_CALLS.contains(&name.as_str());
+        // Method-call shape (`.counter_inc(`) or interning-resolver shape
+        // (`counter_id(` — a free function, so NOT preceded by `.`, which
+        // also keeps `fn counter_id(` definitions out via OBS_INFRA_FILES
+        // and the literal requirement below).
+        let is_method = i >= 1 && lexed.is_punct(i - 1, '.');
+        let (metric_kind, is_stage) = if is_method {
+            (
+                METRIC_CALLS
+                    .iter()
+                    .find(|(m, _)| m == name)
+                    .map(|&(_, k)| k),
+                STAGE_CALLS.contains(&name.as_str()),
+            )
+        } else {
+            (
+                METRIC_ID_CALLS
+                    .iter()
+                    .find(|(m, _)| m == name)
+                    .map(|&(_, k)| k),
+                name == STAGE_ID_CALL,
+            )
+        };
         if metric_kind.is_none() && !is_stage {
             continue;
         }

@@ -6,3 +6,8 @@ pub fn record(metrics: &mut Metrics, trace: &mut Trace, now: SimTime) {
     trace.begin(now, Layer::Clic, "driver_tx", 7); // registered: no finding
     trace.instant(now, Layer::Clic, "bogus_stage", 7); // stage-name finding
 }
+
+/// Compile-time interning resolvers count as recordings too.
+const GOOD_ID: MetricId = catalog::counter_id("clic.msgs_sent"); // registered
+const BAD_ID: MetricId = counter_id("interned.not.registered"); // metric-name finding
+const BAD_STAGE: StageId = stage_id("interned_bogus_stage"); // stage-name finding

@@ -70,11 +70,17 @@ fn name_fixture_flags_only_unregistered_names() {
     let diags = run("names.rs", include_str!("fixtures/names.rs"), false);
     let metric: Vec<_> = diags.iter().filter(|d| d.rule == "metric-name").collect();
     let stage: Vec<_> = diags.iter().filter(|d| d.rule == "stage-name").collect();
-    assert_eq!(metric.len(), 2, "{diags:?}");
+    assert_eq!(metric.len(), 3, "{diags:?}");
     assert!(metric.iter().any(|d| d.message.contains("not.registered")));
-    assert_eq!(stage.len(), 1, "{diags:?}");
-    assert!(stage[0].message.contains("bogus_stage"));
-    // Registered names pass.
+    assert!(metric
+        .iter()
+        .any(|d| d.message.contains("interned.not.registered")));
+    assert_eq!(stage.len(), 2, "{diags:?}");
+    assert!(stage.iter().any(|d| d.message.contains("bogus_stage")));
+    assert!(stage
+        .iter()
+        .any(|d| d.message.contains("interned_bogus_stage")));
+    // Registered names pass (string and interned-resolver shapes).
     assert!(!diags.iter().any(|d| d.message.contains("clic.msgs_sent")));
     assert!(!diags.iter().any(|d| d.message.contains("driver_tx")));
 }

@@ -4,9 +4,28 @@
 use clic_sim::{Cpu, CpuClass, SerialResource, Sim, SimDuration};
 use criterion::{criterion_group, criterion_main, Criterion};
 
-/// Schedule-and-drain of a long chain of bare events.
+/// Schedule-and-drain of a long chain of bare events on the
+/// allocation-free fast path (`schedule_arg_in`).
 fn bench_event_chain(c: &mut Criterion) {
     c.bench_function("engine_event_chain_100k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0);
+            fn tick(sim: &mut Sim, left: u64) {
+                if left > 0 {
+                    sim.schedule_arg_in(SimDuration::from_ns(10), tick, left - 1);
+                }
+            }
+            tick(&mut sim, 100_000);
+            sim.run();
+            sim.events_executed()
+        })
+    });
+}
+
+/// The same chain through boxed closures: isolates the cost of the
+/// per-event allocation the fast path avoids.
+fn bench_event_chain_boxed(c: &mut Criterion) {
+    c.bench_function("engine_event_chain_100k_boxed", |b| {
         b.iter(|| {
             let mut sim = Sim::new(0);
             fn tick(sim: &mut Sim, left: u32) {
@@ -21,9 +40,25 @@ fn bench_event_chain(c: &mut Criterion) {
     });
 }
 
-/// Fan-out of many simultaneous events (heap stress).
+/// Fan-out of many simultaneous events (queue stress) on the
+/// allocation-free fast path.
 fn bench_event_fanout(c: &mut Criterion) {
     c.bench_function("engine_fanout_100k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0);
+            fn nop(_: &mut Sim) {}
+            for i in 0..100_000u64 {
+                sim.schedule_fn_in(SimDuration::from_ns(i % 1000), nop);
+            }
+            sim.run();
+            sim.events_executed()
+        })
+    });
+}
+
+/// The same fan-out through boxed closures.
+fn bench_event_fanout_boxed(c: &mut Criterion) {
+    c.bench_function("engine_fanout_100k_boxed", |b| {
         b.iter(|| {
             let mut sim = Sim::new(0);
             for i in 0..100_000u64 {
@@ -75,6 +110,7 @@ fn bench_serial_resource(c: &mut Criterion) {
 criterion_group! {
     name = engine;
     config = Criterion::default().sample_size(10);
-    targets = bench_event_chain, bench_event_fanout, bench_cpu_resource, bench_serial_resource
+    targets = bench_event_chain, bench_event_chain_boxed, bench_event_fanout,
+        bench_event_fanout_boxed, bench_cpu_resource, bench_serial_resource
 }
 criterion_main!(engine);

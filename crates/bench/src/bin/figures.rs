@@ -41,15 +41,19 @@ const USAGE: &str = "usage: figures [--quick|--smoke] [--json] [--jobs N] [--no-
         bonding syscall loss cpu load paths scaling reliability chaos
         claims all (chaos is opt-in: not part of all)
    or: figures trace [fig7a|fig7b|fig7a-lossy|tcp] [--size N] [--mtu M]
-        [--seed S] [--out FILE] [--metrics] [--quick]";
+        [--seed S] [--out FILE] [--metrics] [--quick]
+   or: figures bench [--quick|--smoke] [--json] [--jobs N] [--repeat N]
+        (engine microbenches vs a BinaryHeap reference engine, plus an
+        uncached full-grid replay; results land in BENCH_figures.json)";
 
 /// Per-figure totals of the `m.`-prefixed measurement keys every job
-/// reports (schema v2).
+/// reports (schema v2; `events` since v5).
 #[derive(Debug, Clone, Copy, Default)]
 struct MetricTotals {
     drops: f64,
     retransmits: f64,
     peak_switch_queue_depth: f64,
+    events: f64,
 }
 
 impl MetricTotals {
@@ -61,6 +65,7 @@ impl MetricTotals {
             t.peak_switch_queue_depth = t
                 .peak_switch_queue_depth
                 .max(m.get("m.peak_switch_queue_depth").unwrap_or(0.0));
+            t.events += m.get("m.events").unwrap_or(0.0);
         }
         t
     }
@@ -71,6 +76,7 @@ impl MetricTotals {
         self.peak_switch_queue_depth = self
             .peak_switch_queue_depth
             .max(other.peak_switch_queue_depth);
+        self.events += other.events;
     }
 
     fn json(&self) -> Json {
@@ -81,6 +87,7 @@ impl MetricTotals {
                 "peak_switch_queue_depth",
                 Json::Num(self.peak_switch_queue_depth),
             ),
+            ("events", Json::Num(self.events)),
         ])
     }
 }
@@ -89,6 +96,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
         run_trace(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        run_bench(&args[1..]);
         return;
     }
     let mut quick = false;
@@ -168,7 +179,7 @@ fn main() {
 
     if !timings.is_empty() {
         let path = "BENCH_figures.json";
-        match std::fs::write(path, bench_report(quick, &config, &timings).pretty()) {
+        match std::fs::write(path, bench_report(quick, &config, &timings, None).pretty()) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("could not write {path}: {e}"),
         }
@@ -252,12 +263,295 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// One measured microbench: `repeat` timed runs of a fixed event count.
+struct BenchRow {
+    name: String,
+    events: u64,
+    median_secs: f64,
+    min_secs: f64,
+}
+
+impl BenchRow {
+    /// Events per second at the median run.
+    fn events_per_sec(&self) -> f64 {
+        if self.median_secs > 0.0 {
+            self.events as f64 / self.median_secs
+        } else {
+            0.0
+        }
+    }
+
+    fn json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("events", Json::from(self.events as usize)),
+            ("median_secs", Json::Num(self.median_secs)),
+            ("min_secs", Json::Num(self.min_secs)),
+            ("events_per_sec", Json::Num(self.events_per_sec())),
+        ])
+    }
+}
+
+/// Time `repeat` runs of `work` (which returns its event count).
+fn measure(name: String, repeat: usize, work: impl Fn() -> u64) -> BenchRow {
+    let mut secs = Vec::with_capacity(repeat);
+    let mut events = 0;
+    for _ in 0..repeat {
+        let start = std::time::Instant::now();
+        events = work();
+        secs.push(start.elapsed().as_secs_f64());
+    }
+    secs.sort_by(f64::total_cmp);
+    BenchRow {
+        name,
+        events,
+        median_secs: secs[secs.len() / 2],
+        min_secs: secs[0],
+    }
+}
+
+/// The synthetic engine workloads, sized to `n` events each.
+mod workloads {
+    use clic_bench::reference::RefEngine;
+    use clic_sim::{Sim, SimDuration};
+
+    /// Self-rescheduling chain through the fn-pointer fast path.
+    pub fn sim_chain(n: u64) -> u64 {
+        let mut sim = Sim::new(0);
+        fn tick(sim: &mut Sim, left: u64) {
+            if left > 0 {
+                sim.schedule_arg_in(SimDuration::from_ns(10), tick, left - 1);
+            }
+        }
+        tick(&mut sim, n);
+        sim.run();
+        sim.events_executed()
+    }
+
+    /// The same chain through boxed closures (the general API).
+    pub fn sim_chain_boxed(n: u64) -> u64 {
+        let mut sim = Sim::new(0);
+        fn tick(sim: &mut Sim, left: u64) {
+            if left > 0 {
+                sim.schedule_in(SimDuration::from_ns(10), move |sim| tick(sim, left - 1));
+            }
+        }
+        tick(&mut sim, n);
+        sim.run();
+        sim.events_executed()
+    }
+
+    /// `n` events pre-scheduled across a 1 µs window, then drained.
+    pub fn sim_fanout(n: u64) -> u64 {
+        let mut sim = Sim::new(0);
+        fn nop(_: &mut Sim) {}
+        for i in 0..n {
+            sim.schedule_fn_in(SimDuration::from_ns(i % 1000), nop);
+        }
+        sim.run();
+        sim.events_executed()
+    }
+
+    /// The chain on the pre-overhaul scheduler shape.
+    pub fn ref_chain(n: u64) -> u64 {
+        let mut e = RefEngine::new();
+        fn tick(e: &mut RefEngine, left: u64) {
+            if left > 0 {
+                e.schedule_in(10, move |e| tick(e, left - 1));
+            }
+        }
+        tick(&mut e, n);
+        e.run();
+        e.executed()
+    }
+
+    /// The fanout on the pre-overhaul scheduler shape.
+    pub fn ref_fanout(n: u64) -> u64 {
+        let mut e = RefEngine::new();
+        for i in 0..n {
+            e.schedule_in(i % 1000, |_| {});
+        }
+        e.run();
+        e.executed()
+    }
+}
+
+/// The `figures bench` subcommand: engine microbenches against the
+/// in-process BinaryHeap reference engine ([`clic_bench::reference`]),
+/// then an uncached full-grid replay whose `m.events` totals give
+/// whole-simulator events/second. Everything lands in
+/// `BENCH_figures.json` under `"bench"`.
+fn run_bench(args: &[String]) {
+    let mut quick = false;
+    let mut json = false;
+    let mut jobs: Option<usize> = None;
+    let mut repeat: Option<usize> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" | "--smoke" => quick = true,
+            "--json" => json = true,
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => die("--jobs needs a positive integer"),
+            },
+            "--repeat" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => repeat = Some(n),
+                _ => die("--repeat needs a positive integer"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown bench argument '{other}'")),
+        }
+    }
+
+    let n: u64 = if quick { 10_000 } else { 100_000 };
+    let repeat = repeat.unwrap_or(if quick { 3 } else { 5 });
+    let tag = if quick { "10k" } else { "100k" };
+
+    let engine = [
+        measure(format!("engine_chain_{tag}"), repeat, || {
+            workloads::sim_chain(n)
+        }),
+        measure(format!("engine_chain_boxed_{tag}"), repeat, || {
+            workloads::sim_chain_boxed(n)
+        }),
+        measure(format!("engine_fanout_{tag}"), repeat, || {
+            workloads::sim_fanout(n)
+        }),
+    ];
+    let reference = [
+        measure(format!("reference_chain_{tag}"), repeat, || {
+            workloads::ref_chain(n)
+        }),
+        measure(format!("reference_fanout_{tag}"), repeat, || {
+            workloads::ref_fanout(n)
+        }),
+    ];
+    let speedup = |eng: &BenchRow, base: &BenchRow| {
+        if eng.median_secs > 0.0 {
+            base.median_secs / eng.median_secs
+        } else {
+            0.0
+        }
+    };
+    let speedups = [
+        ("chain", speedup(&engine[0], &reference[0])),
+        ("chain_boxed", speedup(&engine[1], &reference[0])),
+        ("fanout", speedup(&engine[2], &reference[1])),
+    ];
+
+    // Full-grid replay: always uncached — a cache hit would measure
+    // nothing — but parallel like any figures run.
+    let workers =
+        jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let config = RunnerConfig::uncached(workers);
+    let sizes = if quick {
+        experiments::quick_sizes()
+    } else {
+        experiments::paper_sizes()
+    };
+    let mut timings: Vec<(String, RunReport, MetricTotals)> = Vec::new();
+    for kind in FigureKind::ALL {
+        let specs = kind.jobs(&sizes);
+        let (results, report) = run_jobs(&specs, &config);
+        let totals = MetricTotals::from_results(&results);
+        timings.push((kind.name().to_string(), report, totals));
+    }
+    let mut grid = RunReport::default();
+    let mut grid_metrics = MetricTotals::default();
+    for (_, r, t) in &timings {
+        grid.merge(r);
+        grid_metrics.merge(t);
+    }
+    let grid_eps_serial = if grid.serial_equiv_secs() > 0.0 {
+        grid_metrics.events / grid.serial_equiv_secs()
+    } else {
+        0.0
+    };
+
+    let bench = Json::obj([
+        ("events_per_workload", Json::from(n as usize)),
+        ("repeat", Json::from(repeat)),
+        (
+            "engine",
+            Json::Arr(engine.iter().map(BenchRow::json).collect()),
+        ),
+        (
+            "reference",
+            Json::Arr(reference.iter().map(BenchRow::json).collect()),
+        ),
+        (
+            "speedup_vs_reference",
+            Json::obj(speedups.map(|(k, v)| (k, Json::Num(v)))),
+        ),
+        (
+            "full_grid",
+            Json::obj([
+                ("jobs", Json::from(grid.jobs.len())),
+                ("events", Json::Num(grid_metrics.events)),
+                ("wall_secs", Json::Num(grid.wall_secs)),
+                ("serial_equiv_secs", Json::Num(grid.serial_equiv_secs())),
+                ("events_per_sec_serial", Json::Num(grid_eps_serial)),
+            ]),
+        ),
+    ]);
+
+    if json {
+        print_json(bench.clone());
+    } else {
+        println!("== engine microbenches ({n} events, {repeat} runs, median) ==");
+        println!(
+            "{:<24} {:>12} {:>12} {:>14}",
+            "bench", "median(ms)", "min(ms)", "events/sec"
+        );
+        for row in engine.iter().chain(&reference) {
+            println!(
+                "{:<24} {:>12.3} {:>12.3} {:>14.0}",
+                row.name,
+                row.median_secs * 1e3,
+                row.min_secs * 1e3,
+                row.events_per_sec()
+            );
+        }
+        println!();
+        for (name, s) in speedups {
+            println!("speedup vs reference ({name}): {s:.2}x");
+        }
+        println!();
+        println!("== full-grid replay (uncached, {workers} workers) ==");
+        println!(
+            "{} jobs, {:.0} events, wall {:.2}s, serial-equivalent {:.2}s, {:.0} events/sec (serial)",
+            grid.jobs.len(),
+            grid_metrics.events,
+            grid.wall_secs,
+            grid.serial_equiv_secs(),
+            grid_eps_serial
+        );
+    }
+
+    let path = "BENCH_figures.json";
+    match std::fs::write(
+        path,
+        bench_report(quick, &config, &timings, Some(bench)).pretty(),
+    ) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 /// The `BENCH_figures.json` document: per-figure and total wall clock,
 /// cache statistics, executed-work speedup over serial and metric totals.
+/// `figures bench` additionally passes its microbench section, recorded
+/// under a `"bench"` key.
 fn bench_report(
     quick: bool,
     config: &RunnerConfig,
     timings: &[(String, RunReport, MetricTotals)],
+    bench: Option<Json>,
 ) -> Json {
     let figure_entry = |name: &str, r: &RunReport, t: &MetricTotals| {
         Json::obj([
@@ -277,7 +571,7 @@ fn bench_report(
         total.merge(r);
         total_metrics.merge(t);
     }
-    Json::obj([
+    let mut fields = vec![
         (
             "schema",
             Json::from(clic_cluster::jobs::MEASUREMENT_SCHEMA_VERSION as usize),
@@ -302,7 +596,11 @@ fn bench_report(
             ),
         ),
         ("total", figure_entry("total", &total, &total_metrics)),
-    ])
+    ];
+    if let Some(bench) = bench {
+        fields.push(("bench", bench));
+    }
+    Json::obj(fields)
 }
 
 fn render(json: bool, kind: FigureKind, output: FigureOutput) {
@@ -641,10 +939,7 @@ fn render(json: bool, kind: FigureKind, output: FigureOutput) {
                         .iter()
                         .map(|r| {
                             Json::obj([
-                                (
-                                    "budget_bytes",
-                                    r.budget.map_or(Json::Null, Json::from),
-                                ),
+                                ("budget_bytes", r.budget.map_or(Json::Null, Json::from)),
                                 ("senders", Json::from(r.senders)),
                                 ("delivered", Json::Num(r.delivered)),
                                 ("mean_us", Json::Num(r.mean_us)),

@@ -10,6 +10,12 @@
 //!   serial run.
 //! * [`json`] — the minimal JSON reader/writer behind the cache,
 //!   `--json` output and `BENCH_figures.json`.
+//! * `figures bench` — the engine-performance family: microbenchmarks of
+//!   the calendar-queue engine against [`reference`] (an in-process
+//!   re-implementation of the pre-overhaul `BinaryHeap` + boxed-closure
+//!   scheduler), plus an uncached full-grid replay reporting
+//!   whole-simulator events/second; results land in the `"bench"`
+//!   section of `BENCH_figures.json`.
 //! * `benches/figures.rs` — Criterion benchmarks wrapping each experiment
 //!   so regressions in simulator performance are visible.
 //! * `benches/engine.rs` — microbenchmarks of the DES engine itself
@@ -19,5 +25,6 @@
 #![forbid(unsafe_code)]
 
 pub mod json;
+pub mod reference;
 pub mod render;
 pub mod runner;

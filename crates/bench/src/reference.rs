@@ -1,0 +1,113 @@
+//! Reference event loop for engine speedup measurements.
+//!
+//! [`RefEngine`] reproduces the scheduler the simulator shipped with
+//! before the calendar-queue overhaul: a `BinaryHeap` priority queue
+//! ordered by `(time, seq)` whose every event carries a boxed closure.
+//! `figures bench` runs the same synthetic workloads through this engine
+//! and through [`clic_sim::Sim`], so the reported speedup compares the
+//! current hot path against a faithful in-process baseline rather than
+//! against a number measured on other hardware.
+//!
+//! The engine is deliberately minimal — no horizon, resources, metrics or
+//! tracing — which *flatters* the baseline: the real pre-overhaul engine
+//! did strictly more work per event than this loop.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event: fire `action` at `time`, FIFO among equal times.
+struct RefEvent {
+    time: u64,
+    seq: u64,
+    action: Box<dyn FnOnce(&mut RefEngine)>,
+}
+
+impl PartialEq for RefEvent {
+    fn eq(&self, other: &RefEvent) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for RefEvent {}
+impl PartialOrd for RefEvent {
+    fn partial_cmp(&self, other: &RefEvent) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RefEvent {
+    fn cmp(&self, other: &RefEvent) -> Ordering {
+        // Inverted: BinaryHeap is a max-heap, we pop the earliest key.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The pre-overhaul scheduler shape: binary heap + boxed actions.
+#[derive(Default)]
+pub struct RefEngine {
+    queue: BinaryHeap<RefEvent>,
+    now: u64,
+    seq: u64,
+    executed: u64,
+}
+
+impl RefEngine {
+    /// An empty engine at time zero.
+    pub fn new() -> RefEngine {
+        RefEngine::default()
+    }
+
+    /// Current virtual time, nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedule `action` at absolute time `at`.
+    pub fn schedule_at(&mut self, at: u64, action: impl FnOnce(&mut RefEngine) + 'static) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(RefEvent {
+            time: at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedule `action` after `delay` ns.
+    pub fn schedule_in(&mut self, delay: u64, action: impl FnOnce(&mut RefEngine) + 'static) {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Run until the queue drains.
+    pub fn run(&mut self) {
+        while let Some(ev) = self.queue.pop() {
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.action)(self);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut e = RefEngine::new();
+        for (tag, t) in [(0u32, 50u64), (1, 10), (2, 50), (3, 10)] {
+            let order = order.clone();
+            e.schedule_at(t, move |_| order.borrow_mut().push(tag));
+        }
+        e.run();
+        assert_eq!(*order.borrow(), vec![1, 3, 0, 2]);
+        assert_eq!(e.executed(), 4);
+        assert_eq!(e.now(), 50);
+    }
+}

@@ -36,7 +36,10 @@ use clic_sim::{Sim, SimDuration};
 ///
 /// v4: the chaos/incast robustness family ([`JobKind::Chaos`],
 /// [`JobKind::Incast`]).
-pub const MEASUREMENT_SCHEMA_VERSION: u32 = 4;
+///
+/// v5: every job also reports `m.events` (simulator events executed), the
+/// denominator of the `figures bench` events-per-second report.
+pub const MEASUREMENT_SCHEMA_VERSION: u32 = 5;
 
 /// The flat result of one job: named scalar values, in a stable,
 /// job-defined order (stage breakdowns rely on the order).
@@ -240,6 +243,10 @@ impl Fnv1a {
 impl JobKind {
     /// Execute the simulation. See [`JobSpec::run`].
     pub fn run(&self) -> Measurement {
+        // Cold-start the packet-buffer pool so the run's allocator
+        // behaviour (and its `sim.pool.*` counters) depend only on this
+        // job, never on what ran earlier on the worker thread.
+        bytes::pool::reset();
         match self {
             JobKind::Stream {
                 cluster,
@@ -315,6 +322,7 @@ fn push_metric_totals(m: &mut Measurement, sim: &Sim) {
         "m.peak_switch_queue_depth",
         sim.metrics.max_gauge_peak("eth.switch.queue_depth") as f64,
     );
+    m.push("m.events", sim.events_executed() as f64);
 }
 
 fn run_stream(

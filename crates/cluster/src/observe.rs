@@ -178,6 +178,9 @@ pub fn run_pipeline_trace(
 ) -> PipelineTrace {
     assert!(size >= 1, "traced message must carry at least one byte");
     assert!((128..=9_000).contains(&mtu), "MTU {mtu} outside 128..=9000");
+    // Cold-start the buffer pool so the metrics dump's `sim.pool.*` lines
+    // are a pure function of this trace run.
+    bytes::pool::reset();
     let config = trace_config(scenario, mtu);
     let cluster = Cluster::build(&config);
     let mut sim = Sim::new(seed);
@@ -325,6 +328,13 @@ pub fn collect_metrics(cluster: &Cluster, sim: &Sim) -> Metrics {
         reg.counter_add("eth.switch.frames_flooded", sw.frames_flooded());
         reg.counter_add("eth.switch.frames_dropped", sw.frames_dropped());
     }
+    // Packet-buffer pool traffic since the run's `bytes::pool::reset()`.
+    let ps = bytes::pool::stats();
+    reg.counter_add("sim.pool.recycled", ps.recycled);
+    reg.counter_add("sim.pool.alloc_misses", ps.misses);
+    reg.counter_add("sim.pool.returned", ps.returned);
+    reg.counter_add("sim.pool.discarded", ps.discarded);
+    reg.counter_add("sim.pool.oversize", ps.oversize);
     debug_assert!(
         reg.uncataloged().is_empty(),
         "metrics missing from crates/sim/src/catalog.rs: {:?}",

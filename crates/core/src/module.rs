@@ -28,10 +28,27 @@ use bytes::{BufMut, Bytes, BytesMut};
 use clic_ethernet::{EtherType, Frame, MacAddr, RoundRobin};
 use clic_os::driver::hard_start_xmit;
 use clic_os::{Kernel, PacketHandler, Pid, SkBuff};
-use clic_sim::{Layer, Sim, SimDuration, SimTime};
+use clic_sim::catalog::{counter_id, gauge_id, histogram_id};
+use clic_sim::{Layer, MetricId, Sim, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::{Rc, Weak};
+
+/// Interned metric ids — the CLIC data path records per message/packet,
+/// so names are resolved against the catalog at compile time.
+const M_MSG_BYTES: MetricId = histogram_id("clic.msg_bytes");
+const M_STAGED_COPIES: MetricId = counter_id("clic.staged_copies");
+const M_FLOW_FAILURES: MetricId = counter_id("clic.flow_failures");
+const M_KEEPALIVE_PROBES: MetricId = counter_id("clic.keepalive_probes");
+const M_DROPS_EXPIRED: MetricId = counter_id("clic.drops.expired");
+const M_RTTVAR: MetricId = histogram_id("clic.rttvar");
+const M_FAST_RETRANSMITS: MetricId = counter_id("clic.fast_retransmits");
+const M_RETRANSMITS: MetricId = counter_id("clic.retransmits");
+const M_DROPS_STALE_EPOCH: MetricId = counter_id("clic.drops.stale_epoch");
+const M_DROPS_BACKLOG: MetricId = counter_id("clic.drops.backlog");
+const M_DROPS_DUPLICATE: MetricId = counter_id("clic.drops.duplicate");
+const M_DROPS_OOO: MetricId = counter_id("clic.drops.ooo");
+const M_RECV_BUFFER_BYTES: MetricId = gauge_id("clic.recv_buffer_bytes");
 
 /// Activity counters.
 #[derive(Debug, Default, Clone)]
@@ -603,7 +620,7 @@ impl ClicModule {
     /// standard system call.
     pub fn send(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, opts: SendOptions, data: Bytes) {
         let kernel = Self::kernel(module);
-        sim.metrics.observe("clic.msg_bytes", data.len() as u64);
+        sim.metrics.observe_id(M_MSG_BYTES, data.len() as u64);
         if opts.trace != 0 {
             sim.trace.begin(sim.now(), Layer::Os, "syscall", opts.trace);
         }
@@ -931,7 +948,7 @@ impl ClicModule {
         let staging_cost = if !pkt.staged {
             let mut m = module.borrow_mut();
             m.stats.staged_copies += 1;
-            sim.metrics.counter_inc("clic.staged_copies");
+            sim.metrics.counter_inc_id(M_STAGED_COPIES);
             sim.trace
                 .instant(sim.now(), Layer::Clic, "staged_copy", pkt.trace);
             pkt.staged = true;
@@ -1097,7 +1114,7 @@ impl ClicModule {
                 ClicError::Config { .. } => None,
             }
         };
-        sim.metrics.counter_inc("clic.flow_failures");
+        sim.metrics.counter_inc_id(M_FLOW_FAILURES);
         if let Some(name) = cause {
             sim.metrics.counter_inc(name);
         }
@@ -1197,7 +1214,7 @@ impl ClicModule {
     /// ACK counter or the RTT estimator (Karn-safe by construction).
     fn send_probe(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, key: FlowKey) {
         module.borrow_mut().stats.keepalive_probes += 1;
-        sim.metrics.counter_inc("clic.keepalive_probes");
+        sim.metrics.counter_inc_id(M_KEEPALIVE_PROBES);
         sim.trace.instant(sim.now(), Layer::Clic, "keepalive", 0);
         Self::send_control(module, sim, key, control::PROBE);
     }
@@ -1385,7 +1402,7 @@ impl ClicModule {
             }
         };
         if expired {
-            sim.metrics.counter_inc("clic.drops.expired");
+            sim.metrics.counter_inc_id(M_DROPS_EXPIRED);
             sim.trace.instant(sim.now(), Layer::Clic, "drop.expired", 0);
         } else {
             // Still buffering and the sender was heard recently: re-check
@@ -1505,7 +1522,7 @@ impl ClicModule {
                 if let Some(sent_at) = summary.clean_sent_at {
                     let sample_ns = now.saturating_since(sent_at).as_ns();
                     flow.rto_current = flow.rtt_sample(sample_ns, &config);
-                    sim.metrics.observe("clic.rttvar", flow.rttvar_ns);
+                    sim.metrics.observe_id(M_RTTVAR, flow.rttvar_ns);
                 }
                 flow.rto_gen += 1;
                 flow.rto_running = false;
@@ -1532,8 +1549,8 @@ impl ClicModule {
                 m.stats.fast_retransmits += 1;
                 m.stats.retransmits += 1;
             }
-            sim.metrics.counter_inc("clic.fast_retransmits");
-            sim.metrics.counter_inc("clic.retransmits");
+            sim.metrics.counter_inc_id(M_FAST_RETRANSMITS);
+            sim.metrics.counter_inc_id(M_RETRANSMITS);
             sim.trace
                 .instant(sim.now(), Layer::Clic, "fast_retransmit", 0);
             let kernel = Self::kernel(module);
@@ -1604,7 +1621,7 @@ impl ClicModule {
             }
         };
         if stale {
-            sim.metrics.counter_inc("clic.drops.stale_epoch");
+            sim.metrics.counter_inc_id(M_DROPS_STALE_EPOCH);
             sim.trace
                 .instant(sim.now(), Layer::Clic, "drop.stale_epoch", trace);
             Self::send_control(module, sim, key, control::RESET);
@@ -1623,7 +1640,7 @@ impl ClicModule {
                 .unwrap_or(false);
             if over_budget {
                 m.stats.backlog_drops += 1;
-                sim.metrics.counter_inc("clic.drops.backlog");
+                sim.metrics.counter_inc_id(M_DROPS_BACKLOG);
                 sim.trace
                     .instant(sim.now(), Layer::Clic, "drop.backlog", trace);
                 return;
@@ -1652,7 +1669,7 @@ impl ClicModule {
                 }
                 RecvOutcome::Duplicate => {
                     m.stats.duplicates += 1;
-                    sim.metrics.counter_inc("clic.drops.duplicate");
+                    sim.metrics.counter_inc_id(M_DROPS_DUPLICATE);
                     sim.trace
                         .instant(sim.now(), Layer::Clic, "drop.duplicate", trace);
                     (Vec::new(), true) // re-ACK so the sender resyncs
@@ -1663,7 +1680,7 @@ impl ClicModule {
                 RecvOutcome::Buffered => (Vec::new(), true),
                 RecvOutcome::Overflow => {
                     m.stats.ooo_drops += 1;
-                    sim.metrics.counter_inc("clic.drops.ooo");
+                    sim.metrics.counter_inc_id(M_DROPS_OOO);
                     sim.trace.instant(sim.now(), Layer::Clic, "drop.ooo", trace);
                     (Vec::new(), false)
                 }
@@ -1777,7 +1794,7 @@ impl ClicModule {
                 None => 0,
                 Some(budget) => {
                     let used = m.buffered_bytes();
-                    sim.metrics.gauge_set("clic.recv_buffer_bytes", used as i64);
+                    sim.metrics.gauge_set_id(M_RECV_BUFFER_BYTES, used as i64);
                     let free = budget.saturating_sub(used);
                     ((free / m.max_chunk).max(1)).min(m.config.window) as u32
                 }

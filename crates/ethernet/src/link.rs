@@ -16,9 +16,18 @@
 
 use crate::frame::Frame;
 use crate::link::private::Direction;
-use clic_sim::{Layer, Sim, SimDuration, SimTime};
+use clic_sim::catalog::{counter_id, histogram_id};
+use clic_sim::{Layer, MetricId, Sim, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Interned metric ids — transmit runs once per frame, so names are
+/// resolved against the catalog at compile time.
+const M_FRAME_BYTES: MetricId = histogram_id("eth.link.frame_bytes");
+const M_FRAMES_LOST: MetricId = counter_id("eth.link.frames_lost");
+const M_CORRUPT: MetricId = counter_id("eth.corrupt");
+const M_DUPLICATES: MetricId = counter_id("eth.duplicates");
+const M_REORDERS: MetricId = counter_id("eth.reorders");
 
 /// Callback invoked when a frame fully arrives at a link end.
 pub type FrameHandler = Rc<dyn Fn(&mut Sim, Frame)>;
@@ -393,13 +402,13 @@ impl Link {
             SimDuration::ZERO
         };
         if corrupt {
-            sim.metrics.counter_inc("eth.corrupt");
+            sim.metrics.counter_inc_id(M_CORRUPT);
         }
         if duplicate {
-            sim.metrics.counter_inc("eth.duplicates");
+            sim.metrics.counter_inc_id(M_DUPLICATES);
         }
         if hold > SimDuration::ZERO {
-            sim.metrics.counter_inc("eth.reorders");
+            sim.metrics.counter_inc_id(M_REORDERS);
         }
         Fate::Deliver {
             corrupt,
@@ -413,7 +422,7 @@ impl Link {
     /// propagates and is delivered to the far handler (unless lost).
     pub fn transmit(link: &Rc<RefCell<Link>>, sim: &mut Sim, from: LinkEnd, frame: Frame) {
         sim.metrics
-            .observe("eth.link.frame_bytes", frame.frame_bytes() as u64);
+            .observe_id(M_FRAME_BYTES, frame.frame_bytes() as u64);
         if frame.trace != 0 {
             sim.trace.begin(sim.now(), Layer::Eth, "wire", frame.trace);
         }
@@ -441,7 +450,7 @@ impl Link {
                 match fate {
                     Fate::Lost => {
                         d.frames_lost += 1;
-                        sim.metrics.counter_inc("eth.link.frames_lost");
+                        sim.metrics.counter_inc_id(M_FRAMES_LOST);
                         if frame.trace != 0 {
                             // Close the wire span at the loss point so the
                             // trace stays balanced, then mark the drop.

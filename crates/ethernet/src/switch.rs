@@ -9,10 +9,17 @@
 use crate::frame::Frame;
 use crate::link::{Link, LinkEnd};
 use crate::mac::MacAddr;
-use clic_sim::{Layer, Sim, SimDuration};
+use clic_sim::catalog::{counter_id, gauge_id, histogram_id};
+use clic_sim::{Layer, MetricId, Sim, SimDuration};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// Interned metric ids — the forwarding path records per frame, so names
+/// are resolved against the catalog at compile time.
+const M_QUEUE_DEPTH_G: MetricId = gauge_id("eth.switch.queue_depth");
+const M_QUEUE_DEPTH_H: MetricId = histogram_id("eth.switch.queue_depth");
+const M_DROPS: MetricId = counter_id("eth.switch.drops");
 
 struct Port {
     link: Rc<RefCell<Link>>,
@@ -152,12 +159,11 @@ impl Switch {
         };
         // Queue occupancy at the instant of the forwarding decision: the
         // peak gauge is the congestion headline, the histogram its shape.
-        sim.metrics
-            .gauge_set("eth.switch.queue_depth", depth as i64);
-        sim.metrics.observe("eth.switch.queue_depth", depth as u64);
+        sim.metrics.gauge_set_id(M_QUEUE_DEPTH_G, depth as i64);
+        sim.metrics.observe_id(M_QUEUE_DEPTH_H, depth as u64);
         if full {
             switch.borrow_mut().frames_dropped += 1;
-            sim.metrics.counter_inc("eth.switch.drops");
+            sim.metrics.counter_inc_id(M_DROPS);
             sim.trace
                 .instant(sim.now(), Layer::Eth, "switch_drop", frame.trace);
             return;

@@ -23,10 +23,16 @@ use crate::frag::{self, Reassembler, FRAG_HEADER};
 use crate::pci::PciBus;
 use bytes::Bytes;
 use clic_ethernet::{EtherType, Frame, Link, LinkEnd, MacAddr, ETH_HEADER};
-use clic_sim::{Layer, Sim, SimDuration, SimTime};
+use clic_sim::catalog::counter_id;
+use clic_sim::{Layer, MetricId, Sim, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::{BTreeSet, VecDeque};
 use std::rc::Rc;
+
+/// Interned metric ids — resolved against the catalog at compile time so
+/// the RX hot path records without hashing names.
+const M_RX_FCS_ERRORS: MetricId = counter_id("hw.nic.rx_fcs_errors");
+const M_RX_NO_BUFFER: MetricId = counter_id("hw.nic.rx_no_buffer");
 
 /// Static NIC configuration.
 #[derive(Debug, Clone)]
@@ -398,7 +404,7 @@ impl Nic {
             // arrives, before any filtering or buffering decision.
             if frame.fcs_corrupt {
                 n.stats.rx_fcs_errors += 1;
-                sim.metrics.counter_inc("hw.nic.rx_fcs_errors");
+                sim.metrics.counter_inc_id(M_RX_FCS_ERRORS);
                 if frame.trace != 0 {
                     sim.trace
                         .instant(sim.now(), Layer::Hw, "drop.fcs", frame.trace);
@@ -416,7 +422,7 @@ impl Nic {
             }
             if n.host_queue.len() + n.reasm.pending() >= n.config.rx_ring {
                 n.stats.rx_no_buffer += 1;
-                sim.metrics.counter_inc("hw.nic.rx_no_buffer");
+                sim.metrics.counter_inc_id(M_RX_NO_BUFFER);
                 sim.trace
                     .instant(sim.now(), Layer::Hw, "drop.rx_no_buffer", frame.trace);
                 return;

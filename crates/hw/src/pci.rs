@@ -6,9 +6,13 @@
 //! bus, which is exactly the "I/O buses have become the bottleneck" effect
 //! the introduction describes.
 
-use clic_sim::{SerialResource, Sim, SimDuration};
+use clic_sim::catalog::histogram_id;
+use clic_sim::{MetricId, SerialResource, Sim, SimDuration};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Interned id of the per-transfer DMA size histogram.
+const M_DMA_BYTES: MetricId = histogram_id("hw.pci.dma_bytes");
 
 /// A shared PCI bus.
 pub struct PciBus {
@@ -64,7 +68,7 @@ impl PciBus {
         done: impl FnOnce(&mut Sim) + 'static,
     ) {
         *self.bytes_moved.borrow_mut() += bytes as u64;
-        sim.metrics.observe("hw.pci.dma_bytes", bytes as u64);
+        sim.metrics.observe_id(M_DMA_BYTES, bytes as u64);
         let t = self.service_time(bytes);
         SerialResource::acquire(&self.bus, sim, t, done);
     }

@@ -7,9 +7,17 @@
 //! surface: [`Bytes`] is a cheaply cloneable, sliceable, immutable byte
 //! buffer; [`BytesMut`] is an append-only builder that freezes into a
 //! [`Bytes`]; [`BufMut`] carries the big-endian `put_*` writers.
+//!
+//! On top of the `bytes` API this shim recycles buffers: builders draw
+//! their backing storage from a thread-local size-classed [`pool`], and
+//! when the last [`Bytes`] reference to a buffer drops, the storage goes
+//! back to the pool instead of the allocator. Freezing is zero-copy — the
+//! builder's vector is moved, never copied, into the shared buffer.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod pool;
 
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
@@ -17,29 +25,32 @@ use std::sync::Arc;
 /// A cheaply cloneable, immutable, sliceable view of a byte buffer.
 ///
 /// Clones and sub-slices share one reference-counted allocation; no byte
-/// data is copied after construction.
-#[derive(Clone, Default)]
+/// data is copied after construction. Dropping the last reference offers
+/// the allocation back to the thread-local [`pool`].
+#[derive(Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Option<Arc<Vec<u8>>>,
     start: usize,
     end: usize,
 }
 
 impl Bytes {
-    /// An empty buffer (no allocation is shared, but none is needed).
+    /// An empty buffer (no allocation at all).
     pub fn new() -> Bytes {
-        Bytes::from(Vec::new())
+        Bytes::default()
     }
 
     /// Wrap a static byte slice. (This shim copies the bytes once; the
     /// real crate borrows them. Behaviour is otherwise identical.)
     pub fn from_static(data: &'static [u8]) -> Bytes {
-        Bytes::from(data.to_vec())
+        Bytes::copy_from_slice(data)
     }
 
-    /// Copy `data` into a fresh buffer.
+    /// Copy `data` into a fresh buffer (pooled when a recycled one fits).
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes::from(data.to_vec())
+        let mut v = pool::acquire(data.len());
+        v.extend_from_slice(data);
+        Bytes::from(v)
     }
 
     /// Length of the view in bytes.
@@ -78,11 +89,34 @@ impl Bytes {
     }
 }
 
+impl Clone for Bytes {
+    fn clone(&self) -> Bytes {
+        Bytes {
+            data: self.data.clone(),
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        // Last reference out offers the backing vector to the pool.
+        if let Some(arc) = self.data.take() {
+            if let Ok(v) = Arc::try_unwrap(arc) {
+                if v.capacity() != 0 {
+                    pool::reclaim(v);
+                }
+            }
+        }
+    }
+}
+
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: v.into(),
+            data: Some(Arc::new(v)),
             start: 0,
             end,
         }
@@ -116,7 +150,10 @@ impl From<BytesMut> for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        match &self.data {
+            Some(d) => &d[self.start..self.end],
+            None => &[],
+        }
     }
 }
 
@@ -200,6 +237,9 @@ impl<'a> IntoIterator for &'a Bytes {
 }
 
 /// A growable byte buffer that freezes into an immutable [`Bytes`].
+///
+/// The backing storage comes from the thread-local [`pool`] and returns
+/// there when the buffer (or the last [`Bytes`] frozen from it) drops.
 #[derive(Clone, Default, Debug, PartialEq, Eq)]
 pub struct BytesMut {
     data: Vec<u8>,
@@ -211,10 +251,11 @@ impl BytesMut {
         BytesMut { data: Vec::new() }
     }
 
-    /// An empty buffer with `cap` bytes preallocated.
+    /// An empty buffer with at least `cap` bytes preallocated, recycled
+    /// from the [`pool`] when a buffer of the right size class is free.
     pub fn with_capacity(cap: usize) -> BytesMut {
         BytesMut {
-            data: Vec::with_capacity(cap),
+            data: pool::acquire(cap),
         }
     }
 
@@ -238,9 +279,19 @@ impl BytesMut {
         self.data.resize(new_len, value);
     }
 
-    /// Convert into an immutable [`Bytes`] without copying.
-    pub fn freeze(self) -> Bytes {
-        Bytes::from(self.data)
+    /// Convert into an immutable [`Bytes`] without copying: the backing
+    /// vector moves into the shared buffer as-is.
+    pub fn freeze(mut self) -> Bytes {
+        Bytes::from(std::mem::take(&mut self.data))
+    }
+}
+
+impl Drop for BytesMut {
+    fn drop(&mut self) {
+        let v = std::mem::take(&mut self.data);
+        if v.capacity() != 0 {
+            pool::reclaim(v);
+        }
     }
 }
 
@@ -325,6 +376,23 @@ mod tests {
         m.put_u32(0x03040506);
         m.put_slice(&[7]);
         assert_eq!(&m.freeze()[..], &[1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn freeze_is_zero_copy_and_drop_recycles() {
+        pool::reset();
+        let mut m = BytesMut::with_capacity(1000); // 1024 class, miss
+        m.put_slice(&[1, 2, 3]);
+        let b = m.freeze(); // moves the vector, no copy, no reclaim
+        let c = b.clone();
+        drop(b);
+        assert_eq!(pool::stats().returned, 0, "still referenced by a clone");
+        drop(c);
+        assert_eq!(pool::stats().returned, 1, "last reference recycles");
+        let again = BytesMut::with_capacity(700); // same 1024 class: pooled
+        assert_eq!(pool::stats().recycled, 1);
+        drop(again);
+        pool::reset();
     }
 
     #[test]

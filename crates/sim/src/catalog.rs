@@ -311,6 +311,31 @@ pub const METRICS: &[MetricDef] = &[
         help: "full system calls (0.65 us each, paper section 3.1)",
     },
     MetricDef {
+        name: "sim.pool.alloc_misses",
+        kind: C,
+        help: "packet-buffer requests that allocated because the pool's size class was empty",
+    },
+    MetricDef {
+        name: "sim.pool.discarded",
+        kind: C,
+        help: "dropped buffers released to the allocator (class list full or unpoolable size)",
+    },
+    MetricDef {
+        name: "sim.pool.oversize",
+        kind: C,
+        help: "buffer requests above the largest pool class, served unpooled",
+    },
+    MetricDef {
+        name: "sim.pool.recycled",
+        kind: C,
+        help: "packet-buffer requests served by a recycled buffer (no allocation)",
+    },
+    MetricDef {
+        name: "sim.pool.returned",
+        kind: C,
+        help: "dropped buffers recycled into the pool's free lists",
+    },
+    MetricDef {
         name: "tcp.fast_retransmits",
         kind: C,
         help: "TCP retransmissions triggered by triple duplicate ACKs",
@@ -499,6 +524,147 @@ pub fn is_stage(stage: &str) -> bool {
     STAGES.iter().any(|s| s.name == stage)
 }
 
+// ---------------------------------------------------------------------------
+// Interning
+//
+// Hot recording paths compare u16 catalog indices instead of hashing or
+// comparing `&str` names. Ids are resolved at *compile time* through the
+// `const fn` lookups below (`const TX: MetricId = counter_id("…")`), so an
+// unregistered name at an interned call site fails the build rather than a
+// runtime check; the string-keyed APIs remain for dynamic (per-node
+// prefixed, experiment-local) names and route catalog hits to the interned
+// stores via the runtime `find_*` binary searches.
+
+/// Interned index of a `(name, kind)` entry in [`METRICS`].
+///
+/// Obtain one from [`counter_id`] / [`gauge_id`] / [`histogram_id`] in a
+/// `const` context. Because [`METRICS`] is sorted by `(name, kind)`,
+/// ascending id order is ascending name order, which keeps merged dumps
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId(u16);
+
+impl MetricId {
+    /// Position in [`METRICS`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The catalog entry this id refers to.
+    pub fn def(self) -> &'static MetricDef {
+        &METRICS[self.0 as usize]
+    }
+}
+
+/// Interned index of an entry in [`STAGES`] (sorted by name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StageId(u16);
+
+impl StageId {
+    /// Position in [`STAGES`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The catalog entry this id refers to.
+    pub fn def(self) -> &'static StageDef {
+        &STAGES[self.0 as usize]
+    }
+}
+
+/// Const-context string equality (`==` on `&str` is not const-stable).
+const fn str_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut i = 0;
+    while i < a.len() {
+        if a[i] != b[i] {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Const-context kind equality (no const `PartialEq` for enums).
+const fn kind_eq(a: MetricKind, b: MetricKind) -> bool {
+    matches!(
+        (a, b),
+        (MetricKind::Counter, MetricKind::Counter)
+            | (MetricKind::Gauge, MetricKind::Gauge)
+            | (MetricKind::Histogram, MetricKind::Histogram)
+    )
+}
+
+const fn metric_id_of(name: &str, kind: MetricKind) -> MetricId {
+    let mut i = 0;
+    while i < METRICS.len() {
+        if kind_eq(METRICS[i].kind, kind) && str_eq(METRICS[i].name, name) {
+            return MetricId(i as u16);
+        }
+        i += 1;
+    }
+    // Evaluated in const context only: an unregistered name at an interned
+    // call site is a compile error, never a runtime panic.
+    // lint:allow(no-unwrap, reason="const-eval guard; interned names are resolved at compile time")
+    panic!("metric name not registered in crates/sim/src/catalog.rs METRICS")
+}
+
+/// Compile-time id of a registered counter; unregistered names fail the
+/// build. Use as `const X: MetricId = counter_id("…");`.
+pub const fn counter_id(name: &str) -> MetricId {
+    metric_id_of(name, MetricKind::Counter)
+}
+
+/// Compile-time id of a registered gauge; unregistered names fail the
+/// build.
+pub const fn gauge_id(name: &str) -> MetricId {
+    metric_id_of(name, MetricKind::Gauge)
+}
+
+/// Compile-time id of a registered histogram; unregistered names fail the
+/// build.
+pub const fn histogram_id(name: &str) -> MetricId {
+    metric_id_of(name, MetricKind::Histogram)
+}
+
+/// Compile-time id of a registered trace stage; unregistered names fail
+/// the build. Use as `const S: StageId = stage_id("…");`.
+pub const fn stage_id(name: &str) -> StageId {
+    let mut i = 0;
+    while i < STAGES.len() {
+        if str_eq(STAGES[i].name, name) {
+            return StageId(i as u16);
+        }
+        i += 1;
+    }
+    // lint:allow(no-unwrap, reason="const-eval guard; interned names are resolved at compile time")
+    panic!("stage name not registered in crates/sim/src/catalog.rs STAGES")
+}
+
+/// Runtime id lookup for an exact (unprefixed) catalog name — binary
+/// search over the `(name, kind)`-sorted table. The string-keyed
+/// [`crate::metrics::Metrics`] APIs use this to route catalog names into
+/// the interned stores.
+pub fn find_metric(name: &str, kind: MetricKind) -> Option<MetricId> {
+    METRICS
+        .binary_search_by(|m| (m.name, m.kind).cmp(&(name, kind)))
+        .ok()
+        .map(|i| MetricId(i as u16))
+}
+
+/// Runtime id lookup for an exact stage name (binary search).
+pub fn find_stage(name: &str) -> Option<StageId> {
+    STAGES
+        .binary_search_by(|s| s.name.cmp(name))
+        .ok()
+        .map(|i| StageId(i as u16))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -546,5 +712,41 @@ mod tests {
         assert!(is_stage("driver_rx"));
         assert!(is_stage("drop.fcs"));
         assert!(!is_stage("made_up"));
+    }
+
+    #[test]
+    fn interned_ids_resolve_at_compile_time() {
+        const RETX: MetricId = counter_id("clic.retransmits");
+        const QDEPTH_G: MetricId = gauge_id("eth.switch.queue_depth");
+        const QDEPTH_H: MetricId = histogram_id("eth.switch.queue_depth");
+        const WIRE: StageId = stage_id("wire");
+        assert_eq!(RETX.def().name, "clic.retransmits");
+        assert_eq!(QDEPTH_G.def().kind, MetricKind::Gauge);
+        assert_eq!(QDEPTH_H.def().kind, MetricKind::Histogram);
+        assert_ne!(QDEPTH_G, QDEPTH_H);
+        assert_eq!(WIRE.def().name, "wire");
+    }
+
+    #[test]
+    fn runtime_lookup_matches_const_lookup() {
+        for (i, m) in METRICS.iter().enumerate() {
+            let id = find_metric(m.name, m.kind).expect("every entry resolves");
+            assert_eq!(id.index(), i);
+        }
+        for (i, s) in STAGES.iter().enumerate() {
+            let id = find_stage(s.name).expect("every entry resolves");
+            assert_eq!(id.index(), i);
+        }
+        assert!(find_metric("made.up", MetricKind::Counter).is_none());
+        assert!(find_metric("clic.retransmits", MetricKind::Gauge).is_none());
+        assert!(find_stage("made_up").is_none());
+    }
+
+    #[test]
+    fn ascending_id_order_is_ascending_name_order() {
+        // The dump merge-join relies on this.
+        for w in METRICS.windows(2) {
+            assert!(w[0].name <= w[1].name);
+        }
     }
 }

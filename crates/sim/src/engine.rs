@@ -1,45 +1,53 @@
 //! The deterministic event loop.
 //!
-//! Events are boxed `FnOnce(&mut Sim)` closures ordered by `(time, seq)`:
-//! ties in time execute in the order they were scheduled, which keeps every
-//! run reproducible. Component state lives in `Rc<RefCell<_>>` cells captured
-//! by the closures; the `Sim` itself only owns the clock, the queue, the RNG
-//! and the trace sink.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! Events are actions ordered by `(time, seq)`: ties in time execute in
+//! the order they were scheduled, which keeps every run reproducible.
+//! Component state lives in `Rc<RefCell<_>>` cells captured by the
+//! closures; the `Sim` itself only owns the clock, the queue, the RNG and
+//! the trace sink.
+//!
+//! # Queue and event representation
+//!
+//! The pending-event queue is a hierarchical calendar queue
+//! ([`crate::queue::CalendarQueue`]) rather than a binary heap: inserts
+//! and pops on the simulator's dominant scheduling patterns (short
+//! delays from the running event, same-instant follow-ups) are O(1)
+//! instead of O(log n), and same-timestamp FIFO order falls out of the
+//! total `(time, seq)` key rather than heap internals.
+//!
+//! Events come in two flavours:
+//!
+//! * **boxed closures** ([`Sim::schedule_at`] and friends) — the general
+//!   path; one small allocation per event.
+//! * **plain function pointers** ([`Sim::schedule_fn_at`],
+//!   [`Sim::schedule_arg_at`]) — the allocation-free fast path for hot
+//!   loops whose whole context fits in one `u64` (or in component state
+//!   reachable from `&mut Sim`).
+//!
+//! # Invariants
+//!
+//! 1. `seq` increases monotonically with every schedule call and is never
+//!    reused, so `(time, seq)` is a strict total order and same-time
+//!    events run in schedule (FIFO) order.
+//! 2. Scheduling in the past (`at < now`) is a logic error and panics.
+//! 3. [`Sim::run_until`] executes events with `time <= horizon` and pins
+//!    the clock to the horizon when it stops there, so throughput windows
+//!    are well-defined and a later `run` resumes correctly.
 
 use crate::metrics::Metrics;
+use crate::queue::CalendarQueue;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 
-/// A scheduled event: a closure to run at a virtual instant.
-type Action = Box<dyn FnOnce(&mut Sim)>;
-
-struct Entry {
-    time: SimTime,
-    seq: u64,
-    action: Action,
-}
-
-// BinaryHeap is a max-heap; invert the ordering to pop the earliest
-// (time, seq) first.
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
+/// A scheduled event.
+enum Action {
+    /// Plain function, no captured state: the allocation-free fast path.
+    Call(fn(&mut Sim)),
+    /// Plain function plus one word of context, also allocation-free.
+    CallArg(fn(&mut Sim, u64), u64),
+    /// The general boxed-closure event.
+    Boxed(Box<dyn FnOnce(&mut Sim)>),
 }
 
 /// Why [`Sim::run`] returned.
@@ -57,7 +65,7 @@ pub enum StopReason {
 /// registry.
 pub struct Sim {
     now: SimTime,
-    queue: BinaryHeap<Entry>,
+    queue: CalendarQueue<Action>,
     next_seq: u64,
     executed: u64,
     event_limit: u64,
@@ -76,7 +84,7 @@ impl Sim {
     pub fn new(seed: u64) -> Self {
         Sim {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             next_seq: 0,
             executed: 0,
             event_limit: u64::MAX,
@@ -108,9 +116,8 @@ impl Sim {
         self.event_limit = limit;
     }
 
-    /// Schedule `action` at absolute time `at`. Scheduling in the past is a
-    /// logic error in the calling component.
-    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Sim) + 'static) {
+    #[inline]
+    fn push(&mut self, at: SimTime, action: Action) {
         assert!(
             at >= self.now,
             "event scheduled in the past: {} < {}",
@@ -119,11 +126,13 @@ impl Sim {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Entry {
-            time: at,
-            seq,
-            action: Box::new(action),
-        });
+        self.queue.insert(at, seq, action);
+    }
+
+    /// Schedule `action` at absolute time `at`. Scheduling in the past is a
+    /// logic error in the calling component.
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Sim) + 'static) {
+        self.push(at, Action::Boxed(Box::new(action)));
     }
 
     /// Schedule `action` after a relative delay.
@@ -137,15 +146,50 @@ impl Sim {
         self.schedule_at(self.now, action);
     }
 
+    /// Schedule a plain function at absolute time `at` — the
+    /// allocation-free fast path. Ordering semantics are identical to
+    /// [`Sim::schedule_at`].
+    #[inline]
+    pub fn schedule_fn_at(&mut self, at: SimTime, f: fn(&mut Sim)) {
+        self.push(at, Action::Call(f));
+    }
+
+    /// Schedule a plain function after a relative delay, without
+    /// allocating. Ordering semantics are identical to
+    /// [`Sim::schedule_in`].
+    #[inline]
+    pub fn schedule_fn_in(&mut self, delay: SimDuration, f: fn(&mut Sim)) {
+        self.schedule_fn_at(self.now + delay, f);
+    }
+
+    /// Schedule a plain function carrying one `u64` of context at absolute
+    /// time `at`, without allocating.
+    #[inline]
+    pub fn schedule_arg_at(&mut self, at: SimTime, f: fn(&mut Sim, u64), arg: u64) {
+        self.push(at, Action::CallArg(f, arg));
+    }
+
+    /// Schedule a plain function carrying one `u64` of context after a
+    /// relative delay, without allocating.
+    #[inline]
+    pub fn schedule_arg_in(&mut self, delay: SimDuration, f: fn(&mut Sim, u64), arg: u64) {
+        self.schedule_arg_at(self.now + delay, f, arg);
+    }
+
     /// Execute a single event, if any. Returns `false` when the queue is
     /// empty.
+    #[inline]
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
-            Some(entry) => {
-                debug_assert!(entry.time >= self.now, "time ran backwards");
-                self.now = entry.time;
+            Some((time, _seq, action)) => {
+                debug_assert!(time >= self.now, "time ran backwards");
+                self.now = time;
                 self.executed += 1;
-                (entry.action)(self);
+                match action {
+                    Action::Call(f) => f(self),
+                    Action::CallArg(f, arg) => f(self, arg),
+                    Action::Boxed(f) => f(self),
+                }
                 true
             }
             None => false,
@@ -166,15 +210,24 @@ impl Sim {
             if self.executed >= self.event_limit {
                 return StopReason::EventLimit;
             }
-            match self.queue.peek() {
-                None => return StopReason::Drained,
-                Some(entry) if entry.time > horizon => {
-                    self.now = horizon;
-                    return StopReason::Horizon;
-                }
-                Some(_) => {
-                    self.step();
-                }
+            // Pop unconditionally and reinsert on a horizon stop: one
+            // queue operation per event instead of a peek plus a pop.
+            // Reinsertion reuses the original seq, so FIFO order among
+            // same-time events is unchanged when the run resumes.
+            let Some((time, seq, action)) = self.queue.pop() else {
+                return StopReason::Drained;
+            };
+            if time > horizon {
+                self.queue.insert(time, seq, action);
+                self.now = horizon;
+                return StopReason::Horizon;
+            }
+            self.now = time;
+            self.executed += 1;
+            match action {
+                Action::Call(f) => f(self),
+                Action::CallArg(f, arg) => f(self, arg),
+                Action::Boxed(f) => f(self),
             }
         }
     }
@@ -258,6 +311,64 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_schedule_in_preserves_insertion_order() {
+        // Regression: a zero-duration `schedule_in` issued *during* run()
+        // must queue after every event already pending at the same
+        // instant, and multiple zero-duration events must keep their own
+        // insertion order — the same-time FIFO contract the calendar
+        // queue has to honor even when the running slot is partially
+        // drained.
+        let mut sim = Sim::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let t = SimTime::from_us(3);
+        let l = log.clone();
+        sim.schedule_at(t, move |s| {
+            l.borrow_mut().push(0);
+            let (la, lb) = (l.clone(), l.clone());
+            s.schedule_in(SimDuration::ZERO, move |s2| {
+                la.borrow_mut().push(3);
+                let lc = la.clone();
+                // Zero-duration from inside a zero-duration event.
+                s2.schedule_in(SimDuration::ZERO, move |_| lc.borrow_mut().push(5));
+            });
+            s.schedule_in(SimDuration::ZERO, move |_| lb.borrow_mut().push(4));
+        });
+        let l = log.clone();
+        sim.schedule_at(t, move |_| l.borrow_mut().push(1));
+        let l = log.clone();
+        sim.schedule_at(t, move |_| l.borrow_mut().push(2));
+        assert_eq!(sim.run(), StopReason::Drained);
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(sim.now(), t);
+    }
+
+    #[test]
+    fn fn_events_interleave_with_boxed_events_in_fifo_order() {
+        // The allocation-free fast path shares the same (time, seq)
+        // ordering domain as boxed closures.
+        let mut sim = Sim::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        let t = SimTime::from_us(1);
+        sim.schedule_at(t, move |_| l.borrow_mut().push(0u64));
+        fn push_arg(s: &mut Sim, arg: u64) {
+            let _ = s;
+            ARG_SINK.with(|v| v.borrow_mut().push(arg));
+        }
+        thread_local! {
+            static ARG_SINK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+        }
+        ARG_SINK.with(|v| v.borrow_mut().clear());
+        sim.schedule_arg_at(t, push_arg, 1);
+        let l = log.clone();
+        sim.schedule_at(t, move |_| l.borrow_mut().push(2));
+        sim.schedule_arg_at(t, push_arg, 3);
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 2]);
+        ARG_SINK.with(|v| assert_eq!(*v.borrow(), vec![1, 3]));
+    }
+
+    #[test]
     fn horizon_stops_and_pins_clock() {
         let mut sim = Sim::new(0);
         let fired = Rc::new(RefCell::new(0u32));
@@ -272,6 +383,25 @@ mod tests {
         // Resuming picks up the remaining event.
         assert_eq!(sim.run(), StopReason::Drained);
         assert_eq!(*fired.borrow(), 2);
+    }
+
+    #[test]
+    fn scheduling_after_horizon_stop_stays_ordered() {
+        // After a horizon stop the queue cursor may sit beyond `now`;
+        // events scheduled into that gap must still run before the
+        // far-future event that caused the peek.
+        let mut sim = Sim::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        sim.schedule_at(SimTime::from_us(500), move |s| l.borrow_mut().push(s.now()));
+        assert_eq!(sim.run_until(SimTime::from_us(50)), StopReason::Horizon);
+        let l = log.clone();
+        sim.schedule_at(SimTime::from_us(60), move |s| l.borrow_mut().push(s.now()));
+        assert_eq!(sim.run(), StopReason::Drained);
+        assert_eq!(
+            *log.borrow(),
+            vec![SimTime::from_us(60), SimTime::from_us(500)]
+        );
     }
 
     #[test]

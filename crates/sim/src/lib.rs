@@ -3,7 +3,9 @@
 //! The substrate every other crate in this workspace runs on. It provides:
 //!
 //! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time,
-//! * [`Sim`] — a deterministic event loop over boxed closures,
+//! * [`Sim`] — a deterministic event loop (boxed closures plus an
+//!   allocation-free plain-function fast path),
+//! * [`queue`] — the hierarchical calendar queue ordering the event loop,
 //! * [`Cpu`] — a two-priority-class (IRQ > task) serial processor resource,
 //! * [`SerialResource`] — a FIFO bus resource (PCI, memory bus),
 //! * [`SimRng`] — a seeded, reproducible random source,
@@ -31,13 +33,14 @@
 pub mod catalog;
 pub mod engine;
 pub mod metrics;
+pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use catalog::MetricKind;
+pub use catalog::{MetricId, MetricKind, StageId};
 pub use engine::Sim;
 pub use metrics::{LogHistogram, Metrics};
 pub use resource::{Cpu, CpuClass, SerialResource};

@@ -9,7 +9,21 @@
 //!
 //! The registry is off by default; every recording call returns after one
 //! branch when disabled.
+//!
+//! # Interned fast path
+//!
+//! Names registered in the central [`crate::catalog`] can be recorded
+//! through [`MetricId`]s ([`Metrics::counter_add_id`] and friends): a
+//! plain vector index instead of a string hash/compare and allocation per
+//! record. The string-keyed APIs transparently route exact catalog names
+//! into the same interned stores (so both paths observe one series), and
+//! keep a `BTreeMap` fallback for dynamic names (per-node `n<idx>.`
+//! prefixes, experiment-local scratch). Reads and [`Metrics::dump`]
+//! merge-join the two stores in name order — ascending [`MetricId`] order
+//! is ascending name order — so output is byte-identical to the
+//! all-string implementation.
 
+use crate::catalog::{self, MetricId, MetricKind, METRICS};
 use std::collections::BTreeMap;
 
 /// Log-bucketed histogram of `u64` values (latencies in ns, sizes in
@@ -194,6 +208,14 @@ pub struct Metrics {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, LogHistogram>,
+    /// Interned stores, indexed by [`MetricId`]; sized to `METRICS.len()`
+    /// on [`Metrics::enabled`] (empty on a disabled registry).
+    fast_counters: Vec<u64>,
+    fast_gauges: Vec<Gauge>,
+    fast_histograms: Vec<Option<LogHistogram>>,
+    /// Whether the id was ever recorded (distinguishes "counter at 0"
+    /// from "never touched" so dumps stay identical to the map path).
+    fast_touched: Vec<bool>,
 }
 
 impl Metrics {
@@ -204,9 +226,22 @@ impl Metrics {
 
     /// A recording registry.
     pub fn enabled() -> Self {
-        Metrics {
+        let mut m = Metrics {
             enabled: true,
             ..Metrics::default()
+        };
+        m.ensure_fast();
+        m
+    }
+
+    /// Size the interned stores to the catalog (idempotent).
+    fn ensure_fast(&mut self) {
+        let n = METRICS.len();
+        if self.fast_counters.len() < n {
+            self.fast_counters.resize(n, 0);
+            self.fast_gauges.resize(n, Gauge::default());
+            self.fast_histograms.resize(n, None);
+            self.fast_touched.resize(n, false);
         }
     }
 
@@ -215,12 +250,60 @@ impl Metrics {
         self.enabled
     }
 
-    /// Add `by` to counter `name`, creating it at zero first.
+    /// Add `by` to the interned counter `id` — the allocation-free hot
+    /// path for catalog names (see [`crate::catalog::counter_id`]).
+    #[inline]
+    pub fn counter_add_id(&mut self, id: MetricId, by: u64) {
+        if !self.enabled {
+            return;
+        }
+        let i = id.index();
+        self.fast_counters[i] += by;
+        self.fast_touched[i] = true;
+    }
+
+    /// Add one to the interned counter `id`.
+    #[inline]
+    pub fn counter_inc_id(&mut self, id: MetricId) {
+        self.counter_add_id(id, 1);
+    }
+
+    /// Set the interned gauge `id` to `v`, tracking its peak.
+    #[inline]
+    pub fn gauge_set_id(&mut self, id: MetricId, v: i64) {
+        if !self.enabled {
+            return;
+        }
+        let i = id.index();
+        let g = &mut self.fast_gauges[i];
+        g.current = v;
+        g.peak = g.peak.max(v);
+        self.fast_touched[i] = true;
+    }
+
+    /// Record `v` into the interned histogram `id`.
+    #[inline]
+    pub fn observe_id(&mut self, id: MetricId, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        let i = id.index();
+        self.fast_histograms[i]
+            .get_or_insert_with(LogHistogram::new)
+            .record(v);
+        self.fast_touched[i] = true;
+    }
+
+    /// Add `by` to counter `name`, creating it at zero first. Exact
+    /// catalog names share their series with the interned fast path.
     pub fn counter_add(&mut self, name: &str, by: u64) {
         if !self.enabled {
             return;
         }
-        *self.counters.entry(name.to_string()).or_insert(0) += by;
+        match catalog::find_metric(name, MetricKind::Counter) {
+            Some(id) => self.counter_add_id(id, by),
+            None => *self.counters.entry(name.to_string()).or_insert(0) += by,
+        }
     }
 
     /// Add one to counter `name`.
@@ -228,65 +311,144 @@ impl Metrics {
         self.counter_add(name, 1);
     }
 
-    /// Set gauge `name` to `v`, tracking its peak.
+    /// Set gauge `name` to `v`, tracking its peak. Exact catalog names
+    /// share their series with the interned fast path.
     pub fn gauge_set(&mut self, name: &str, v: i64) {
         if !self.enabled {
             return;
         }
-        let g = self.gauges.entry(name.to_string()).or_default();
-        g.current = v;
-        g.peak = g.peak.max(v);
+        match catalog::find_metric(name, MetricKind::Gauge) {
+            Some(id) => self.gauge_set_id(id, v),
+            None => {
+                let g = self.gauges.entry(name.to_string()).or_default();
+                g.current = v;
+                g.peak = g.peak.max(v);
+            }
+        }
     }
 
-    /// Record `v` into histogram `name`.
+    /// Record `v` into histogram `name`. Exact catalog names share their
+    /// series with the interned fast path.
     pub fn observe(&mut self, name: &str, v: u64) {
         if !self.enabled {
             return;
         }
-        self.histograms
-            .entry(name.to_string())
-            .or_default()
-            .record(v);
+        match catalog::find_metric(name, MetricKind::Histogram) {
+            Some(id) => self.observe_id(id, v),
+            None => self
+                .histograms
+                .entry(name.to_string())
+                .or_default()
+                .record(v),
+        }
+    }
+
+    /// Whether interned slot `i` was recorded as `kind`.
+    fn fast_has(&self, i: usize, kind: MetricKind) -> bool {
+        METRICS[i].kind == kind && self.fast_touched.get(i).copied().unwrap_or(false)
     }
 
     /// Current value of a counter (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        match catalog::find_metric(name, MetricKind::Counter) {
+            Some(id) => self.fast_counters.get(id.index()).copied().unwrap_or(0),
+            None => self.counters.get(name).copied().unwrap_or(0),
+        }
     }
 
     /// Current value of a gauge (0 when absent).
     pub fn gauge(&self, name: &str) -> i64 {
-        self.gauges.get(name).map(|g| g.current).unwrap_or(0)
+        match catalog::find_metric(name, MetricKind::Gauge) {
+            Some(id) => self
+                .fast_gauges
+                .get(id.index())
+                .map(|g| g.current)
+                .unwrap_or(0),
+            None => self.gauges.get(name).map(|g| g.current).unwrap_or(0),
+        }
     }
 
     /// Highest value a gauge ever held (0 when absent).
     pub fn gauge_peak(&self, name: &str) -> i64 {
-        self.gauges.get(name).map(|g| g.peak).unwrap_or(0)
+        match catalog::find_metric(name, MetricKind::Gauge) {
+            Some(id) => self
+                .fast_gauges
+                .get(id.index())
+                .map(|g| g.peak)
+                .unwrap_or(0),
+            None => self.gauges.get(name).map(|g| g.peak).unwrap_or(0),
+        }
     }
 
     /// Histogram by name, if recorded.
     pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
-        self.histograms.get(name)
+        match catalog::find_metric(name, MetricKind::Histogram) {
+            Some(id) => self
+                .fast_histograms
+                .get(id.index())
+                .and_then(|h| h.as_ref()),
+            None => self.histograms.get(name),
+        }
     }
 
-    /// All counters, in name order.
+    /// All counters, in name order (interned and dynamic series merged).
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(n, &v)| (n.as_str(), v))
+        let mut v: Vec<(&str, u64)> = self
+            .counters
+            .iter()
+            .map(|(n, &x)| (n.as_str(), x))
+            .collect();
+        for (i, m) in METRICS.iter().enumerate() {
+            if self.fast_has(i, MetricKind::Counter) {
+                v.push((m.name, self.fast_counters[i]));
+            }
+        }
+        v.sort_unstable_by_key(|&(n, _)| n);
+        v.into_iter()
+    }
+
+    /// All gauges, in name order (interned and dynamic series merged).
+    fn gauge_entries(&self) -> Vec<(&str, Gauge)> {
+        let mut v: Vec<(&str, Gauge)> = self.gauges.iter().map(|(n, &g)| (n.as_str(), g)).collect();
+        for (i, m) in METRICS.iter().enumerate() {
+            if self.fast_has(i, MetricKind::Gauge) {
+                v.push((m.name, self.fast_gauges[i]));
+            }
+        }
+        v.sort_unstable_by_key(|&(n, _)| n);
+        v
+    }
+
+    /// All histograms, in name order (interned and dynamic series merged).
+    fn histogram_entries(&self) -> Vec<(&str, &LogHistogram)> {
+        let mut v: Vec<(&str, &LogHistogram)> = self
+            .histograms
+            .iter()
+            .map(|(n, h)| (n.as_str(), h))
+            .collect();
+        for (i, m) in METRICS.iter().enumerate() {
+            if METRICS[i].kind == MetricKind::Histogram {
+                if let Some(h) = self.fast_histograms.get(i).and_then(|h| h.as_ref()) {
+                    v.push((m.name, h));
+                }
+            }
+        }
+        v.sort_unstable_by_key(|&(n, _)| n);
+        v
     }
 
     /// Sum of every counter whose name ends with `suffix` — totals across
     /// per-node prefixes (`n0.clic.retransmits` + `n1.clic.retransmits`).
     pub fn sum_counters(&self, suffix: &str) -> u64 {
-        self.counters
-            .iter()
+        self.counters()
             .filter(|(n, _)| n.ends_with(suffix))
-            .map(|(_, &v)| v)
+            .map(|(_, v)| v)
             .sum()
     }
 
     /// Largest peak over every gauge whose name ends with `suffix`.
     pub fn max_gauge_peak(&self, suffix: &str) -> i64 {
-        self.gauges
+        self.gauge_entries()
             .iter()
             .filter(|(n, _)| n.ends_with(suffix))
             .map(|(_, g)| g.peak)
@@ -322,7 +484,8 @@ impl Metrics {
     }
 
     /// Fold `other` into this registry: counters add, gauge peaks combine
-    /// (current takes `other`'s value), histograms merge.
+    /// (current takes `other`'s value), histograms merge. Interned series
+    /// in `other` fold into this registry's interned stores.
     pub fn merge(&mut self, other: &Metrics) {
         for (n, &v) in &other.counters {
             *self.counters.entry(n.clone()).or_insert(0) += v;
@@ -335,26 +498,54 @@ impl Metrics {
         for (n, o) in &other.histograms {
             self.histograms.entry(n.clone()).or_default().merge(o);
         }
+        if other.fast_touched.iter().any(|&t| t)
+            || other.fast_histograms.iter().any(|h| h.is_some())
+        {
+            self.ensure_fast();
+            for (i, m) in METRICS.iter().enumerate() {
+                if other.fast_has(i, MetricKind::Counter) {
+                    self.fast_counters[i] += other.fast_counters[i];
+                    self.fast_touched[i] = true;
+                }
+                if other.fast_has(i, MetricKind::Gauge) {
+                    let g = &mut self.fast_gauges[i];
+                    g.current = other.fast_gauges[i].current;
+                    g.peak = g.peak.max(other.fast_gauges[i].peak);
+                    self.fast_touched[i] = true;
+                }
+                if m.kind == MetricKind::Histogram {
+                    if let Some(o) = other.fast_histograms.get(i).and_then(|h| h.as_ref()) {
+                        self.fast_histograms[i]
+                            .get_or_insert_with(LogHistogram::new)
+                            .merge(o);
+                        self.fast_touched[i] = true;
+                    }
+                }
+            }
+        }
     }
 
     /// Deterministic plain-text dump of the whole registry.
     pub fn dump(&self) -> String {
         let mut out = String::new();
-        if !self.counters.is_empty() {
+        let counters: Vec<(&str, u64)> = self.counters().collect();
+        if !counters.is_empty() {
             out.push_str("# counters\n");
-            for (n, v) in &self.counters {
+            for (n, v) in counters {
                 out.push_str(&format!("{n} {v}\n"));
             }
         }
-        if !self.gauges.is_empty() {
+        let gauges = self.gauge_entries();
+        if !gauges.is_empty() {
             out.push_str("# gauges (current peak)\n");
-            for (n, g) in &self.gauges {
+            for (n, g) in gauges {
                 out.push_str(&format!("{n} {} {}\n", g.current, g.peak));
             }
         }
-        if !self.histograms.is_empty() {
+        let hists = self.histogram_entries();
+        if !hists.is_empty() {
             out.push_str("# histograms (count mean p50 p95 p99 max)\n");
-            for (n, h) in &self.histograms {
+            for (n, h) in hists {
                 out.push_str(&format!(
                     "{n} {} {:.1} {:.1} {:.1} {:.1} {}\n",
                     h.count(),
@@ -481,6 +672,35 @@ mod tests {
         assert_eq!(m.gauge("q"), 2);
         assert_eq!(m.gauge_peak("q"), 7);
         assert_eq!(m.histogram("sz").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn interned_and_string_paths_share_series() {
+        use crate::catalog::{counter_id, gauge_id, histogram_id};
+        const RETX: MetricId = counter_id("clic.retransmits");
+        const DEPTH_G: MetricId = gauge_id("eth.switch.queue_depth");
+        const DEPTH_H: MetricId = histogram_id("eth.switch.queue_depth");
+        let mut m = Metrics::enabled();
+        m.counter_add_id(RETX, 2);
+        m.counter_add("clic.retransmits", 3);
+        m.gauge_set_id(DEPTH_G, 9);
+        m.gauge_set("eth.switch.queue_depth", 4);
+        m.observe_id(DEPTH_H, 16);
+        m.observe("eth.switch.queue_depth", 16);
+        assert_eq!(m.counter("clic.retransmits"), 5);
+        assert_eq!(m.gauge("eth.switch.queue_depth"), 4);
+        assert_eq!(m.gauge_peak("eth.switch.queue_depth"), 9);
+        assert_eq!(m.histogram("eth.switch.queue_depth").unwrap().count(), 2);
+        // The dump carries exactly one line per series regardless of path.
+        let d = m.dump();
+        assert_eq!(d.matches("clic.retransmits").count(), 1);
+        // A merged copy doubles the counter and keeps the gauge peak.
+        let mut o = Metrics::enabled();
+        o.merge(&m);
+        o.merge(&m);
+        assert_eq!(o.counter("clic.retransmits"), 10);
+        assert_eq!(o.gauge_peak("eth.switch.queue_depth"), 9);
+        assert_eq!(o.histogram("eth.switch.queue_depth").unwrap().count(), 4);
     }
 
     #[test]

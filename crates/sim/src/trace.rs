@@ -13,6 +13,7 @@
 //!
 //! Tracing is off by default — records cost one branch when disabled.
 
+use crate::catalog::StageId;
 use crate::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -222,6 +223,26 @@ impl Trace {
     /// Emit an instant event (drop, retransmit, timeout).
     pub fn instant(&mut self, time: SimTime, layer: Layer, stage: &'static str, id: u64) {
         self.push(time, layer, stage, id, Mark::Instant);
+    }
+
+    /// Emit a begin mark for an interned stage. Resolving the name through
+    /// [`crate::catalog::stage_id`] at the call site proves at compile time
+    /// that the stage is cataloged (a typo fails the build, not the run).
+    #[inline]
+    pub fn begin_id(&mut self, time: SimTime, layer: Layer, stage: StageId, id: u64) {
+        self.push(time, layer, stage.def().name, id, Mark::Begin);
+    }
+
+    /// Emit an end mark for an interned stage.
+    #[inline]
+    pub fn end_id(&mut self, time: SimTime, layer: Layer, stage: StageId, id: u64) {
+        self.push(time, layer, stage.def().name, id, Mark::End);
+    }
+
+    /// Emit an instant event for an interned stage.
+    #[inline]
+    pub fn instant_id(&mut self, time: SimTime, layer: Layer, stage: StageId, id: u64) {
+        self.push(time, layer, stage.def().name, id, Mark::Instant);
     }
 
     /// Raw records, in emission order.

@@ -104,3 +104,83 @@ proptest! {
         }
     }
 }
+
+mod calendar_queue_model {
+    use clic_sim::queue::CalendarQueue;
+    use clic_sim::SimTime;
+    use proptest::prelude::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    proptest! {
+        /// The calendar queue pops in exactly the order a sorted reference
+        /// (a `BinaryHeap` min-ordered on `(time, seq)` — the scheduler the
+        /// engine shipped with before the overhaul) would, for arbitrary
+        /// interleaved insert/peek/pop sequences. Inserts cover the shapes
+        /// the engine produces: near-cursor times (including ties with the
+        /// last popped event, the past-horizon reinsertion case), times
+        /// spread across many wheel slots, and far-future times beyond the
+        /// wheel span that land in the overflow heap.
+        #[test]
+        fn pops_match_binary_heap_reference(
+            ops in proptest::collection::vec((0u8..6, 0u64..2048), 1..300)
+        ) {
+            // One slot is 512 ns and the wheel spans 4096 slots; anything
+            // at or past `floor + WHEEL_SPAN` must take the overflow path.
+            const WHEEL_SPAN: u64 = 512 * 4096;
+            let mut q: CalendarQueue<u64> = CalendarQueue::new();
+            let mut model: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            // The engine never schedules before the current time: track the
+            // last popped timestamp as the floor for new inserts.
+            let mut floor = 0u64;
+            for &(kind, off) in &ops {
+                match kind {
+                    // Near-cursor insert; off == 0 reproduces the
+                    // horizon-pause reinsert (time equal to "now").
+                    0 | 1 => {
+                        let t = floor + off;
+                        q.insert(SimTime::from_ns(t), seq, seq);
+                        model.push(Reverse((t, seq)));
+                        seq += 1;
+                    }
+                    // Spread across many slots of the wheel.
+                    2 => {
+                        let t = floor + off * 997;
+                        q.insert(SimTime::from_ns(t), seq, seq);
+                        model.push(Reverse((t, seq)));
+                        seq += 1;
+                    }
+                    // Far future: beyond the wheel span, into overflow.
+                    3 => {
+                        let t = floor + WHEEL_SPAN + off * 31;
+                        q.insert(SimTime::from_ns(t), seq, seq);
+                        model.push(Reverse((t, seq)));
+                        seq += 1;
+                    }
+                    // Peek must agree without disturbing pop order.
+                    4 => {
+                        let got = q.next_key().map(|(t, s)| (t.as_ns(), s));
+                        prop_assert_eq!(got, model.peek().map(|r| r.0));
+                    }
+                    _ => {
+                        let got = q.pop().map(|(t, s, v)| (t.as_ns(), s, v));
+                        let want = model.pop().map(|Reverse((t, s))| (t, s, s));
+                        if let Some((t, _, _)) = got {
+                            floor = t;
+                        }
+                        prop_assert_eq!(got, want);
+                        prop_assert_eq!(q.len(), model.len());
+                    }
+                }
+            }
+            // Drain both queues: every remaining event agrees too.
+            while let Some(Reverse((t, s))) = model.pop() {
+                let got = q.pop().map(|(t, s, v)| (t.as_ns(), s, v));
+                prop_assert_eq!(got, Some((t, s, s)));
+            }
+            prop_assert!(q.is_empty());
+            prop_assert_eq!(q.pop(), None);
+        }
+    }
+}

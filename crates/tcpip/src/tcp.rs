@@ -18,10 +18,15 @@ use crate::ip::{internet_checksum, IpAddr, IpProto, Ipv4Header};
 use crate::stack::{IpLayer, IpProtoHandler};
 use bytes::{BufMut, Bytes, BytesMut};
 use clic_os::{Kernel, Pid};
-use clic_sim::{Layer, Sim, SimDuration};
+use clic_sim::catalog::counter_id;
+use clic_sim::{Layer, MetricId, Sim, SimDuration};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::{Rc, Weak};
+
+/// Interned metric ids for the retransmission paths.
+const M_RETRANSMITS: MetricId = counter_id("tcp.retransmits");
+const M_FAST_RETRANSMITS: MetricId = counter_id("tcp.fast_retransmits");
 
 /// TCP header size (no options).
 pub const TCP_HEADER: usize = 20;
@@ -673,7 +678,7 @@ impl TcpStack {
         let Some((peer, seg, payload)) = resend else {
             return;
         };
-        sim.metrics.counter_inc("tcp.retransmits");
+        sim.metrics.counter_inc_id(M_RETRANSMITS);
         sim.trace.instant(sim.now(), Layer::TcpIp, "rto", 0);
         Self::emit_data(stack, sim, peer, seg, payload, 0);
         Self::ensure_rto(stack, sim, conn);
@@ -893,7 +898,7 @@ impl TcpStack {
             }
         };
         if let Some((peer, reply, payload)) = fast_resend {
-            sim.metrics.counter_inc("tcp.fast_retransmits");
+            sim.metrics.counter_inc_id(M_FAST_RETRANSMITS);
             sim.trace
                 .instant(sim.now(), Layer::TcpIp, "fast_retransmit", 0);
             Self::emit_data(stack, sim, peer, reply, payload, 0);
