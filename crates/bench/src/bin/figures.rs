@@ -33,7 +33,7 @@ use clic_bench::json::Json;
 use clic_bench::render::{series_ascii, series_csv};
 use clic_bench::runner::{run_jobs, RunReport, RunnerConfig};
 use clic_cluster::experiments::{self, FigureKind, FigureOutput, ResultMap, Series, StageRow};
-use clic_cluster::observe::{self, TraceScenario};
+use clic_cluster::observe::{self, TimelineScenario, TraceScenario};
 
 const USAGE: &str = "usage: figures [--quick|--smoke] [--json] [--jobs N] [--no-cache] \
 [--cache-dir DIR] [--metrics] <what>...
@@ -42,9 +42,15 @@ const USAGE: &str = "usage: figures [--quick|--smoke] [--json] [--jobs N] [--no-
         claims all (chaos is opt-in: not part of all)
    or: figures trace [fig7a|fig7b|fig7a-lossy|tcp] [--size N] [--mtu M]
         [--seed S] [--out FILE] [--metrics] [--quick]
+   or: figures timeline [fig7a|reliability|incast|chaos] [--bucket-us N]
+        [--out FILE] [--last N] [--jobs N] [--smoke]
+        (replays one scenario with the timeline recorder on: CSV series
+        on stdout, Perfetto counter-track JSON to --out; chaos keeps only
+        the last --last buckets, flight-recorder style)
    or: figures bench [--quick|--smoke] [--json] [--jobs N] [--repeat N]
-        (engine microbenches vs a BinaryHeap reference engine, plus an
-        uncached full-grid replay; results land in BENCH_figures.json)";
+        (engine microbenches vs a BinaryHeap reference engine, plus a
+        self-profiled uncached full-grid replay; results land in
+        BENCH_figures.json)";
 
 /// Per-figure totals of the `m.`-prefixed measurement keys every job
 /// reports (schema v2; `events` since v5).
@@ -96,6 +102,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
         run_trace(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("timeline") {
+        run_timeline_cmd(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("bench") {
@@ -258,6 +268,99 @@ fn run_trace(args: &[String]) {
     }
 }
 
+/// The `figures timeline` subcommand: replay one scenario with the
+/// timeline recorder sampling into fixed-width buckets. The CSV series go
+/// to stdout; the Chrome/Perfetto counter-track JSON to `--out`. Output
+/// is a pure function of (scenario, bucket, ring capacity): `--jobs` is
+/// accepted for symmetry with the figure runs but a timeline replay is a
+/// single simulation, so the bytes are identical for every N.
+fn run_timeline_cmd(args: &[String]) {
+    let mut scenario = TimelineScenario::Incast;
+    let mut bucket_us = 10u64;
+    let mut last: Option<usize> = None;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut smoke = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" | "--quick" => smoke = true,
+            "--bucket-us" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => bucket_us = n,
+                _ => die("--bucket-us needs a positive microsecond count"),
+            },
+            "--last" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => last = Some(n),
+                _ => die("--last needs a positive bucket count"),
+            },
+            "--out" => match it.next() {
+                Some(path) => out = Some(path.into()),
+                None => die("--out needs a path"),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => {}
+                _ => die("--jobs needs a positive integer"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if other.starts_with("--") => die(&format!("unknown flag '{other}'")),
+            other => match TimelineScenario::parse(other) {
+                Some(s) => scenario = s,
+                None => die(&format!(
+                    "unknown scenario '{other}' (expected fig7a, reliability, incast or chaos)"
+                )),
+            },
+        }
+    }
+
+    let bucket = clic_sim::SimDuration::from_us(bucket_us);
+    if smoke {
+        // CI mode: replay every scenario once and insist each records a
+        // usable set of series; nothing is written.
+        let mut ok = true;
+        for s in TimelineScenario::ALL {
+            let t = observe::run_timeline(s, bucket, s.default_flight());
+            let rows = t.csv.lines().filter(|l| !l.starts_with('#')).count();
+            let tracks = t
+                .chrome_json
+                .lines()
+                .filter(|l| l.contains("\"ph\": \"C\""))
+                .count();
+            println!(
+                "timeline {:<12} {} series, {} rows, {} counter samples",
+                s.name(),
+                t.series,
+                rows,
+                tracks
+            );
+            ok &= t.series >= 3 && rows > 0 && tracks > 0;
+        }
+        if !ok {
+            eprintln!("timeline smoke failed: a scenario recorded too few series");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let flight = last.or_else(|| scenario.default_flight());
+    let t = observe::run_timeline(scenario, bucket, flight);
+    print!("{}", t.csv);
+    let out = out.unwrap_or_else(|| format!("timeline-{}.json", scenario.name()).into());
+    match std::fs::write(&out, &t.chrome_json) {
+        Ok(()) => eprintln!(
+            "wrote {} ({} series; open in https://ui.perfetto.dev or chrome://tracing)",
+            out.display(),
+            t.series
+        ),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
     std::process::exit(2);
@@ -376,10 +479,102 @@ mod workloads {
     }
 }
 
+/// The engine self-profiler: an [`clic_sim::EngineProbe`] that clocks
+/// every dispatched event with host wall time and buckets it by dispatch
+/// arm. Wall-clock use is policy-legal here in the bench layer only —
+/// the probe never touches the simulated clock, so simulation results
+/// are bit-identical with it installed. Each job gets its own probe
+/// (from a `fn` pointer factory, so it crosses worker threads); a probe
+/// folds its private tallies into the process-wide accumulator when the
+/// job's simulator is dropped, and `take()` drains the accumulator
+/// between figure families to attribute work per module.
+mod profiler {
+    use clic_sim::{ActionArm, EngineProbe};
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    /// Per-arm `(events, host_ns)`, indexed by `ActionArm as usize`.
+    pub type ArmTallies = [(u64, u64); 3];
+
+    static AGG: Mutex<ArmTallies> = Mutex::new([(0, 0); 3]);
+
+    struct Probe {
+        started: Option<Instant>,
+        local: ArmTallies,
+    }
+
+    impl EngineProbe for Probe {
+        fn begin(&mut self, _arm: ActionArm) {
+            self.started = Some(Instant::now());
+        }
+
+        fn end(&mut self, arm: ActionArm) {
+            if let Some(t0) = self.started.take() {
+                let slot = &mut self.local[arm as usize];
+                slot.0 += 1;
+                slot.1 += t0.elapsed().as_nanos() as u64;
+            }
+        }
+    }
+
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            let mut agg = AGG.lock().unwrap();
+            for (a, l) in agg.iter_mut().zip(self.local) {
+                a.0 += l.0;
+                a.1 += l.1;
+            }
+        }
+    }
+
+    /// Factory handed to [`clic_cluster::jobs::set_job_probe_factory`].
+    pub fn probe() -> Box<dyn EngineProbe> {
+        Box::new(Probe {
+            started: None,
+            local: [(0, 0); 3],
+        })
+    }
+
+    /// Drain and reset the accumulated tallies.
+    pub fn take() -> ArmTallies {
+        std::mem::take(&mut *AGG.lock().unwrap())
+    }
+}
+
+/// Render one module's arm tallies as a JSON object.
+fn profile_entry(name: &str, arms: profiler::ArmTallies) -> Json {
+    let (events, host_ns) = arms
+        .iter()
+        .fold((0, 0), |(e, ns), &(ae, ans)| (e + ae, ns + ans));
+    Json::obj([
+        ("name", Json::from(name)),
+        (
+            "arms",
+            Json::Arr(
+                clic_sim::ActionArm::ALL
+                    .iter()
+                    .map(|&arm| {
+                        let (e, ns) = arms[arm as usize];
+                        Json::obj([
+                            ("arm", Json::from(arm.name())),
+                            ("events", Json::from(e as usize)),
+                            ("host_ns", Json::from(ns as usize)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("events", Json::from(events as usize)),
+        ("host_ns", Json::from(host_ns as usize)),
+    ])
+}
+
 /// The `figures bench` subcommand: engine microbenches against the
 /// in-process BinaryHeap reference engine ([`clic_bench::reference`]),
 /// then an uncached full-grid replay whose `m.events` totals give
-/// whole-simulator events/second. Everything lands in
+/// whole-simulator events/second. The replay runs with the engine
+/// self-profiler installed, so the report also attributes host time and
+/// event counts per dispatch arm per figure family. Everything lands in
 /// `BENCH_figures.json` under `"bench"`.
 fn run_bench(args: &[String]) {
     let mut quick = false;
@@ -455,17 +650,29 @@ fn run_bench(args: &[String]) {
         experiments::paper_sizes()
     };
     let mut timings: Vec<(String, RunReport, MetricTotals)> = Vec::new();
+    let mut profile: Vec<(String, profiler::ArmTallies)> = Vec::new();
+    clic_cluster::jobs::set_job_probe_factory(Some(profiler::probe));
+    profiler::take(); // start from a clean accumulator
     for kind in FigureKind::ALL {
         let specs = kind.jobs(&sizes);
         let (results, report) = run_jobs(&specs, &config);
         let totals = MetricTotals::from_results(&results);
         timings.push((kind.name().to_string(), report, totals));
+        profile.push((kind.name().to_string(), profiler::take()));
     }
+    clic_cluster::jobs::set_job_probe_factory(None);
     let mut grid = RunReport::default();
     let mut grid_metrics = MetricTotals::default();
     for (_, r, t) in &timings {
         grid.merge(r);
         grid_metrics.merge(t);
+    }
+    let mut profile_total = [(0u64, 0u64); 3];
+    for (_, arms) in &profile {
+        for (t, a) in profile_total.iter_mut().zip(arms) {
+            t.0 += a.0;
+            t.1 += a.1;
+        }
     }
     let grid_eps_serial = if grid.serial_equiv_secs() > 0.0 {
         grid_metrics.events / grid.serial_equiv_secs()
@@ -496,6 +703,21 @@ fn run_bench(args: &[String]) {
                 ("wall_secs", Json::Num(grid.wall_secs)),
                 ("serial_equiv_secs", Json::Num(grid.serial_equiv_secs())),
                 ("events_per_sec_serial", Json::Num(grid_eps_serial)),
+            ]),
+        ),
+        (
+            "profile",
+            Json::obj([
+                (
+                    "modules",
+                    Json::Arr(
+                        profile
+                            .iter()
+                            .map(|(name, arms)| profile_entry(name, *arms))
+                            .collect(),
+                    ),
+                ),
+                ("total", profile_entry("total", profile_total)),
             ]),
         ),
     ]);
@@ -531,6 +753,23 @@ fn run_bench(args: &[String]) {
             grid.serial_equiv_secs(),
             grid_eps_serial
         );
+        println!();
+        println!("== engine self-profile (events | host ms, per dispatch arm) ==");
+        println!(
+            "{:<16} {:>20} {:>20} {:>20}",
+            "module", "call", "call_arg", "boxed"
+        );
+        let total_row = ("total".to_string(), profile_total);
+        for (name, arms) in profile.iter().chain(std::iter::once(&total_row)) {
+            let cell = |(e, ns): (u64, u64)| format!("{e} | {:.1}", ns as f64 / 1e6);
+            println!(
+                "{:<16} {:>20} {:>20} {:>20}",
+                name,
+                cell(arms[0]),
+                cell(arms[1]),
+                cell(arms[2])
+            );
+        }
     }
 
     let path = "BENCH_figures.json";

@@ -1,0 +1,106 @@
+//! The timeline recorder's exports are part of the observability
+//! contract: the incast counter-track trace is byte-stable (golden file),
+//! parses as JSON with the headline Perfetto counter tracks, and the
+//! `figures timeline` CLI emits identical bytes for any `--jobs N`.
+
+use clic_bench::json::Json;
+use clic_cluster::observe::{run_timeline, TimelineScenario};
+use clic_sim::SimDuration;
+
+const GOLDEN: &str = include_str!("golden/incast_timeline_trace.json");
+
+fn incast_run() -> clic_cluster::observe::TimelineRun {
+    run_timeline(TimelineScenario::Incast, SimDuration::from_us(1000), None)
+}
+
+#[test]
+fn incast_counter_trace_matches_golden_file() {
+    let t = incast_run();
+    assert_eq!(
+        t.chrome_json, GOLDEN,
+        "counter-track trace for the incast timeline changed; if \
+         intentional, regenerate \
+         crates/bench/tests/golden/incast_timeline_trace.json with \
+         `figures timeline incast --bucket-us 1000 --out <golden path>`"
+    );
+}
+
+#[test]
+fn incast_counter_trace_parses_with_headline_tracks() {
+    let t = incast_run();
+    let doc = Json::parse(&t.chrome_json).expect("trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let mut tracks = std::collections::BTreeSet::new();
+    for e in events {
+        if e.get("ph").and_then(Json::as_str) == Some("C") {
+            let name = e.get("name").and_then(Json::as_str).expect("counter name");
+            assert!(
+                e.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_f64)
+                    .is_some(),
+                "counter sample without a value: {name}"
+            );
+            tracks.insert(name.to_string());
+        }
+    }
+    // The acceptance headline: switch queue depth, receiver buffer
+    // occupancy and per-link transmit rate all present as counter tracks.
+    for want in [
+        "eth.switch.queue_depth",
+        "clic.recv_buffer_bytes",
+        "eth.link.tx_bytes",
+    ] {
+        assert!(tracks.contains(want), "missing counter track {want}");
+    }
+    assert!(tracks.len() >= 3, "tracks: {tracks:?}");
+}
+
+#[test]
+fn timeline_cli_is_byte_identical_for_any_jobs() {
+    // Satellite of the determinism contract: the CLI's CSV (stdout) and
+    // Perfetto JSON (--out) must not depend on the worker count.
+    let run = |jobs: &str, out: &std::path::Path| {
+        let output = std::process::Command::new(env!("CARGO_BIN_EXE_figures"))
+            .args(["timeline", "incast", "--bucket-us", "200", "--jobs", jobs])
+            .arg("--out")
+            .arg(out)
+            .output()
+            .expect("figures timeline runs");
+        assert!(output.status.success(), "{output:?}");
+        output.stdout
+    };
+    let dir = std::env::temp_dir();
+    let out1 = dir.join(format!("clic-tl-j1-{}.json", std::process::id()));
+    let out8 = dir.join(format!("clic-tl-j8-{}.json", std::process::id()));
+    let csv1 = run("1", &out1);
+    let csv8 = run("8", &out8);
+    assert_eq!(csv1, csv8, "timeline CSV differs between --jobs 1 and 8");
+    let j1 = std::fs::read(&out1).expect("jobs-1 trace written");
+    let j8 = std::fs::read(&out8).expect("jobs-8 trace written");
+    assert_eq!(j1, j8, "timeline JSON differs between --jobs 1 and 8");
+    assert!(!csv1.is_empty() && !j1.is_empty());
+    let _ = std::fs::remove_file(&out1);
+    let _ = std::fs::remove_file(&out8);
+}
+
+#[test]
+fn timeline_smoke_covers_every_scenario() {
+    // The CI step: every scenario replays and records enough series.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(["timeline", "--smoke"])
+        .output()
+        .expect("figures timeline --smoke runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    for s in TimelineScenario::ALL {
+        assert!(
+            stdout.contains(&format!("timeline {:<12}", s.name())),
+            "smoke output missing scenario {}: {stdout}",
+            s.name()
+        );
+    }
+}

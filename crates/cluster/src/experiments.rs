@@ -1053,7 +1053,7 @@ pub struct ReliabilityRow {
 /// Gilbert–Elliott chain tuned to the same mean loss `p`: the burst state
 /// drops everything, lasts 4 frames on average (`p_exit = 0.25`), and is
 /// entered at the rate that makes the stationary loss equal `p`.
-fn reliability_loss(p: f64, bursty: bool) -> LossModel {
+pub(crate) fn reliability_loss(p: f64, bursty: bool) -> LossModel {
     if p == 0.0 {
         LossModel::None
     } else if bursty {
@@ -1317,7 +1317,7 @@ fn chaos_incast_cases() -> Vec<(String, Option<usize>)> {
 
 /// A two-node CLIC pair with the robustness machinery enabled: keepalive
 /// liveness, epoch guarding, and `loss_pct` percent uniform frame loss.
-fn chaos_pair(model: &CostModel, loss_pct: f64) -> ClusterConfig {
+pub(crate) fn chaos_pair(model: &CostModel, loss_pct: f64) -> ClusterConfig {
     let mut cfg = clic_pair(model, false, true);
     let clic = cfg.node.clic.as_mut().expect("clic_pair configures CLIC");
     clic.keepalive_interval = Some(SimDuration::from_us(500));
@@ -1332,7 +1332,11 @@ fn chaos_pair(model: &CostModel, loss_pct: f64) -> ClusterConfig {
 /// The incast cluster: `nodes`-node star, node 0 the receiver, with a
 /// modest send window (so the pre-first-ACK burst does not dwarf the
 /// budget) and the given receive budget.
-fn incast_cluster(model: &CostModel, nodes: usize, budget: Option<usize>) -> ClusterConfig {
+pub(crate) fn incast_cluster(
+    model: &CostModel,
+    nodes: usize,
+    budget: Option<usize>,
+) -> ClusterConfig {
     let mut cfg = clic_pair(model, false, true);
     cfg.nodes = nodes;
     cfg.topology = Topology::Switched;

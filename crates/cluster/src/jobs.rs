@@ -21,7 +21,8 @@ use crate::workload::{
     ping_pong, request_reply_cycles, request_reply_cycles_with_background, stream, stream_count,
     stream_pipelined, StackKind,
 };
-use clic_sim::{Sim, SimDuration};
+use clic_sim::{EngineProbe, Sim, SimDuration};
+use std::sync::Mutex;
 
 /// Bump when the measurement schema changes (new/renamed value keys), so
 /// stale cache entries from older binaries are never reused.
@@ -301,6 +302,38 @@ impl JobKind {
 /// keys carrying this prefix.
 pub const METRIC_KEY_PREFIX: &str = "m.";
 
+/// Optional engine-probe factory consulted by every job's simulator.
+///
+/// `None` (the default) leaves the engine's unprofiled fast path
+/// untouched. The `figures bench` self-profiler installs a factory — a
+/// plain `fn` pointer so it can cross worker threads — before replaying
+/// the grid, and each job then runs with its own probe instance. Probes
+/// observe dispatch, they cannot schedule or touch the clock, so
+/// measurements stay bit-identical with and without one installed.
+static PROBE_FACTORY: Mutex<Option<ProbeFactory>> = Mutex::new(None);
+
+/// A probe constructor: a plain `fn` pointer, so it is `Send + Sync` and
+/// can build one probe per job on any worker thread.
+pub type ProbeFactory = fn() -> Box<dyn EngineProbe>;
+
+/// Install (or, with `None`, remove) the per-job engine-probe factory.
+/// Affects every [`JobSpec::run`] in the process until changed; callers
+/// profiling one job set at a time should reset it afterwards.
+pub fn set_job_probe_factory(factory: Option<ProbeFactory>) {
+    *PROBE_FACTORY.lock().expect("probe factory lock") = factory;
+}
+
+/// A job's simulator: seeded, metrics on, and carrying a probe when the
+/// self-profiler has installed a factory.
+fn job_sim(seed: u64) -> Sim {
+    let mut sim = Sim::new(seed);
+    sim.metrics = clic_sim::Metrics::enabled();
+    if let Some(f) = *PROBE_FACTORY.lock().expect("probe factory lock") {
+        sim.set_probe(f());
+    }
+    sim
+}
+
 /// Append the per-run observability totals to `m`: dropped frames/packets
 /// across every layer, retransmissions across both stacks, and the peak
 /// switch output-queue depth. Zero-valued when the run had no such events
@@ -334,8 +367,7 @@ fn run_stream(
     pipelined: bool,
 ) -> Measurement {
     let cluster = Cluster::build(config);
-    let mut sim = Sim::new(seed);
-    sim.metrics = clic_sim::Metrics::enabled();
+    let mut sim = job_sim(seed);
     let res = if pipelined {
         stream_pipelined(&cluster, &mut sim, stack, size, count)
     } else {
@@ -366,8 +398,7 @@ fn run_ping_pong(
     seed: u64,
 ) -> Measurement {
     let cluster = Cluster::build(config);
-    let mut sim = Sim::new(seed);
-    sim.metrics = clic_sim::Metrics::enabled();
+    let mut sim = job_sim(seed);
     let pp = ping_pong(&cluster, &mut sim, stack, size, rounds);
     let mut m = Measurement::default();
     m.push("one_way_us", pp.one_way().as_us_f64());
@@ -377,9 +408,8 @@ fn run_ping_pong(
 
 fn run_stage_trace(config: &ClusterConfig, seed: u64) -> Measurement {
     let cluster = Cluster::build(config);
-    let mut sim = Sim::new(seed);
+    let mut sim = job_sim(seed);
     sim.trace = clic_sim::Trace::enabled();
-    sim.metrics = clic_sim::Metrics::enabled();
 
     const CH: u16 = 100;
     let a = &cluster.nodes[0];
@@ -438,8 +468,7 @@ fn run_loaded_latency(is_clic: bool, loaded: bool) -> Measurement {
         crate::experiments::tcp_pair(&model, false)
     };
     let cluster = Cluster::build(&cfg);
-    let mut sim = Sim::new(10);
-    sim.metrics = clic_sim::Metrics::enabled();
+    let mut sim = job_sim(10);
     let post_bulk = move |sim: &mut Sim, cluster: &Cluster| {
         // Background bulk: node 0 -> node 1, separate channel/port.
         if is_clic {
@@ -526,8 +555,7 @@ fn run_reliability(
     seed: u64,
 ) -> Measurement {
     let cluster = Cluster::build(config);
-    let mut sim = Sim::new(seed);
-    sim.metrics = clic_sim::Metrics::enabled();
+    let mut sim = job_sim(seed);
     let cycles = request_reply_cycles(&cluster, &mut sim, stack, size, 4, rounds);
     let mut m = Measurement::default();
     // Goodput: request bytes delivered per mean cycle. Derived from the
@@ -554,8 +582,7 @@ fn run_chaos(
     seed: u64,
 ) -> Measurement {
     let cluster = Cluster::build(config);
-    let mut sim = Sim::new(seed);
-    sim.metrics = clic_sim::Metrics::enabled();
+    let mut sim = job_sim(seed);
     let plan = crate::workload::ChaosPlan::draw(seed, crashes, flaps);
     let out = crate::workload::chaos_clic(&cluster, &mut sim, size, nmsgs, &plan);
     let mut m = Measurement::default();
@@ -588,8 +615,7 @@ fn run_incast(
     seed: u64,
 ) -> Measurement {
     let cluster = Cluster::build(config);
-    let mut sim = Sim::new(seed);
-    sim.metrics = clic_sim::Metrics::enabled();
+    let mut sim = job_sim(seed);
     let out = crate::workload::incast_clic(
         &cluster,
         &mut sim,
@@ -614,8 +640,7 @@ fn run_incast(
 
 fn run_all_to_all(config: &ClusterConfig, size: usize, seed: u64) -> Measurement {
     let cluster = Cluster::build(config);
-    let mut sim = Sim::new(seed);
-    sim.metrics = clic_sim::Metrics::enabled();
+    let mut sim = job_sim(seed);
     let res = crate::workload::all_to_all_clic(&cluster, &mut sim, size);
     let mut m = Measurement::default();
     m.push("aggregate_mbps", res.aggregate_mbps());

@@ -10,9 +10,10 @@
 
 use crate::builder::{Cluster, ClusterConfig};
 use crate::calibration::CostModel;
-use crate::experiments::{clic_pair, tcp_pair};
+use crate::experiments::{chaos_pair, clic_pair, incast_cluster, reliability_loss, tcp_pair};
+use crate::workload::{chaos_clic, incast_clic, request_reply_cycles, ChaosPlan, StackKind};
 use bytes::Bytes;
-use clic_sim::{Metrics, Sim, StageSpan};
+use clic_sim::{Metrics, Sim, SimDuration, StageSpan, TimelineRecorder};
 use clic_tcpip::TcpStack;
 
 /// Trace id carried by the instrumented message (0 means untraced, so any
@@ -212,6 +213,149 @@ pub fn run_pipeline_trace(
         spans,
         breakdown,
         metrics,
+    }
+}
+
+/// Which scenario a timeline run replays. Each is a fixed, fully
+/// parameterised cell from an existing figure family, so the recorded
+/// series are directly comparable with the corresponding figure rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimelineScenario {
+    /// One 64 KiB traced CLIC message through the Figure 7a pipeline at
+    /// MTU 1500 — the window/in-flight ramp of a single fragmented send.
+    Fig7a,
+    /// 32 request/reply cycles of 64 KiB over a 2 % uniform-loss link —
+    /// retransmission stalls show up as plateaus in the in-flight series.
+    Reliability,
+    /// The 5-node budget-bounded incast cell: four senders into one
+    /// consumer-paced receiver. Switch queue depth and receiver buffer
+    /// occupancy are the headline series.
+    Incast,
+    /// A lossy chaos soak (crash/restart plus link flaps), recorded in
+    /// flight-recorder mode: only the last [`CHAOS_FLIGHT_BUCKETS`]
+    /// buckets per series survive, as a crash-dump recorder would keep.
+    Chaos,
+}
+
+/// Ring capacity (sealed buckets per series) for the chaos scenario's
+/// flight-recorder mode.
+pub const CHAOS_FLIGHT_BUCKETS: usize = 512;
+
+impl TimelineScenario {
+    /// Every scenario, in display order.
+    pub const ALL: [TimelineScenario; 4] = [
+        TimelineScenario::Fig7a,
+        TimelineScenario::Reliability,
+        TimelineScenario::Incast,
+        TimelineScenario::Chaos,
+    ];
+
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TimelineScenario::Fig7a => "fig7a",
+            TimelineScenario::Reliability => "reliability",
+            TimelineScenario::Incast => "incast",
+            TimelineScenario::Chaos => "chaos",
+        }
+    }
+
+    /// Parse a CLI spelling.
+    pub fn parse(s: &str) -> Option<TimelineScenario> {
+        match s {
+            "fig7a" | "7a" => Some(TimelineScenario::Fig7a),
+            "reliability" | "loss" => Some(TimelineScenario::Reliability),
+            "incast" => Some(TimelineScenario::Incast),
+            "chaos" => Some(TimelineScenario::Chaos),
+            _ => None,
+        }
+    }
+
+    /// Ring capacity the scenario runs with by default: the chaos soak
+    /// demonstrates flight-recorder mode, the rest keep full history.
+    pub fn default_flight(self) -> Option<usize> {
+        match self {
+            TimelineScenario::Chaos => Some(CHAOS_FLIGHT_BUCKETS),
+            _ => None,
+        }
+    }
+}
+
+/// Everything one timeline replay produces.
+#[derive(Debug, Clone)]
+pub struct TimelineRun {
+    /// The scenario that ran.
+    pub scenario: TimelineScenario,
+    /// Bucket width used for sampling.
+    pub bucket: SimDuration,
+    /// Deterministic CSV dump of every recorded series
+    /// ([`TimelineRecorder::dump`]).
+    pub csv: String,
+    /// Chrome trace-event JSON: the run's stage spans plus one counter
+    /// track (`"ph": "C"`) per timeline series. Loadable in Perfetto.
+    pub chrome_json: String,
+    /// Number of recorded series.
+    pub series: usize,
+}
+
+/// Replay `scenario` with the timeline recorder sampling into
+/// `bucket`-wide bins, and return the plottable output. `flight` bounds
+/// each series to its last N sealed buckets (ring mode); `None` keeps
+/// full history. The run is single-simulation and seeded, so the CSV and
+/// JSON are byte-stable regardless of how many worker threads the
+/// calling harness uses.
+pub fn run_timeline(
+    scenario: TimelineScenario,
+    bucket: SimDuration,
+    flight: Option<usize>,
+) -> TimelineRun {
+    assert!(bucket.as_ns() > 0, "bucket width must be positive");
+    // Cold-start the buffer pool for parity with the traced runs: the
+    // timeline output must be a pure function of this replay.
+    bytes::pool::reset();
+    let model = CostModel::era_2002();
+    let (config, seed) = match scenario {
+        TimelineScenario::Fig7a => (trace_config(TraceScenario::Fig7a, 1500), 0),
+        TimelineScenario::Reliability => {
+            let mut cfg = clic_pair(&model, false, true);
+            cfg.faults.loss = reliability_loss(0.02, false);
+            (cfg, 21)
+        }
+        TimelineScenario::Incast => (incast_cluster(&model, 5, Some(64 * 1024)), 9),
+        TimelineScenario::Chaos => (chaos_pair(&model, 0.5), 2),
+    };
+    let cluster = Cluster::build(&config);
+    let mut sim = Sim::new(seed);
+    sim.trace = clic_sim::Trace::enabled();
+    sim.metrics = Metrics::enabled();
+    sim.timeline = match flight {
+        Some(n) => TimelineRecorder::flight_recorder(bucket, n),
+        None => TimelineRecorder::enabled(bucket),
+    };
+    match scenario {
+        TimelineScenario::Fig7a => send_clic(&cluster, &mut sim, 64 * 1024),
+        TimelineScenario::Reliability => {
+            request_reply_cycles(&cluster, &mut sim, StackKind::Clic, 65_536, 4, 32);
+        }
+        TimelineScenario::Incast => {
+            incast_clic(&cluster, &mut sim, 8_192, 8, SimDuration::from_us(150));
+        }
+        TimelineScenario::Chaos => {
+            let plan = ChaosPlan::draw(seed, 2, 2);
+            chaos_clic(&cluster, &mut sim, 2_048, 40, &plan);
+        }
+    }
+    // Fig7a posts and returns; the workload runners drain the queue
+    // themselves, in which case this is a no-op.
+    sim.run();
+    sim.timeline.finish(sim.now());
+    let rows = sim.timeline.chrome_counter_rows();
+    TimelineRun {
+        scenario,
+        bucket,
+        csv: sim.timeline.dump(),
+        chrome_json: sim.trace.chrome_trace_json_with(&rows),
+        series: sim.timeline.series_count(),
     }
 }
 
@@ -436,6 +580,85 @@ mod tests {
         assert_eq!(a.chrome_json, b.chrome_json);
         assert_eq!(a.metrics.dump(), b.metrics.dump());
         assert_eq!(a.breakdown, b.breakdown);
+    }
+
+    #[test]
+    fn timeline_scenario_names_round_trip() {
+        for s in TimelineScenario::ALL {
+            assert_eq!(TimelineScenario::parse(s.name()), Some(s));
+        }
+        assert_eq!(TimelineScenario::parse("nope"), None);
+        assert_eq!(
+            TimelineScenario::Chaos.default_flight(),
+            Some(CHAOS_FLIGHT_BUCKETS)
+        );
+        assert_eq!(TimelineScenario::Incast.default_flight(), None);
+    }
+
+    #[test]
+    fn incast_timeline_records_the_headline_series() {
+        let t = run_timeline(TimelineScenario::Incast, SimDuration::from_us(10), None);
+        for series in [
+            "eth.switch.queue_depth",
+            "clic.recv_buffer_bytes",
+            "eth.link.tx_bytes",
+        ] {
+            assert!(t.csv.contains(series), "missing series {series}");
+        }
+        // Each series becomes a Chrome counter track; Perfetto needs at
+        // least the three headline ones.
+        let tracks: std::collections::BTreeSet<&str> = t
+            .chrome_json
+            .lines()
+            .filter(|l| l.contains("\"ph\": \"C\""))
+            .filter_map(|l| l.split("\"name\": \"").nth(1))
+            .filter_map(|rest| rest.split('"').next())
+            .collect();
+        assert!(tracks.len() >= 3, "counter tracks: {tracks:?}");
+        assert!(t.series >= 3);
+        assert!(t.chrome_json.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn timeline_replay_is_deterministic() {
+        let a = run_timeline(TimelineScenario::Incast, SimDuration::from_us(10), None);
+        let b = run_timeline(TimelineScenario::Incast, SimDuration::from_us(10), None);
+        assert_eq!(a.csv, b.csv);
+        assert_eq!(a.chrome_json, b.chrome_json);
+    }
+
+    #[test]
+    fn chaos_flight_recorder_keeps_only_the_tail() {
+        let full = run_timeline(TimelineScenario::Chaos, SimDuration::from_us(20), None);
+        let ring = run_timeline(TimelineScenario::Chaos, SimDuration::from_us(20), Some(8));
+        // Per-series bucket counts: the ring keeps at most 8 + the open
+        // bucket; the full run keeps everything.
+        let counts = |csv: &str| {
+            let mut m = std::collections::BTreeMap::<String, usize>::new();
+            for line in csv.lines().filter(|l| !l.starts_with('#')) {
+                if let Some(series) = line.split(',').next() {
+                    if series != "series" {
+                        *m.entry(series.to_string()).or_default() += 1;
+                    }
+                }
+            }
+            m
+        };
+        let ring_counts = counts(&ring.csv);
+        assert!(ring_counts.values().all(|&n| n <= 9), "{ring_counts:?}");
+        assert!(
+            counts(&full.csv).values().any(|&n| n > 9),
+            "chaos soak too short to exercise the ring"
+        );
+        // Ring rows are the tail of the full dump: every ring row exists
+        // verbatim in the unbounded run.
+        let full_rows: std::collections::BTreeSet<&str> = full.csv.lines().collect();
+        for line in ring.csv.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                full_rows.contains(line),
+                "ring row not in full dump: {line}"
+            );
+        }
     }
 
     #[test]

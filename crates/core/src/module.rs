@@ -49,6 +49,8 @@ const M_DROPS_BACKLOG: MetricId = counter_id("clic.drops.backlog");
 const M_DROPS_DUPLICATE: MetricId = counter_id("clic.drops.duplicate");
 const M_DROPS_OOO: MetricId = counter_id("clic.drops.ooo");
 const M_RECV_BUFFER_BYTES: MetricId = gauge_id("clic.recv_buffer_bytes");
+const TL_EFFECTIVE_WINDOW: MetricId = gauge_id("clic.effective_window");
+const TL_INFLIGHT_BYTES: MetricId = gauge_id("clic.inflight_bytes");
 
 /// Activity counters.
 #[derive(Debug, Default, Clone)]
@@ -852,7 +854,7 @@ impl ClicModule {
     /// stale sequence space from fresh.
     fn pump(module: &Rc<RefCell<ClicModule>>, sim: &mut Sim, key: FlowKey) {
         loop {
-            let post = {
+            let (post, window_sample) = {
                 let mut m = module.borrow_mut();
                 let window_cap = m.config.window;
                 let stamp = if m.config.epoch_guard {
@@ -872,23 +874,36 @@ impl ClicModule {
                     .peer_window
                     .map_or(window_cap, |w| w.min(window_cap))
                     .max(1);
-                if flow.queue.is_empty() || flow.window.inflight_len() + flow.posting >= cap {
-                    None
+                // Timeline samples of the window state at this pump; the
+                // byte sum walks the inflight map, so guard on enablement.
+                let window_sample = if sim.timeline.is_enabled() {
+                    Some((cap as i64, flow.window.inflight_bytes() as i64))
                 } else {
-                    match flow.queue.pop_front() {
-                        None => None,
-                        Some(mut pkt) => {
-                            if let Some(epoch) = stamp {
-                                pkt.header.flags = flags::with_epoch(pkt.header.flags, epoch);
+                    None
+                };
+                let post =
+                    if flow.queue.is_empty() || flow.window.inflight_len() + flow.posting >= cap {
+                        None
+                    } else {
+                        match flow.queue.pop_front() {
+                            None => None,
+                            Some(mut pkt) => {
+                                if let Some(epoch) = stamp {
+                                    pkt.header.flags = flags::with_epoch(pkt.header.flags, epoch);
+                                }
+                                flow.posting += 1;
+                                let dev_slot = m.bond.next_index();
+                                let dev = m.devices[dev_slot];
+                                Some((pkt, dev))
                             }
-                            flow.posting += 1;
-                            let dev_slot = m.bond.next_index();
-                            let dev = m.devices[dev_slot];
-                            Some((pkt, dev))
                         }
-                    }
-                }
+                    };
+                (post, window_sample)
             };
+            if let Some((cap, inflight)) = window_sample {
+                sim.timeline.gauge(sim.now(), TL_EFFECTIVE_WINDOW, cap);
+                sim.timeline.gauge(sim.now(), TL_INFLIGHT_BYTES, inflight);
+            }
             match post {
                 None => return,
                 Some((pkt, dev)) => Self::post_packet(module, sim, key, pkt, dev),
@@ -1795,6 +1810,8 @@ impl ClicModule {
                 Some(budget) => {
                     let used = m.buffered_bytes();
                     sim.metrics.gauge_set_id(M_RECV_BUFFER_BYTES, used as i64);
+                    sim.timeline
+                        .gauge(sim.now(), M_RECV_BUFFER_BYTES, used as i64);
                     let free = budget.saturating_sub(used);
                     ((free / m.max_chunk).max(1)).min(m.config.window) as u32
                 }

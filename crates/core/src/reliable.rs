@@ -136,6 +136,11 @@ impl SendWindow {
         self.inflight.len()
     }
 
+    /// Payload bytes currently unacknowledged (timeline instrumentation).
+    pub fn inflight_bytes(&self) -> u64 {
+        self.inflight.values().map(|p| p.payload.len() as u64).sum()
+    }
+
     /// True when every sent packet has been acknowledged.
     pub fn all_acked(&self) -> bool {
         self.inflight.is_empty()

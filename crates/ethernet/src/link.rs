@@ -24,6 +24,7 @@ use std::rc::Rc;
 /// Interned metric ids — transmit runs once per frame, so names are
 /// resolved against the catalog at compile time.
 const M_FRAME_BYTES: MetricId = histogram_id("eth.link.frame_bytes");
+const TL_TX_BYTES: MetricId = counter_id("eth.link.tx_bytes");
 const M_FRAMES_LOST: MetricId = counter_id("eth.link.frames_lost");
 const M_CORRUPT: MetricId = counter_id("eth.corrupt");
 const M_DUPLICATES: MetricId = counter_id("eth.duplicates");
@@ -423,6 +424,8 @@ impl Link {
     pub fn transmit(link: &Rc<RefCell<Link>>, sim: &mut Sim, from: LinkEnd, frame: Frame) {
         sim.metrics
             .observe_id(M_FRAME_BYTES, frame.frame_bytes() as u64);
+        sim.timeline
+            .counter(sim.now(), TL_TX_BYTES, frame.frame_bytes() as u64);
         if frame.trace != 0 {
             sim.trace.begin(sim.now(), Layer::Eth, "wire", frame.trace);
         }

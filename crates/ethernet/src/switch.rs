@@ -158,9 +158,11 @@ impl Switch {
             (p.link.clone(), p.end, depth, depth >= sw.queue_limit)
         };
         // Queue occupancy at the instant of the forwarding decision: the
-        // peak gauge is the congestion headline, the histogram its shape.
+        // peak gauge is the congestion headline, the histogram its shape,
+        // and the timeline series its trajectory over simulated time.
         sim.metrics.gauge_set_id(M_QUEUE_DEPTH_G, depth as i64);
         sim.metrics.observe_id(M_QUEUE_DEPTH_H, depth as u64);
+        sim.timeline.gauge(sim.now(), M_QUEUE_DEPTH_G, depth as i64);
         if full {
             switch.borrow_mut().frames_dropped += 1;
             sim.metrics.counter_inc_id(M_DROPS);

@@ -33,6 +33,7 @@ use std::rc::Rc;
 /// the RX hot path records without hashing names.
 const M_RX_FCS_ERRORS: MetricId = counter_id("hw.nic.rx_fcs_errors");
 const M_RX_NO_BUFFER: MetricId = counter_id("hw.nic.rx_no_buffer");
+const TL_TX_BYTES: MetricId = counter_id("hw.nic.tx_bytes");
 
 /// Static NIC configuration.
 #[derive(Debug, Clone)]
@@ -358,6 +359,8 @@ impl Nic {
         let dma_bytes = ETH_HEADER + frame.payload.len();
         let nic2 = nic.clone();
         pci.dma(sim, dma_bytes, move |sim| {
+            sim.timeline
+                .counter(sim.now(), TL_TX_BYTES, frame.payload.len() as u64);
             let (link, end, internal_copy) = {
                 let mut n = nic2.borrow_mut();
                 n.stats.tx_frames += 1;

@@ -96,6 +96,11 @@ pub const METRICS: &[MetricDef] = &[
         help: "packets dropped for carrying a previous session epoch",
     },
     MetricDef {
+        name: "clic.effective_window",
+        kind: G,
+        help: "effective send window after peer advertisement, packets (timeline)",
+    },
+    MetricDef {
         name: "clic.fast_retransmits",
         kind: C,
         help: "retransmissions triggered by duplicate ACKs",
@@ -119,6 +124,11 @@ pub const METRICS: &[MetricDef] = &[
         name: "clic.flow_failures.stale_epoch",
         kind: C,
         help: "flows torn down because the peer restarted into a new epoch",
+    },
+    MetricDef {
+        name: "clic.inflight_bytes",
+        kind: G,
+        help: "payload bytes sent but not yet acknowledged (timeline)",
     },
     MetricDef {
         name: "clic.keepalive_probes",
@@ -191,6 +201,11 @@ pub const METRICS: &[MetricDef] = &[
         help: "frames lost in flight (fault injection or outage)",
     },
     MetricDef {
+        name: "eth.link.tx_bytes",
+        kind: C,
+        help: "on-wire bytes offered to links, timeline rate source",
+    },
+    MetricDef {
         name: "eth.reorders",
         kind: C,
         help: "frames reordered in flight by fault injection",
@@ -251,6 +266,11 @@ pub const METRICS: &[MetricDef] = &[
         help: "frames dropped because the RX ring was full",
     },
     MetricDef {
+        name: "hw.nic.tx_bytes",
+        kind: C,
+        help: "payload bytes transmitted by the NIC, timeline rate source",
+    },
+    MetricDef {
         name: "hw.nic.tx_frames",
         kind: C,
         help: "frames transmitted from the TX ring",
@@ -259,6 +279,11 @@ pub const METRICS: &[MetricDef] = &[
         name: "hw.nic.tx_ring_full",
         kind: C,
         help: "TX descriptor posts rejected by a full ring",
+    },
+    MetricDef {
+        name: "hw.pci.dma_bytes",
+        kind: C,
+        help: "bytes moved over the PCI bus, timeline rate source",
     },
     MetricDef {
         name: "hw.pci.dma_bytes",

@@ -38,6 +38,7 @@ use crate::metrics::Metrics;
 use crate::queue::CalendarQueue;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::timeseries::TimelineRecorder;
 use crate::trace::Trace;
 
 /// A scheduled event.
@@ -48,6 +49,48 @@ enum Action {
     CallArg(fn(&mut Sim, u64), u64),
     /// The general boxed-closure event.
     Boxed(Box<dyn FnOnce(&mut Sim)>),
+}
+
+/// Which dispatch arm an executed event took — the coarse "module" axis
+/// the engine can attribute without inspecting closures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ActionArm {
+    /// Plain function pointer (`schedule_fn_*`), allocation-free.
+    Call,
+    /// Function pointer plus one `u64` (`schedule_arg_*`).
+    CallArg,
+    /// Boxed closure (`schedule_at` / `schedule_in` / `schedule_now`).
+    Boxed,
+}
+
+impl ActionArm {
+    /// All arms, in declaration order.
+    pub const ALL: [ActionArm; 3] = [ActionArm::Call, ActionArm::CallArg, ActionArm::Boxed];
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ActionArm::Call => "call",
+            ActionArm::CallArg => "call_arg",
+            ActionArm::Boxed => "boxed",
+        }
+    }
+}
+
+/// Host-side observer of event dispatch, for engine self-profiling.
+///
+/// The engine stays clock-free: it reports only *which* arm is about to
+/// run / just ran, and the probe implementation decides what to measure.
+/// Wall-clock probes live in the bench layer, the one place host timing
+/// is policy-legal. Probes receive no `&mut Sim`, cannot schedule, and
+/// observe dispatch only — installing one never changes simulation
+/// results. Install before `run`; replacing the probe from inside an
+/// event handler is unsupported.
+pub trait EngineProbe {
+    /// Called immediately before an event executes.
+    fn begin(&mut self, arm: ActionArm);
+    /// Called immediately after the event returns.
+    fn end(&mut self, arm: ActionArm);
 }
 
 /// Why [`Sim::run`] returned.
@@ -77,6 +120,11 @@ pub struct Sim {
     /// Metrics registry (disabled by default; see [`Metrics`]). Recording
     /// is passive, so enabling it never changes simulation results.
     pub metrics: Metrics,
+    /// Time-resolved telemetry recorder (disabled by default; see
+    /// [`TimelineRecorder`]). Passive like `metrics`: enabling it never
+    /// changes simulation results.
+    pub timeline: TimelineRecorder,
+    probe: Option<Box<dyn EngineProbe>>,
 }
 
 impl Sim {
@@ -91,7 +139,22 @@ impl Sim {
             rng: SimRng::new(seed),
             trace: Trace::disabled(),
             metrics: Metrics::disabled(),
+            timeline: TimelineRecorder::disabled(),
+            probe: None,
         }
+    }
+
+    /// Install a dispatch probe (engine self-profiling); see
+    /// [`EngineProbe`]. The unprofiled run loop pays one predictable
+    /// branch per event for this hook.
+    pub fn set_probe(&mut self, probe: Box<dyn EngineProbe>) {
+        self.probe = Some(probe);
+    }
+
+    /// Remove the installed probe, returning it so the caller can extract
+    /// its report.
+    pub fn take_probe(&mut self) -> Option<Box<dyn EngineProbe>> {
+        self.probe.take()
     }
 
     /// Current virtual time.
@@ -185,11 +248,7 @@ impl Sim {
                 debug_assert!(time >= self.now, "time ran backwards");
                 self.now = time;
                 self.executed += 1;
-                match action {
-                    Action::Call(f) => f(self),
-                    Action::CallArg(f, arg) => f(self, arg),
-                    Action::Boxed(f) => f(self),
-                }
+                self.dispatch(action);
                 true
             }
             None => false,
@@ -224,12 +283,48 @@ impl Sim {
             }
             self.now = time;
             self.executed += 1;
+            self.dispatch(action);
+        }
+    }
+
+    /// Execute one popped action. The common (probe-less) path is the
+    /// bare three-arm match; the profiled path is kept out of line so the
+    /// hot loop stays pristine.
+    #[inline]
+    fn dispatch(&mut self, action: Action) {
+        if self.probe.is_none() {
             match action {
                 Action::Call(f) => f(self),
                 Action::CallArg(f, arg) => f(self, arg),
                 Action::Boxed(f) => f(self),
             }
+        } else {
+            self.dispatch_probed(action);
         }
+    }
+
+    #[inline(never)]
+    fn dispatch_probed(&mut self, action: Action) {
+        let arm = match &action {
+            Action::Call(_) => ActionArm::Call,
+            Action::CallArg(_, _) => ActionArm::CallArg,
+            Action::Boxed(_) => ActionArm::Boxed,
+        };
+        // The probe is taken for the duration of the event so the handler
+        // gets the usual `&mut Sim` without aliasing it.
+        let mut probe = self.probe.take();
+        if let Some(p) = probe.as_mut() {
+            p.begin(arm);
+        }
+        match action {
+            Action::Call(f) => f(self),
+            Action::CallArg(f, arg) => f(self, arg),
+            Action::Boxed(f) => f(self),
+        }
+        if let Some(p) = probe.as_mut() {
+            p.end(arm);
+        }
+        self.probe = probe;
     }
 }
 
@@ -453,5 +548,68 @@ mod tests {
             Rc::try_unwrap(log).unwrap().into_inner()
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn probe_sees_every_arm_and_leaves_results_unchanged() {
+        // Probes share their tallies out via Rc, the same pattern the
+        // bench-layer wall-clock probe uses.
+        struct CountProbe {
+            begins: Rc<RefCell<Vec<ActionArm>>>,
+            ends: Rc<RefCell<Vec<ActionArm>>>,
+        }
+        impl EngineProbe for CountProbe {
+            fn begin(&mut self, arm: ActionArm) {
+                self.begins.borrow_mut().push(arm);
+            }
+            fn end(&mut self, arm: ActionArm) {
+                self.ends.borrow_mut().push(arm);
+            }
+        }
+
+        fn run_once(probed: bool) -> (Vec<u64>, Vec<ActionArm>) {
+            let begins = Rc::new(RefCell::new(Vec::new()));
+            let ends = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = Sim::new(7);
+            if probed {
+                sim.set_probe(Box::new(CountProbe {
+                    begins: begins.clone(),
+                    ends: ends.clone(),
+                }));
+            }
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let l = log.clone();
+            sim.schedule_at(SimTime::from_us(1), move |s| {
+                l.borrow_mut().push(s.now().as_ns())
+            });
+            fn tick(s: &mut Sim) {
+                let _ = s;
+            }
+            sim.schedule_fn_at(SimTime::from_us(2), tick);
+            fn tick_arg(s: &mut Sim, _arg: u64) {
+                let _ = s;
+            }
+            sim.schedule_arg_at(SimTime::from_us(3), tick_arg, 9);
+            assert_eq!(sim.run(), StopReason::Drained);
+            assert_eq!(sim.take_probe().is_some(), probed);
+            assert_eq!(*begins.borrow(), *ends.borrow());
+            let result = (log.borrow().clone(), begins.borrow().clone());
+            result
+        }
+
+        let (bare, none) = run_once(false);
+        let (probed, arms) = run_once(true);
+        assert!(none.is_empty());
+        assert_eq!(bare, probed, "probe changed simulation results");
+        assert_eq!(
+            arms,
+            vec![ActionArm::Boxed, ActionArm::Call, ActionArm::CallArg]
+        );
+    }
+
+    #[test]
+    fn timeline_defaults_disabled() {
+        let sim = Sim::new(0);
+        assert!(!sim.timeline.is_enabled());
     }
 }

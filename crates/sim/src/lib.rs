@@ -15,6 +15,9 @@
 //! * [`trace`] — cross-layer span/event tracing with a Chrome trace-event
 //!   JSON exporter (used to regenerate the paper's Figure 7 timing
 //!   breakdown, and to trace any packet through the full pipeline),
+//! * [`timeseries`] — the deterministic timeline recorder bucketing
+//!   catalogued gauges/counters over simulated time (CSV dump plus
+//!   Perfetto counter tracks),
 //! * [`catalog`] — the central registry of every metric and trace-stage
 //!   name; consumed at runtime by [`Metrics::uncataloged`] /
 //!   [`Trace::uncataloged_stages`] and statically by `clic-analyze`.
@@ -38,12 +41,14 @@ pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod timeseries;
 pub mod trace;
 
 pub use catalog::{MetricId, MetricKind, StageId};
-pub use engine::Sim;
+pub use engine::{ActionArm, EngineProbe, Sim};
 pub use metrics::{LogHistogram, Metrics};
 pub use resource::{Cpu, CpuClass, SerialResource};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use timeseries::TimelineRecorder;
 pub use trace::{Layer, Mark, StageSpan, Trace, TraceError, TraceEvent};

@@ -26,6 +26,20 @@
 use crate::catalog::{self, MetricId, MetricKind, METRICS};
 use std::collections::BTreeMap;
 
+/// Whether `name` equals `suffix`, or ends with it immediately after a
+/// `.` separator. Suffix aggregation ([`Metrics::sum_counters`],
+/// [`Metrics::max_gauge_peak`]) matches only at dotted-segment
+/// boundaries: `retransmits` binds to `n1.clic.retransmits` but never to
+/// `clic.fast_retransmits`, whose trailing segment merely *contains* it.
+fn suffix_at_segment_boundary(name: &str, suffix: &str) -> bool {
+    if name.len() == suffix.len() {
+        return name == suffix;
+    }
+    name.len() > suffix.len()
+        && name.ends_with(suffix)
+        && name.as_bytes()[name.len() - suffix.len() - 1] == b'.'
+}
+
 /// Log-bucketed histogram of `u64` values (latencies in ns, sizes in
 /// bytes, queue depths).
 ///
@@ -121,12 +135,22 @@ impl LogHistogram {
     ///
     /// Finds the bucket holding the nearest-rank sample, then linearly
     /// interpolates the rank's position across the bucket's value range;
-    /// the estimate is clamped to the true `[min, max]`.
+    /// the estimate is clamped to the true `[min, max]`, and the extreme
+    /// quantiles are exact: `quantile(0.0)` is the true minimum and
+    /// `quantile(1.0)` the true maximum (interpolation alone could land
+    /// mid-bucket below the max when the edge bucket holds several
+    /// samples).
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return Some(self.min as f64);
+        }
+        if q == 1.0 {
+            return Some(self.max as f64);
+        }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -437,20 +461,26 @@ impl Metrics {
         v
     }
 
-    /// Sum of every counter whose name ends with `suffix` — totals across
-    /// per-node prefixes (`n0.clic.retransmits` + `n1.clic.retransmits`).
+    /// Sum of every counter whose name ends with `suffix` at a
+    /// `.`-segment boundary — totals across per-node prefixes
+    /// (`n0.clic.retransmits` + `n1.clic.retransmits`). A bare
+    /// `retransmits` matches `n0.clic.retransmits` but never
+    /// `clic.fast_retransmits`: suffixes only bind to whole dotted
+    /// segments.
     pub fn sum_counters(&self, suffix: &str) -> u64 {
         self.counters()
-            .filter(|(n, _)| n.ends_with(suffix))
+            .filter(|(n, _)| suffix_at_segment_boundary(n, suffix))
             .map(|(_, v)| v)
             .sum()
     }
 
-    /// Largest peak over every gauge whose name ends with `suffix`.
+    /// Largest peak over every gauge whose name ends with `suffix` at a
+    /// `.`-segment boundary (same matching rule as
+    /// [`Metrics::sum_counters`]).
     pub fn max_gauge_peak(&self, suffix: &str) -> i64 {
         self.gauge_entries()
             .iter()
-            .filter(|(n, _)| n.ends_with(suffix))
+            .filter(|(n, _)| suffix_at_segment_boundary(n, suffix))
             .map(|(_, g)| g.peak)
             .max()
             .unwrap_or(0)
@@ -712,6 +742,33 @@ mod tests {
         m.gauge_set("n1.eth.switch.queue_depth", 4);
         assert_eq!(m.sum_counters("clic.retransmits"), 5);
         assert_eq!(m.max_gauge_peak("eth.switch.queue_depth"), 9);
+    }
+
+    #[test]
+    fn suffix_matching_honours_segment_boundaries() {
+        // Regression: a bare `retransmits` suffix must not aggregate
+        // `fast_retransmits`, whose final segment merely contains it.
+        let mut m = Metrics::enabled();
+        m.counter_add("clic.retransmits", 2);
+        m.counter_add("n0.clic.retransmits", 3);
+        m.counter_add("clic.fast_retransmits", 100);
+        m.counter_add("tcp.fast_retransmits", 200);
+        assert_eq!(m.sum_counters("retransmits"), 5);
+        assert_eq!(m.sum_counters("fast_retransmits"), 300);
+        assert_eq!(m.sum_counters("clic.retransmits"), 5);
+        // An exact full-name match still counts itself once.
+        assert_eq!(m.sum_counters("clic.fast_retransmits"), 100);
+        // Partial segments never match, in either position.
+        assert_eq!(m.sum_counters("ransmits"), 0);
+        assert_eq!(m.sum_counters("ic.retransmits"), 0);
+
+        m.gauge_set("eth.switch.queue_depth", 4);
+        m.gauge_set("n1.eth.switch.queue_depth", 9);
+        m.gauge_set("clic.recv_buffer_bytes", 123);
+        assert_eq!(m.max_gauge_peak("queue_depth"), 9);
+        assert_eq!(m.max_gauge_peak("depth"), 0); // partial segment
+        assert_eq!(m.max_gauge_peak("bytes"), 0); // partial segment
+        assert_eq!(m.max_gauge_peak("recv_buffer_bytes"), 123);
     }
 
     #[test]

@@ -375,6 +375,15 @@ impl Trace {
     /// byte-reproducible for a given simulation. Marks that fold into no
     /// span are exported as `unmatched:<stage>` instants rather than lost.
     pub fn chrome_trace_json(&self) -> String {
+        self.chrome_trace_json_with(&[])
+    }
+
+    /// [`Trace::chrome_trace_json`] with pre-formatted extra rows (e.g.
+    /// [`crate::timeseries::TimelineRecorder::chrome_counter_rows`]
+    /// counter tracks) appended after the span/instant rows. With no
+    /// extras the output is byte-identical to `chrome_trace_json`, so
+    /// golden traces are unaffected by this hook.
+    pub fn chrome_trace_json_with(&self, extra_rows: &[String]) -> String {
         // Microseconds with exact fractional nanoseconds, as a JSON number.
         fn us(t: SimTime) -> String {
             let ns = t.as_ns();
@@ -441,6 +450,7 @@ impl Trace {
                 e.id
             ));
         }
+        rows.extend(extra_rows.iter().cloned());
         out.push_str(&rows.join(",\n"));
         out.push_str("\n  ]\n}\n");
         out

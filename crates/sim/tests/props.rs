@@ -90,6 +90,93 @@ proptest! {
         }
     }
 
+    /// `LogHistogram::quantile` against an exact sorted-sample reference:
+    /// the extreme quantiles are exactly the true min/max, and every
+    /// interior estimate lands in the same log2 bucket as the
+    /// nearest-rank sample of the sorted data (the tightest guarantee a
+    /// log-bucketed sketch can make), bounded by `[min, max]`.
+    #[test]
+    fn quantile_tracks_sorted_reference(values in proptest::collection::vec(0u64..1_000_000, 1..120)) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let (min, max) = (sorted[0], sorted[sorted.len() - 1]);
+        prop_assert_eq!(h.quantile(0.0), Some(min as f64));
+        prop_assert_eq!(h.quantile(1.0), Some(max as f64));
+        let mut prev = f64::MIN;
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
+            let exact = nearest_rank(&sorted, q);
+            let est = h.quantile(q).unwrap();
+            prop_assert!(est >= min as f64 && est <= max as f64);
+            let (lo, hi) = bucket_range(exact);
+            prop_assert!(
+                est >= lo as f64 && est < hi as f64 || est == exact as f64,
+                "q{}: est {} outside bucket [{}, {}) of exact {}", q, est, lo, hi, exact
+            );
+            prop_assert!(est >= prev, "quantile not monotone in q at q{}", q);
+            prev = est;
+        }
+    }
+
+    /// Degenerate shapes are exact: a single sample answers every
+    /// quantile with itself, and an all-one-bucket histogram stays inside
+    /// that bucket.
+    #[test]
+    fn quantile_single_sample_and_one_bucket(v in 0u64..1_000_000, fill in proptest::collection::vec(0u64..8, 2..60)) {
+        let mut h = LogHistogram::new();
+        h.record(v);
+        for q in [0.0, 0.3, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(h.quantile(q), Some(v as f64));
+        }
+        // All samples land in bucket [8, 16).
+        let samples: Vec<u64> = fill.iter().map(|x| 8 + x).collect();
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let (min, max) = (
+            *samples.iter().min().unwrap(),
+            *samples.iter().max().unwrap(),
+        );
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let est = h.quantile(q).unwrap();
+            prop_assert!(est >= min as f64 && est <= max as f64, "q{}: {}", q, est);
+        }
+        prop_assert_eq!(h.quantile(0.0), Some(min as f64));
+        prop_assert_eq!(h.quantile(1.0), Some(max as f64));
+    }
+
+    /// Quantiles of a merged histogram agree with a histogram built from
+    /// the concatenated samples — merge loses nothing the sketch had.
+    #[test]
+    fn quantile_survives_merge(
+        a in proptest::collection::vec(0u64..1_000_000, 1..80),
+        b in proptest::collection::vec(0u64..1_000_000, 1..80),
+    ) {
+        let mut ha = LogHistogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        let mut hb = LogHistogram::new();
+        for &v in &b {
+            hb.record(v);
+        }
+        ha.merge(&hb);
+        let mut all = LogHistogram::new();
+        for &v in a.iter().chain(&b) {
+            all.record(v);
+        }
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(ha.quantile(q), all.quantile(q), "q = {}", q);
+        }
+        let mut sorted: Vec<u64> = a.iter().chain(&b).copied().collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(ha.quantile(1.0), Some(sorted[sorted.len() - 1] as f64));
+    }
+
     /// for_bytes never returns zero for nonzero payloads and scales
     /// monotonically.
     #[test]
@@ -102,6 +189,26 @@ proptest! {
         } else {
             prop_assert!(ta >= tb);
         }
+    }
+}
+
+/// Nearest-rank quantile over sorted samples — the exact reference
+/// `LogHistogram::quantile` approximates (same rank rule: `ceil(q*n)`
+/// clamped to `[1, n]`).
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// `[inclusive lower, exclusive upper)` of the log2 bucket holding `v`,
+/// mirroring the histogram's bucketing (bucket 0 holds only the value 0).
+fn bucket_range(v: u64) -> (u64, u64) {
+    if v == 0 {
+        (0, 1)
+    } else {
+        let i = 64 - v.leading_zeros() as usize;
+        (1u64 << (i - 1), 1u64 << i)
     }
 }
 
