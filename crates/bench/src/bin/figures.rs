@@ -5,7 +5,8 @@
 //!         [--metrics] <what>...
 //!   what: fig4 fig5 fig6 fig7 scalars gamma coalescing fragmentation
 //!         bonding syscall loss cpu load paths scaling reliability
-//!         claims all
+//!         chaos scale claims all (chaos and scale are opt-in: not
+//!         part of all)
 //! figures trace [scenario] [--size N] [--mtu M] [--seed S] [--out FILE]
 //!         [--metrics] [--quick]
 //!   scenario: fig7a (default) fig7b fig7a-lossy tcp
@@ -39,7 +40,7 @@ const USAGE: &str = "usage: figures [--quick|--smoke] [--json] [--jobs N] [--no-
 [--cache-dir DIR] [--metrics] <what>...
   what: fig4 fig5 fig6 fig7 scalars gamma coalescing fragmentation
         bonding syscall loss cpu load paths scaling reliability chaos
-        claims all (chaos is opt-in: not part of all)
+        scale claims all (chaos and scale are opt-in: not part of all)
    or: figures trace [fig7a|fig7b|fig7a-lossy|tcp] [--size N] [--mtu M]
         [--seed S] [--out FILE] [--metrics] [--quick]
    or: figures timeline [fig7a|reliability|incast|chaos] [--bucket-us N]
@@ -1247,6 +1248,56 @@ fn render(json: bool, kind: FigureKind, output: FigureOutput) {
                         r.p99_us,
                         r.peak_buffered_bytes,
                         r.elapsed_us
+                    );
+                }
+                println!();
+            }
+        }
+        FigureOutput::Scale(rows) => {
+            if json {
+                print_json(Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("fabric", Json::from(r.fabric)),
+                                ("nodes", Json::from(r.nodes)),
+                                ("backend", Json::from(r.backend)),
+                                ("barrier_us", Json::Num(r.barrier_us)),
+                                ("allreduce_us", Json::Num(r.allreduce_us)),
+                                ("switches", Json::Num(r.switches)),
+                                ("trunks", Json::Num(r.trunks)),
+                                ("coll_msgs", Json::Num(r.coll_msgs)),
+                                ("host_irqs", Json::Num(r.host_irqs)),
+                            ])
+                        })
+                        .collect(),
+                ));
+            } else {
+                println!("== {} ==", kind.title());
+                println!(
+                    "{:<10} {:>6} {:>8} {:>12} {:>13} {:>9} {:>7} {:>10} {:>10}",
+                    "fabric",
+                    "nodes",
+                    "backend",
+                    "barrier(us)",
+                    "allreduce(us)",
+                    "switches",
+                    "trunks",
+                    "coll msgs",
+                    "host irqs"
+                );
+                for r in &rows {
+                    println!(
+                        "{:<10} {:>6} {:>8} {:>12.1} {:>13.1} {:>9.0} {:>7.0} {:>10.0} {:>10.0}",
+                        r.fabric,
+                        r.nodes,
+                        r.backend,
+                        r.barrier_us,
+                        r.allreduce_us,
+                        r.switches,
+                        r.trunks,
+                        r.coll_msgs,
+                        r.host_irqs
                     );
                 }
                 println!();

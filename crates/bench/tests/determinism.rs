@@ -40,6 +40,20 @@ fn quick_grid_identical_for_jobs_1_and_4() {
 }
 
 #[test]
+fn scale_grid_identical_for_jobs_1_and_4() {
+    // The scale family is opt-in (not in FigureKind::ALL), so the quick
+    // grid above never covers it; its 8–16 node collective jobs carry the
+    // same worker-count-invisibility contract.
+    let sizes = clic_cluster::experiments::quick_sizes();
+    let specs = FigureKind::Scale.jobs(&sizes);
+    let (serial, r1) = run_jobs(&specs, &RunnerConfig::uncached(1));
+    let (parallel, r4) = run_jobs(&specs, &RunnerConfig::uncached(4));
+    assert_eq!(r1.jobs.len(), specs.len());
+    assert_eq!(r4.jobs.len(), specs.len());
+    assert_eq!(bits(&serial), bits(&parallel));
+}
+
+#[test]
 fn quick_grid_identical_through_the_cache() {
     let dir = std::env::temp_dir().join(format!("clic-determinism-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

@@ -7,10 +7,11 @@
 use clic_bench::json::Json;
 use clic_bench::runner::{run_jobs, RunnerConfig};
 use clic_cluster::experiments;
-use clic_cluster::observe::{run_pipeline_trace, TraceScenario};
+use clic_cluster::observe::{run_collective_trace, run_pipeline_trace, TraceScenario};
 
 const GOLDEN: &str = include_str!("golden/fig7a_1400_trace.json");
 const GOLDEN_LOSSY: &str = include_str!("golden/fig7a_lossy_trace.json");
+const GOLDEN_COLL: &str = include_str!("golden/coll_barrier_8_trace.json");
 
 fn fig7a_trace() -> clic_cluster::observe::PipelineTrace {
     run_pipeline_trace(TraceScenario::Fig7a, 1400, 1500, 0)
@@ -42,6 +43,36 @@ fn lossy_chrome_trace_matches_golden_file() {
     assert!(t.chrome_json.contains("\"fast_retransmit\""));
     assert!(t.chrome_json.contains("\"rto\""));
     assert!(t.chrome_json.contains("\"link_drop\""));
+}
+
+#[test]
+fn coll_barrier_trace_matches_golden_file() {
+    // An 8-node NIC-offloaded barrier on the leaf–spine fabric: the
+    // firmware combining tree's up/down instants and every control
+    // frame's wire crossing, byte-stable.
+    let t = run_collective_trace(8, 0);
+    assert_eq!(
+        t.chrome_json, GOLDEN_COLL,
+        "Chrome trace for the 8-node NIC barrier changed; if intentional, \
+         regenerate crates/bench/tests/golden/coll_barrier_8_trace.json with \
+         `cargo test -p clic-bench --test trace regenerate_coll_golden -- --ignored`"
+    );
+    assert!(t.chrome_json.contains("\"nic_coll_up\""));
+    assert!(t.chrome_json.contains("\"nic_coll_down\""));
+}
+
+/// Regenerates the NIC-barrier golden file in place. Run explicitly after
+/// an intentional trace-format or engine change:
+/// `cargo test -p clic-bench --test trace regenerate_coll_golden -- --ignored`
+#[test]
+#[ignore = "writes the golden file; run only to regenerate it"]
+fn regenerate_coll_golden() {
+    let t = run_collective_trace(8, 0);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/coll_barrier_8_trace.json"
+    );
+    std::fs::write(path, &t.chrome_json).expect("write golden");
 }
 
 #[test]

@@ -2,7 +2,7 @@
 
 use crate::calibration::CostModel;
 use crate::node::{Node, NodeConfig};
-use clic_ethernet::{FaultPlan, Link, LinkEnd, LossModel, MacAddr, Switch};
+use clic_ethernet::{Fabric, FabricSpec, FaultPlan, Link, LinkEnd, LossModel, MacAddr, Switch};
 use clic_tcpip::IpAddr;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -16,6 +16,21 @@ pub enum Topology {
     BackToBack,
     /// A star around one store-and-forward switch (single NIC per node).
     Switched,
+    /// A two-tier leaf–spine fabric sized for the node count
+    /// ([`FabricSpec::leaf_spine_for`]): hosts on leaves, every leaf
+    /// trunked to every spine, deterministic ECMP across spines.
+    LeafSpine,
+    /// A three-tier fat-tree fabric sized for the node count
+    /// ([`FabricSpec::fat_tree_for`]): edge/aggregation pods under a core
+    /// layer.
+    FatTree,
+}
+
+impl Topology {
+    /// True for the multi-switch fabric layouts.
+    pub fn is_fabric(self) -> bool {
+        matches!(self, Topology::LeafSpine | Topology::FatTree)
+    }
 }
 
 /// Cluster-level configuration.
@@ -65,7 +80,9 @@ pub struct Cluster {
     pub nodes: Vec<Node>,
     /// The switch (switched topology only).
     pub switch: Option<Rc<RefCell<Switch>>>,
-    /// All links, for loss/statistics access.
+    /// The multi-switch fabric (leaf–spine / fat-tree topologies only).
+    pub fabric: Option<Fabric>,
+    /// All access links, for loss/statistics access.
     pub links: Vec<Rc<RefCell<Link>>>,
 }
 
@@ -115,6 +132,7 @@ impl Cluster {
                 Cluster {
                     nodes: vec![a, b],
                     switch: None,
+                    fabric: None,
                     links,
                 }
             }
@@ -141,6 +159,39 @@ impl Cluster {
                 Cluster {
                     nodes,
                     switch: Some(switch),
+                    fabric: None,
+                    links,
+                }
+            }
+            Topology::LeafSpine | Topology::FatTree => {
+                assert_eq!(
+                    config.node.nics, 1,
+                    "bonding through a fabric is unsupported"
+                );
+                let mut nodes = Vec::new();
+                let mut links = Vec::new();
+                let mut hosts = Vec::new();
+                for id in 0..config.nodes as u32 {
+                    let link = mk_link();
+                    nodes.push(Node::build(
+                        id,
+                        &config.node,
+                        vec![(link.clone(), LinkEnd::A)],
+                        &neighbors,
+                        config.model.tcpip,
+                    ));
+                    hosts.push((MacAddr::for_node(id, 0), link.clone(), LinkEnd::B));
+                    links.push(link);
+                }
+                let spec = match config.topology {
+                    Topology::LeafSpine => FabricSpec::leaf_spine_for(config.nodes),
+                    _ => FabricSpec::fat_tree_for(config.nodes),
+                };
+                let fabric = Fabric::build(&spec, &hosts);
+                Cluster {
+                    nodes,
+                    switch: None,
+                    fabric: Some(fabric),
                     links,
                 }
             }

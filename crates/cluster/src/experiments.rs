@@ -1435,6 +1435,119 @@ pub fn chaos(sizes: &[usize]) -> (Vec<ChaosRow>, Vec<IncastRow>) {
 }
 
 // ---------------------------------------------------------------------
+// Cluster scaling: fabrics × node count × collective backend
+// ---------------------------------------------------------------------
+
+/// One cluster-scaling cell: whole-cluster barrier + all-reduce latency
+/// for a node count on a fabric, host-based or NIC-offloaded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleRow {
+    /// Fabric kind ("leaf-spine" or "fat-tree").
+    pub fabric: &'static str,
+    /// Nodes in the cluster.
+    pub nodes: usize,
+    /// Collective backend ("host" or "nic").
+    pub backend: &'static str,
+    /// Barrier enter-to-release latency, µs.
+    pub barrier_us: f64,
+    /// All-reduce contribute-to-total latency, µs.
+    pub allreduce_us: f64,
+    /// Switches in the fabric.
+    pub switches: f64,
+    /// Switch-to-switch trunk links.
+    pub trunks: f64,
+    /// Collective control frames consumed by NIC engines (0 on host runs).
+    pub coll_msgs: f64,
+    /// Host interrupts taken across the cluster during the collectives.
+    pub host_irqs: f64,
+}
+
+/// The scaling grid: `(id, nodes, topology, fabric name, offload)`.
+fn scale_cases(quick: bool) -> Vec<(String, usize, Topology, &'static str, bool)> {
+    let counts: &[usize] = if quick {
+        &[8, 16]
+    } else {
+        &[8, 16, 64, 128, 256]
+    };
+    let fabrics = [
+        (Topology::LeafSpine, "leaf-spine"),
+        (Topology::FatTree, "fat-tree"),
+    ];
+    let mut cases = Vec::new();
+    for &nodes in counts {
+        for (topology, fabric) in fabrics {
+            for offload in [false, true] {
+                let backend = if offload { "nic" } else { "host" };
+                cases.push((
+                    format!("scale/{fabric}/n{nodes}/{backend}"),
+                    nodes,
+                    topology,
+                    fabric,
+                    offload,
+                ));
+            }
+        }
+    }
+    cases
+}
+
+/// A CLIC cluster of `nodes` hosts on the given fabric topology.
+pub(crate) fn scale_cluster(model: &CostModel, nodes: usize, topology: Topology) -> ClusterConfig {
+    let mut cfg = clic_pair(model, false, true);
+    cfg.nodes = nodes;
+    cfg.topology = topology;
+    cfg
+}
+
+/// Cluster-scaling jobs. `sizes` only selects quick (8–16 nodes) vs full
+/// (8–256 nodes), as for the other families.
+pub fn scale_jobs(sizes: &[usize]) -> Vec<JobSpec> {
+    let quick = sizes.len() <= quick_sizes().len();
+    let model = CostModel::era_2002();
+    scale_cases(quick)
+        .into_iter()
+        .map(|(id, nodes, topology, _fabric, offload)| {
+            JobSpec::new(
+                id,
+                JobKind::ScaleCollective {
+                    cluster: scale_cluster(&model, nodes, topology),
+                    offload,
+                    seed: 5,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Assemble the scaling rows from job results.
+pub fn scale_from(results: &ResultMap, sizes: &[usize]) -> Vec<ScaleRow> {
+    let quick = sizes.len() <= quick_sizes().len();
+    scale_cases(quick)
+        .into_iter()
+        .map(|(id, nodes, _topology, fabric, offload)| {
+            let m = &results[&id];
+            ScaleRow {
+                fabric,
+                nodes,
+                backend: if offload { "nic" } else { "host" },
+                barrier_us: m.require("barrier_us"),
+                allreduce_us: m.require("allreduce_us"),
+                switches: m.require("switches"),
+                trunks: m.require("trunks"),
+                coll_msgs: m.require("coll_msgs"),
+                host_irqs: m.require("host_irqs"),
+            }
+        })
+        .collect()
+}
+
+/// The cluster-scaling family: barrier/all-reduce latency vs node count on
+/// leaf–spine and fat-tree fabrics, host-based vs NIC-offloaded.
+pub fn scale(sizes: &[usize]) -> Vec<ScaleRow> {
+    scale_from(&run_serial(&scale_jobs(sizes)), sizes)
+}
+
+// ---------------------------------------------------------------------
 // Figure registry
 // ---------------------------------------------------------------------
 
@@ -1479,6 +1592,12 @@ pub enum FigureKind {
     /// target the robustness machinery rather than a paper figure, so it
     /// runs only when named explicitly (`figures chaos`).
     Chaos,
+    /// Cluster scaling: barrier/all-reduce vs node count on multi-switch
+    /// fabrics, host-based vs NIC-offloaded. Not part of
+    /// [`FigureKind::ALL`]: it measures the scale-out extension rather
+    /// than a paper figure, so it runs only when named explicitly
+    /// (`figures scale`).
+    Scale,
 }
 
 /// The result of one assembled figure, ready for rendering.
@@ -1522,6 +1641,8 @@ pub enum FigureOutput {
         /// The incast pair.
         incast: Vec<IncastRow>,
     },
+    /// Cluster-scaling rows.
+    Scale(Vec<ScaleRow>),
 }
 
 impl FigureKind {
@@ -1565,6 +1686,7 @@ impl FigureKind {
             FigureKind::Scaling => "scaling",
             FigureKind::Reliability => "reliability",
             FigureKind::Chaos => "chaos",
+            FigureKind::Scale => "scale",
         }
     }
 
@@ -1573,6 +1695,9 @@ impl FigureKind {
     pub fn from_name(name: &str) -> Option<FigureKind> {
         if name == FigureKind::Chaos.name() {
             return Some(FigureKind::Chaos);
+        }
+        if name == FigureKind::Scale.name() {
+            return Some(FigureKind::Scale);
         }
         FigureKind::ALL.into_iter().find(|f| f.name() == name)
     }
@@ -1598,6 +1723,7 @@ impl FigureKind {
             FigureKind::Scaling => scaling_jobs(),
             FigureKind::Reliability => reliability_jobs(sizes),
             FigureKind::Chaos => chaos_jobs(sizes),
+            FigureKind::Scale => scale_jobs(sizes),
         }
     }
 
@@ -1628,6 +1754,7 @@ impl FigureKind {
                 let (soak, incast) = chaos_from(results, sizes);
                 FigureOutput::Chaos { soak, incast }
             }
+            FigureKind::Scale => FigureOutput::Scale(scale_from(results, sizes)),
         }
     }
 
@@ -1656,6 +1783,9 @@ impl FigureKind {
             }
             FigureKind::Chaos => {
                 "Chaos soak: crash/restart/flap/loss schedules + incast backpressure"
+            }
+            FigureKind::Scale => {
+                "Cluster scaling: collectives vs node count, fabrics, host vs NIC offload"
             }
         }
     }
@@ -1875,9 +2005,11 @@ mod tests {
         for kind in FigureKind::ALL {
             assert_eq!(FigureKind::from_name(kind.name()), Some(kind));
         }
-        // The opt-in chaos family parses by name but stays out of ALL.
+        // The opt-in chaos/scale families parse by name but stay out of ALL.
         assert_eq!(FigureKind::from_name("chaos"), Some(FigureKind::Chaos));
         assert!(!FigureKind::ALL.contains(&FigureKind::Chaos));
+        assert_eq!(FigureKind::from_name("scale"), Some(FigureKind::Scale));
+        assert!(!FigureKind::ALL.contains(&FigureKind::Scale));
         assert_eq!(FigureKind::from_name("nope"), None);
     }
 
@@ -1885,7 +2017,10 @@ mod tests {
     fn job_ids_are_unique_across_all_figures() {
         let sizes = quick_sizes();
         let mut seen = std::collections::BTreeSet::new();
-        for kind in FigureKind::ALL.into_iter().chain([FigureKind::Chaos]) {
+        for kind in FigureKind::ALL
+            .into_iter()
+            .chain([FigureKind::Chaos, FigureKind::Scale])
+        {
             for spec in kind.jobs(&sizes) {
                 assert!(seen.insert(spec.id.clone()), "duplicate job id {}", spec.id);
             }

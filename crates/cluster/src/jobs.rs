@@ -40,7 +40,11 @@ use std::sync::Mutex;
 ///
 /// v5: every job also reports `m.events` (simulator events executed), the
 /// denominator of the `figures bench` events-per-second report.
-pub const MEASUREMENT_SCHEMA_VERSION: u32 = 5;
+///
+/// v6: the cluster-scaling family ([`JobKind::ScaleCollective`]): barrier
+/// and all-reduce latency on multi-switch fabrics, host-based vs
+/// NIC-offloaded.
+pub const MEASUREMENT_SCHEMA_VERSION: u32 = 6;
 
 /// The flat result of one job: named scalar values, in a stable,
 /// job-defined order (stage breakdowns rely on the order).
@@ -159,6 +163,18 @@ pub enum JobKind {
         /// Link flaps.
         flaps: usize,
         /// Simulator seed; the fault schedule derives from it too.
+        seed: u64,
+    },
+    /// Cluster scaling: whole-cluster barrier + u64 all-reduce latency
+    /// ([`crate::workload::collective_scale`]) on a multi-switch fabric,
+    /// either host-based (linear MPI algorithms) or offloaded to the NIC
+    /// combining-tree engine.
+    ScaleCollective {
+        /// Cluster under test (a fabric topology, CLIC nodes).
+        cluster: ClusterConfig,
+        /// Run on the NIC engine instead of the host MPI layer.
+        offload: bool,
+        /// Simulator seed.
         seed: u64,
     },
     /// N→1 incast into a slow consumer ([`crate::workload::incast_clic`]);
@@ -293,6 +309,11 @@ impl JobKind {
                 consume_delay_us,
                 seed,
             } => run_incast(cluster, *size, *per_sender, *consume_delay_us, *seed),
+            JobKind::ScaleCollective {
+                cluster,
+                offload,
+                seed,
+            } => run_scale_collective(cluster, *offload, *seed),
         }
     }
 }
@@ -634,6 +655,34 @@ fn run_incast(
         (out.peak_buffered_bytes as i64).max(sim.metrics.max_gauge_peak("clic.recv_buffer_bytes"));
     m.push("peak_buffered_bytes", peak as f64);
     m.push("elapsed_us", out.elapsed.as_us_f64());
+    push_metric_totals(&mut m, &sim);
+    m
+}
+
+fn run_scale_collective(config: &ClusterConfig, offload: bool, seed: u64) -> Measurement {
+    let cluster = Cluster::build(config);
+    let mut sim = job_sim(seed);
+    let res = crate::workload::collective_scale(&cluster, &mut sim, offload);
+    let mut m = Measurement::default();
+    m.push("barrier_us", res.barrier.as_us_f64());
+    m.push("allreduce_us", res.allreduce.as_us_f64());
+    if let Some(fabric) = &cluster.fabric {
+        m.push("switches", fabric.switch_count() as f64);
+        m.push("trunks", fabric.trunk_count() as f64);
+        m.push("flood_pruned", fabric.total_flood_pruned() as f64);
+    }
+    m.push(
+        "coll_msgs",
+        sim.metrics.sum_counters("hw.nic.coll.msgs_rx") as f64,
+    );
+    m.push(
+        "host_irqs",
+        cluster
+            .nodes
+            .iter()
+            .map(|n| n.kernel.borrow().stats().irqs)
+            .sum::<u64>() as f64,
+    );
     push_metric_totals(&mut m, &sim);
     m
 }

@@ -43,5 +43,10 @@ pub mod workload;
 pub use builder::{Cluster, ClusterConfig, Topology};
 pub use calibration::CostModel;
 pub use node::{Node, NodeConfig};
-pub use observe::{run_pipeline_trace, PipelineTrace, TraceScenario};
-pub use workload::{ping_pong, stream, PingPongResult, StackKind, StreamResult};
+pub use observe::{
+    run_collective_trace, run_pipeline_trace, CollectiveTrace, PipelineTrace, TraceScenario,
+};
+pub use workload::{
+    collective_scale, mpi_all, ping_pong, stream, CollScaleResult, PingPongResult, StackKind,
+    StreamResult,
+};

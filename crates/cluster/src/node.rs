@@ -92,6 +92,10 @@ pub struct Node {
     pub mac: MacAddr,
     /// IP address (when TCP/IP installed).
     pub ip: IpAddr,
+    /// The NICs themselves (one per link), for features driven from the
+    /// NIC rather than through the kernel — e.g. arming the NIC-resident
+    /// collective engine.
+    pub nics: Vec<Rc<RefCell<Nic>>>,
 }
 
 impl Node {
@@ -114,9 +118,11 @@ impl Node {
         };
         let mac = MacAddr::for_node(id, 0);
         let mut devs = Vec::new();
+        let mut nics = Vec::new();
         for (link, end) in links {
             let nic = Nic::new(mac, config.nic.clone(), pci.clone(), link, end);
             Nic::attach_to_link(&nic);
+            nics.push(nic.clone());
             devs.push(Kernel::add_device(&kernel, nic));
         }
         let clic = config
@@ -147,7 +153,13 @@ impl Node {
             gamma,
             mac,
             ip,
+            nics,
         }
+    }
+
+    /// The node's (first) NIC — the one collectives are offloaded to.
+    pub fn nic(&self) -> Rc<RefCell<Nic>> {
+        self.nics[0].clone()
     }
 
     /// CLIC module (panics when not installed).

@@ -216,6 +216,58 @@ pub fn run_pipeline_trace(
     }
 }
 
+/// Everything one traced NIC-collective run produces.
+#[derive(Debug, Clone)]
+pub struct CollectiveTrace {
+    /// Participating nodes.
+    pub nodes: usize,
+    /// Chrome trace-event JSON of the whole barrier: the engines'
+    /// `nic_coll_up` / `nic_coll_down` instants plus the wire spans of
+    /// every control frame crossing the fabric.
+    pub chrome_json: String,
+    /// Live metrics merged with per-node stat snapshots.
+    pub metrics: Metrics,
+}
+
+/// Run one traced NIC-offloaded barrier across a `nodes`-host leaf–spine
+/// fabric and return the Chrome trace. Every engine message carries
+/// [`TRACE_ID`], so the up-phase combining and the single multicast
+/// release are visible as instant events per NIC. Deterministic for a
+/// given `seed`: the JSON is byte-stable (golden-file tested).
+pub fn run_collective_trace(nodes: usize, seed: u64) -> CollectiveTrace {
+    use clic_hw::coll::CollConfig;
+    use clic_hw::Nic;
+
+    assert!(nodes >= 2, "a barrier needs at least two ranks");
+    bytes::pool::reset();
+    let model = CostModel::era_2002();
+    let config =
+        crate::experiments::scale_cluster(&model, nodes, crate::builder::Topology::LeafSpine);
+    let cluster = Cluster::build(&config);
+    let mut sim = Sim::new(seed);
+    sim.trace = clic_sim::Trace::enabled();
+    sim.metrics = Metrics::enabled();
+
+    let members: Vec<_> = cluster.nodes.iter().map(|n| n.mac).collect();
+    let released = std::rc::Rc::new(std::cell::RefCell::new(0usize));
+    for (rank, node) in cluster.nodes.iter().enumerate() {
+        let nic = node.nic();
+        let mut coll = CollConfig::new(1, members.clone(), rank);
+        coll.trace = TRACE_ID;
+        Nic::enable_collectives(&nic, coll);
+        let r = released.clone();
+        Nic::coll_barrier(&nic, &mut sim, move |_sim| *r.borrow_mut() += 1);
+    }
+    sim.run();
+    assert_eq!(*released.borrow(), nodes, "every rank must be released");
+    let metrics = collect_metrics(&cluster, &sim);
+    CollectiveTrace {
+        nodes,
+        chrome_json: sim.trace.chrome_trace_json(),
+        metrics,
+    }
+}
+
 /// Which scenario a timeline run replays. Each is a fixed, fully
 /// parameterised cell from an existing figure family, so the recorded
 /// series are directly comparable with the corresponding figure rows.
@@ -659,6 +711,21 @@ mod tests {
                 "ring row not in full dump: {line}"
             );
         }
+    }
+
+    #[test]
+    fn collective_trace_shows_both_phases_and_no_host_work() {
+        let t = run_collective_trace(8, 0);
+        assert_eq!(t.nodes, 8);
+        // Up-phase unicasts and the multicast release both leave instants.
+        assert!(t.chrome_json.contains("nic_coll_up"), "no up-phase marks");
+        assert!(t.chrome_json.contains("nic_coll_down"), "no release marks");
+        // The barrier runs entirely in NIC firmware: no host interrupts.
+        assert_eq!(t.metrics.counter("n0.os.irqs"), 0);
+        assert!(t.metrics.counter("hw.nic.coll.msgs_rx") > 0);
+        // Byte-stable for the golden-file contract.
+        let again = run_collective_trace(8, 0);
+        assert_eq!(t.chrome_json, again.chrome_json);
     }
 
     #[test]

@@ -896,6 +896,114 @@ pub fn all_to_all_clic(cluster: &Cluster, sim: &mut Sim, size: usize) -> AllToAl
 }
 
 // ---------------------------------------------------------------------
+// Cluster-scale collectives (host-based vs NIC-offloaded)
+// ---------------------------------------------------------------------
+
+/// Outcome of one cluster-wide collective-latency measurement.
+#[derive(Debug)]
+pub struct CollScaleResult {
+    /// Participating nodes.
+    pub nodes: usize,
+    /// Enter-to-release latency of one full barrier (first entry to the
+    /// last rank's release).
+    pub barrier: SimDuration,
+    /// Contribute-to-total latency of one u64 all-reduce.
+    pub allreduce: SimDuration,
+    /// The all-reduce total (sanity: `n*(n+1)/2` for contributions `1..=n`).
+    pub allreduce_value: u64,
+}
+
+/// Build MPI endpoints over CLIC on every node of the cluster.
+pub fn mpi_all(cluster: &Cluster, sim: &mut Sim) -> Vec<Rc<Mpi>> {
+    let peers: Vec<MacAddr> = cluster.nodes.iter().map(|n| n.mac).collect();
+    cluster
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(rank, node)| {
+            let pid = node.kernel.borrow_mut().processes.spawn("mpi");
+            let t = ClicTransport::new(sim, &node.clic(), pid, rank, peers.clone());
+            Mpi::new(&node.kernel, t)
+        })
+        .collect()
+}
+
+/// Measure whole-cluster barrier and all-reduce latency, either host-based
+/// (linear algorithms over MPI point-to-point, every message through the
+/// full OS stack) or NIC-offloaded (`offload = true`: the firmware
+/// combining tree of [`clic_hw::coll`], release by Ethernet multicast).
+/// Works on any topology; on the fabric topologies the collective traffic
+/// crosses the multi-switch network on its static ECMP routes.
+pub fn collective_scale(cluster: &Cluster, sim: &mut Sim, offload: bool) -> CollScaleResult {
+    use clic_hw::coll::CollConfig;
+    use clic_hw::Nic;
+    use clic_mpi::collectives::{allreduce_sum_on, barrier_on, CollBackend};
+
+    let n = cluster.nodes.len();
+    assert!(n >= 2);
+    let backends: Vec<CollBackend> = if offload {
+        let members: Vec<MacAddr> = cluster.nodes.iter().map(|node| node.mac).collect();
+        cluster
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(rank, node)| {
+                let nic = node.nic();
+                Nic::enable_collectives(&nic, CollConfig::new(1, members.clone(), rank));
+                CollBackend::NicOffload(nic)
+            })
+            .collect()
+    } else {
+        mpi_all(cluster, sim)
+            .into_iter()
+            .map(CollBackend::Host)
+            .collect()
+    };
+
+    // One settled barrier first would hide cold-start asymmetries; the
+    // paper-style measurement is the cold one, so measure directly — both
+    // backends start equally cold.
+    let finished: Rc<RefCell<(usize, SimTime)>> = Rc::new(RefCell::new((0, SimTime::ZERO)));
+    let start = sim.now();
+    for backend in &backends {
+        let f = finished.clone();
+        barrier_on(backend, sim, move |sim| {
+            let mut f = f.borrow_mut();
+            f.0 += 1;
+            f.1 = f.1.max(sim.now());
+        });
+    }
+    sim.set_event_limit(sim.events_executed() + 400_000_000);
+    sim.run();
+    let (count, last) = *finished.borrow();
+    assert_eq!(count, n, "every rank must be released from the barrier");
+    let barrier = last.saturating_since(start);
+
+    let reduced: Rc<RefCell<(usize, SimTime, u64)>> = Rc::new(RefCell::new((0, SimTime::ZERO, 0)));
+    let start = sim.now();
+    for (rank, backend) in backends.iter().enumerate() {
+        let r = reduced.clone();
+        allreduce_sum_on(backend, sim, rank as u64 + 1, move |sim, total| {
+            let mut r = r.borrow_mut();
+            r.0 += 1;
+            r.1 = r.1.max(sim.now());
+            r.2 = total;
+        });
+    }
+    sim.set_event_limit(sim.events_executed() + 400_000_000);
+    sim.run();
+    let (count, last, total) = *reduced.borrow();
+    assert_eq!(count, n, "every rank must receive the all-reduce total");
+    assert_eq!(total, (n as u64 * (n as u64 + 1)) / 2);
+    CollScaleResult {
+        nodes: n,
+        barrier,
+        allreduce: last.saturating_since(start),
+        allreduce_value: total,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Chaos soak (crash / restart / flap / loss) and incast backpressure
 // ---------------------------------------------------------------------
 
@@ -1462,5 +1570,54 @@ mod tests {
             "peak {} exceeds budget + in-flight slack",
             bounded.peak_buffered_bytes
         );
+    }
+
+    fn fabric_cfg(nodes: usize, topology: Topology) -> ClusterConfig {
+        let mut cfg = ClusterConfig::paper_pair();
+        cfg.nodes = nodes;
+        cfg.topology = topology;
+        cfg
+    }
+
+    #[test]
+    fn collective_scale_host_vs_nic_on_leaf_spine() {
+        let cluster = Cluster::build(&fabric_cfg(16, Topology::LeafSpine));
+        let mut sim = Sim::new(3);
+        let host = collective_scale(&cluster, &mut sim, false);
+        let cluster = Cluster::build(&fabric_cfg(16, Topology::LeafSpine));
+        let mut sim = Sim::new(3);
+        let nic = collective_scale(&cluster, &mut sim, true);
+        assert_eq!(host.nodes, 16);
+        assert_eq!(host.allreduce_value, 136);
+        assert_eq!(nic.allreduce_value, 136);
+        assert!(
+            nic.barrier < host.barrier,
+            "NIC tree barrier {:?} must beat the linear host barrier {:?}",
+            nic.barrier,
+            host.barrier
+        );
+        assert!(nic.allreduce < host.allreduce);
+    }
+
+    #[test]
+    fn collective_scale_works_on_fat_tree() {
+        let cluster = Cluster::build(&fabric_cfg(64, Topology::FatTree));
+        let fabric = cluster.fabric.as_ref().unwrap();
+        assert_eq!(fabric.kind_name(), "fat-tree");
+        assert!(fabric.switch_count() > 1);
+        let mut sim = Sim::new(4);
+        let nic = collective_scale(&cluster, &mut sim, true);
+        assert_eq!(nic.allreduce_value, 64 * 65 / 2);
+        assert_eq!(fabric.total_switch_drops(), 0, "no tail drops at this load");
+    }
+
+    #[test]
+    fn collective_scale_is_deterministic() {
+        let run = || {
+            let cluster = Cluster::build(&fabric_cfg(32, Topology::LeafSpine));
+            let mut sim = Sim::new(9);
+            format!("{:?}", collective_scale(&cluster, &mut sim, true))
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -15,7 +15,11 @@
 //! * [`mac`] — addresses and EtherTypes (IPv4 for the TCP/IP baseline, an
 //!   experimental EtherType for CLIC, one for the GAMMA-like baseline),
 //! * [`bonding`] — the round-robin channel-bonding selector CLIC uses to
-//!   stripe traffic over several NICs (§5 of the paper).
+//!   stripe traffic over several NICs (§5 of the paper), plus the
+//!   stateless flow-hash selector fabrics use for ECMP trunk choice,
+//! * [`topology`] — multi-switch fabric builders (leaf–spine and fat-tree)
+//!   with statically programmed deterministic-ECMP routes and loop-free
+//!   spanning-tree flooding.
 
 #![allow(clippy::type_complexity)]
 #![deny(missing_docs)]
@@ -26,9 +30,11 @@ pub mod frame;
 pub mod link;
 pub mod mac;
 pub mod switch;
+pub mod topology;
 
-pub use bonding::RoundRobin;
+pub use bonding::{FlowHash, RoundRobin};
 pub use frame::{Frame, ETH_CRC, ETH_HEADER, ETH_IFG, ETH_MIN_PAYLOAD, ETH_PREAMBLE};
 pub use link::{FaultPlan, Link, LinkEnd, LossModel};
 pub use mac::{EtherType, MacAddr};
 pub use switch::Switch;
+pub use topology::{Fabric, FabricSpec};

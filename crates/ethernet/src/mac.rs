@@ -71,6 +71,10 @@ impl EtherType {
     /// NIC-level fragmentation-offload shim (see `clic-hw`): both NICs must
     /// enable the offload, mirroring the paper's interoperability caveat.
     pub const FRAG: EtherType = EtherType(0x88B7);
+    /// NIC-resident collective engine control frames (see `clic-hw`):
+    /// barrier/broadcast/reduction messages processed entirely in NIC
+    /// firmware, never raising a host interrupt.
+    pub const COLL: EtherType = EtherType(0x88B8);
 }
 
 #[cfg(test)]

@@ -5,6 +5,15 @@
 //! port's transmit backlog exceeds its queue limit. A fixed forwarding
 //! latency models the lookup + store-and-forward pipeline of the early-2000s
 //! GbE switches in the paper's testbed.
+//!
+//! For multi-switch fabrics (see [`crate::topology`]) the switch also
+//! supports statically *programmed* routes ([`Switch::program_mac`]) that
+//! take precedence over learning, a restricted flood membership
+//! ([`Switch::set_flood_ports`]) so broadcast/multicast follow a loop-free
+//! spanning tree instead of storming redundant trunks, and trunk-port
+//! marking ([`Switch::mark_trunk`]) feeding the `eth.fabric.*` counters.
+//! None of these change behaviour until a fabric builder calls them — a
+//! standalone switch forwards exactly as before.
 
 use crate::frame::Frame;
 use crate::link::{Link, LinkEnd};
@@ -12,7 +21,7 @@ use crate::mac::MacAddr;
 use clic_sim::catalog::{counter_id, gauge_id, histogram_id};
 use clic_sim::{Layer, MetricId, Sim, SimDuration};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 /// Interned metric ids — the forwarding path records per frame, so names
@@ -20,6 +29,8 @@ use std::rc::Rc;
 const M_QUEUE_DEPTH_G: MetricId = gauge_id("eth.switch.queue_depth");
 const M_QUEUE_DEPTH_H: MetricId = histogram_id("eth.switch.queue_depth");
 const M_DROPS: MetricId = counter_id("eth.switch.drops");
+const M_TRUNK_TX: MetricId = counter_id("eth.fabric.trunk_tx_frames");
+const M_FLOOD_PRUNED: MetricId = counter_id("eth.fabric.flood_pruned");
 
 struct Port {
     link: Rc<RefCell<Link>>,
@@ -30,11 +41,15 @@ struct Port {
 pub struct Switch {
     ports: Vec<Port>,
     table: BTreeMap<MacAddr, usize>,
+    static_table: BTreeMap<MacAddr, usize>,
+    flood_ports: Option<BTreeSet<usize>>,
+    trunk_ports: BTreeSet<usize>,
     forwarding_delay: SimDuration,
     queue_limit: usize,
     frames_forwarded: u64,
     frames_flooded: u64,
     frames_dropped: u64,
+    flood_pruned: u64,
 }
 
 impl Switch {
@@ -45,11 +60,15 @@ impl Switch {
         Rc::new(RefCell::new(Switch {
             ports: Vec::new(),
             table: BTreeMap::new(),
+            static_table: BTreeMap::new(),
+            flood_ports: None,
+            trunk_ports: BTreeSet::new(),
             forwarding_delay,
             queue_limit,
             frames_forwarded: 0,
             frames_flooded: 0,
             frames_dropped: 0,
+            flood_pruned: 0,
         }))
     }
 
@@ -103,6 +122,47 @@ impl Switch {
         self.table.get(&mac).copied()
     }
 
+    /// Install a static forwarding entry: unicast frames for `mac` egress
+    /// `port`, regardless of anything source-MAC learning picks up. Fabric
+    /// builders program the whole host table up front so forwarding is a
+    /// pure function of the topology (deterministic ECMP), never of traffic
+    /// history.
+    pub fn program_mac(&mut self, mac: MacAddr, port: usize) {
+        assert!(port < self.ports.len(), "program_mac: no such port");
+        assert!(mac.is_unicast(), "static routes are per-station");
+        self.static_table.insert(mac, port);
+    }
+
+    /// Statically programmed route for a MAC, if any.
+    pub fn static_route(&self, mac: MacAddr) -> Option<usize> {
+        self.static_table.get(&mac).copied()
+    }
+
+    /// Restrict flooding (broadcast/multicast/unknown unicast) to `ports`.
+    /// A fabric builder passes the host ports plus the trunk ports on a
+    /// spanning tree of the switch graph, which makes flooding loop-free by
+    /// construction — redundant trunks never replicate a flood. Copies that
+    /// the membership suppresses are counted in [`Switch::flood_pruned`].
+    pub fn set_flood_ports(&mut self, ports: &[usize]) {
+        assert!(
+            ports.iter().all(|&p| p < self.ports.len()),
+            "set_flood_ports: no such port"
+        );
+        self.flood_ports = Some(ports.iter().copied().collect());
+    }
+
+    /// Mark `port` as a switch-to-switch trunk so fabric traffic shows up
+    /// in the `eth.fabric.trunk_tx_frames` counter.
+    pub fn mark_trunk(&mut self, port: usize) {
+        assert!(port < self.ports.len(), "mark_trunk: no such port");
+        self.trunk_ports.insert(port);
+    }
+
+    /// Flood copies suppressed by the restricted flood membership.
+    pub fn flood_pruned(&self) -> u64 {
+        self.flood_pruned
+    }
+
     fn on_frame(switch: &Rc<RefCell<Switch>>, sim: &mut Sim, ingress: usize, frame: Frame) {
         let delay = {
             let mut sw = switch.borrow_mut();
@@ -121,20 +181,38 @@ impl Switch {
             Flood(Vec<usize>),
             Drop,
         }
-        let decision = {
+        let (decision, pruned) = {
             let sw = switch.borrow();
+            let flood = || {
+                let eligible: Vec<usize> = (0..sw.ports.len())
+                    .filter(|&p| {
+                        p != ingress && sw.flood_ports.as_ref().is_none_or(|set| set.contains(&p))
+                    })
+                    .collect();
+                let pruned = sw.ports.len() - 1 - eligible.len();
+                (Decision::Flood(eligible), pruned as u64)
+            };
             if frame.dst.is_unicast() {
-                match sw.table.get(&frame.dst).copied() {
-                    Some(p) if p == ingress => Decision::Drop,
-                    Some(p) => Decision::Unicast(p),
-                    None => {
-                        Decision::Flood((0..sw.ports.len()).filter(|&p| p != ingress).collect())
-                    }
+                // Statically programmed routes (fabric provisioning) win
+                // over anything learned from traffic.
+                let port = sw
+                    .static_table
+                    .get(&frame.dst)
+                    .or_else(|| sw.table.get(&frame.dst))
+                    .copied();
+                match port {
+                    Some(p) if p == ingress => (Decision::Drop, 0),
+                    Some(p) => (Decision::Unicast(p), 0),
+                    None => flood(),
                 }
             } else {
-                Decision::Flood((0..sw.ports.len()).filter(|&p| p != ingress).collect())
+                flood()
             }
         };
+        if pruned > 0 {
+            switch.borrow_mut().flood_pruned += pruned;
+            sim.metrics.counter_add_id(M_FLOOD_PRUNED, pruned);
+        }
         match decision {
             Decision::Drop => {}
             Decision::Unicast(p) => {
@@ -151,12 +229,21 @@ impl Switch {
     }
 
     fn egress(switch: &Rc<RefCell<Switch>>, sim: &mut Sim, port: usize, frame: Frame) {
-        let (link, end, depth, full) = {
+        let (link, end, depth, full, trunk) = {
             let sw = switch.borrow();
             let p = &sw.ports[port];
             let depth = p.link.borrow().tx_backlog(p.end);
-            (p.link.clone(), p.end, depth, depth >= sw.queue_limit)
+            (
+                p.link.clone(),
+                p.end,
+                depth,
+                depth >= sw.queue_limit,
+                sw.trunk_ports.contains(&port),
+            )
         };
+        if trunk {
+            sim.metrics.counter_inc_id(M_TRUNK_TX);
+        }
         // Queue occupancy at the instant of the forwarding decision: the
         // peak gauge is the congestion headline, the histogram its shape,
         // and the timeline series its trajectory over simulated time.
@@ -300,6 +387,38 @@ mod tests {
         Link::transmit(&net.links[0], &mut sim, LinkEnd::A, f);
         sim.run();
         assert_eq!(net.rx[1].borrow()[0].1.payload, payload);
+    }
+
+    #[test]
+    fn static_route_beats_learning() {
+        let mut sim = Sim::new(0);
+        let net = mk_net(3);
+        // Learning says station 1 is on port 1 …
+        send(&net, &mut sim, 1, station(2), 1);
+        sim.run();
+        assert_eq!(net.switch.borrow().learned_port(station(1)), Some(1));
+        // … but a static entry pins it to port 2: the frame follows the
+        // programmed route, not the learned one.
+        net.switch.borrow_mut().program_mac(station(1), 2);
+        assert_eq!(net.switch.borrow().static_route(station(1)), Some(2));
+        send(&net, &mut sim, 0, station(1), 2);
+        sim.run();
+        assert_eq!(net.rx[2].borrow().len(), 2, "flood + static route");
+        assert_eq!(net.rx[1].borrow().len(), 0);
+    }
+
+    #[test]
+    fn flood_membership_prunes_ports() {
+        let mut sim = Sim::new(0);
+        let net = mk_net(4);
+        // Only ports 1 and 2 may flood.
+        net.switch.borrow_mut().set_flood_ports(&[1, 2]);
+        send(&net, &mut sim, 0, MacAddr::BROADCAST, 7);
+        sim.run();
+        assert_eq!(net.rx[1].borrow().len(), 1);
+        assert_eq!(net.rx[2].borrow().len(), 1);
+        assert_eq!(net.rx[3].borrow().len(), 0, "pruned port stays silent");
+        assert_eq!(net.switch.borrow().flood_pruned(), 1);
     }
 
     #[test]

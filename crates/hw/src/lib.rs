@@ -16,16 +16,22 @@
 //!   optional **TX/RX fragmentation offload** (the Alteon-style feature the
 //!   paper describes in §2 and defers to future work).
 //! * [`frag`] — the on-wire shim header used by the fragmentation offload.
+//! * [`coll`] — the NIC-resident collective engine (à la NIC-offloaded
+//!   barrier/broadcast/reduction work on Myrinet/Quadrics): a k-ary
+//!   combining tree run entirely in firmware, with the release phase a
+//!   single Ethernet multicast riding the switch flood path.
 
 #![allow(clippy::type_complexity)]
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod coll;
 pub mod frag;
 pub mod membus;
 pub mod nic;
 pub mod pci;
 
+pub use coll::{CollConfig, CollEngine, CollMsg};
 pub use membus::CopyModel;
 pub use nic::{Nic, NicConfig, RxPacket, TxDescriptor};
 pub use pci::PciBus;

@@ -19,6 +19,7 @@
 //!   packets larger than the MTU and splits them in "firmware"; RX
 //!   reassembles before interrupting the host. Both sides must enable it.
 
+use crate::coll::{CollAction, CollConfig, CollEngine, CollMsg, CollStimulus};
 use crate::frag::{self, Reassembler, FRAG_HEADER};
 use crate::pci::PciBus;
 use bytes::Bytes;
@@ -34,6 +35,9 @@ use std::rc::Rc;
 const M_RX_FCS_ERRORS: MetricId = counter_id("hw.nic.rx_fcs_errors");
 const M_RX_NO_BUFFER: MetricId = counter_id("hw.nic.rx_no_buffer");
 const TL_TX_BYTES: MetricId = counter_id("hw.nic.tx_bytes");
+const M_COLL_RX: MetricId = counter_id("hw.nic.coll.msgs_rx");
+const M_COLL_TX: MetricId = counter_id("hw.nic.coll.msgs_tx");
+const M_COLL_DONE: MetricId = counter_id("hw.nic.coll.completions");
 
 /// Static NIC configuration.
 #[derive(Debug, Clone)]
@@ -148,6 +152,13 @@ pub struct NicStats {
     pub irqs: u64,
     /// Coalescing-timer arms.
     pub timer_arms: u64,
+    /// Collective control frames consumed by the NIC engine (never
+    /// surfaced to the host — compare with `irqs` to see the offload).
+    pub coll_msgs_rx: u64,
+    /// Collective control frames emitted by the NIC engine.
+    pub coll_msgs_tx: u64,
+    /// Collective operations completed on this NIC.
+    pub coll_completions: u64,
 }
 
 /// The NIC.
@@ -168,6 +179,7 @@ pub struct Nic {
     timer_generation: u64,
     timer_armed: bool,
     irq_handler: Option<Rc<dyn Fn(&mut Sim)>>,
+    coll: Option<CollEngine>,
     stats: NicStats,
 }
 
@@ -200,6 +212,7 @@ impl Nic {
             timer_generation: 0,
             timer_armed: false,
             irq_handler: None,
+            coll: None,
             stats: NicStats::default(),
         }))
     }
@@ -401,7 +414,7 @@ impl Nic {
     }
 
     fn on_wire_frame(nic: &Rc<RefCell<Nic>>, sim: &mut Sim, frame: Frame) {
-        {
+        let to_engine = {
             let mut n = nic.borrow_mut();
             // FCS check comes first: the MAC verifies the CRC as the frame
             // arrives, before any filtering or buffering decision.
@@ -418,6 +431,16 @@ impl Nic {
                 n.stats.rx_filtered += 1;
                 return;
             }
+            frame.ethertype == EtherType::COLL && n.coll.is_some()
+        };
+        // Collective control frames terminate in NIC firmware: they never
+        // touch the RX ring, never DMA to host memory, never raise an IRQ.
+        if to_engine {
+            Nic::coll_on_frame(nic, sim, frame);
+            return;
+        }
+        {
+            let mut n = nic.borrow_mut();
             // RX buffers are MTU-sized: longer frames cannot be stored.
             if frame.payload.len() > n.config.mtu {
                 n.stats.rx_oversize += 1;
@@ -450,6 +473,208 @@ impl Nic {
             });
         } else {
             Nic::rx_store(nic, sim, frame);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // NIC-offloaded collectives
+    // ------------------------------------------------------------------
+
+    /// Install the NIC-resident collective engine.
+    ///
+    /// Joins the group's multicast MAC (the down phase of every collective
+    /// is a single Ethernet multicast) and arms the firmware state machine.
+    /// After this call the host drives collectives through
+    /// [`Nic::coll_barrier`], [`Nic::coll_allreduce`] and
+    /// [`Nic::coll_bcast`]; all intermediate control frames are consumed
+    /// and produced by the NIC without host interrupts.
+    ///
+    /// ```
+    /// use clic_ethernet::{Link, LinkEnd, MacAddr, Switch};
+    /// use clic_hw::coll::CollConfig;
+    /// use clic_hw::nic::{Nic, NicConfig};
+    /// use clic_hw::pci::PciBus;
+    /// use clic_sim::Sim;
+    /// use std::cell::RefCell;
+    /// use std::rc::Rc;
+    ///
+    /// let mut sim = Sim::new(7);
+    /// let sw = Switch::gigabit_default();
+    /// let mut nics = Vec::new();
+    /// for node in 0..2u32 {
+    ///     let link = Link::gigabit();
+    ///     Switch::attach_port(&sw, link.clone(), LinkEnd::A);
+    ///     let nic = Nic::new(
+    ///         MacAddr::for_node(node, 0),
+    ///         NicConfig::gigabit_standard(),
+    ///         PciBus::pci_33mhz_32bit(),
+    ///         link,
+    ///         LinkEnd::B,
+    ///     );
+    ///     Nic::attach_to_link(&nic);
+    ///     nics.push(nic);
+    /// }
+    /// let members: Vec<_> = nics.iter().map(|n| n.borrow().mac()).collect();
+    /// for (rank, nic) in nics.iter().enumerate() {
+    ///     Nic::enable_collectives(nic, CollConfig::new(1, members.clone(), rank));
+    /// }
+    /// let done = Rc::new(RefCell::new(0u32));
+    /// for nic in &nics {
+    ///     let d = done.clone();
+    ///     Nic::coll_barrier(nic, &mut sim, move |_sim| *d.borrow_mut() += 1);
+    /// }
+    /// sim.run();
+    /// assert_eq!(*done.borrow(), 2); // every rank released
+    /// assert_eq!(nics[0].borrow().stats().irqs, 0); // no host involvement
+    /// ```
+    pub fn enable_collectives(nic: &Rc<RefCell<Nic>>, config: CollConfig) {
+        let group = config.group_mac();
+        let mut n = nic.borrow_mut();
+        assert_eq!(
+            config.members[config.rank], n.mac,
+            "collective rank/member mismatch for this NIC"
+        );
+        n.multicast.insert(group);
+        n.coll = Some(CollEngine::new(config));
+    }
+
+    /// Whether the collective engine is armed.
+    pub fn collectives_enabled(&self) -> bool {
+        self.coll.is_some()
+    }
+
+    /// Enter the group barrier; `done` fires on this rank's release.
+    pub fn coll_barrier(
+        nic: &Rc<RefCell<Nic>>,
+        sim: &mut Sim,
+        done: impl FnOnce(&mut Sim) + 'static,
+    ) {
+        Nic::coll_post(nic, sim, CollStimulus::Barrier(Box::new(done)));
+    }
+
+    /// Contribute `value` to a group-wide sum; `done` receives the total.
+    pub fn coll_allreduce(
+        nic: &Rc<RefCell<Nic>>,
+        sim: &mut Sim,
+        value: u64,
+        done: impl FnOnce(&mut Sim, u64) + 'static,
+    ) {
+        Nic::coll_post(nic, sim, CollStimulus::Allreduce(value, Box::new(done)));
+    }
+
+    /// Broadcast from `root`: the root supplies `Some(data)`, every other
+    /// rank passes `None`; `done` receives the payload on every rank.
+    pub fn coll_bcast(
+        nic: &Rc<RefCell<Nic>>,
+        sim: &mut Sim,
+        root: usize,
+        data: Option<Bytes>,
+        done: impl FnOnce(&mut Sim, Bytes) + 'static,
+    ) {
+        Nic::coll_post(
+            nic,
+            sim,
+            CollStimulus::Bcast {
+                root,
+                data,
+                done: Box::new(done),
+            },
+        );
+    }
+
+    /// Post a host stimulus to the engine after the firmware processing
+    /// delay (the cost of writing the doorbell + firmware dispatch).
+    fn coll_post(nic: &Rc<RefCell<Nic>>, sim: &mut Sim, stimulus: CollStimulus) {
+        let delay = {
+            let n = nic.borrow();
+            n.coll
+                .as_ref()
+                .map(|e| e.config().proc_delay)
+                .expect("collectives not enabled on this NIC")
+        };
+        let nic2 = nic.clone();
+        sim.schedule_in(delay, move |sim| Nic::coll_step(&nic2, sim, stimulus));
+    }
+
+    /// A collective control frame arrived off the wire: decode, account,
+    /// and feed the engine after the firmware processing delay.
+    fn coll_on_frame(nic: &Rc<RefCell<Nic>>, sim: &mut Sim, frame: Frame) {
+        let Some(msg) = CollMsg::decode(&frame.payload) else {
+            return;
+        };
+        let (delay, trace) = {
+            let mut n = nic.borrow_mut();
+            let Some(e) = n.coll.as_ref() else { return };
+            let d = e.config().proc_delay;
+            let t = e.config().trace;
+            n.stats.coll_msgs_rx += 1;
+            (d, t)
+        };
+        sim.metrics.counter_inc_id(M_COLL_RX);
+        let t = if frame.trace != 0 { frame.trace } else { trace };
+        if t != 0 {
+            if msg.is_up() {
+                sim.trace.instant(sim.now(), Layer::Hw, "nic_coll_up", t);
+            } else {
+                sim.trace.instant(sim.now(), Layer::Hw, "nic_coll_down", t);
+            }
+        }
+        let nic2 = nic.clone();
+        sim.schedule_in(delay, move |sim| {
+            Nic::coll_step(&nic2, sim, CollStimulus::Msg(msg));
+        });
+    }
+
+    /// Run one engine step and execute the resulting actions.
+    fn coll_step(nic: &Rc<RefCell<Nic>>, sim: &mut Sim, stimulus: CollStimulus) {
+        let actions = {
+            let mut n = nic.borrow_mut();
+            let Some(engine) = n.coll.as_mut() else {
+                return;
+            };
+            engine.step(stimulus)
+        };
+        for action in actions {
+            match action {
+                CollAction::Send { dst, msg } => {
+                    let (link, end, src, trace) = {
+                        let mut n = nic.borrow_mut();
+                        n.stats.coll_msgs_tx += 1;
+                        let t = n.coll.as_ref().map(|e| e.config().trace).unwrap_or(0);
+                        (n.link.clone(), n.link_end, n.mac, t)
+                    };
+                    sim.metrics.counter_inc_id(M_COLL_TX);
+                    if trace != 0 {
+                        if msg.is_up() {
+                            sim.trace
+                                .instant(sim.now(), Layer::Hw, "nic_coll_up", trace);
+                        } else {
+                            sim.trace
+                                .instant(sim.now(), Layer::Hw, "nic_coll_down", trace);
+                        }
+                    }
+                    // Engine TX bypasses the TX ring and the PCI bus: the
+                    // message originates in NIC firmware, not host memory.
+                    let frame =
+                        Frame::new(dst, src, EtherType::COLL, msg.encode()).with_trace(trace);
+                    Link::transmit(&link, sim, end, frame);
+                }
+                CollAction::CompleteBarrier(done) => {
+                    nic.borrow_mut().stats.coll_completions += 1;
+                    sim.metrics.counter_inc_id(M_COLL_DONE);
+                    done(sim);
+                }
+                CollAction::CompleteValue(done, value) => {
+                    nic.borrow_mut().stats.coll_completions += 1;
+                    sim.metrics.counter_inc_id(M_COLL_DONE);
+                    done(sim, value);
+                }
+                CollAction::CompleteData(done, data) => {
+                    nic.borrow_mut().stats.coll_completions += 1;
+                    sim.metrics.counter_inc_id(M_COLL_DONE);
+                    done(sim, data);
+                }
+            }
         }
     }
 
@@ -1114,5 +1339,122 @@ mod internal_copy_tests {
         let rest = b.borrow_mut().drain_rx_up_to(10);
         assert_eq!(rest.len(), 3);
         assert_eq!(b.borrow().rx_pending(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // NIC-offloaded collectives
+    // ------------------------------------------------------------------
+
+    /// `n` NICs on one switch, all with the collective engine armed for
+    /// group 9.
+    fn mk_group(sim: &mut Sim, n: usize) -> Vec<Rc<RefCell<Nic>>> {
+        use crate::coll::CollConfig;
+        use clic_ethernet::Switch;
+        let sw = Switch::gigabit_default();
+        let mut nics = Vec::new();
+        let mut cfg = NicConfig::gigabit_standard();
+        cfg.coalesce_usecs = 0;
+        cfg.coalesce_frames = 1;
+        for node in 0..n {
+            let link = Link::gigabit();
+            Switch::attach_port(&sw, link.clone(), LinkEnd::A);
+            let nic = Nic::new(
+                MacAddr::for_node(node as u32, 0),
+                cfg.clone(),
+                PciBus::pci_33mhz_32bit(),
+                link,
+                LinkEnd::B,
+            );
+            Nic::attach_to_link(&nic);
+            let c = Rc::new(RefCell::new(0u32));
+            let c2 = c.clone();
+            nic.borrow_mut()
+                .set_irq_handler(Rc::new(move |_sim| *c2.borrow_mut() += 1));
+            nics.push(nic);
+        }
+        let members: Vec<_> = nics.iter().map(|n| n.borrow().mac()).collect();
+        for (rank, nic) in nics.iter().enumerate() {
+            Nic::enable_collectives(nic, CollConfig::new(9, members.clone(), rank));
+        }
+        let _ = sim;
+        nics
+    }
+
+    #[test]
+    fn coll_barrier_releases_every_rank_without_host_irqs() {
+        let mut sim = Sim::new(11);
+        let nics = mk_group(&mut sim, 8);
+        let done = Rc::new(RefCell::new(0u32));
+        for nic in &nics {
+            let d = done.clone();
+            Nic::coll_barrier(nic, &mut sim, move |_sim| *d.borrow_mut() += 1);
+        }
+        sim.run();
+        assert_eq!(*done.borrow(), 8);
+        for nic in &nics {
+            let st = nic.borrow().stats();
+            assert_eq!(st.irqs, 0, "collective frames must not reach the host");
+            assert_eq!(st.coll_completions, 1);
+            assert_eq!(nic.borrow().rx_pending(), 0);
+        }
+        // Up phase: 7 unicast arrivals; down phase: one multicast flooded
+        // to the 7 non-root members.
+        let rx: u64 = nics.iter().map(|n| n.borrow().stats().coll_msgs_rx).sum();
+        assert_eq!(rx, 14);
+    }
+
+    #[test]
+    fn coll_allreduce_sums_on_every_rank() {
+        let mut sim = Sim::new(12);
+        let nics = mk_group(&mut sim, 5);
+        let results = Rc::new(RefCell::new(Vec::new()));
+        for (rank, nic) in nics.iter().enumerate() {
+            let r = results.clone();
+            Nic::coll_allreduce(nic, &mut sim, (rank as u64 + 1) * 10, move |_sim, total| {
+                r.borrow_mut().push(total);
+            });
+        }
+        sim.run();
+        assert_eq!(*results.borrow(), vec![150u64; 5]);
+    }
+
+    #[test]
+    fn coll_bcast_delivers_root_payload_everywhere() {
+        let mut sim = Sim::new(13);
+        let nics = mk_group(&mut sim, 6);
+        let payload = Bytes::from_static(b"fabric-wide state");
+        let got = Rc::new(RefCell::new(0u32));
+        for (rank, nic) in nics.iter().enumerate() {
+            let data = (rank == 2).then(|| payload.clone());
+            let want = payload.clone();
+            let g = got.clone();
+            Nic::coll_bcast(nic, &mut sim, 2, data, move |_sim, d| {
+                assert_eq!(d, want);
+                *g.borrow_mut() += 1;
+            });
+        }
+        sim.run();
+        assert_eq!(*got.borrow(), 6);
+    }
+
+    #[test]
+    fn coll_back_to_back_barriers_use_fresh_sequence_numbers() {
+        let mut sim = Sim::new(14);
+        let nics = mk_group(&mut sim, 4);
+        let done = Rc::new(RefCell::new(0u32));
+        for nic in &nics {
+            let d = done.clone();
+            let nic2 = nic.clone();
+            Nic::coll_barrier(nic, &mut sim, move |sim| {
+                *d.borrow_mut() += 1;
+                let d2 = d.clone();
+                Nic::coll_barrier(&nic2, sim, move |_sim| *d2.borrow_mut() += 1);
+            });
+        }
+        sim.run();
+        assert_eq!(*done.borrow(), 8);
+        for nic in &nics {
+            assert_eq!(nic.borrow().stats().coll_completions, 2);
+        }
     }
 }

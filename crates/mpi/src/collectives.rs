@@ -1,12 +1,17 @@
 //! Collective operations over the p2p layer.
 //!
-//! Linear algorithms only — the paper's evaluation is point-to-point, so
-//! these exist for the example applications and tests (and to exercise the
-//! broadcast capability §5 advertises).
+//! Host-based algorithms are linear — the paper's evaluation is
+//! point-to-point, so these exist for the example applications and tests
+//! (and to exercise the broadcast capability §5 advertises). For cluster
+//! scale-out the same operations can instead be dispatched to the
+//! NIC-resident combining-tree engine via [`CollBackend`]: the host posts
+//! one doorbell and the NICs complete the collective in firmware.
 
 use crate::p2p::{Mpi, ANY_TAG};
 use bytes::Bytes;
+use clic_hw::Nic;
 use clic_sim::Sim;
+use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Tags reserved by the collectives (user code must use tags below this).
@@ -228,6 +233,113 @@ pub fn allreduce_sum(
             let total = u64::from_be_bytes(msg.data[..8].try_into().unwrap());
             done(sim, total);
         });
+    }
+}
+
+/// Where a collective operation runs.
+///
+/// `Host` is the classic implementation: linear gather/release message
+/// patterns over the MPI point-to-point layer, every message crossing the
+/// full host stack (syscall, kernel, NIC rings, interrupts). `NicOffload`
+/// hands the operation to the NIC's firmware combining tree
+/// ([`clic_hw::coll`]): the host posts a single doorbell and is next
+/// involved when the NIC reports completion — no per-message interrupts,
+/// no RX-ring occupancy, and a release phase that is one Ethernet
+/// multicast.
+///
+/// ```
+/// use clic_ethernet::{Link, LinkEnd, MacAddr, Switch};
+/// use clic_hw::coll::CollConfig;
+/// use clic_hw::{Nic, NicConfig, PciBus};
+/// use clic_mpi::collectives::{barrier_on, CollBackend};
+/// use clic_sim::Sim;
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Sim::new(3);
+/// let sw = Switch::gigabit_default();
+/// let mut nics = Vec::new();
+/// for node in 0..4u32 {
+///     let link = Link::gigabit();
+///     Switch::attach_port(&sw, link.clone(), LinkEnd::A);
+///     let nic = Nic::new(
+///         MacAddr::for_node(node, 0),
+///         NicConfig::gigabit_standard(),
+///         PciBus::pci_33mhz_32bit(),
+///         link,
+///         LinkEnd::B,
+///     );
+///     Nic::attach_to_link(&nic);
+///     nics.push(nic);
+/// }
+/// let members: Vec<_> = nics.iter().map(|n| n.borrow().mac()).collect();
+/// let backends: Vec<CollBackend> = nics
+///     .iter()
+///     .enumerate()
+///     .map(|(rank, nic)| {
+///         Nic::enable_collectives(nic, CollConfig::new(2, members.clone(), rank));
+///         CollBackend::NicOffload(nic.clone())
+///     })
+///     .collect();
+/// let done = Rc::new(RefCell::new(0u32));
+/// for b in &backends {
+///     let d = done.clone();
+///     barrier_on(b, &mut sim, move |_sim| *d.borrow_mut() += 1);
+/// }
+/// sim.run();
+/// assert_eq!(*done.borrow(), 4);
+/// ```
+pub enum CollBackend {
+    /// Linear host-based algorithms over MPI point-to-point.
+    Host(Rc<Mpi>),
+    /// NIC-resident combining tree; the NIC must have been armed with
+    /// [`Nic::enable_collectives`] for the same group membership on every
+    /// rank.
+    NicOffload(Rc<RefCell<Nic>>),
+}
+
+impl CollBackend {
+    /// Short name for tables and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollBackend::Host(_) => "host",
+            CollBackend::NicOffload(_) => "nic",
+        }
+    }
+}
+
+/// [`barrier`] on the chosen backend.
+pub fn barrier_on(backend: &CollBackend, sim: &mut Sim, done: impl FnOnce(&mut Sim) + 'static) {
+    match backend {
+        CollBackend::Host(mpi) => barrier(mpi, sim, done),
+        CollBackend::NicOffload(nic) => Nic::coll_barrier(nic, sim, done),
+    }
+}
+
+/// [`bcast`] on the chosen backend.
+pub fn bcast_on(
+    backend: &CollBackend,
+    sim: &mut Sim,
+    root: usize,
+    data: Option<Bytes>,
+    done: impl FnOnce(&mut Sim, Bytes) + 'static,
+) {
+    match backend {
+        CollBackend::Host(mpi) => bcast(mpi, sim, root, data, done),
+        CollBackend::NicOffload(nic) => Nic::coll_bcast(nic, sim, root, data, done),
+    }
+}
+
+/// [`allreduce_sum`] on the chosen backend.
+pub fn allreduce_sum_on(
+    backend: &CollBackend,
+    sim: &mut Sim,
+    value: u64,
+    done: impl FnOnce(&mut Sim, u64) + 'static,
+) {
+    match backend {
+        CollBackend::Host(mpi) => allreduce_sum(mpi, sim, value, done),
+        CollBackend::NicOffload(nic) => Nic::coll_allreduce(nic, sim, value, done),
     }
 }
 

@@ -12,8 +12,10 @@
 //! * [`p2p`] — ranks, tags, blocking send/recv with wildcard matching,
 //!   posted-receive and unexpected-message queues.
 //! * [`pvm`] — PVM-like endpoint with pack/unpack buffer semantics.
-//! * [`collectives`] — barrier and broadcast built on p2p (broadcast uses
-//!   Ethernet multicast on the CLIC backend where possible).
+//! * [`collectives`] — barrier/broadcast/reduction built on p2p, plus a
+//!   [`collectives::CollBackend`] switch that re-routes the same
+//!   operations to the NIC-resident combining-tree engine for
+//!   NIC-offloaded collectives at cluster scale.
 
 #![allow(clippy::type_complexity)]
 #![deny(missing_docs)]
@@ -24,6 +26,7 @@ pub mod p2p;
 pub mod pvm;
 pub mod transport;
 
+pub use collectives::CollBackend;
 pub use p2p::{Mpi, MpiMsg, ANY_SOURCE, ANY_TAG};
 pub use pvm::Pvm;
 pub use transport::{ClicTransport, TcpTransport, Transport};

@@ -6,13 +6,16 @@
 use bytes::Bytes;
 use clic_core::{ClicConfig, ClicModule};
 use clic_ethernet::{Link, LinkEnd, MacAddr, Switch};
+use clic_hw::coll::CollConfig;
 use clic_hw::{Nic, NicConfig, PciBus};
 use clic_mpi::collectives;
+use clic_mpi::collectives::CollBackend;
 use clic_mpi::transport::{ClicTransport, TcpTransport, Transport};
 use clic_mpi::{Mpi, Pvm, ANY_SOURCE, ANY_TAG};
 use clic_os::{Kernel, OsCosts};
 use clic_sim::{Sim, SimTime};
 use clic_tcpip::{IpAddr, IpLayer, TcpIpCosts, TcpStack};
+use proptest::prelude::*;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -21,6 +24,7 @@ struct Node {
     kernel: Rc<RefCell<Kernel>>,
     clic: Rc<RefCell<ClicModule>>,
     tcp: Rc<RefCell<TcpStack>>,
+    nic: Rc<RefCell<Nic>>,
 }
 
 /// Build `n` full nodes on a switch, each with CLIC and TCP installed.
@@ -39,7 +43,7 @@ fn mk_cluster(sim: &mut Sim, n: usize) -> Vec<Node> {
             LinkEnd::A,
         );
         Nic::attach_to_link(&nic);
-        let dev = Kernel::add_device(&kernel, nic);
+        let dev = Kernel::add_device(&kernel, nic.clone());
         let clic = ClicModule::install(&kernel, vec![dev], ClicConfig::paper_default());
         let mut neighbors = BTreeMap::new();
         for peer in 0..n as u32 {
@@ -53,7 +57,12 @@ fn mk_cluster(sim: &mut Sim, n: usize) -> Vec<Node> {
             TcpIpCosts::era_2002(),
         );
         let tcp = TcpStack::install(&kernel, &ip);
-        nodes.push(Node { kernel, clic, tcp });
+        nodes.push(Node {
+            kernel,
+            clic,
+            tcp,
+            nic,
+        });
     }
     let _ = sim;
     nodes
@@ -512,4 +521,111 @@ fn allreduce_sums_across_ranks() {
     }
     sim.run();
     assert_eq!(*sums.borrow(), vec![100, 100, 100, 100]);
+}
+
+// ----------------------------------------------------------------------
+// NIC-offloaded collectives: the backend switch must not change results
+// ----------------------------------------------------------------------
+
+/// Arm every node's NIC collective engine for `group` over the whole
+/// cluster membership.
+fn arm_collectives(nodes: &[Node], group: u32) {
+    let members: Vec<MacAddr> = (0..nodes.len() as u32)
+        .map(|id| MacAddr::for_node(id, 0))
+        .collect();
+    for (rank, node) in nodes.iter().enumerate() {
+        Nic::enable_collectives(&node.nic, CollConfig::new(group, members.clone(), rank));
+    }
+}
+
+/// Run barrier + allreduce + bcast on `backends`, returning
+/// (barrier completions, allreduce results per rank, bcast payloads per rank).
+fn run_collective_suite(
+    sim: &mut Sim,
+    backends: &[CollBackend],
+    values: &[u64],
+    bcast_payload: Bytes,
+) -> (u32, Vec<u64>, Vec<Bytes>) {
+    let n = backends.len();
+    let barriers = Rc::new(RefCell::new(0u32));
+    let sums: Rc<RefCell<Vec<Option<u64>>>> = Rc::new(RefCell::new(vec![None; n]));
+    let datas: Rc<RefCell<Vec<Option<Bytes>>>> = Rc::new(RefCell::new(vec![None; n]));
+    let root = n - 1;
+    for (rank, backend) in backends.iter().enumerate() {
+        let b = barriers.clone();
+        collectives::barrier_on(backend, sim, move |_sim| *b.borrow_mut() += 1);
+        let s = sums.clone();
+        collectives::allreduce_sum_on(backend, sim, values[rank], move |_sim, total| {
+            s.borrow_mut()[rank] = Some(total);
+        });
+        let data = (rank == root).then(|| bcast_payload.clone());
+        let d = datas.clone();
+        collectives::bcast_on(backend, sim, root, data, move |_sim, payload| {
+            d.borrow_mut()[rank] = Some(payload);
+        });
+    }
+    sim.run();
+    let sums = sums
+        .borrow()
+        .iter()
+        .map(|s| s.expect("allreduce done"))
+        .collect();
+    let datas = datas
+        .borrow()
+        .iter()
+        .map(|d| d.clone().expect("bcast done"))
+        .collect();
+    let b = *barriers.borrow();
+    (b, sums, datas)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// The host-based (linear, through the full OS stack) and the
+    /// NIC-offloaded (firmware combining tree) backends must produce
+    /// identical collective results for arbitrary cluster sizes and
+    /// contributions — they differ only in cost.
+    #[test]
+    fn nic_and_host_collectives_agree(
+        n in 2usize..10,
+        raw in proptest::collection::vec(0u64..1_000_000, 16..17),
+    ) {
+        let values: Vec<u64> = raw[..n].to_vec();
+        let payload = Bytes::from(raw.iter().map(|v| (v % 251) as u8).collect::<Vec<_>>());
+        let expected: u64 = values.iter().sum();
+
+        let mut host_sim = Sim::new(1);
+        let host_nodes = mk_cluster(&mut host_sim, n);
+        let host_backends: Vec<CollBackend> = mpi_over_clic(&mut host_sim, &host_nodes)
+            .into_iter()
+            .map(CollBackend::Host)
+            .collect();
+        let (hb, hs, hd) =
+            run_collective_suite(&mut host_sim, &host_backends, &values, payload.clone());
+
+        let mut nic_sim = Sim::new(1);
+        let nic_nodes = mk_cluster(&mut nic_sim, n);
+        arm_collectives(&nic_nodes, 7);
+        let nic_backends: Vec<CollBackend> = nic_nodes
+            .iter()
+            .map(|node| CollBackend::NicOffload(node.nic.clone()))
+            .collect();
+        let (nb, ns, nd) =
+            run_collective_suite(&mut nic_sim, &nic_backends, &values, payload.clone());
+
+        prop_assert_eq!(hb, n as u32);
+        prop_assert_eq!(nb, n as u32);
+        prop_assert_eq!(&hs, &vec![expected; n]);
+        prop_assert_eq!(&ns, &vec![expected; n]);
+        prop_assert_eq!(&hd, &vec![payload.clone(); n]);
+        prop_assert_eq!(&nd, &vec![payload; n]);
+
+        // The offload must keep collective traffic out of the host: zero
+        // interrupts and zero RX-ring occupancy from collective frames.
+        for node in &nic_nodes {
+            let st = node.nic.borrow().stats();
+            prop_assert!(st.coll_msgs_rx > 0 || n == 1);
+            prop_assert_eq!(st.coll_completions, 3);
+        }
+    }
 }

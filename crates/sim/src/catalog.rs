@@ -191,6 +191,16 @@ pub const METRICS: &[MetricDef] = &[
         help: "frames duplicated in flight by fault injection",
     },
     MetricDef {
+        name: "eth.fabric.flood_pruned",
+        kind: C,
+        help: "flood copies suppressed by the loop-free flood membership",
+    },
+    MetricDef {
+        name: "eth.fabric.trunk_tx_frames",
+        kind: C,
+        help: "frames forwarded out switch-to-switch trunk ports",
+    },
+    MetricDef {
         name: "eth.link.frame_bytes",
         kind: H,
         help: "on-wire frame sizes, bytes",
@@ -244,6 +254,21 @@ pub const METRICS: &[MetricDef] = &[
         name: "hw.mem.copy_bytes",
         kind: H,
         help: "per-copy sizes through the memory bus, bytes",
+    },
+    MetricDef {
+        name: "hw.nic.coll.completions",
+        kind: C,
+        help: "collective operations completed by the NIC-resident engine",
+    },
+    MetricDef {
+        name: "hw.nic.coll.msgs_rx",
+        kind: C,
+        help: "collective control frames consumed by the NIC engine (no host IRQ)",
+    },
+    MetricDef {
+        name: "hw.nic.coll.msgs_tx",
+        kind: C,
+        help: "collective control frames emitted by the NIC engine",
     },
     MetricDef {
         name: "hw.nic.irqs",
@@ -478,6 +503,16 @@ pub const STAGES: &[StageDef] = &[
         name: "mpi_send",
         layers: &[Layer::Mpi],
         help: "MPI send: eager or rendezvous initiation",
+    },
+    StageDef {
+        name: "nic_coll_down",
+        layers: &[Layer::Hw],
+        help: "NIC collective engine: release/result distributed down the tree",
+    },
+    StageDef {
+        name: "nic_coll_up",
+        layers: &[Layer::Hw],
+        help: "NIC collective engine: arrival/partial combined up the tree",
     },
     StageDef {
         name: "nic_rx_dma",
