@@ -163,6 +163,21 @@ pub fn lex(src: &str) -> Lexed {
                 line += newlines;
                 i = end;
             }
+            // Raw identifier `r#type`: one Ident token whose payload is the
+            // bare name, so `r#fn` and `fn` resolve to the same call-graph
+            // node and the `#` can never be mistaken for an attribute.
+            'r' if next == Some('#') && chars.get(i + 2).copied().is_some_and(is_ident_start) => {
+                let start = i + 2;
+                let mut j = start + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident(chars[start..j].iter().collect()),
+                    line,
+                });
+                i = j;
+            }
             '\'' => {
                 // Char literal vs lifetime.
                 let is_char = matches!(
@@ -211,7 +226,15 @@ pub fn lex(src: &str) -> Lexed {
                 let mut j = i + 1;
                 while j < chars.len() {
                     let d = chars[j];
+                    // A signed exponent (`1e-5`, `2.5E+10`) continues the
+                    // literal: without this the `-` would become a spurious
+                    // binary operator between two number tokens.
+                    let signed_exp = (d == '+' || d == '-')
+                        && matches!(chars[j - 1], 'e' | 'E')
+                        && chars[i..j].iter().all(|&c| c != 'x' && c != 'b')
+                        && chars.get(j + 1).is_some_and(char::is_ascii_digit);
                     if is_ident_continue(d)
+                        || signed_exp
                         || (d == '.' && chars.get(j + 1).is_some_and(char::is_ascii_digit))
                     {
                         j += 1;
@@ -244,7 +267,14 @@ fn scan_quoted(chars: &[char], start: usize) -> (String, usize, u32) {
     let mut newlines = 0u32;
     while j < chars.len() {
         match chars[j] {
-            '\\' => j += 2,
+            // An escaped newline (string line-continuation) still ends a
+            // source line; losing it would shift every later token's line.
+            '\\' => {
+                if chars.get(j + 1) == Some(&'\n') {
+                    newlines += 1;
+                }
+                j += 2;
+            }
             '"' => break,
             '\n' => {
                 newlines += 1;
@@ -317,7 +347,12 @@ fn scan_prefixed_string(chars: &[char], i: usize, line: u32) -> (Tok, usize, u32
     let mut newlines = 0u32;
     while k < chars.len() {
         match chars[k] {
-            '\\' if !raw => k += 2,
+            '\\' if !raw => {
+                if chars.get(k + 1) == Some(&'\n') {
+                    newlines += 1;
+                }
+                k += 2;
+            }
             '\n' => {
                 newlines += 1;
                 k += 1;
@@ -416,6 +451,20 @@ mod tests {
     }
 
     #[test]
+    fn escaped_newline_in_string_still_counts_the_line() {
+        // `"... \` continuation: the backslash escapes the newline, but the
+        // source line still ends there.
+        let src = "let s = \"one \\\ntwo\";\nafter";
+        let lexed = lex(src);
+        let after = lexed
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("after".to_string()))
+            .expect("after token");
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
     fn char_literals_and_lifetimes() {
         let src = "let c = 'x'; let n = '\\n'; fn f<'a>(v: &'a str) {}";
         let lexed = lex(src);
@@ -448,5 +497,50 @@ mod tests {
         let src = "let x = 1.0; y.unwrap(); let h = 0x1f; let e = 1e-5;";
         let ids = idents(src);
         assert!(ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        let src = "fn r#type(r#fn: u32) { r#type(r#fn); }";
+        assert_eq!(idents(src), vec!["fn", "type", "fn", "u32", "type", "fn"]);
+        // `r#"..."#` raw strings must still be strings, not raw idents.
+        let lexed = lex(r##"let s = r#"type"#;"##);
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokKind::Str(s) if s == "type")));
+    }
+
+    #[test]
+    fn float_exponents_are_one_token() {
+        for src in ["1e-5", "2.5E+10", "1e6", "3.25e-4f64"] {
+            let lexed = lex(src);
+            assert_eq!(lexed.toks.len(), 1, "{src}: {:?}", lexed.toks);
+            assert_eq!(lexed.toks[0].kind, TokKind::Num, "{src}");
+        }
+        // Hex literals keep `-` as a real operator (`0x1e - 5` subtracts).
+        let lexed = lex("0x1e-5");
+        assert_eq!(lexed.toks.len(), 3, "{:?}", lexed.toks);
+        // And subtraction after a plain decimal is untouched.
+        let lexed = lex("let d = 7 - 5;");
+        assert!(lexed.toks.iter().any(|t| t.kind == TokKind::Punct('-')));
+    }
+
+    #[test]
+    fn nested_generic_close_stays_two_puncts() {
+        // `>>` at the end of `Vec<Vec<u8>>` must lex as two `>` tokens so
+        // bracket matching in the item parser can pair them with each `<`.
+        let lexed = lex("let v: Vec<Vec<u8>> = Vec::new();");
+        let gt = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct('>'))
+            .count();
+        let lt = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct('<'))
+            .count();
+        assert_eq!((lt, gt), (2, 2));
     }
 }

@@ -15,8 +15,15 @@
 //!
 //! Pipeline: [`workspace::discover`] enumerates library sources and
 //! manifests → [`catalog::parse`] re-reads the observability catalog from
-//! source → [`rules::analyze`] applies the per-crate policy table and
-//! emits [`diag::Diag`]s → [`diag::render_human`] / [`diag::render_json`].
+//! source → [`rules::analyze`] applies the per-crate policy table per
+//! file, then [`items::parse_items`] splits every file into function
+//! items, [`graph`] resolves their calls conservatively into a
+//! workspace call graph (filtered by the crate-dependency DAG), and
+//! [`flow`] walks it for the reachability families (determinism taint,
+//! panic reach, catalog liveness) — each finding carrying its full
+//! root→sink call chain — before everything settles against the allow
+//! annotations and renders via [`diag::render_human`] /
+//! [`diag::render_json`]. `--graph` exports the call graph as DOT.
 //!
 //! Audited exceptions: `// lint:allow(<rule>, reason="...")` ([`allow`]).
 
@@ -31,6 +38,9 @@
 pub mod allow;
 pub mod catalog;
 pub mod diag;
+pub mod flow;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 pub mod workspace;

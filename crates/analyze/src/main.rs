@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! clic-analyze [--root <dir>] [--json] [--list-rules] [--catalog]
+//!              [--graph <out.dot>] [--include-tests]
 //! ```
 //!
 //! Exit status: 0 when the workspace is clean, 1 when violations are
@@ -17,8 +18,9 @@ use std::process::ExitCode;
 
 use clic_analyze::catalog;
 use clic_analyze::diag::{render_human, render_json};
-use clic_analyze::rules::{analyze, RULES};
-use clic_analyze::workspace::find_root;
+use clic_analyze::graph;
+use clic_analyze::rules::{analyze_workspace, RULES};
+use clic_analyze::workspace::{discover_with, find_root};
 
 /// Write to stdout, swallowing broken-pipe errors so `clic-analyze
 /// --list-rules | head` exits quietly instead of panicking.
@@ -27,17 +29,24 @@ fn emit(text: &str) {
 }
 
 const USAGE: &str = "usage: clic-analyze [--root <dir>] [--json] [--list-rules] [--catalog]
+                    [--graph <out.dot>] [--include-tests]
 
-  --root <dir>   workspace to analyze (default: walk up from cwd)
-  --json         machine-readable output
-  --list-rules   print the rule set and exit
-  --catalog      print the parsed observability catalog and exit
+  --root <dir>      workspace to analyze (default: walk up from cwd)
+  --json            machine-readable output
+  --list-rules      print the rule set and exit
+  --catalog         print the parsed observability catalog and exit
+  --graph <out>     also write the workspace call graph as DOT (layered
+                    by crate) to <out>
+  --include-tests   scan integration-test sources too, under the relaxed
+                    test policy row
 ";
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut list_rules = false;
     let mut show_catalog = false;
+    let mut include_tests = false;
+    let mut graph_out: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -46,6 +55,14 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--list-rules" => list_rules = true,
             "--catalog" => show_catalog = true,
+            "--include-tests" => include_tests = true,
+            "--graph" => {
+                let Some(out) = args.next() else {
+                    eprintln!("clic-analyze: --graph needs an output path\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                graph_out = Some(PathBuf::from(out));
+            }
             "--root" => {
                 let Some(dir) = args.next() else {
                     eprintln!("clic-analyze: --root needs a directory\n{USAGE}");
@@ -86,24 +103,31 @@ fn main() -> ExitCode {
         return print_catalog(&root);
     }
 
-    match analyze(&root) {
-        Ok(report) => {
-            let out = if json {
-                render_json(&report.diags, report.files_scanned)
-            } else {
-                render_human(&report.diags, report.files_scanned)
-            };
-            emit(&out);
-            if report.diags.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
-        }
+    let ws = match discover_with(&root, include_tests) {
+        Ok(ws) => ws,
         Err(e) => {
             eprintln!("clic-analyze: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    if let Some(out_path) = &graph_out {
+        let dot = graph::render_dot(&graph::build(&ws));
+        if let Err(e) = std::fs::write(out_path, dot) {
+            eprintln!("clic-analyze: {}: {e}", out_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    let report = analyze_workspace(&ws);
+    let out = if json {
+        render_json(&report.diags, report.files_scanned)
+    } else {
+        render_human(&report.diags, report.files_scanned)
+    };
+    emit(&out);
+    if report.diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

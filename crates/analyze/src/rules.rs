@@ -1,12 +1,16 @@
 //! The lint rules and the analysis driver.
 //!
-//! Three rule families plus the dependency lint, scoped by a per-crate
-//! policy table (see [`policy`]):
+//! Four per-site rule families plus the dependency lint, scoped by a
+//! per-crate policy table (see [`policy`]):
 //!
 //! * **determinism** — `wall-clock`, `ad-hoc-rng`, `unordered-collection`:
 //!   simulation crates must be pure functions of configuration and seed,
 //!   so wall-clock time, OS-seeded randomness and iteration-order-unstable
 //!   collections are denied there;
+//! * **overflow soundness** — `time-overflow`: unchecked `+ - *` and
+//!   narrowing `as` casts on time/sequence-typed values in simulation
+//!   crates, where a silent wrap corrupts the event order instead of
+//!   crashing;
 //! * **observability names** — `metric-name`, `stage-name`, `dead-name`,
 //!   `catalog-dup`, `catalog-order`, `catalog-parse`: every name literal
 //!   recorded into the metrics registry or trace sink must be registered
@@ -20,15 +24,26 @@
 //!   workspace manifest must be a path or workspace dependency, locking in
 //!   the offline-build guarantee.
 //!
+//! On top of the per-site rules, [`analyze_workspace`] builds the
+//! workspace call graph ([`crate::graph`]) and runs the flow families
+//! ([`crate::flow`]): `determinism-taint`, `panic-reach`,
+//! `unreachable-name`. Their findings carry a root→sink call path and are
+//! filtered against the same `lint:allow` annotations as everything else
+//! — allow bookkeeping is centralized here precisely because a graph
+//! finding in file A can be suppressed by an annotation in file A while
+//! its root lives in file B.
+//!
 //! Audited exceptions are written `// lint:allow(<rule>, reason="...")`
 //! on (or directly above) the offending line; see [`crate::allow`].
 
 use crate::allow;
 use crate::catalog::{parse as parse_catalog, strip_node_prefix, Catalog, Kind};
 use crate::diag::Diag;
+use crate::flow;
+use crate::graph;
 use crate::lexer::{lex, Lexed, TokKind};
 use crate::workspace::{discover, Manifest, SourceFile, Workspace};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
 
@@ -45,6 +60,22 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "unordered-collection",
         "no HashMap / HashSet in simulation crates",
+    ),
+    (
+        "time-overflow",
+        "no unchecked + - * or narrowing casts on time/sequence values in simulation crates",
+    ),
+    (
+        "determinism-taint",
+        "no call path from simulation public API to wall-clock/RNG/env sources",
+    ),
+    (
+        "panic-reach",
+        "no panic site reachable from core/ethernet/sim public API",
+    ),
+    (
+        "unreachable-name",
+        "catalog names must be recorded by code reachable from job entry points",
     ),
     (
         "metric-name",
@@ -112,9 +143,13 @@ pub const OBS_INFRA_FILES: &[&str] = &[
 /// the host clock (they measure real elapsed time); only simulation
 /// crates must stay virtual-time-pure.
 #[derive(Debug, Clone, Copy)]
+// Independent per-rule-family switches, not a state machine.
+#[allow(clippy::struct_excessive_bools)]
 pub struct Policy {
     /// `wall-clock` + `ad-hoc-rng` + `unordered-collection` apply.
     pub determinism: bool,
+    /// `time-overflow` applies.
+    pub overflow: bool,
     /// `metric-name` / `stage-name` extraction applies.
     pub names: bool,
     /// `no-unwrap` applies.
@@ -125,8 +160,23 @@ pub struct Policy {
 pub fn policy(crate_name: &str) -> Policy {
     Policy {
         determinism: SIM_CRATES.contains(&crate_name),
+        overflow: SIM_CRATES.contains(&crate_name),
         names: !NAME_EXEMPT_CRATES.contains(&crate_name),
         no_unwrap: NO_UNWRAP_CRATES.contains(&crate_name),
+    }
+}
+
+/// The relaxed policy row for integration-test sources (scanned only
+/// under `--include-tests`): the determinism rules still apply — a test
+/// that reads the wall clock can mask nondeterminism in what it asserts —
+/// but name registration, panic hygiene and overflow style are test-local
+/// concerns the workspace gate does not impose.
+pub fn policy_test(crate_name: &str) -> Policy {
+    Policy {
+        determinism: SIM_CRATES.contains(&crate_name) || crate_name == "clic",
+        overflow: false,
+        names: false,
+        no_unwrap: false,
     }
 }
 
@@ -155,6 +205,16 @@ pub fn analyze(root: &Path) -> io::Result<Report> {
     Ok(analyze_workspace(&ws))
 }
 
+/// Per-file allow-annotation state retained across the per-site and graph
+/// passes, so every finding — wherever it was computed — settles against
+/// the annotations of the file it anchors to, and stale annotations are
+/// reported exactly once at the end.
+struct AllowState {
+    rel: String,
+    allows: allow::Allows,
+    used: Vec<bool>,
+}
+
 /// Run the full analysis over an already-discovered workspace.
 pub fn analyze_workspace(ws: &Workspace) -> Report {
     let mut diags = Vec::new();
@@ -172,33 +232,74 @@ pub fn analyze_workspace(ws: &Workspace) -> Report {
                 c
             }
             Err(e) => {
-                diags.push(Diag {
-                    rule: "catalog-parse",
-                    file: f.rel.clone(),
-                    line: 0,
-                    message: e,
-                    suggestion: "keep METRICS/STAGES as arrays of struct literals whose first \
-                                 string literal is the name"
-                        .to_string(),
-                });
+                diags.push(Diag::site(
+                    "catalog-parse",
+                    f.rel.clone(),
+                    0,
+                    e,
+                    "keep METRICS/STAGES as arrays of struct literals whose first string \
+                     literal is the name",
+                ));
                 Catalog::default()
             }
         }
     } else {
-        diags.push(Diag {
-            rule: "catalog-parse",
-            file: "crates/sim/src/catalog.rs".to_string(),
-            line: 0,
-            message: "observability catalog not found".to_string(),
-            suggestion: "create crates/sim/src/catalog.rs with METRICS and STAGES tables"
-                .to_string(),
-        });
+        diags.push(Diag::site(
+            "catalog-parse",
+            "crates/sim/src/catalog.rs",
+            0,
+            "observability catalog not found",
+            "create crates/sim/src/catalog.rs with METRICS and STAGES tables",
+        ));
         Catalog::default()
     };
 
-    // Per-file rules.
+    // Per-site pass: candidates per file, allow state retained.
+    let mut states: Vec<AllowState> = Vec::with_capacity(ws.files.len());
+    let mut pending: Vec<(usize, Diag)> = Vec::new();
     for f in &ws.files {
-        diags.extend(check_file(f, &catalog, &mut usage));
+        let lexed = lex(&f.text);
+        let allows = allow::parse(&lexed.comments);
+        let cands = file_candidates(f, &lexed, &catalog, &mut usage);
+        let si = states.len();
+        states.push(AllowState {
+            rel: f.rel.clone(),
+            used: vec![false; allows.ok.len()],
+            allows,
+        });
+        pending.extend(cands.into_iter().map(|c| {
+            (
+                si,
+                Diag::site(c.rule, f.rel.clone(), c.line, c.message, c.suggestion),
+            )
+        }));
+    }
+
+    // Graph pass: call-graph rule families over the whole workspace.
+    let g = graph::build(ws);
+    let by_rel: BTreeMap<&str, usize> = states
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.rel.as_str(), i))
+        .collect();
+    for f in flow::run(&g, &catalog, &flow::FlowPolicy::default()) {
+        let d =
+            Diag::site(f.rule, f.file.clone(), f.line, f.message, f.suggestion).with_path(f.path);
+        match by_rel.get(f.file.as_str()) {
+            Some(&si) => pending.push((si, d)),
+            None => diags.push(d),
+        }
+    }
+
+    // Central allow filtering, then the stale-annotation sweep.
+    for (si, d) in pending {
+        let st = &mut states[si];
+        if !suppressed(&st.allows, &mut st.used, d.rule, d.line) {
+            diags.push(d);
+        }
+    }
+    for st in &states {
+        diags.extend(allow_meta(&st.rel, &st.allows, &st.used));
     }
 
     // Dead catalog entries.
@@ -221,56 +322,55 @@ pub fn analyze_workspace(ws: &Workspace) -> Report {
 /// Catalog self-checks: duplicates and ordering.
 pub fn check_catalog(c: &Catalog) -> Vec<Diag> {
     let mut diags = Vec::new();
-    let file = "crates/sim/src/catalog.rs".to_string();
+    let file = "crates/sim/src/catalog.rs";
     let mut seen: BTreeSet<(String, Option<Kind>)> = BTreeSet::new();
     for e in &c.metrics {
         if !seen.insert((e.name.clone(), e.kind)) {
-            diags.push(Diag {
-                rule: "catalog-dup",
-                file: file.clone(),
-                line: e.line,
-                message: format!(
+            diags.push(Diag::site(
+                "catalog-dup",
+                file,
+                e.line,
+                format!(
                     "metric `{}` ({}) registered more than once",
                     e.name,
                     e.kind.map_or("?", Kind::name)
                 ),
-                suggestion: "remove the duplicate entry".to_string(),
-            });
+                "remove the duplicate entry",
+            ));
         }
     }
     let mut seen_stages: BTreeSet<String> = BTreeSet::new();
     for e in &c.stages {
         if !seen_stages.insert(e.name.clone()) {
-            diags.push(Diag {
-                rule: "catalog-dup",
-                file: file.clone(),
-                line: e.line,
-                message: format!("stage `{}` registered more than once", e.name),
-                suggestion: "remove the duplicate entry".to_string(),
-            });
+            diags.push(Diag::site(
+                "catalog-dup",
+                file,
+                e.line,
+                format!("stage `{}` registered more than once", e.name),
+                "remove the duplicate entry",
+            ));
         }
     }
     for w in c.metrics.windows(2) {
         if (&w[0].name, w[0].kind) > (&w[1].name, w[1].kind) {
-            diags.push(Diag {
-                rule: "catalog-order",
-                file: file.clone(),
-                line: w[1].line,
-                message: format!("METRICS not sorted: `{}` after `{}`", w[1].name, w[0].name),
-                suggestion: "keep the table sorted by (name, kind) so diffs stay one-line"
-                    .to_string(),
-            });
+            diags.push(Diag::site(
+                "catalog-order",
+                file,
+                w[1].line,
+                format!("METRICS not sorted: `{}` after `{}`", w[1].name, w[0].name),
+                "keep the table sorted by (name, kind) so diffs stay one-line",
+            ));
         }
     }
     for w in c.stages.windows(2) {
         if w[0].name > w[1].name {
-            diags.push(Diag {
-                rule: "catalog-order",
-                file: file.clone(),
-                line: w[1].line,
-                message: format!("STAGES not sorted: `{}` after `{}`", w[1].name, w[0].name),
-                suggestion: "keep the table sorted by name so diffs stay one-line".to_string(),
-            });
+            diags.push(Diag::site(
+                "catalog-order",
+                file,
+                w[1].line,
+                format!("STAGES not sorted: `{}` after `{}`", w[1].name, w[0].name),
+                "keep the table sorted by name so diffs stay one-line",
+            ));
         }
     }
     diags
@@ -279,32 +379,32 @@ pub fn check_catalog(c: &Catalog) -> Vec<Diag> {
 /// Catalog entries never recorded anywhere in library code.
 pub fn check_dead_names(catalog: &Catalog, usage: &Usage) -> Vec<Diag> {
     let mut diags = Vec::new();
-    let file = "crates/sim/src/catalog.rs".to_string();
+    let file = "crates/sim/src/catalog.rs";
     for e in &catalog.metrics {
         let Some(kind) = e.kind else { continue };
         if !usage.metrics.contains(&(e.name.clone(), kind)) {
-            diags.push(Diag {
-                rule: "dead-name",
-                file: file.clone(),
-                line: e.line,
-                message: format!(
+            diags.push(Diag::site(
+                "dead-name",
+                file,
+                e.line,
+                format!(
                     "metric `{}` ({}) is registered but never recorded or read",
                     e.name,
                     kind.name()
                 ),
-                suggestion: "record it somewhere or remove the catalog entry".to_string(),
-            });
+                "record it somewhere or remove the catalog entry",
+            ));
         }
     }
     for e in &catalog.stages {
         if !usage.stages.contains(&e.name) {
-            diags.push(Diag {
-                rule: "dead-name",
-                file: file.clone(),
-                line: e.line,
-                message: format!("stage `{}` is registered but never emitted", e.name),
-                suggestion: "emit it somewhere or remove the catalog entry".to_string(),
-            });
+            diags.push(Diag::site(
+                "dead-name",
+                file,
+                e.line,
+                format!("stage `{}` is registered but never emitted", e.name),
+                "emit it somewhere or remove the catalog entry",
+            ));
         }
     }
     diags
@@ -318,90 +418,139 @@ struct Candidate {
     suggestion: String,
 }
 
-/// Run every per-file rule on one source file.
+/// Run every per-file rule on one source file — the standalone single-file
+/// entry point used by fixture tests. [`analyze_workspace`] uses the same
+/// candidate generation but settles allows centrally so graph findings
+/// participate too.
 pub fn check_file(f: &SourceFile, catalog: &Catalog, usage: &mut Usage) -> Vec<Diag> {
-    let pol = policy(&f.crate_name);
     let lexed = lex(&f.text);
-    let tests = test_regions(&lexed);
-    let in_test = |line: u32| tests.iter().any(|&(a, b)| line >= a && line <= b);
     let allows = allow::parse(&lexed.comments);
-
-    let mut cands: Vec<Candidate> = Vec::new();
-
-    if pol.determinism {
-        wall_clock(&lexed, &mut cands);
-        ad_hoc_rng(&lexed, &mut cands);
-        unordered_collections(&lexed, &mut cands);
-    }
-    if pol.names && !OBS_INFRA_FILES.contains(&f.rel.as_str()) {
-        observability_names(&lexed, catalog, usage, &in_test, &mut cands);
-    }
-    if pol.no_unwrap {
-        no_unwrap(&lexed, &mut cands);
-    }
-    if f.is_lib_root {
-        crate_header(&lexed, &mut cands);
-    }
-
-    // Allow filtering: an annotation on the candidate's line or the line
-    // directly above suppresses it.
+    let cands = file_candidates(f, &lexed, catalog, usage);
     let mut used = vec![false; allows.ok.len()];
     let mut diags = Vec::new();
     for c in cands {
-        if in_test(c.line) && c.rule != "crate-header" {
-            continue;
-        }
-        let suppressed = allows.ok.iter().enumerate().any(|(i, a)| {
-            let hit = a.rule == c.rule && (a.line == c.line || a.line + 1 == c.line);
-            if hit {
-                used[i] = true;
-            }
-            hit
-        });
-        if !suppressed {
-            diags.push(Diag {
-                rule: c.rule,
-                file: f.rel.clone(),
-                line: c.line,
-                message: c.message,
-                suggestion: c.suggestion,
-            });
+        if !suppressed(&allows, &mut used, c.rule, c.line) {
+            diags.push(Diag::site(
+                c.rule,
+                f.rel.clone(),
+                c.line,
+                c.message,
+                c.suggestion,
+            ));
         }
     }
+    diags.extend(allow_meta(&f.rel, &allows, &used));
+    diags
+}
 
+/// Generate every per-site candidate for one file, already filtered for
+/// `#[cfg(test)]` regions (integration-test sources skip that filter: the
+/// whole file is test code and the relaxed [`policy_test`] row is what
+/// applies).
+fn file_candidates(
+    f: &SourceFile,
+    lexed: &Lexed,
+    catalog: &Catalog,
+    usage: &mut Usage,
+) -> Vec<Candidate> {
+    let pol = if f.is_test_source {
+        policy_test(&f.crate_name)
+    } else {
+        policy(&f.crate_name)
+    };
+    let tests = test_regions(lexed);
+    let in_test = |line: u32| tests.iter().any(|&(a, b)| line >= a && line <= b);
+
+    let mut cands: Vec<Candidate> = Vec::new();
+    if pol.determinism {
+        wall_clock(lexed, &mut cands);
+        ad_hoc_rng(lexed, &mut cands);
+        unordered_collections(lexed, &mut cands);
+    }
+    if pol.overflow {
+        time_overflow(lexed, &mut cands);
+    }
+    if pol.names && !OBS_INFRA_FILES.contains(&f.rel.as_str()) {
+        observability_names(lexed, catalog, usage, &in_test, &mut cands);
+    }
+    if pol.no_unwrap {
+        no_unwrap(lexed, &mut cands);
+    }
+    if f.is_lib_root {
+        crate_header(lexed, &mut cands);
+    }
+
+    if f.is_test_source {
+        cands
+    } else {
+        cands
+            .into_iter()
+            .filter(|c| c.rule == "crate-header" || !in_test(c.line))
+            .collect()
+    }
+}
+
+/// Whether an allow for `allow_rule` covers a diagnostic for `diag_rule`.
+/// The graph families accept their per-site cousins: a site audited for
+/// `no-unwrap` is audited for reachability too, and an audited wall-clock
+/// or RNG read is an audited taint source.
+fn allow_covers(diag_rule: &str, allow_rule: &str) -> bool {
+    allow_rule == diag_rule
+        || (diag_rule == "panic-reach" && allow_rule == "no-unwrap")
+        || (diag_rule == "determinism-taint" && matches!(allow_rule, "wall-clock" | "ad-hoc-rng"))
+}
+
+/// Settle one candidate against a file's annotations: an annotation on
+/// the candidate's line or the line directly above suppresses it (and is
+/// marked used).
+fn suppressed(allows: &allow::Allows, used: &mut [bool], rule: &'static str, line: u32) -> bool {
+    let mut hit = false;
+    for (i, a) in allows.ok.iter().enumerate() {
+        if allow_covers(rule, &a.rule) && (a.line == line || a.line + 1 == line) {
+            used[i] = true;
+            hit = true;
+        }
+    }
+    hit
+}
+
+/// The stale-annotation sweep: unknown rule names and annotations that
+/// suppressed nothing.
+fn allow_meta(rel: &str, allows: &allow::Allows, used: &[bool]) -> Vec<Diag> {
+    let mut diags = Vec::new();
     for m in &allows.malformed {
-        diags.push(Diag {
-            rule: "malformed-allow",
-            file: f.rel.clone(),
-            line: m.line,
-            message: format!("malformed lint:allow annotation: {}", m.error),
-            suggestion: "write `// lint:allow(<rule>, reason=\"...\")`".to_string(),
-        });
+        diags.push(Diag::site(
+            "malformed-allow",
+            rel,
+            m.line,
+            format!("malformed lint:allow annotation: {}", m.error),
+            "write `// lint:allow(<rule>, reason=\"...\")`",
+        ));
     }
     for (i, a) in allows.ok.iter().enumerate() {
         if !RULES.iter().any(|(r, _)| *r == a.rule) {
-            diags.push(Diag {
-                rule: "malformed-allow",
-                file: f.rel.clone(),
-                line: a.line,
-                message: format!("lint:allow names unknown rule `{}`", a.rule),
-                suggestion: "run `clic-analyze --list-rules` for the rule set".to_string(),
-            });
+            diags.push(Diag::site(
+                "malformed-allow",
+                rel,
+                a.line,
+                format!("lint:allow names unknown rule `{}`", a.rule),
+                "run `clic-analyze --list-rules` for the rule set",
+            ));
         } else if !used[i] {
-            diags.push(Diag {
-                rule: "unused-allow",
-                file: f.rel.clone(),
-                line: a.line,
-                message: format!("lint:allow({}) suppresses nothing", a.rule),
-                suggestion: "remove the stale annotation".to_string(),
-            });
+            diags.push(Diag::site(
+                "unused-allow",
+                rel,
+                a.line,
+                format!("lint:allow({}) suppresses nothing", a.rule),
+                "remove the stale annotation",
+            ));
         }
     }
     diags
 }
 
 /// `#[cfg(test)]` / `#[test]` item extents as inclusive line ranges.
-fn test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
+pub fn test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
     let toks = &lexed.toks;
     let mut regions = Vec::new();
     let mut i = 0usize;
@@ -546,6 +695,108 @@ fn unordered_collections(lexed: &Lexed, cands: &mut Vec<Candidate>) {
     }
 }
 
+/// Time/sequence atom for the `time-overflow` rule: an identifier with a
+/// `ns`/`us`/`seq` underscore segment (`now_ns`, `next_seq`, `delay_us`,
+/// or the lone words themselves) — including the `.as_ns()` / `.as_us()`
+/// `SimTime` accessors, whose names contain the segment by construction.
+/// `from_*` constructors (`SimDuration::from_ns(1)`) are excluded: they
+/// return the wrapper types whose operators are the audited guard sites,
+/// not a raw integer.
+fn is_time_atom(kind: &TokKind) -> bool {
+    match kind {
+        TokKind::Ident(s) => {
+            let mut segs = s.split('_');
+            if segs.next() == Some("from") {
+                return false;
+            }
+            s.split('_')
+                .any(|seg| seg == "ns" || seg == "us" || seg == "seq")
+        }
+        _ => false,
+    }
+}
+
+/// Casts wide enough to make a subsequent `+ - *` sound for u64
+/// nanosecond/sequence magnitudes.
+fn is_widening(kind: &TokKind) -> bool {
+    matches!(kind, TokKind::Ident(s) if matches!(s.as_str(), "u128" | "i128" | "i64" | "f64"))
+}
+
+/// `time-overflow`: unchecked `+ - *` (including compound assignment) and
+/// narrowing `as` casts adjacent to a time/sequence atom. The rule is a
+/// heuristic over names — the workspace consistently suffixes nanosecond
+/// and sequence values — and accepts a widening cast in the surrounding
+/// token window as proof of soundness, which is exactly the audited
+/// pattern (`u128::from(x_ns) * y`).
+fn time_overflow(lexed: &Lexed, cands: &mut Vec<Candidate>) {
+    // Token window around an operator searched for atoms and widenings.
+    const WINDOW: usize = 6;
+    let toks = &lexed.toks;
+    let mut last_line = 0u32;
+    let window_has = |center: usize, pred: &dyn Fn(&TokKind) -> bool| -> bool {
+        let lo = center.saturating_sub(WINDOW);
+        let hi = (center + WINDOW + 1).min(toks.len());
+        toks[lo..hi].iter().any(|t| {
+            // Stop tokens would over-complicate this; a 6-token radius is
+            // tight enough that leakage across `;` boundaries is rare and
+            // only ever makes the rule more conservative.
+            pred(&t.kind)
+        })
+    };
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        match &toks[i].kind {
+            TokKind::Punct(op @ ('+' | '-' | '*')) => {
+                // Binary position only: the previous token must end an
+                // expression (`a + b`, `f() * x`, `v[i] - y`, `seq += 1`).
+                let prev_expr = i >= 1
+                    && (matches!(toks[i - 1].kind, TokKind::Ident(_) | TokKind::Num)
+                        || lexed.is_punct(i - 1, ')')
+                        || lexed.is_punct(i - 1, ']'));
+                // `->` is an arrow, not a subtraction.
+                let arrow = *op == '-' && lexed.is_punct(i + 1, '>');
+                if !prev_expr || arrow || line == last_line {
+                    continue;
+                }
+                if window_has(i, &is_time_atom) && !window_has(i, &is_widening) {
+                    last_line = line;
+                    cands.push(Candidate {
+                        rule: "time-overflow",
+                        line,
+                        message: format!("unchecked `{op}` on a time/sequence-typed value"),
+                        suggestion: "use checked_/saturating_ arithmetic or widen to u128/i64 \
+                                     first; audited escape: lint:allow(time-overflow, \
+                                     reason=\"...\")"
+                            .to_string(),
+                    });
+                }
+            }
+            TokKind::Ident(s) if s == "as" => {
+                let narrow = matches!(
+                    lexed.kind(i + 1),
+                    Some(TokKind::Ident(t)) if matches!(t.as_str(), "u8" | "u16" | "u32")
+                );
+                if !narrow || line == last_line {
+                    continue;
+                }
+                let lo = i.saturating_sub(WINDOW);
+                if toks[lo..i].iter().any(|t| is_time_atom(&t.kind)) {
+                    last_line = line;
+                    cands.push(Candidate {
+                        rule: "time-overflow",
+                        line,
+                        message: "narrowing `as` cast on a time/sequence-typed value".to_string(),
+                        suggestion: "keep u64 width or use try_from with an explicit error; \
+                                     audited escape: lint:allow(time-overflow, reason=\"...\")"
+                            .to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Whether token `i` sits inside a `use` item whose path mentions
 /// `segment`.
 fn in_use_of(lexed: &Lexed, i: usize, segment: &str) -> bool {
@@ -566,7 +817,7 @@ fn in_use_of(lexed: &Lexed, i: usize, segment: &str) -> bool {
 }
 
 /// Metric-recording and trace-emitting method calls: `(method, kind)`.
-const METRIC_CALLS: &[(&str, Kind)] = &[
+pub(crate) const METRIC_CALLS: &[(&str, Kind)] = &[
     ("counter", Kind::Counter),
     ("counter_add", Kind::Counter),
     ("counter_inc", Kind::Counter),
@@ -585,21 +836,21 @@ const METRIC_CALLS: &[(&str, Kind)] = &[
 ];
 
 /// Trace-emission methods whose first string literal is a stage name.
-const STAGE_CALLS: &[&str] = &["begin", "end", "instant"];
+pub(crate) const STAGE_CALLS: &[&str] = &["begin", "end", "instant"];
 
 /// Compile-time interning resolvers from `clic_sim::catalog`: free
 /// functions (called as `counter_id("...")` or `catalog::counter_id(...)`)
 /// whose string literal names a catalog entry of the given kind. A call
 /// counts as a recording for the dead-name pass — the returned id is what
 /// the hot path feeds to the `_id` metric APIs.
-const METRIC_ID_CALLS: &[(&str, Kind)] = &[
+pub(crate) const METRIC_ID_CALLS: &[(&str, Kind)] = &[
     ("counter_id", Kind::Counter),
     ("gauge_id", Kind::Gauge),
     ("histogram_id", Kind::Histogram),
 ];
 
 /// Stage-id resolver from `clic_sim::catalog` (see [`METRIC_ID_CALLS`]).
-const STAGE_ID_CALL: &str = "stage_id";
+pub(crate) const STAGE_ID_CALL: &str = "stage_id";
 
 /// `metric-name` / `stage-name`: extract every name literal passed to a
 /// recording call and check it against the catalog. Usage is accumulated
@@ -824,15 +1075,14 @@ pub fn check_manifest(m: &Manifest) -> Vec<Diag> {
 }
 
 fn non_path_diag(file: &str, line: u32, dep: &str) -> Diag {
-    Diag {
-        rule: "paths-only-deps",
-        file: file.to_string(),
+    Diag::site(
+        "paths-only-deps",
+        file,
         line,
-        message: format!("dependency `{dep}` is not a path/workspace dependency"),
-        suggestion: "the workspace builds offline: route external deps through a crates/shim-* \
-                     stand-in and [workspace.dependencies]"
-            .to_string(),
-    }
+        format!("dependency `{dep}` is not a path/workspace dependency"),
+        "the workspace builds offline: route external deps through a crates/shim-* stand-in \
+         and [workspace.dependencies]",
+    )
 }
 
 fn is_dep_section(section: &str) -> bool {

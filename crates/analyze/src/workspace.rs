@@ -5,7 +5,8 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// One Rust source file under a crate's `src/` tree.
+/// One Rust source file under a crate's `src/` (or, with
+/// [`discover_with`], `tests/`) tree.
 #[derive(Debug)]
 pub struct SourceFile {
     /// Path relative to the workspace root, with `/` separators.
@@ -15,6 +16,9 @@ pub struct SourceFile {
     pub crate_name: String,
     /// Whether this file is the crate's `src/lib.rs`.
     pub is_lib_root: bool,
+    /// Whether this file is an integration-test source (a `tests/` tree):
+    /// the relaxed policy row applies (see [`crate::rules::policy_test`]).
+    pub is_test_source: bool,
     /// File contents.
     pub text: String,
 }
@@ -60,11 +64,21 @@ pub fn find_root(start: &Path) -> Option<PathBuf> {
 /// benches, examples and fixtures are out of scope by construction) and
 /// every `Cargo.toml`.
 pub fn discover(root: &Path) -> io::Result<Workspace> {
+    discover_with(root, false)
+}
+
+/// [`discover`], optionally including integration-test sources (`tests/`
+/// trees). The analyzer's own `tests/fixtures/` directory is always
+/// excluded: its files violate rules on purpose.
+pub fn discover_with(root: &Path, include_tests: bool) -> io::Result<Workspace> {
     let mut files = Vec::new();
     let mut manifests = Vec::new();
 
     push_manifest(root, "Cargo.toml", &mut manifests)?;
     collect_src(root, Path::new("src"), "clic", &mut files)?;
+    if include_tests {
+        collect_tests(root, Path::new("tests"), "clic", &mut files)?;
+    }
 
     // Tolerate a workspace without a `crates/` tree (the root package is
     // still scanned) so the analyzer runs on any layout.
@@ -92,6 +106,14 @@ pub fn discover(root: &Path) -> io::Result<Workspace> {
             &name,
             &mut files,
         )?;
+        if include_tests {
+            collect_tests(
+                root,
+                &Path::new("crates").join(&name).join("tests"),
+                &name,
+                &mut files,
+            )?;
+        }
     }
 
     files.sort_by(|a, b| a.rel.cmp(&b.rel));
@@ -147,6 +169,52 @@ fn collect_src(
                 is_lib_root: rel.ends_with("src/lib.rs"),
                 rel,
                 crate_name: crate_name.to_string(),
+                is_test_source: false,
+                text: fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Recursively collect `.rs` files under `root/dir` (a `tests/` tree),
+/// skipping `fixtures/` subtrees (deliberately-violating lint inputs).
+fn collect_tests(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let abs = root.join(dir);
+    if !abs.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(&abs)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if path.is_dir() {
+            if name == "fixtures" || name == "golden" {
+                continue;
+            }
+            collect_tests(root, &dir.join(name), crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = dir
+                .join(name)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                is_lib_root: false,
+                rel,
+                crate_name: crate_name.to_string(),
+                is_test_source: true,
                 text: fs::read_to_string(&path)?,
             });
         }
@@ -178,6 +246,23 @@ mod tests {
         // Out of scope: tests, benches, examples.
         assert!(!ws.files.iter().any(|f| f.rel.contains("/tests/")));
         assert!(!ws.files.iter().any(|f| f.rel.starts_with("examples/")));
+    }
+
+    #[test]
+    fn test_sources_discovered_on_request() {
+        let ws = discover_with(&repo_root(), true).unwrap();
+        assert!(ws.files.iter().any(|f| f.is_test_source
+            && f.rel.starts_with("crates/")
+            && f.rel.contains("/tests/")));
+        // Fixture files never enter the scan: they violate rules on
+        // purpose. Golden JSON directories hold no Rust but are skipped
+        // too.
+        assert!(!ws.files.iter().any(|f| f.rel.contains("/fixtures/")));
+        // Library sources keep their flag off.
+        assert!(ws
+            .files
+            .iter()
+            .all(|f| !(f.rel.contains("/src/") && f.is_test_source)));
     }
 
     #[test]

@@ -1,0 +1,6 @@
+//! Graph fixture: the only job entry point. It reaches none of the
+//! recorders, so catalog liveness must flag the orphaned name.
+
+pub fn run_all() -> u32 {
+    0
+}

@@ -1,0 +1,9 @@
+//! Graph fixture: panicking helper plus an orphaned metric recorder.
+
+pub fn slot_lookup(tbl: &Table) -> u32 {
+    tbl.slot().unwrap()
+}
+
+fn orphan_probe(m: &Metrics) {
+    m.counter("clic.msgs_sent", 1);
+}

@@ -1,0 +1,5 @@
+//! Graph fixture: host-time helper outside the simulation perimeter.
+
+pub fn host_stamp() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

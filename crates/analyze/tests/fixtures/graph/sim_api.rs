@@ -1,0 +1,14 @@
+//! Graph fixture: public simulation APIs whose helpers cross into
+//! non-simulation crates (see the graph tests in lints.rs).
+
+pub fn drive_tick(sim: &mut Sim) {
+    host_stamp();
+}
+
+pub fn kick_tx(tbl: &Table) -> u32 {
+    slot_lookup(tbl)
+}
+
+pub fn bump_deadline(now_ns: u64, delta_ns: u64) -> u64 {
+    now_ns + delta_ns
+}

@@ -1,0 +1,16 @@
+//! Lexer edge cases that must produce zero diagnostics: raw identifiers,
+//! `>>` closing nested generics, and float exponent literals.
+
+pub fn r#loop(r#type: u64) -> u64 {
+    r#type
+}
+
+pub fn nested(v: Vec<Vec<u64>>) -> usize {
+    v.len()
+}
+
+pub fn exponents() -> f64 {
+    let adj_ns = 1e-9;
+    let big = 2.5E3;
+    big.max(adj_ns)
+}

@@ -7,10 +7,12 @@
 //! test -q` fails the moment a violation lands on the main branch.
 
 use clic_analyze::catalog::{parse as parse_catalog, Catalog};
-use clic_analyze::rules::{analyze, check_file, check_manifest, RULES};
-use clic_analyze::workspace::{find_root, Manifest, SourceFile};
+use clic_analyze::diag::render_json_diag;
+use clic_analyze::rules::{analyze, analyze_workspace, check_file, check_manifest, RULES};
+use clic_analyze::workspace::{find_root, Manifest, SourceFile, Workspace};
 use std::collections::BTreeSet;
 use std::path::Path;
+use std::path::PathBuf;
 
 /// A miniature catalog: one registered counter, one registered stage.
 const CATALOG_SRC: &str = r#"
@@ -32,6 +34,7 @@ fn run(rel_name: &str, text: &str, is_lib_root: bool) -> Vec<clic_analyze::Diag>
         rel: format!("crates/sim/src/{rel_name}"),
         crate_name: "sim".to_string(),
         is_lib_root,
+        is_test_source: false,
         text: text.to_string(),
     };
     let mut usage = clic_analyze::rules::Usage::default();
@@ -171,6 +174,160 @@ fn fixture_suite_exercises_at_least_six_rules() {
             "fixture fired unknown rule {rule}"
         );
     }
+}
+
+/// A synthetic workspace wiring the graph fixtures into a miniature CLIC:
+/// `sim` public APIs call into a wall-clock shim and a panicking `hw`
+/// helper, `hw` also holds an orphaned metric recorder, and `bench` is the
+/// only job entry point. Every call-graph rule family must fire on it.
+fn graph_workspace() -> Workspace {
+    let files = [
+        ("crates/sim/src/catalog.rs", "sim", CATALOG_SRC),
+        (
+            "crates/sim/src/api_fix.rs",
+            "sim",
+            include_str!("fixtures/graph/sim_api.rs"),
+        ),
+        (
+            "crates/shim-clock/src/lib.rs",
+            "shim-clock",
+            include_str!("fixtures/graph/shim_clock.rs"),
+        ),
+        (
+            "crates/hw/src/sink_fix.rs",
+            "hw",
+            include_str!("fixtures/graph/hw_sink.rs"),
+        ),
+        (
+            "crates/bench/src/entry_fix.rs",
+            "bench",
+            include_str!("fixtures/graph/bench_entry.rs"),
+        ),
+    ];
+    Workspace {
+        root: PathBuf::new(),
+        files: files
+            .into_iter()
+            .map(|(rel, krate, text)| SourceFile {
+                rel: rel.to_string(),
+                crate_name: krate.to_string(),
+                is_lib_root: false,
+                is_test_source: false,
+                text: text.to_string(),
+            })
+            .collect(),
+        manifests: vec![Manifest {
+            rel: "Cargo.toml".to_string(),
+            text: "[workspace.dependencies]\n".to_string(),
+        }],
+    }
+}
+
+fn graph_diag(rule: &str) -> clic_analyze::Diag {
+    let report = analyze_workspace(&graph_workspace());
+    report
+        .diags
+        .iter()
+        .find(|d| d.rule == rule)
+        .unwrap_or_else(|| panic!("no {rule} diagnostic in {:?}", report.diags))
+        .clone()
+}
+
+#[test]
+fn taint_fixture_fails_the_analyzer_with_a_cross_crate_path() {
+    let d = graph_diag("determinism-taint");
+    assert_eq!(d.file, "crates/shim-clock/src/lib.rs");
+    assert_eq!(d.line, 4);
+    assert_eq!(d.path, vec!["sim::drive_tick", "shim-clock::host_stamp"]);
+    assert!(d.message.contains("`Instant`"), "{d:?}");
+}
+
+#[test]
+fn overflow_fixture_fails_the_analyzer() {
+    let d = graph_diag("time-overflow");
+    assert_eq!(d.file, "crates/sim/src/api_fix.rs");
+    assert_eq!(d.line, 13);
+    assert!(d.message.contains("unchecked `+`"), "{d:?}");
+}
+
+#[test]
+fn panic_reach_fixture_fails_the_analyzer_with_the_chain() {
+    let d = graph_diag("panic-reach");
+    assert_eq!(d.file, "crates/hw/src/sink_fix.rs");
+    assert_eq!(d.line, 4);
+    assert_eq!(d.path, vec!["sim::kick_tx", "hw::slot_lookup"]);
+    assert!(d.message.contains("`.unwrap()`"), "{d:?}");
+}
+
+#[test]
+fn liveness_fixture_fails_the_analyzer_at_the_catalog_entry() {
+    let d = graph_diag("unreachable-name");
+    assert_eq!(d.file, "crates/sim/src/catalog.rs");
+    assert_eq!(d.line, 3);
+    assert_eq!(d.path, vec!["hw::orphan_probe"]);
+    assert!(d.message.contains("clic.msgs_sent"), "{d:?}");
+}
+
+/// Golden JSON for one diagnostic per call-graph family: the schema
+/// (`rule`, `file`, `line`, `message`, `path`, `suggestion`) must stay
+/// identical across families, with `path` populated root-first.
+#[test]
+fn json_schema_is_identical_across_rule_families() {
+    let report = analyze_workspace(&graph_workspace());
+    let families = [
+        "determinism-taint",
+        "time-overflow",
+        "panic-reach",
+        "unreachable-name",
+    ];
+    for rule in families {
+        let d = report
+            .diags
+            .iter()
+            .find(|d| d.rule == rule)
+            .unwrap_or_else(|| panic!("no {rule} diagnostic"));
+        let json = render_json_diag(d);
+        for key in [
+            "\"rule\": ",
+            "\"file\": ",
+            "\"line\": ",
+            "\"message\": ",
+            "\"path\": [",
+            "\"suggestion\": ",
+        ] {
+            assert!(json.contains(key), "{rule} JSON missing {key}: {json}");
+        }
+    }
+    let taint = render_json_diag(
+        report
+            .diags
+            .iter()
+            .find(|d| d.rule == "determinism-taint")
+            .unwrap(),
+    );
+    assert_eq!(
+        taint,
+        "{\"rule\": \"determinism-taint\", \"file\": \"crates/shim-clock/src/lib.rs\", \
+         \"line\": 4, \"message\": \"`Instant` (wall-clock time) is reachable from \
+         simulation API `sim::drive_tick`\", \
+         \"path\": [\"sim::drive_tick\", \"shim-clock::host_stamp\"], \
+         \"suggestion\": \"break the call path or inject the value through Sim/config; \
+         audited escape: lint:allow(determinism-taint, reason=\\\"...\\\")\"}"
+    );
+}
+
+#[test]
+fn lexer_edge_cases_produce_no_diagnostics() {
+    // Raw identifiers, `>>` closing nested generics, float exponents —
+    // any lexing regression shows up as a spurious diagnostic (a split
+    // `1e-9` puts a binary `-` next to `adj_ns`, which would fire
+    // time-overflow).
+    let diags = run(
+        "lexer_edges.rs",
+        include_str!("fixtures/lexer_edges.rs"),
+        false,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
 }
 
 #[test]

@@ -506,6 +506,7 @@ mod profiler {
 
     impl EngineProbe for Probe {
         fn begin(&mut self, _arm: ActionArm) {
+            // lint:allow(determinism-taint, reason="engine self-profiler measures host time only; tallies never feed back into simulated state")
             self.started = Some(Instant::now());
         }
 

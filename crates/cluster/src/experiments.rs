@@ -570,6 +570,7 @@ pub fn coalescing_from(results: &ResultMap) -> Vec<CoalescingRow> {
                 frames,
                 mbps: stream.require("mbps"),
                 irqs_per_kframe: stream.require("rx_irqs") / stream.require("rx_frames").max(1.0)
+                    // lint:allow(time-overflow, reason="f64 rate arithmetic; the nearby _us field name is incidental")
                     * 1000.0,
                 latency_us: latency.require("one_way_us"),
             }

@@ -422,7 +422,9 @@ pub fn breakdown_rows(spans: &[StageSpan]) -> Vec<BreakdownRow> {
             .find(|r| r.stage == s.stage && r.layer == s.layer.name())
         {
             Some(r) => {
+                // lint:allow(time-overflow, reason="span tally for a report row, not a timestamp; cannot plausibly wrap")
                 r.count += 1;
+                // lint:allow(time-overflow, reason="f64 accumulation of span microseconds; floats saturate, they do not wrap")
                 r.total_us += us;
             }
             None => rows.push(BreakdownRow {

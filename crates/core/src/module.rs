@@ -256,12 +256,15 @@ impl OutFlow {
                 sample_ns
             }
             Some(prev) => {
+                // lint:allow(time-overflow, reason="RTT terms are real simulated spans; the 3x/7x headroom holds for any run shorter than ~68 years")
                 self.rttvar_ns = (3 * self.rttvar_ns + prev.abs_diff(sample_ns)) / 4;
+                // lint:allow(time-overflow, reason="RTT terms are real simulated spans; the 3x/7x headroom holds for any run shorter than ~68 years")
                 (7 * prev + sample_ns) / 8
             }
         };
         self.srtt_ns = Some(srtt);
         // The 1 µs floor plays the role of RFC 6298's clock-granularity G.
+        // lint:allow(time-overflow, reason="srtt and rttvar are smoothed real RTTs, orders of magnitude below the u64 ceiling")
         let rto_ns = (srtt + (4 * self.rttvar_ns).max(1_000))
             .clamp(config.rto_min.as_ns(), config.rto_max.as_ns());
         SimDuration::from_ns(rto_ns)
@@ -806,6 +809,7 @@ impl ClicModule {
                 chunks.push(data.slice(off..end));
                 off = end;
             }
+            // lint:allow(time-overflow, reason="subtraction is on chunks.len(), seeded nonempty with the first fragment; the nearby seq name is incidental")
             let last_idx = chunks.len() - 1;
             let mut last_seq = 0;
             for (i, chunk) in chunks.into_iter().enumerate() {

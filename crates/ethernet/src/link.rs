@@ -434,6 +434,7 @@ impl Link {
             let wire = frame.wire_time(l.bits_per_sec);
             let prop = l.propagation;
             let d = l.dir_mut(from);
+            // lint:allow(time-overflow, reason="u64 frame tally; wraps only after 2^64 frames on one link")
             d.frames_offered += 1;
             let seq = d.frames_offered;
             d.in_flight += 1;
@@ -441,6 +442,7 @@ impl Link {
             let done = start + wire;
             d.busy_until = done;
             d.busy_time += wire;
+            // lint:allow(time-overflow, reason="SimTime + SimDuration routes through the checked Add guard in sim::time")
             (done + prop, done, seq, wire)
         };
         let link2 = link.clone();

@@ -532,6 +532,80 @@ mod tests {
     }
 
     #[test]
+    fn single_host_leaf_spine_is_a_valid_degenerate_fabric() {
+        // `leaf_spine_for(1)`: one leaf under the default spines, one
+        // attached host. Nothing to deliver to, but the fabric must build,
+        // a broadcast must terminate, and nothing may be dropped.
+        let mut sim = Sim::new(0);
+        let hosts = mk_hosts(1);
+        let spec = FabricSpec::leaf_spine_for(1);
+        assert!(spec.capacity() >= 1);
+        let fabric = Fabric::build(&spec, &hosts);
+        assert_eq!(fabric.host_switch(0), 0);
+        let rx = rx_counters(&hosts);
+        let f = Frame::new(
+            MacAddr::BROADCAST,
+            hosts[0].0,
+            EtherType::CLIC,
+            Bytes::from_static(&[3u8; 64]),
+        );
+        Link::transmit(&hosts[0].1, &mut sim, LinkEnd::A, f);
+        sim.set_event_limit(sim.events_executed() + 100_000);
+        sim.run();
+        assert_eq!(*rx[0].borrow(), 0, "no copy back to the only host");
+        assert_eq!(fabric.total_switch_drops(), 0);
+    }
+
+    #[test]
+    fn single_spine_ecmp_degenerates_to_one_path() {
+        // One spine: every leaf pair has exactly one equal-cost path, so
+        // ECMP hashing must not lose or duplicate anything.
+        let mut sim = Sim::new(0);
+        let hosts = mk_hosts(4);
+        let spec = FabricSpec::LeafSpine {
+            spines: 1,
+            leaf_downlinks: 2,
+        };
+        let fabric = Fabric::build(&spec, &hosts);
+        assert_eq!(fabric.switch_count(), 3, "2 leaves + 1 spine");
+        assert_eq!(fabric.trunk_count(), 2, "one uplink per leaf");
+        let rx = rx_counters(&hosts);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    unicast(&mut sim, &hosts, i, j);
+                }
+            }
+        }
+        sim.run();
+        for (i, got) in rx.iter().enumerate() {
+            assert_eq!(*got.borrow(), 3, "host {i} must see exactly 3 frames");
+        }
+        assert_eq!(fabric.total_switch_drops(), 0);
+    }
+
+    #[test]
+    fn two_host_fat_tree_delivers_both_ways() {
+        // `fat_tree_for(2)` keeps the minimum two pods, so the fabric is
+        // far larger than its two tenants; both directions must still
+        // deliver exactly once with zero drops.
+        let mut sim = Sim::new(0);
+        let hosts = mk_hosts(2);
+        let spec = FabricSpec::fat_tree_for(2);
+        assert_eq!(spec.kind_name(), "fat-tree");
+        assert!(spec.capacity() >= 2);
+        let fabric = Fabric::build(&spec, &hosts);
+        assert_eq!(fabric.switch_count(), 2 * 2 + 2 * 2 + 4);
+        let rx = rx_counters(&hosts);
+        unicast(&mut sim, &hosts, 0, 1);
+        unicast(&mut sim, &hosts, 1, 0);
+        sim.run();
+        assert_eq!(*rx[0].borrow(), 1);
+        assert_eq!(*rx[1].borrow(), 1);
+        assert_eq!(fabric.total_switch_drops(), 0);
+    }
+
+    #[test]
     fn broadcast_is_loop_free_and_exactly_once() {
         // The frame-storm regression: on a cyclic switch graph a broadcast
         // must terminate and reach every other host exactly once.

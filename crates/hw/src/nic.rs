@@ -352,6 +352,7 @@ impl Nic {
                 match frames.pop_front() {
                     Some(frame) => break Some(frame),
                     None => {
+                        // lint:allow(panic-reach, reason="front_mut() returned Some on this same borrow, so the queue is provably nonempty")
                         let (trace, _) = n.tx_queue.pop_front().unwrap();
                         n.tx_in_flight -= 1;
                         if trace != 0 {

@@ -188,6 +188,7 @@ impl Sim {
             self.now
         );
         let seq = self.next_seq;
+        // lint:allow(time-overflow, reason="u64 insertion-order tiebreaker; 2^64 events cannot occur in one run")
         self.next_seq += 1;
         self.queue.insert(at, seq, action);
     }

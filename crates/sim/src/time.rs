@@ -27,6 +27,7 @@ impl SimTime {
 
     /// Construct from microseconds.
     pub const fn from_us(us: u64) -> Self {
+        // lint:allow(time-overflow, reason="fixed ×1e3 unit scale; overflows only past ~584 years of simulated time, far beyond any run")
         SimTime(us * 1_000)
     }
 
@@ -68,6 +69,7 @@ impl SimDuration {
 
     /// Construct from microseconds.
     pub const fn from_us(us: u64) -> Self {
+        // lint:allow(time-overflow, reason="fixed ×1e3 unit scale; overflows only past ~584 years of simulated time, far beyond any run")
         SimDuration(us * 1_000)
     }
 
@@ -84,6 +86,7 @@ impl SimDuration {
     /// Construct from fractional microseconds (rounded to the nearest ns).
     pub fn from_us_f64(us: f64) -> Self {
         debug_assert!(us >= 0.0, "negative duration");
+        // lint:allow(time-overflow, reason="f64 multiply cannot wrap; float-to-int casts saturate")
         SimDuration((us * 1_000.0).round() as u64)
     }
 
@@ -113,6 +116,7 @@ impl SimDuration {
     pub fn for_bytes(bytes: u64, bits_per_sec: u64) -> Self {
         assert!(bits_per_sec > 0, "zero-bandwidth pipe");
         let bits = bytes as u128 * 8;
+        // lint:allow(time-overflow, reason="arithmetic is performed in u128; cannot overflow for any u64 byte count")
         let ns = (bits * 1_000_000_000).div_ceil(bits_per_sec as u128);
         SimDuration(ns as u64)
     }

@@ -266,6 +266,7 @@ impl TimelineRecorder {
     /// Exact microseconds of a bucket's start, as a JSON-safe decimal
     /// (`ns/1000` with three fractional digits, like the trace exporter).
     fn bucket_ts_us(&self, bucket: u64) -> String {
+        // lint:allow(time-overflow, reason="bucket was derived as timestamp/bucket_ns, so the product is bounded by the original u64 timestamp")
         let ns = bucket * self.bucket_ns;
         format!("{}.{:03}", ns / 1000, ns % 1000)
     }
@@ -302,6 +303,7 @@ impl TimelineRecorder {
         s.sealed
             .iter()
             .enumerate()
+            // lint:allow(time-overflow, reason="start+i indexes sealed buckets (timestamp/bucket_ns), so the product is bounded by the last recorded u64 timestamp")
             .map(|(i, &v)| (SimTime::from_ns((s.start + i as u64) * self.bucket_ns), v))
             .collect()
     }
