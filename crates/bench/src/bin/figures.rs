@@ -5,8 +5,8 @@
 //!         [--metrics] <what>...
 //!   what: fig4 fig5 fig6 fig7 scalars gamma coalescing fragmentation
 //!         bonding syscall loss cpu load paths scaling reliability
-//!         chaos scale claims all (chaos and scale are opt-in: not
-//!         part of all)
+//!         chaos scale congestion claims all (chaos, scale and
+//!         congestion are opt-in: not part of all)
 //! figures trace [scenario] [--size N] [--mtu M] [--seed S] [--out FILE]
 //!         [--metrics] [--quick]
 //!   scenario: fig7a (default) fig7b fig7a-lossy tcp
@@ -40,10 +40,12 @@ const USAGE: &str = "usage: figures [--quick|--smoke] [--json] [--jobs N] [--no-
 [--cache-dir DIR] [--metrics] <what>...
   what: fig4 fig5 fig6 fig7 scalars gamma coalescing fragmentation
         bonding syscall loss cpu load paths scaling reliability chaos
-        scale claims all (chaos and scale are opt-in: not part of all)
+        scale congestion claims all (chaos, scale and congestion are
+        opt-in: not part of all)
    or: figures trace [fig7a|fig7b|fig7a-lossy|tcp] [--size N] [--mtu M]
         [--seed S] [--out FILE] [--metrics] [--quick]
-   or: figures timeline [fig7a|reliability|incast|chaos] [--bucket-us N]
+   or: figures timeline [fig7a|reliability|incast|chaos|congestion]
+        [--bucket-us N]
         [--out FILE] [--last N] [--jobs N] [--smoke]
         (replays one scenario with the timeline recorder on: CSV series
         on stdout, Perfetto counter-track JSON to --out; chaos keeps only
@@ -310,7 +312,8 @@ fn run_timeline_cmd(args: &[String]) {
             other => match TimelineScenario::parse(other) {
                 Some(s) => scenario = s,
                 None => die(&format!(
-                    "unknown scenario '{other}' (expected fig7a, reliability, incast or chaos)"
+                    "unknown scenario '{other}' (expected fig7a, reliability, incast, \
+                     chaos or congestion)"
                 )),
             },
         }
@@ -1249,6 +1252,67 @@ fn render(json: bool, kind: FigureKind, output: FigureOutput) {
                         r.p99_us,
                         r.peak_buffered_bytes,
                         r.elapsed_us
+                    );
+                }
+                println!();
+            }
+        }
+        FigureOutput::Congestion(rows) => {
+            if json {
+                print_json(Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("workload", Json::from(r.workload)),
+                                ("fabric", Json::from(r.fabric)),
+                                ("senders", Json::from(r.senders)),
+                                ("control", Json::from(r.control)),
+                                ("goodput_mbps", Json::Num(r.goodput_mbps)),
+                                ("p99_us", Json::Num(r.p99_us)),
+                                ("drops", Json::Num(r.drops)),
+                                ("marks", Json::Num(r.marks)),
+                                ("echoes", Json::Num(r.echoes)),
+                                ("retx", Json::Num(r.retx)),
+                                ("peak_queue", Json::Num(r.peak_queue)),
+                            ])
+                        })
+                        .collect(),
+                ));
+            } else {
+                println!("== {} ==", kind.title());
+                println!(
+                    "{:<8} {:<10} {:>7} {:>7} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>6}",
+                    "workload",
+                    "fabric",
+                    "senders",
+                    "control",
+                    "Mb/s",
+                    "p99(us)",
+                    "drops",
+                    "marks",
+                    "echoes",
+                    "retx",
+                    "peakq"
+                );
+                for r in &rows {
+                    let p99 = if r.p99_us.is_nan() {
+                        "-".to_string()
+                    } else {
+                        format!("{:.1}", r.p99_us)
+                    };
+                    println!(
+                        "{:<8} {:<10} {:>7} {:>7} {:>10.1} {:>10} {:>7.0} {:>7.0} {:>7.0} {:>7.0} {:>6.0}",
+                        r.workload,
+                        r.fabric,
+                        r.senders,
+                        r.control,
+                        r.goodput_mbps,
+                        p99,
+                        r.drops,
+                        r.marks,
+                        r.echoes,
+                        r.retx,
+                        r.peak_queue
                     );
                 }
                 println!();

@@ -8,6 +8,7 @@ use clic_cluster::observe::{run_timeline, TimelineScenario};
 use clic_sim::SimDuration;
 
 const GOLDEN: &str = include_str!("golden/incast_timeline_trace.json");
+const GOLDEN_CONGESTION: &str = include_str!("golden/congestion_timeline_trace.json");
 
 fn incast_run() -> clic_cluster::observe::TimelineRun {
     run_timeline(TimelineScenario::Incast, SimDuration::from_us(1000), None)
@@ -57,6 +58,71 @@ fn incast_counter_trace_parses_with_headline_tracks() {
         assert!(tracks.contains(want), "missing counter track {want}");
     }
     assert!(tracks.len() >= 3, "tracks: {tracks:?}");
+}
+
+#[test]
+fn congestion_counter_trace_matches_golden_file() {
+    // The cwnd sawtooth under incast, as a byte-stable Perfetto export:
+    // the ECN-enabled 8→1 leaf-spine incast with switch marking and the
+    // DCTCP-flavoured congestion window active.
+    let t = run_timeline(
+        TimelineScenario::Congestion,
+        SimDuration::from_us(1000),
+        None,
+    );
+    assert_eq!(
+        t.chrome_json, GOLDEN_CONGESTION,
+        "counter-track trace for the congestion timeline changed; if \
+         intentional, regenerate \
+         crates/bench/tests/golden/congestion_timeline_trace.json with \
+         `figures timeline congestion --bucket-us 1000 --out <golden path>`"
+    );
+}
+
+#[test]
+fn congestion_counter_trace_shows_a_cwnd_sawtooth() {
+    let t = run_timeline(
+        TimelineScenario::Congestion,
+        SimDuration::from_us(1000),
+        None,
+    );
+    let doc = Json::parse(&t.chrome_json).expect("trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let mut tracks = std::collections::BTreeSet::new();
+    let mut cwnd = Vec::new();
+    for e in events {
+        if e.get("ph").and_then(Json::as_str) == Some("C") {
+            let name = e.get("name").and_then(Json::as_str).expect("counter name");
+            tracks.insert(name.to_string());
+            if name == "clic.cwnd" {
+                cwnd.push(
+                    e.get("args")
+                        .and_then(|a| a.get("value"))
+                        .and_then(Json::as_f64)
+                        .expect("cwnd sample value"),
+                );
+            }
+        }
+    }
+    // The headline tracks of the congestion story: the window, its
+    // threshold, and the fabric's marking rate.
+    for want in ["clic.cwnd", "clic.ssthresh", "eth.switch.ecn_marks"] {
+        assert!(tracks.contains(want), "missing counter track {want}");
+    }
+    // A sawtooth both rises (additive increase / slow start) and falls
+    // (mark-driven decrease) — a flat line means the control loop never
+    // engaged.
+    assert!(
+        cwnd.windows(2).any(|w| w[1] > w[0]),
+        "cwnd never grew: {cwnd:?}"
+    );
+    assert!(
+        cwnd.windows(2).any(|w| w[1] < w[0]),
+        "cwnd never cut: {cwnd:?}"
+    );
 }
 
 #[test]

@@ -54,6 +54,12 @@ pub struct ClusterConfig {
     /// the lower-numbered node: node1→node0 back-to-back, node→switch
     /// uplinks when switched). `None` applies `faults` symmetrically.
     pub faults_reverse: Option<FaultPlan>,
+    /// ECN-style mark threshold (frames) armed on every switch output
+    /// queue: a CLIC data frame enqueued at or above this backlog gets its
+    /// congestion-experienced bit set ([`Switch::try_set_mark_threshold`]).
+    /// `None` (the default everywhere) leaves the fabric drop-only.
+    /// Meaningless for [`Topology::BackToBack`].
+    pub mark_threshold: Option<usize>,
     /// Cost model (link speed, TCP costs...).
     pub model: CostModel,
 }
@@ -69,6 +75,7 @@ impl ClusterConfig {
             loss: LossModel::None,
             faults: FaultPlan::default(),
             faults_reverse: None,
+            mark_threshold: None,
             model,
         }
     }
@@ -142,6 +149,11 @@ impl Cluster {
                     "bonding through a switch is unsupported"
                 );
                 let switch = Switch::gigabit_default();
+                if let Some(t) = config.mark_threshold {
+                    if let Err(e) = switch.borrow_mut().try_set_mark_threshold(t) {
+                        panic!("{e}");
+                    }
+                }
                 let mut nodes = Vec::new();
                 let mut links = Vec::new();
                 for id in 0..config.nodes as u32 {
@@ -188,6 +200,13 @@ impl Cluster {
                     _ => FabricSpec::fat_tree_for(config.nodes),
                 };
                 let fabric = Fabric::build(&spec, &hosts);
+                if let Some(t) = config.mark_threshold {
+                    for sw in fabric.switches() {
+                        if let Err(e) = sw.borrow_mut().try_set_mark_threshold(t) {
+                            panic!("{e}");
+                        }
+                    }
+                }
                 Cluster {
                     nodes,
                     switch: None,
@@ -253,6 +272,37 @@ mod tests {
         assert_eq!(link.faults(LinkEnd::A).corrupt, 0.25);
         // Reverse overridden to clean.
         assert_eq!(*link.faults(LinkEnd::B), FaultPlan::default());
+    }
+
+    #[test]
+    fn mark_threshold_reaches_every_switch() {
+        let mut cfg = ClusterConfig::paper_pair();
+        cfg.nodes = 8;
+        cfg.topology = Topology::LeafSpine;
+        cfg.mark_threshold = Some(16);
+        let cluster = Cluster::build(&cfg);
+        let fabric = cluster.fabric.as_ref().unwrap();
+        assert!(
+            fabric.switches().len() > 1,
+            "leaf-spine has several switches"
+        );
+        for sw in fabric.switches() {
+            assert_eq!(sw.borrow().mark_threshold(), Some(16));
+        }
+        cfg.topology = Topology::Switched;
+        let cluster = Cluster::build(&cfg);
+        let sw = cluster.switch.as_ref().unwrap();
+        assert_eq!(sw.borrow().mark_threshold(), Some(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "queue_limit")]
+    fn mark_threshold_above_capacity_panics_at_build() {
+        let mut cfg = ClusterConfig::paper_pair();
+        cfg.nodes = 4;
+        cfg.topology = Topology::Switched;
+        cfg.mark_threshold = Some(128); // gigabit_default queue_limit
+        Cluster::build(&cfg);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::calibration::CostModel;
 use crate::jobs::{sweep_point, JobKind, JobSpec, Measurement};
 use crate::node::NodeConfig;
 use crate::workload::StackKind;
-use clic_core::ClicConfig;
+use clic_core::{ClicConfig, CongestionConfig};
 use clic_ethernet::LossModel;
 use clic_sim::SimDuration;
 use std::collections::BTreeMap;
@@ -1549,6 +1549,197 @@ pub fn scale(sizes: &[usize]) -> Vec<ScaleRow> {
 }
 
 // ---------------------------------------------------------------------
+// Fabric congestion: ECN marking + mark-driven cwnd (the congestion family)
+// ---------------------------------------------------------------------
+
+/// One fabric-congestion cell: an incast or all-to-all shuffle on a
+/// multi-switch fabric, run either with a fixed send window (drop-only
+/// congestion signal) or with switch ECN marking driving the per-flow
+/// congestion window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionRow {
+    /// Workload ("incast" or "shuffle").
+    pub workload: &'static str,
+    /// Fabric kind ("leaf-spine" or "fat-tree").
+    pub fabric: &'static str,
+    /// Concurrent senders (incast) or nodes (shuffle).
+    pub senders: usize,
+    /// Control scheme ("fixed" or "ecn").
+    pub control: &'static str,
+    /// Receiver goodput (incast) or aggregate bandwidth (shuffle), Mb/s.
+    pub goodput_mbps: f64,
+    /// 99th-percentile post-to-delivery completion, µs (incast only; NaN
+    /// for the shuffle, which has no per-message completion sample).
+    pub p99_us: f64,
+    /// Frames/packets dropped across every layer (tail drops dominate).
+    pub drops: f64,
+    /// Switch congestion marks applied.
+    pub marks: f64,
+    /// Marks echoed back to senders on ACKs.
+    pub echoes: f64,
+    /// Packets retransmitted.
+    pub retx: f64,
+    /// Peak switch output-queue depth, frames.
+    pub peak_queue: f64,
+}
+
+/// One point of the congestion grid.
+struct CongestionCase {
+    id: String,
+    workload: &'static str,
+    fabric: &'static str,
+    topology: Topology,
+    nodes: usize,
+    ecn: bool,
+}
+
+/// The congestion grid. Quick runs keep an 8→1 incast and an 8-node
+/// shuffle on leaf–spine; full runs sweep 16→1 and 64→1 incast plus
+/// 24-node shuffles on both fabrics — each cell fixed-window vs
+/// ECN-cwnd. 24 hosts overflow one 16-port leaf/edge switch, so the
+/// shuffle genuinely exercises the trunk tier (4 parallel spines on
+/// leaf–spine, the 2-agg pod mesh on fat-tree) instead of degenerating
+/// into a single-switch star.
+fn congestion_cases(quick: bool) -> Vec<CongestionCase> {
+    let fabrics = |t: Topology| match t {
+        Topology::FatTree => "fat-tree",
+        _ => "leaf-spine",
+    };
+    let cells: &[(&'static str, Topology, usize)] = if quick {
+        &[
+            ("incast", Topology::LeafSpine, 9),
+            ("shuffle", Topology::LeafSpine, 8),
+        ]
+    } else {
+        &[
+            ("incast", Topology::LeafSpine, 17),
+            ("incast", Topology::LeafSpine, 65),
+            ("shuffle", Topology::LeafSpine, 24),
+            ("shuffle", Topology::FatTree, 24),
+        ]
+    };
+    let mut cases = Vec::new();
+    for &(workload, topology, nodes) in cells {
+        let fabric = fabrics(topology);
+        let senders = if workload == "incast" {
+            nodes - 1
+        } else {
+            nodes
+        };
+        for ecn in [false, true] {
+            let control = if ecn { "ecn" } else { "fixed" };
+            cases.push(CongestionCase {
+                id: format!("congestion/{workload}/{fabric}/s{senders}/{control}"),
+                workload,
+                fabric,
+                topology,
+                nodes,
+                ecn,
+            });
+        }
+    }
+    cases
+}
+
+/// A CLIC cluster on a fabric for the congestion cells. The fixed-window
+/// variant keeps an aggressive 64-packet window and no marking — the
+/// drop-only baseline — with retries raised so tail-drop storms read as
+/// congestion collapse (slow goodput), never as flow failure. The ECN
+/// variant arms switch marking at a DCTCP-style shallow K (8 frames, a
+/// sixteenth of the 128-frame output queue — early enough that marks,
+/// not drops, are the dominant congestion signal even on the fat-tree's
+/// 2-agg pod mesh) and gives every flow the DCTCP-flavoured congestion
+/// window.
+pub(crate) fn congestion_cluster(
+    model: &CostModel,
+    nodes: usize,
+    topology: Topology,
+    ecn: bool,
+) -> ClusterConfig {
+    let mut cfg = clic_pair(model, false, true);
+    cfg.nodes = nodes;
+    cfg.topology = topology;
+    let clic = cfg.node.clic.as_mut().expect("clic_pair configures CLIC");
+    clic.window = 64;
+    clic.max_retries = 64;
+    if ecn {
+        cfg.mark_threshold = Some(8);
+        clic.congestion = Some(CongestionConfig::dctcp());
+    }
+    cfg
+}
+
+/// Congestion jobs: incast cells via [`JobKind::Incast`] (consumer drains
+/// at full speed — the fabric, not the application, is the bottleneck)
+/// and shuffle cells via [`JobKind::AllToAll`]. `sizes` only selects
+/// quick vs full, as for the other families.
+pub fn congestion_jobs(sizes: &[usize]) -> Vec<JobSpec> {
+    let quick = sizes.len() <= quick_sizes().len();
+    let per_sender = if quick { 6 } else { 16 };
+    let model = CostModel::era_2002();
+    congestion_cases(quick)
+        .into_iter()
+        .map(|case| {
+            let cluster = congestion_cluster(&model, case.nodes, case.topology, case.ecn);
+            let kind = match case.workload {
+                "incast" => JobKind::Incast {
+                    cluster,
+                    size: 8_192,
+                    per_sender,
+                    consume_delay_us: 0,
+                    seed: 11,
+                },
+                _ => JobKind::AllToAll {
+                    cluster,
+                    size: 32_768,
+                    seed: 11,
+                },
+            };
+            JobSpec::new(case.id, kind)
+        })
+        .collect()
+}
+
+/// Assemble the congestion rows from job results.
+pub fn congestion_from(results: &ResultMap, sizes: &[usize]) -> Vec<CongestionRow> {
+    let quick = sizes.len() <= quick_sizes().len();
+    congestion_cases(quick)
+        .into_iter()
+        .map(|case| {
+            let m = &results[&case.id];
+            let (goodput_mbps, p99_us) = if case.workload == "incast" {
+                (m.require("goodput_mbps"), m.require("p99_us"))
+            } else {
+                (m.require("aggregate_mbps"), f64::NAN)
+            };
+            CongestionRow {
+                workload: case.workload,
+                fabric: case.fabric,
+                senders: if case.workload == "incast" {
+                    case.nodes - 1
+                } else {
+                    case.nodes
+                },
+                control: if case.ecn { "ecn" } else { "fixed" },
+                goodput_mbps,
+                p99_us,
+                drops: m.require("m.drops"),
+                marks: m.require("m.ecn_marks"),
+                echoes: m.require("m.ecn_echoes"),
+                retx: m.require("m.retransmits"),
+                peak_queue: m.require("m.peak_switch_queue_depth"),
+            }
+        })
+        .collect()
+}
+
+/// The fabric-congestion family: fixed-window vs ECN-cwnd under incast
+/// and all-to-all shuffle on multi-switch fabrics.
+pub fn congestion(sizes: &[usize]) -> Vec<CongestionRow> {
+    congestion_from(&run_serial(&congestion_jobs(sizes)), sizes)
+}
+
+// ---------------------------------------------------------------------
 // Figure registry
 // ---------------------------------------------------------------------
 
@@ -1599,6 +1790,12 @@ pub enum FigureKind {
     /// than a paper figure, so it runs only when named explicitly
     /// (`figures scale`).
     Scale,
+    /// Fabric congestion: fixed-window vs ECN-cwnd under incast and
+    /// all-to-all shuffle on multi-switch fabrics. Not part of
+    /// [`FigureKind::ALL`]: it measures the congestion-control extension
+    /// rather than a paper figure, so it runs only when named explicitly
+    /// (`figures congestion`).
+    Congestion,
 }
 
 /// The result of one assembled figure, ready for rendering.
@@ -1644,6 +1841,8 @@ pub enum FigureOutput {
     },
     /// Cluster-scaling rows.
     Scale(Vec<ScaleRow>),
+    /// Fabric-congestion rows.
+    Congestion(Vec<CongestionRow>),
 }
 
 impl FigureKind {
@@ -1688,6 +1887,7 @@ impl FigureKind {
             FigureKind::Reliability => "reliability",
             FigureKind::Chaos => "chaos",
             FigureKind::Scale => "scale",
+            FigureKind::Congestion => "congestion",
         }
     }
 
@@ -1699,6 +1899,9 @@ impl FigureKind {
         }
         if name == FigureKind::Scale.name() {
             return Some(FigureKind::Scale);
+        }
+        if name == FigureKind::Congestion.name() {
+            return Some(FigureKind::Congestion);
         }
         FigureKind::ALL.into_iter().find(|f| f.name() == name)
     }
@@ -1725,6 +1928,7 @@ impl FigureKind {
             FigureKind::Reliability => reliability_jobs(sizes),
             FigureKind::Chaos => chaos_jobs(sizes),
             FigureKind::Scale => scale_jobs(sizes),
+            FigureKind::Congestion => congestion_jobs(sizes),
         }
     }
 
@@ -1756,6 +1960,7 @@ impl FigureKind {
                 FigureOutput::Chaos { soak, incast }
             }
             FigureKind::Scale => FigureOutput::Scale(scale_from(results, sizes)),
+            FigureKind::Congestion => FigureOutput::Congestion(congestion_from(results, sizes)),
         }
     }
 
@@ -1787,6 +1992,9 @@ impl FigureKind {
             }
             FigureKind::Scale => {
                 "Cluster scaling: collectives vs node count, fabrics, host vs NIC offload"
+            }
+            FigureKind::Congestion => {
+                "Fabric congestion: fixed window vs ECN-driven cwnd, incast + shuffle"
             }
         }
     }
@@ -2006,11 +2214,17 @@ mod tests {
         for kind in FigureKind::ALL {
             assert_eq!(FigureKind::from_name(kind.name()), Some(kind));
         }
-        // The opt-in chaos/scale families parse by name but stay out of ALL.
+        // The opt-in chaos/scale/congestion families parse by name but
+        // stay out of ALL.
         assert_eq!(FigureKind::from_name("chaos"), Some(FigureKind::Chaos));
         assert!(!FigureKind::ALL.contains(&FigureKind::Chaos));
         assert_eq!(FigureKind::from_name("scale"), Some(FigureKind::Scale));
         assert!(!FigureKind::ALL.contains(&FigureKind::Scale));
+        assert_eq!(
+            FigureKind::from_name("congestion"),
+            Some(FigureKind::Congestion)
+        );
+        assert!(!FigureKind::ALL.contains(&FigureKind::Congestion));
         assert_eq!(FigureKind::from_name("nope"), None);
     }
 
@@ -2018,10 +2232,11 @@ mod tests {
     fn job_ids_are_unique_across_all_figures() {
         let sizes = quick_sizes();
         let mut seen = std::collections::BTreeSet::new();
-        for kind in FigureKind::ALL
-            .into_iter()
-            .chain([FigureKind::Chaos, FigureKind::Scale])
-        {
+        for kind in FigureKind::ALL.into_iter().chain([
+            FigureKind::Chaos,
+            FigureKind::Scale,
+            FigureKind::Congestion,
+        ]) {
             for spec in kind.jobs(&sizes) {
                 assert!(seen.insert(spec.id.clone()), "duplicate job id {}", spec.id);
             }

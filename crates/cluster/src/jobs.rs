@@ -44,7 +44,11 @@ use std::sync::Mutex;
 /// v6: the cluster-scaling family ([`JobKind::ScaleCollective`]): barrier
 /// and all-reduce latency on multi-switch fabrics, host-based vs
 /// NIC-offloaded.
-pub const MEASUREMENT_SCHEMA_VERSION: u32 = 6;
+///
+/// v7: the fabric-congestion family (`figures congestion`): every job also
+/// reports `m.ecn_marks` (switch congestion marks) and `m.ecn_echoes`
+/// (marks echoed on CLIC ACKs), and incast jobs report `goodput_mbps`.
+pub const MEASUREMENT_SCHEMA_VERSION: u32 = 7;
 
 /// The flat result of one job: named scalar values, in a stable,
 /// job-defined order (stage breakdowns rely on the order).
@@ -376,6 +380,14 @@ fn push_metric_totals(m: &mut Measurement, sim: &Sim) {
         "m.peak_switch_queue_depth",
         sim.metrics.max_gauge_peak("eth.switch.queue_depth") as f64,
     );
+    m.push(
+        "m.ecn_marks",
+        sim.metrics.sum_counters("eth.switch.ecn_marks") as f64,
+    );
+    m.push(
+        "m.ecn_echoes",
+        sim.metrics.sum_counters("clic.ecn_echoes") as f64,
+    );
     m.push("m.events", sim.events_executed() as f64);
 }
 
@@ -655,6 +667,15 @@ fn run_incast(
         (out.peak_buffered_bytes as i64).max(sim.metrics.max_gauge_peak("clic.recv_buffer_bytes"));
     m.push("peak_buffered_bytes", peak as f64);
     m.push("elapsed_us", out.elapsed.as_us_f64());
+    // Receiver goodput over the whole incast: delivered payload bits per
+    // elapsed microsecond = Mb/s.
+    let elapsed_us = out.elapsed.as_us_f64();
+    let goodput = if elapsed_us > 0.0 {
+        (out.delivered as f64 * size as f64 * 8.0) / elapsed_us
+    } else {
+        0.0
+    };
+    m.push("goodput_mbps", goodput);
     push_metric_totals(&mut m, &sim);
     m
 }

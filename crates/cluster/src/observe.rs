@@ -8,9 +8,11 @@
 //! metrics registry. With the defaults (`fig7a`, 1400 bytes, MTU 1500)
 //! the span durations are exactly Figure 7a's stage timings.
 
-use crate::builder::{Cluster, ClusterConfig};
+use crate::builder::{Cluster, ClusterConfig, Topology};
 use crate::calibration::CostModel;
-use crate::experiments::{chaos_pair, clic_pair, incast_cluster, reliability_loss, tcp_pair};
+use crate::experiments::{
+    chaos_pair, clic_pair, congestion_cluster, incast_cluster, reliability_loss, tcp_pair,
+};
 use crate::workload::{chaos_clic, incast_clic, request_reply_cycles, ChaosPlan, StackKind};
 use bytes::Bytes;
 use clic_sim::{Metrics, Sim, SimDuration, StageSpan, TimelineRecorder};
@@ -287,6 +289,12 @@ pub enum TimelineScenario {
     /// flight-recorder mode: only the last [`CHAOS_FLIGHT_BUCKETS`]
     /// buckets per series survive, as a crash-dump recorder would keep.
     Chaos,
+    /// The ECN-enabled 8→1 incast cell from the congestion figure family:
+    /// eight full-window senders into one leaf–spine receiver with switch
+    /// marking armed and the DCTCP-flavoured congestion window active.
+    /// The cwnd sawtooth (`clic.cwnd`), `clic.ssthresh` and the fabric's
+    /// `eth.switch.ecn_marks` rate are the headline series.
+    Congestion,
 }
 
 /// Ring capacity (sealed buckets per series) for the chaos scenario's
@@ -295,11 +303,12 @@ pub const CHAOS_FLIGHT_BUCKETS: usize = 512;
 
 impl TimelineScenario {
     /// Every scenario, in display order.
-    pub const ALL: [TimelineScenario; 4] = [
+    pub const ALL: [TimelineScenario; 5] = [
         TimelineScenario::Fig7a,
         TimelineScenario::Reliability,
         TimelineScenario::Incast,
         TimelineScenario::Chaos,
+        TimelineScenario::Congestion,
     ];
 
     /// Stable CLI name.
@@ -309,6 +318,7 @@ impl TimelineScenario {
             TimelineScenario::Reliability => "reliability",
             TimelineScenario::Incast => "incast",
             TimelineScenario::Chaos => "chaos",
+            TimelineScenario::Congestion => "congestion",
         }
     }
 
@@ -319,6 +329,7 @@ impl TimelineScenario {
             "reliability" | "loss" => Some(TimelineScenario::Reliability),
             "incast" => Some(TimelineScenario::Incast),
             "chaos" => Some(TimelineScenario::Chaos),
+            "congestion" | "cwnd" => Some(TimelineScenario::Congestion),
             _ => None,
         }
     }
@@ -375,6 +386,9 @@ pub fn run_timeline(
         }
         TimelineScenario::Incast => (incast_cluster(&model, 5, Some(64 * 1024)), 9),
         TimelineScenario::Chaos => (chaos_pair(&model, 0.5), 2),
+        TimelineScenario::Congestion => {
+            (congestion_cluster(&model, 9, Topology::LeafSpine, true), 11)
+        }
     };
     let cluster = Cluster::build(&config);
     let mut sim = Sim::new(seed);
@@ -395,6 +409,11 @@ pub fn run_timeline(
         TimelineScenario::Chaos => {
             let plan = ChaosPlan::draw(seed, 2, 2);
             chaos_clic(&cluster, &mut sim, 2_048, 40, &plan);
+        }
+        TimelineScenario::Congestion => {
+            // Full-speed consumer: the fabric, not the application, is
+            // the bottleneck, so marking drives the cwnd sawtooth.
+            incast_clic(&cluster, &mut sim, 8_192, 12, SimDuration::ZERO);
         }
     }
     // Fig7a posts and returns; the workload runners drain the queue
@@ -671,6 +690,23 @@ mod tests {
         assert!(tracks.len() >= 3, "counter tracks: {tracks:?}");
         assert!(t.series >= 3);
         assert!(t.chrome_json.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn congestion_timeline_records_the_cwnd_sawtooth() {
+        let t = run_timeline(TimelineScenario::Congestion, SimDuration::from_us(50), None);
+        for series in ["clic.cwnd", "clic.ssthresh", "eth.switch.ecn_marks"] {
+            assert!(t.csv.contains(series), "missing series {series}");
+        }
+        assert!(t.series >= 3);
+        // The marking fabric must actually have marked something, or the
+        // scenario degenerates into the plain incast cell.
+        let marked = t
+            .csv
+            .lines()
+            .filter(|l| l.starts_with("eth.switch.ecn_marks"))
+            .count();
+        assert!(marked > 0, "no ecn_marks buckets recorded");
     }
 
     #[test]

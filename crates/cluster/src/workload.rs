@@ -1506,6 +1506,44 @@ mod tests {
     }
 
     #[test]
+    fn chaos_soak_invariants_hold_with_congestion_control() {
+        // The PR 5 invariants (confirmed+failed==posted with typed errors
+        // only, exactly-once in-order delivery per era, timers quiesce,
+        // buffered_bytes()==0 — all asserted inside chaos_clic) must
+        // survive the congestion window being active. Route the pair
+        // through a marking switch so the full mark→echo→cwnd loop runs
+        // inside the crash/flap/loss schedule, not just the
+        // loss-as-congestion fallback.
+        let mut cfg = chaos_pair(0.005);
+        cfg.topology = Topology::Switched;
+        cfg.mark_threshold = Some(1);
+        cfg.node.clic.as_mut().unwrap().congestion = Some(clic_core::CongestionConfig::dctcp());
+        let run = || {
+            let cluster = Cluster::build(&cfg);
+            let mut sim = Sim::new(11);
+            sim.metrics = clic_sim::Metrics::enabled();
+            let plan = ChaosPlan::draw(11, 2, 2);
+            let out = chaos_clic(&cluster, &mut sim, 2048, 60, &plan);
+            assert_eq!(out.posted, 60);
+            assert_eq!(out.confirmed + out.failed, 60);
+            assert!(out.quiesced);
+            // The congestion machinery must actually have engaged: the
+            // switch marked and the sender processed echoes.
+            assert!(
+                sim.metrics.counter("eth.switch.ecn_marks") > 0,
+                "switch never marked"
+            );
+            assert!(
+                sim.metrics.counter("clic.ecn_echoes") > 0,
+                "sender never saw an echo"
+            );
+            format!("{out:?}")
+        };
+        // And the soak stays bit-deterministic with cwnd active.
+        assert_eq!(run(), run());
+    }
+
+    #[test]
     fn chaos_soak_is_deterministic() {
         let run = || {
             let cluster = Cluster::build(&chaos_pair(0.01));

@@ -35,6 +35,58 @@ impl Default for ClicCosts {
     }
 }
 
+/// How an ECN-driven congestion window reacts to a window's worth of
+/// congestion marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CongestionMode {
+    /// Classic AIMD: any echoed mark in a window halves `cwnd` once.
+    Aimd,
+    /// DCTCP-flavored: keep an EWMA `α` of the per-window fraction of
+    /// mark-echoing ACKs and cut `cwnd` by `α/2` — gentle under light
+    /// marking, as severe as AIMD when every ACK carries an echo.
+    Dctcp,
+}
+
+/// Congestion-window knobs. `None` in [`ClicConfig::congestion`] (the
+/// paper default) disables the whole mechanism: the sender ignores echoed
+/// marks and keeps the fixed configured window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CongestionConfig {
+    /// Mark reaction: classic AIMD or the DCTCP-style scaled decrease.
+    pub mode: CongestionMode,
+    /// Initial congestion window, packets (slow start begins here).
+    pub initial_cwnd: usize,
+    /// Initial slow-start threshold, packets. Slow start doubles `cwnd`
+    /// per RTT until it crosses this, then congestion avoidance grows it
+    /// by one packet per RTT.
+    pub initial_ssthresh: usize,
+    /// EWMA gain for the DCTCP mark-fraction estimate (`α ← (1-g)·α +
+    /// g·F`), as the classic `g = 1/16` by default. Ignored under
+    /// [`CongestionMode::Aimd`].
+    pub dctcp_gain: f64,
+}
+
+impl CongestionConfig {
+    /// AIMD with conventional initial values: start at 2 packets, slow
+    /// start up to half the paper-default window.
+    pub fn aimd() -> CongestionConfig {
+        CongestionConfig {
+            mode: CongestionMode::Aimd,
+            initial_cwnd: 2,
+            initial_ssthresh: 32,
+            dctcp_gain: 1.0 / 16.0,
+        }
+    }
+
+    /// DCTCP-flavored marking response with the same initial values.
+    pub fn dctcp() -> CongestionConfig {
+        CongestionConfig {
+            mode: CongestionMode::Dctcp,
+            ..Self::aimd()
+        }
+    }
+}
+
 /// CLIC protocol knobs.
 #[derive(Debug, Clone)]
 pub struct ClicConfig {
@@ -118,6 +170,13 @@ pub struct ClicConfig {
     /// window to it, so incast overload degrades gracefully instead of
     /// buffering without bound. `None` (paper default) advertises nothing.
     pub recv_budget_bytes: Option<usize>,
+    /// ECN-driven congestion window. When set, the sender runs slow
+    /// start plus AIMD (or the DCTCP-style scaled decrease) on a per-flow `cwnd`
+    /// driven by congestion marks echoed on ACKs, and the effective window
+    /// becomes `min(window, advertised window, cwnd)`. RTO and fast
+    /// retransmit double as loss-as-congestion signals. `None` (paper
+    /// default) keeps the fixed window.
+    pub congestion: Option<CongestionConfig>,
     /// CPU cost model.
     pub costs: ClicCosts,
 }
@@ -153,6 +212,7 @@ impl ClicConfig {
             peer_dead_timeout: SimDuration::from_ms(250),
             epoch_guard: false,
             recv_budget_bytes: None,
+            congestion: None,
             costs: ClicCosts::era_2002(),
         }
     }
@@ -198,6 +258,17 @@ impl ClicConfig {
                 if self.epoch_guard {
                     return reject("epoch_guard requires keepalive_interval (handshake retries)");
                 }
+            }
+        }
+        if let Some(cc) = &self.congestion {
+            if cc.initial_cwnd == 0 {
+                return reject("congestion initial_cwnd must admit at least one packet");
+            }
+            if cc.initial_ssthresh == 0 {
+                return reject("congestion initial_ssthresh must be at least one packet");
+            }
+            if !(cc.dctcp_gain > 0.0 && cc.dctcp_gain <= 1.0) {
+                return reject("congestion dctcp_gain must lie in (0, 1]");
             }
         }
         Ok(())
@@ -278,5 +349,33 @@ mod tests {
         assert!(c.validate().is_ok());
         c.epoch_guard = true;
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_congestion_knobs() {
+        let mut c = ClicConfig::paper_default();
+        c.congestion = Some(CongestionConfig::aimd());
+        assert!(c.validate().is_ok());
+        c.congestion = Some(CongestionConfig::dctcp());
+        assert!(c.validate().is_ok());
+
+        let mut cc = CongestionConfig::aimd();
+        cc.initial_cwnd = 0;
+        c.congestion = Some(cc);
+        assert!(what(&c).contains("initial_cwnd"));
+
+        let mut cc = CongestionConfig::aimd();
+        cc.initial_ssthresh = 0;
+        c.congestion = Some(cc);
+        assert!(what(&c).contains("initial_ssthresh"));
+
+        let mut cc = CongestionConfig::dctcp();
+        cc.dctcp_gain = 0.0;
+        c.congestion = Some(cc);
+        assert!(what(&c).contains("dctcp_gain"));
+        let mut cc = CongestionConfig::dctcp();
+        cc.dctcp_gain = 1.5;
+        c.congestion = Some(cc);
+        assert!(what(&c).contains("dctcp_gain"));
     }
 }

@@ -7,7 +7,7 @@
 //! ```text
 //!  0        1        2        3
 //! +--------+--------+-----------------+
-//! | ptype  | flags  | channel (u16be) |
+//! |CE|ptype| flags  | channel (u16be) |
 //! +--------+--------+-----------------+
 //! |        sequence number (u32be)    |
 //! +-----------------------------------+
@@ -18,6 +18,14 @@
 //! The explicit length is required because Ethernet pads short frames to
 //! the 64-byte minimum and the padding is indistinguishable from payload at
 //! the receiver.
+//!
+//! Packet types occupy only the low 7 bits of byte 0; the high bit is the
+//! **congestion-experienced (CE) mark** ([`CE_BIT`]). A switch whose output
+//! queue is past its mark threshold sets it in flight (the ECN idea applied
+//! to the raw-Ethernet CLIC header, which has no IP ECN field to borrow);
+//! the receiver echoes the mark on its next cumulative ACK and the sender's
+//! congestion window reacts. The bit is zero everywhere unless a switch on
+//! the path marks, so pre-congestion-control captures decode unchanged.
 //!
 //! Multi-packet messages put an additional 8-byte message prefix
 //! (`msg id (u32be) | total length (u32be)`) at the start of the *first*
@@ -31,6 +39,11 @@ pub const CLIC_HEADER: usize = 12;
 
 /// Message prefix size (first fragment only).
 pub const MSG_PREFIX: usize = 8;
+
+/// Congestion-experienced mark: the high bit of the header's first byte
+/// (the packet type uses only values 1–6, so bit 7 is free). Set by a
+/// switch in flight, echoed by the receiver on ACKs.
+pub const CE_BIT: u8 = 0x80;
 
 /// Packet type discriminator (the paper's MPI / internal / kernel-function
 /// taxonomy plus the transport-internal types).
@@ -152,13 +165,17 @@ pub struct ClicHeader {
     pub seq: u32,
     /// True payload length (excludes Ethernet padding).
     pub len: u32,
+    /// Congestion-experienced mark ([`CE_BIT`]). On data-bearing packets:
+    /// a switch queue on the path was past its mark threshold. On ACKs:
+    /// the receiver is echoing marks it saw since its last ACK.
+    pub ce: bool,
 }
 
 impl ClicHeader {
     /// Serialize to the 12-byte wire form.
     pub fn encode(&self) -> [u8; CLIC_HEADER] {
         let mut out = [0u8; CLIC_HEADER];
-        out[0] = self.ptype.to_u8();
+        out[0] = self.ptype.to_u8() | if self.ce { CE_BIT } else { 0 };
         out[1] = self.flags;
         out[2..4].copy_from_slice(&self.channel.to_be_bytes());
         out[4..8].copy_from_slice(&self.seq.to_be_bytes());
@@ -177,13 +194,14 @@ impl ClicHeader {
         if buf.len() < CLIC_HEADER {
             return None;
         }
-        let ptype = PacketType::from_u8(buf[0])?;
+        let ptype = PacketType::from_u8(buf[0] & !CE_BIT)?;
         let header = ClicHeader {
             ptype,
             flags: buf[1],
             channel: u16::from_be_bytes([buf[2], buf[3]]),
             seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
             len: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            ce: buf[0] & CE_BIT != 0,
         };
         if header.ptype == PacketType::Ack {
             return Some((header, Bytes::new()));
@@ -228,6 +246,7 @@ mod tests {
             channel: 7,
             seq: 42,
             len: 0,
+            ce: false,
         };
         assert_eq!(h.encode().len(), 12);
     }
@@ -248,6 +267,7 @@ mod tests {
                 channel: 0xbeef,
                 seq: 0xdead_0001,
                 len: 4,
+                ce: false,
             };
             let mut wire = h.encode().to_vec();
             wire.extend_from_slice(&[9, 8, 7, 6]);
@@ -272,6 +292,7 @@ mod tests {
             channel: 3,
             seq: 17,
             len: 64,
+            ce: false,
         };
         let mut wire = h.encode().to_vec();
         wire.resize(46, 0); // Ethernet min-payload padding only
@@ -303,6 +324,7 @@ mod tests {
             channel: 1,
             seq: 0,
             len: 3,
+            ce: false,
         };
         let mut wire = h.encode().to_vec();
         wire.extend_from_slice(&[1, 2, 3]);
@@ -320,6 +342,7 @@ mod tests {
             channel: 0,
             seq: 0,
             len: 100, // claims more payload than present
+            ce: false,
         }
         .encode()
         .to_vec();
@@ -337,6 +360,33 @@ mod tests {
         assert_eq!(id, 12345);
         assert_eq!(len, 1 << 20);
         assert!(decode_msg_prefix(&enc[..4]).is_none());
+    }
+
+    #[test]
+    fn ce_mark_rides_the_ptype_high_bit() {
+        let h = ClicHeader {
+            ptype: PacketType::Data,
+            flags: flags::CONFIRM,
+            channel: 9,
+            seq: 5,
+            len: 2,
+            ce: true,
+        };
+        let mut wire = h.encode().to_vec();
+        assert_eq!(wire[0], 1 | CE_BIT);
+        wire.extend_from_slice(&[0xaa, 0xbb]);
+        let (parsed, payload) = ClicHeader::decode(&wire).unwrap();
+        assert_eq!(parsed, h);
+        assert!(parsed.ce);
+        assert_eq!(&payload[..], &[0xaa, 0xbb]);
+        // Unmarked encodings are bit-identical to the pre-CE wire format.
+        let mut clean = h;
+        clean.ce = false;
+        assert_eq!(clean.encode()[0], 1);
+        // A marked byte with a garbage low ptype still rejects.
+        let mut bad = [0u8; 12];
+        bad[0] = CE_BIT | 99;
+        assert!(ClicHeader::decode(&bad).is_none());
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub mod module;
 pub mod reliable;
 
 pub use api::{ClicPort, RecvMsg};
-pub use config::{ClicConfig, ClicCosts};
-pub use header::{ClicHeader, PacketType, CLIC_HEADER, MSG_PREFIX};
+pub use config::{ClicConfig, ClicCosts, CongestionConfig, CongestionMode};
+pub use header::{ClicHeader, PacketType, CE_BIT, CLIC_HEADER, MSG_PREFIX};
 pub use module::{ClicError, ClicModule, ClicStats, SendOptions};

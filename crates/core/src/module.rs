@@ -18,7 +18,7 @@
 //! them into the registered region with no receive call at all.
 
 use crate::api::RecvMsg;
-use crate::config::ClicConfig;
+use crate::config::{ClicConfig, CongestionConfig, CongestionMode};
 use crate::header::{
     control, decode_msg_prefix, encode_msg_prefix, flags, ClicHeader, PacketType, CLIC_HEADER,
     MSG_PREFIX,
@@ -49,6 +49,9 @@ const M_DROPS_BACKLOG: MetricId = counter_id("clic.drops.backlog");
 const M_DROPS_DUPLICATE: MetricId = counter_id("clic.drops.duplicate");
 const M_DROPS_OOO: MetricId = counter_id("clic.drops.ooo");
 const M_RECV_BUFFER_BYTES: MetricId = gauge_id("clic.recv_buffer_bytes");
+const M_CWND: MetricId = gauge_id("clic.cwnd");
+const M_SSTHRESH: MetricId = gauge_id("clic.ssthresh");
+const M_ECN_ECHOES: MetricId = counter_id("clic.ecn_echoes");
 const TL_EFFECTIVE_WINDOW: MetricId = gauge_id("clic.effective_window");
 const TL_INFLIGHT_BYTES: MetricId = gauge_id("clic.inflight_bytes");
 
@@ -111,6 +114,8 @@ pub struct ClicStats {
     pub expired_drops: u64,
     /// Keepalive/handshake probes sent.
     pub keepalive_probes: u64,
+    /// ACKs carrying a congestion-mark echo, processed on the send side.
+    pub ecn_echoes: u64,
 }
 
 /// Terminal protocol errors CLIC surfaces to the embedding application
@@ -185,6 +190,127 @@ impl std::fmt::Display for ClicError {
 
 type FlowKey = (MacAddr, u16);
 
+/// Per-flow congestion-window state, present only when
+/// [`ClicConfig::congestion`] is set. Window arithmetic is in packets and
+/// kept as `f64` so congestion avoidance can grow by fractional amounts
+/// per ACK (one packet per window's worth of ACKs) and the DCTCP mode can
+/// scale its decrease by the EWMA mark fraction.
+struct Congestion {
+    cfg: CongestionConfig,
+    /// Congestion window, packets. Never below 1.0 (progress guarantee).
+    cwnd: f64,
+    /// Slow-start threshold, packets.
+    ssthresh: f64,
+    /// DCTCP's EWMA of the per-window fraction of mark-echoing ACKs.
+    alpha: f64,
+    /// ACKs (total / mark-echoing) since the last alpha window rolled.
+    acks_seen: u64,
+    acks_marked: u64,
+    /// Decreases apply at most once per window in flight: further signals
+    /// are ignored until the cumulative ACK passes this sequence.
+    recover_until: u32,
+    /// End of the current alpha-estimation window (a sequence number).
+    round_until: u32,
+}
+
+impl Congestion {
+    fn new(cfg: CongestionConfig) -> Congestion {
+        Congestion {
+            cfg,
+            cwnd: cfg.initial_cwnd as f64,
+            ssthresh: cfg.initial_ssthresh as f64,
+            // α starts at 1 (the conservative choice from the DCTCP
+            // paper's implementations): the first echoes — typically the
+            // slow-start overshoot — cut like AIMD, and the EWMA then
+            // relaxes α toward the true mark fraction.
+            alpha: 1.0,
+            acks_seen: 0,
+            acks_marked: 0,
+            recover_until: 0,
+            round_until: 0,
+        }
+    }
+
+    /// Fold one cumulative ACK into the DCTCP mark-fraction estimate; the
+    /// EWMA rolls once per window of sequence space, RTT-paced like the
+    /// decreases.
+    fn note_ack(&mut self, marked: bool, base: u32, flight_end: u32) {
+        self.acks_seen += 1;
+        if marked {
+            self.acks_marked += 1;
+        }
+        if base >= self.round_until {
+            let fraction = self.acks_marked as f64 / self.acks_seen as f64;
+            let g = self.cfg.dctcp_gain;
+            self.alpha = (1.0 - g) * self.alpha + g * fraction;
+            self.acks_seen = 0;
+            self.acks_marked = 0;
+            self.round_until = flight_end;
+        }
+    }
+
+    /// ACK progress grows the window: slow start adds a packet per ACKed
+    /// packet below `ssthresh`, congestion avoidance adds `acked/cwnd`
+    /// (one packet per window per RTT). Clamped to the configured window —
+    /// the effective cap can never exceed it anyway.
+    fn on_acked(&mut self, acked: u64, max: f64) {
+        let mut n = acked as f64;
+        if self.cwnd < self.ssthresh {
+            let ss = n.min(self.ssthresh - self.cwnd);
+            self.cwnd += ss;
+            n -= ss;
+        }
+        if n > 0.0 {
+            self.cwnd += n / self.cwnd;
+        }
+        self.cwnd = self.cwnd.min(max);
+    }
+
+    /// An echoed congestion mark: multiplicative decrease, at most once
+    /// per window in flight. AIMD halves; DCTCP scales by `α/2` so light
+    /// marking sheds little and persistent marking converges to a halve.
+    fn on_echo(&mut self, base: u32, flight_end: u32) {
+        if base < self.recover_until {
+            return;
+        }
+        self.recover_until = flight_end;
+        let factor = match self.cfg.mode {
+            CongestionMode::Aimd => 0.5,
+            CongestionMode::Dctcp => 1.0 - self.alpha / 2.0,
+        };
+        self.cwnd = (self.cwnd * factor).max(1.0);
+        self.ssthresh = self.cwnd.max(2.0);
+    }
+
+    /// Loss inferred from duplicate ACKs (fast retransmit): halve, once
+    /// per window, like classic NewReno.
+    fn on_loss(&mut self, base: u32, flight_end: u32) {
+        if base < self.recover_until {
+            return;
+        }
+        self.recover_until = flight_end;
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = self.ssthresh;
+    }
+
+    /// Retransmission timeout: the strongest congestion signal — restart
+    /// from slow start with half the old window as the threshold.
+    fn on_timeout(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = 1.0;
+    }
+}
+
+/// Record the congestion-window gauges (registry + timeline) after a
+/// change. Only ever called with congestion control enabled, so disabled
+/// runs see zero new metric traffic.
+fn cong_gauges(sim: &mut Sim, c: &Congestion) {
+    sim.metrics.gauge_set_id(M_CWND, c.cwnd as i64);
+    sim.metrics.gauge_set_id(M_SSTHRESH, c.ssthresh as i64);
+    sim.timeline.gauge(sim.now(), M_CWND, c.cwnd as i64);
+    sim.timeline.gauge(sim.now(), M_SSTHRESH, c.ssthresh as i64);
+}
+
 struct QueuedPacket {
     header: ClicHeader,
     payload: Bytes,
@@ -218,6 +344,9 @@ struct OutFlow {
     /// Most recent window the peer advertised on an ACK (packets); caps
     /// the effective send window. `None` until the peer advertises one.
     peer_window: Option<usize>,
+    /// Congestion-window state ([`ClicConfig::congestion`]); `None` keeps
+    /// the fixed configured window.
+    cong: Option<Congestion>,
 }
 
 impl OutFlow {
@@ -238,6 +367,7 @@ impl OutFlow {
             ka_armed: false,
             ka_gen: 0,
             peer_window: None,
+            cong: config.congestion.map(Congestion::new),
         }
     }
 
@@ -289,6 +419,11 @@ struct InFlow {
     /// Expiry-GC timer bookkeeping (generation-guarded like every timer).
     exp_armed: bool,
     exp_gen: u64,
+    /// A congestion-marked packet arrived since the last ACK left; the
+    /// next ACK echoes the mark back to the sender. Always maintained —
+    /// without switch marking it simply never sets, and echoing costs the
+    /// receiver nothing.
+    ce_seen: bool,
 }
 
 impl InFlow {
@@ -302,6 +437,7 @@ impl InFlow {
             last_heard: now,
             exp_armed: false,
             exp_gen: 0,
+            ce_seen: false,
         }
     }
 
@@ -747,6 +883,7 @@ impl ClicModule {
             channel: opts.channel,
             seq: 0,
             len: (MSG_PREFIX + data.len()) as u32,
+            ce: false,
         };
         let mut payload = BytesMut::with_capacity(MSG_PREFIX + data.len());
         payload.put_slice(&encode_msg_prefix(msg_id, data.len() as u32));
@@ -826,6 +963,7 @@ impl ClicModule {
                         channel: opts.channel,
                         seq,
                         len: chunk.len() as u32,
+                        ce: false,
                     },
                     payload: chunk,
                     staged: false,
@@ -872,12 +1010,14 @@ impl ClicModule {
                 let Some(flow) = m.out.get_mut(&key) else {
                     return;
                 };
-                // The receiver's advertised window (backpressure) caps the
-                // configured one; its floor of 1 guarantees progress.
-                let cap = flow
-                    .peer_window
-                    .map_or(window_cap, |w| w.min(window_cap))
-                    .max(1);
+                // The receiver's advertised window (backpressure) and the
+                // congestion window both cap the configured one; the floor
+                // of 1 guarantees progress.
+                let mut cap = flow.peer_window.map_or(window_cap, |w| w.min(window_cap));
+                if let Some(c) = &flow.cong {
+                    cap = cap.min(c.cwnd as usize);
+                }
+                let cap = cap.max(1);
                 // Timeline samples of the window state at this pump; the
                 // byte sum walks the inflight map, so guard on enablement.
                 let window_sample = if sim.timeline.is_enabled() {
@@ -1069,6 +1209,12 @@ impl ClicModule {
                 })
             } else {
                 flow.rto_current = (flow.rto_current * 2).min(rto_max);
+                // Loss-as-congestion: a timeout is the strongest signal —
+                // collapse to one packet and restart from slow start.
+                if let Some(c) = flow.cong.as_mut() {
+                    c.on_timeout();
+                    cong_gauges(sim, c);
+                }
                 m.stats.retransmits += set.len() as u64;
                 Ok(set)
             }
@@ -1263,6 +1409,7 @@ impl ClicModule {
                     channel: key.1,
                     seq: 0,
                     len: 1,
+                    ce: false,
                 },
                 m.devices[slot],
             )
@@ -1519,7 +1666,27 @@ impl ClicModule {
                 flow.peer_window = Some(header.len as usize);
             }
             let summary = flow.window.ack(header.seq);
-            if summary.acked == 0 {
+            // Congestion control: every ACK is a mark-fraction sample;
+            // progress grows cwnd and an echoed mark shrinks it (at most
+            // once per window in flight). All windows are post-ACK state.
+            let base = flow.window.base();
+            let flight_end = base + flow.window.inflight_len() as u32;
+            let echoed = flow.cong.is_some() && header.ce;
+            if let Some(c) = flow.cong.as_mut() {
+                c.note_ack(header.ce, base, flight_end);
+                if summary.acked > 0 {
+                    c.on_acked(summary.acked as u64, config.window as f64);
+                }
+                if header.ce {
+                    c.on_echo(base, flight_end);
+                }
+                cong_gauges(sim, c);
+            }
+            if echoed {
+                sim.metrics.counter_inc_id(M_ECN_ECHOES);
+                sim.trace.instant(now, Layer::Clic, "ecn_echo", 0);
+            }
+            let outcome = if summary.acked == 0 {
                 // A cumulative ACK that moves nothing is the receiver
                 // NACKing out-of-order arrival: it re-advertises the
                 // window base. Enough of them in a row and the base is
@@ -1530,6 +1697,12 @@ impl ClicModule {
                     if flow.dup_acks >= config.fast_retransmit_dupacks {
                         flow.dup_acks = 0;
                         fast = flow.window.retransmit_base();
+                        // Loss-as-congestion: duplicate-ACK loss halves
+                        // the window, NewReno-style.
+                        if let Some(c) = flow.cong.as_mut() {
+                            c.on_loss(base, flight_end);
+                            cong_gauges(sim, c);
+                        }
                     }
                 }
                 (Vec::new(), false, fast)
@@ -1557,7 +1730,11 @@ impl ClicModule {
                 }
                 flow.confirms = remaining;
                 (fired, true, None)
+            };
+            if echoed {
+                m.stats.ecn_echoes += 1;
             }
+            outcome
         };
         for cont in fired {
             cont(sim);
@@ -1668,6 +1845,11 @@ impl ClicModule {
             let fresh = InFlow::new(&m.config, now);
             let flow = m.inflows.entry(key).or_insert(fresh);
             flow.last_heard = now;
+            if header.ce {
+                // A switch on the path marked this packet: remember it so
+                // the next ACK (whatever triggers it) echoes the mark.
+                flow.ce_seen = true;
+            }
             match flow.window.offer(header, chunk) {
                 RecvOutcome::Deliver(packets) => {
                     flow.unacked += packets.len() as u32;
@@ -1801,8 +1983,8 @@ impl ClicModule {
         let kernel = Self::kernel(module);
         let (header, dev) = {
             let mut m = module.borrow_mut();
-            let ack_value = match m.inflows.get(&key) {
-                Some(flow) => flow.window.ack_value(),
+            let (ack_value, echo) = match m.inflows.get_mut(&key) {
+                Some(flow) => (flow.window.ack_value(), std::mem::take(&mut flow.ce_seen)),
                 None => return,
             };
             m.stats.acks_sent += 1;
@@ -1833,6 +2015,7 @@ impl ClicModule {
                     channel: key.1,
                     seq: ack_value,
                     len: advertised,
+                    ce: echo,
                 },
                 m.devices[slot],
             )

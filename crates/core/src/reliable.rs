@@ -261,6 +261,7 @@ mod tests {
             channel: 0,
             seq,
             len: 1,
+            ce: false,
         }
     }
 

@@ -26,6 +26,7 @@ proptest! {
         flags in any::<u8>(),
         channel in any::<u16>(),
         seq in any::<u32>(),
+        ce in any::<bool>(),
         payload in proptest::collection::vec(any::<u8>(), 0..2_000),
     ) {
         let h = ClicHeader {
@@ -34,6 +35,7 @@ proptest! {
             channel,
             seq,
             len: payload.len() as u32,
+            ce,
         };
         let mut wire = h.encode().to_vec();
         // ACKs carry no payload on the wire: their `len` field is the
@@ -86,6 +88,7 @@ proptest! {
                 channel: 0,
                 seq,
                 len: 1,
+                ce: false,
             };
             match w.offer(h, Bytes::from(vec![seq as u8])) {
                 RecvOutcome::Deliver(batch) => {
@@ -123,6 +126,7 @@ proptest! {
                         channel: 0,
                         seq,
                         len: 0,
+                        ce: false,
                     },
                     Bytes::new(),
                     SimTime::ZERO,
@@ -153,6 +157,7 @@ proptest! {
                     channel: 0,
                     seq,
                     len: 0,
+                    ce: false,
                 },
                 Bytes::new(),
                 SimTime::ZERO,

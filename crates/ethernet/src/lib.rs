@@ -36,5 +36,5 @@ pub use bonding::{FlowHash, RoundRobin};
 pub use frame::{Frame, ETH_CRC, ETH_HEADER, ETH_IFG, ETH_MIN_PAYLOAD, ETH_PREAMBLE};
 pub use link::{FaultPlan, Link, LinkEnd, LossModel};
 pub use mac::{EtherType, MacAddr};
-pub use switch::Switch;
+pub use switch::{Switch, SwitchConfigError};
 pub use topology::{Fabric, FabricSpec};

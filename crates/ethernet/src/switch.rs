@@ -14,14 +14,23 @@
 //! marking ([`Switch::mark_trunk`]) feeding the `eth.fabric.*` counters.
 //! None of these change behaviour until a fabric builder calls them — a
 //! standalone switch forwards exactly as before.
+//!
+//! The switch can additionally mark congestion instead of only dropping:
+//! [`Switch::try_set_mark_threshold`] arms an ECN-style scheme where a CLIC
+//! frame enqueued while the output backlog is at or above the threshold has
+//! its congestion-experienced bit set (bit 7 of the first payload byte, the
+//! high bit of the CLIC packet-type octet) rather than being dropped. Off by
+//! default — an unarmed switch forwards frames byte-identically.
 
 use crate::frame::Frame;
 use crate::link::{Link, LinkEnd};
-use crate::mac::MacAddr;
+use crate::mac::{EtherType, MacAddr};
+use bytes::Bytes;
 use clic_sim::catalog::{counter_id, gauge_id, histogram_id};
 use clic_sim::{Layer, MetricId, Sim, SimDuration};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 use std::rc::Rc;
 
 /// Interned metric ids — the forwarding path records per frame, so names
@@ -29,8 +38,32 @@ use std::rc::Rc;
 const M_QUEUE_DEPTH_G: MetricId = gauge_id("eth.switch.queue_depth");
 const M_QUEUE_DEPTH_H: MetricId = histogram_id("eth.switch.queue_depth");
 const M_DROPS: MetricId = counter_id("eth.switch.drops");
+const M_ECN_MARKS: MetricId = counter_id("eth.switch.ecn_marks");
 const M_TRUNK_TX: MetricId = counter_id("eth.fabric.trunk_tx_frames");
 const M_FLOOD_PRUNED: MetricId = counter_id("eth.fabric.flood_pruned");
+
+/// Congestion-experienced bit: the high bit of the CLIC packet-type octet
+/// (payload byte 0 of a CLIC-EtherType frame). Mirrors `clic_core::CE_BIT`;
+/// the ethernet crate sits below clic-core in the dependency graph, so the
+/// wire-format constant is restated here rather than imported.
+const CE_BIT: u8 = 0x80;
+
+/// Switch configuration rejected at set-time.
+///
+/// The ethernet layer's analogue of `ClicError::Config`: construction-time
+/// validation so a nonsensical fabric fails loudly instead of silently
+/// never marking (threshold above capacity means every would-be mark is a
+/// tail drop first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchConfigError(String);
+
+impl fmt::Display for SwitchConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "switch config: {}", self.0)
+    }
+}
+
+impl std::error::Error for SwitchConfigError {}
 
 struct Port {
     link: Rc<RefCell<Link>>,
@@ -46,9 +79,11 @@ pub struct Switch {
     trunk_ports: BTreeSet<usize>,
     forwarding_delay: SimDuration,
     queue_limit: usize,
+    mark_threshold: Option<usize>,
     frames_forwarded: u64,
     frames_flooded: u64,
     frames_dropped: u64,
+    frames_marked: u64,
     flood_pruned: u64,
 }
 
@@ -65,9 +100,11 @@ impl Switch {
             trunk_ports: BTreeSet::new(),
             forwarding_delay,
             queue_limit,
+            mark_threshold: None,
             frames_forwarded: 0,
             frames_flooded: 0,
             frames_dropped: 0,
+            frames_marked: 0,
             flood_pruned: 0,
         }))
     }
@@ -115,6 +152,38 @@ impl Switch {
     /// Frames dropped at full output queues.
     pub fn frames_dropped(&self) -> u64 {
         self.frames_dropped
+    }
+
+    /// Arm ECN-style marking: a CLIC frame enqueued while the output backlog
+    /// is at or above `threshold` frames gets its congestion-experienced bit
+    /// set instead of passing through untouched. The threshold must leave
+    /// room below the queue limit — marking a frame the queue is about to
+    /// tail-drop anyway signals nothing.
+    pub fn try_set_mark_threshold(&mut self, threshold: usize) -> Result<(), SwitchConfigError> {
+        if threshold == 0 {
+            return Err(SwitchConfigError(
+                "mark_threshold must be at least 1 (0 would mark every frame)".into(),
+            ));
+        }
+        if threshold >= self.queue_limit {
+            return Err(SwitchConfigError(format!(
+                "mark_threshold ({threshold}) must be below queue_limit ({}): \
+                 at or above the limit the frame is tail-dropped, never marked",
+                self.queue_limit
+            )));
+        }
+        self.mark_threshold = Some(threshold);
+        Ok(())
+    }
+
+    /// Configured ECN mark threshold, if armed.
+    pub fn mark_threshold(&self) -> Option<usize> {
+        self.mark_threshold
+    }
+
+    /// CLIC frames that had their congestion-experienced bit set.
+    pub fn frames_marked(&self) -> u64 {
+        self.frames_marked
     }
 
     /// Learned location of a MAC, if any.
@@ -229,7 +298,7 @@ impl Switch {
     }
 
     fn egress(switch: &Rc<RefCell<Switch>>, sim: &mut Sim, port: usize, frame: Frame) {
-        let (link, end, depth, full, trunk) = {
+        let (link, end, depth, full, trunk, mark) = {
             let sw = switch.borrow();
             let p = &sw.ports[port];
             let depth = p.link.borrow().tx_backlog(p.end);
@@ -239,6 +308,7 @@ impl Switch {
                 depth,
                 depth >= sw.queue_limit,
                 sw.trunk_ports.contains(&port),
+                sw.mark_threshold.is_some_and(|t| depth >= t),
             )
         };
         if trunk {
@@ -257,7 +327,42 @@ impl Switch {
                 .instant(sim.now(), Layer::Eth, "switch_drop", frame.trace);
             return;
         }
+        let frame = if mark && Switch::markable(&frame) {
+            switch.borrow_mut().frames_marked += 1;
+            sim.metrics.counter_inc_id(M_ECN_MARKS);
+            sim.timeline.counter(sim.now(), M_ECN_MARKS, 1);
+            sim.trace
+                .instant(sim.now(), Layer::Eth, "switch_mark", frame.trace);
+            Switch::set_ce(frame)
+        } else {
+            frame
+        };
         Link::transmit(&link, sim, end, frame);
+    }
+
+    /// Whether the frame is a data-bearing CLIC packet the marking scheme
+    /// applies to. ACKs (ptype 2) are the feedback channel itself and
+    /// node-internal packets (ptype 5) never cross a switch in earnest, so
+    /// neither carries a mark; everything else CLIC does.
+    fn markable(frame: &Frame) -> bool {
+        if frame.ethertype != EtherType::CLIC {
+            return false;
+        }
+        matches!(
+            frame.payload.first().map(|b| b & !CE_BIT),
+            Some(1 | 3 | 4 | 6)
+        )
+    }
+
+    /// Return the frame with its congestion-experienced bit set. Ethernet
+    /// payloads are immutable shared buffers, so a marked frame pays one
+    /// payload copy — the simulated analogue of the store-and-forward
+    /// switch rewriting the octet as it serializes the frame out.
+    fn set_ce(mut frame: Frame) -> Frame {
+        let mut bytes = frame.payload.to_vec();
+        bytes[0] |= CE_BIT;
+        frame.payload = Bytes::from(bytes);
+        frame
     }
 }
 
@@ -419,6 +524,100 @@ mod tests {
         assert_eq!(net.rx[2].borrow().len(), 1);
         assert_eq!(net.rx[3].borrow().len(), 0, "pruned port stays silent");
         assert_eq!(net.switch.borrow().flood_pruned(), 1);
+    }
+
+    /// Occupy the switch→station direction of `link` with `n` jumbo frames.
+    /// Each takes 72.3 µs to serialize, so a 100 B test frame egressing at
+    /// ~5.1 µs sees an output backlog of exactly `n` — a deterministic way
+    /// to pin the queue depth at the instant of the marking decision.
+    fn preload_egress(net: &Net, sim: &mut Sim, port: usize, n: usize) {
+        for _ in 0..n {
+            let jumbo = Frame::new(
+                station(port),
+                station(9),
+                EtherType::CLIC,
+                Bytes::from(vec![0u8; 9000]),
+            );
+            Link::transmit(&net.links[port], sim, LinkEnd::B, jumbo);
+        }
+    }
+
+    /// The single 100 B test frame out of a receive log that also holds
+    /// preloaded jumbos.
+    fn test_frame(net: &Net, port: usize) -> Option<Frame> {
+        let log = net.rx[port].borrow();
+        let mut hits = log.iter().filter(|(_, f)| f.payload.len() == 100);
+        let found = hits.next().map(|(_, f)| f.clone());
+        assert!(hits.next().is_none(), "expected at most one test frame");
+        found
+    }
+
+    #[test]
+    fn mark_boundary_is_depth_at_least_threshold() {
+        // queue_limit 4, threshold 2: depth 1 passes clean, depth 2 (exactly
+        // the threshold) marks, depth 3 still marks.
+        for (preload, expect_marked) in [(1usize, false), (2, true), (3, true)] {
+            let mut sim = Sim::new(0);
+            let net = mk_net(2);
+            net.switch.borrow_mut().try_set_mark_threshold(2).unwrap();
+            preload_egress(&net, &mut sim, 1, preload);
+            send(&net, &mut sim, 0, station(1), 1); // ptype 1 = Data
+            sim.run();
+            let f = test_frame(&net, 1).expect("frame delivered");
+            assert_eq!(f.payload[0] & 0x80 != 0, expect_marked, "preload={preload}");
+            assert_eq!(
+                net.switch.borrow().frames_marked(),
+                u64::from(expect_marked),
+                "preload={preload}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_drop_at_exactly_capacity_beats_marking() {
+        // Depth 4 == queue_limit: the frame is dropped, never marked — the
+        // off-by-one between "mark zone" [threshold, limit) and the drop at
+        // the limit itself.
+        let mut sim = Sim::new(0);
+        let net = mk_net(2);
+        net.switch.borrow_mut().try_set_mark_threshold(2).unwrap();
+        preload_egress(&net, &mut sim, 1, 4);
+        send(&net, &mut sim, 0, station(1), 1);
+        sim.run();
+        assert_eq!(net.switch.borrow().frames_dropped(), 1);
+        assert_eq!(net.switch.borrow().frames_marked(), 0);
+        assert!(test_frame(&net, 1).is_none(), "dropped frame not delivered");
+    }
+
+    #[test]
+    fn acks_cross_congested_queue_unmarked() {
+        // ptype 2 (Ack) is the feedback channel — it rides through the mark
+        // zone untouched so echoes are never self-suppressed.
+        let mut sim = Sim::new(0);
+        let net = mk_net(2);
+        net.switch.borrow_mut().try_set_mark_threshold(2).unwrap();
+        preload_egress(&net, &mut sim, 1, 3);
+        send(&net, &mut sim, 0, station(1), 2); // ptype 2 = Ack
+        sim.run();
+        let f = test_frame(&net, 1).expect("ack delivered");
+        assert_eq!(f.payload[0], 2, "ack payload untouched");
+        assert_eq!(net.switch.borrow().frames_marked(), 0);
+    }
+
+    #[test]
+    fn mark_threshold_rejects_degenerate_values() {
+        let sw = Switch::new(SimDuration::from_us(4), 4);
+        assert!(sw.borrow_mut().try_set_mark_threshold(0).is_err());
+        let at_limit = sw.borrow_mut().try_set_mark_threshold(4).unwrap_err();
+        assert!(at_limit.to_string().contains("queue_limit"));
+        assert!(sw.borrow_mut().try_set_mark_threshold(5).is_err());
+        assert_eq!(
+            sw.borrow().mark_threshold(),
+            None,
+            "rejected sets leave it unarmed"
+        );
+        sw.borrow_mut().try_set_mark_threshold(3).unwrap();
+        assert_eq!(sw.borrow().mark_threshold(), Some(3));
     }
 
     #[test]

@@ -71,6 +71,11 @@ const H: MetricKind = MetricKind::Histogram;
 /// Every metric name the workspace may record, sorted by `(name, kind)`.
 pub const METRICS: &[MetricDef] = &[
     MetricDef {
+        name: "clic.cwnd",
+        kind: G,
+        help: "per-flow congestion window after the latest update, packets",
+    },
+    MetricDef {
         name: "clic.drops.backlog",
         kind: C,
         help: "packets dropped because the receive backlog was full",
@@ -94,6 +99,11 @@ pub const METRICS: &[MetricDef] = &[
         name: "clic.drops.stale_epoch",
         kind: C,
         help: "packets dropped for carrying a previous session epoch",
+    },
+    MetricDef {
+        name: "clic.ecn_echoes",
+        kind: C,
+        help: "ACKs carrying a congestion-mark echo, processed by senders",
     },
     MetricDef {
         name: "clic.effective_window",
@@ -176,6 +186,11 @@ pub const METRICS: &[MetricDef] = &[
         help: "smoothed RTT variance samples feeding the adaptive RTO, ns",
     },
     MetricDef {
+        name: "clic.ssthresh",
+        kind: G,
+        help: "per-flow slow-start threshold after the latest update, packets",
+    },
+    MetricDef {
         name: "clic.staged_copies",
         kind: C,
         help: "1-copy sends staged through a kernel bounce buffer",
@@ -224,6 +239,11 @@ pub const METRICS: &[MetricDef] = &[
         name: "eth.switch.drops",
         kind: C,
         help: "frames tail-dropped at a full switch output queue",
+    },
+    MetricDef {
+        name: "eth.switch.ecn_marks",
+        kind: C,
+        help: "frames stamped congestion-experienced at a switch output queue",
     },
     MetricDef {
         name: "eth.switch.frames_dropped",
@@ -465,6 +485,11 @@ pub const STAGES: &[StageDef] = &[
         help: "packet dropped: stamped with a previous session epoch",
     },
     StageDef {
+        name: "ecn_echo",
+        layers: &[Layer::Clic],
+        help: "sender processed an ACK echoing a congestion mark",
+    },
+    StageDef {
         name: "fast_retransmit",
         layers: &[Layer::Clic, Layer::TcpIp],
         help: "duplicate-ACK-triggered retransmission",
@@ -538,6 +563,11 @@ pub const STAGES: &[StageDef] = &[
         name: "switch_drop",
         layers: &[Layer::Eth],
         help: "frame tail-dropped at a switch output queue",
+    },
+    StageDef {
+        name: "switch_mark",
+        layers: &[Layer::Eth],
+        help: "frame stamped congestion-experienced at a switch output queue",
     },
     StageDef {
         name: "syscall",
